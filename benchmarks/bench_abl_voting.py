@@ -1,0 +1,82 @@
+"""R-A1 — ablation: exit-combination rule for adaptive layer voting.
+
+Compares inference quality after adaptive layer tuning when the final
+prediction comes from: each single exit alone, the last layer alone,
+uniform mixing, winner-take-all ("best"), calibrated softmax weights (the
+paper's scheme), and per-token confidence weighting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import AdaptiveLayerTrainer, AdaptiveTuningConfig, VotingCombiner
+from repro.eval import multiple_choice_accuracy, perplexity
+from repro.tensor import no_grad
+
+from .common import (
+    ADAPT_STEPS,
+    EXIT_POINTS,
+    WINDOW,
+    adapt_batches,
+    adapt_corpus,
+    calib_batch,
+    clone_model,
+    emit,
+    qa_task,
+)
+
+
+def test_abl_voting_strategies(base_state, benchmark):
+    model = clone_model(base_state)
+    trainer = AdaptiveLayerTrainer(
+        model, AdaptiveTuningConfig(window=WINDOW, exit_points=EXIT_POINTS, lr=2e-3)
+    )
+    trainer.train(adapt_batches(ADAPT_STEPS))
+    corpus = adapt_corpus()
+    qa_items = qa_task().dataset(50)
+    calib = calib_batch(corpus, seed=99)
+
+    rows = []
+
+    # Single exits (incl. the final head).
+    def exit_logits_fn(point):
+        def fn(ids):
+            with no_grad():
+                return trainer.exit_heads.all_logits(model, ids)[point]
+        return fn
+
+    single_ppl = {}
+    for point in sorted(set(EXIT_POINTS) | {model.num_layers}):
+        fn = exit_logits_fn(point)
+        ppl = perplexity(fn, corpus, num_batches=3)
+        acc = multiple_choice_accuracy(fn, qa_items)
+        single_ppl[point] = ppl
+        rows.append([f"single exit @ {point}", ppl, acc])
+
+    voting_ppl = {}
+    for strategy in ("uniform", "best", "calibrated", "confidence"):
+        voter = VotingCombiner(model, trainer.exit_heads, strategy=strategy)
+        if strategy != "confidence":
+            voter.calibrate(*calib)
+        else:
+            voter.calibrate(*calib)  # priors recorded; weights are per-token
+        ppl = perplexity(voter.combined_logits, corpus, num_batches=3)
+        acc = multiple_choice_accuracy(voter.combined_logits, qa_items)
+        voting_ppl[strategy] = ppl
+        rows.append([f"voting: {strategy}", ppl, acc])
+
+    emit(
+        "abl_voting",
+        "R-A1: exit combination ablation after adaptive layer tuning",
+        ["inference scheme", "ppl (down)", "QA acc"],
+        rows,
+    )
+
+    worst_single = max(single_ppl.values())
+    best_single = min(single_ppl.values())
+    # Calibrated voting must be robust: never worse than the worst exit,
+    # and within a modest factor of the best single exit.
+    assert voting_ppl["calibrated"] < worst_single
+    assert voting_ppl["calibrated"] <= best_single * 1.3
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+"""EXT-E1 — extension: energy and cross-accelerator comparison.
+
+Beyond the paper's latency-focused evaluation: the same Edge-LLM iteration
+workload priced on two accelerator archetypes (GPU-like vs TPU-like) under
+latency- vs energy-optimized schedule search, reporting cycles, energy and
+the energy-delay product.
+"""
+
+import pytest
+
+from repro.hw import (
+    EDGE_GPU_LIKE,
+    EDGE_TPU_LIKE,
+    schedule_workloads,
+    tuning_iteration_workload,
+)
+from repro.luc import LUCPolicy
+
+from .common import BATCH, SEQ, WINDOW, bench_config, emit
+
+POLICY = LUCPolicy.uniform(8, 4, 0.3)
+
+
+def _workload(cfg):
+    return tuning_iteration_workload(
+        cfg, BATCH, SEQ,
+        forward_blocks=6, grad_start=6 - WINDOW,
+        bits_per_block=POLICY.bits_per_block(),
+        sparsity_per_block=POLICY.sparsity_per_block(),
+    )
+
+
+def test_ext_energy_objectives(base_state, benchmark):
+    cfg = bench_config()
+    gemms = _workload(cfg)
+    rows = []
+    results = {}
+    for accel_name, accel in [("edge-GPU-like", EDGE_GPU_LIKE),
+                              ("edge-TPU-like", EDGE_TPU_LIKE)]:
+        for objective in ("latency", "energy", "edp"):
+            cost = schedule_workloads(
+                gemms, accel, strategy="exhaustive", objective=objective
+            )
+            results[(accel_name, objective)] = cost
+            rows.append([
+                accel_name,
+                objective,
+                cost.cycles / 1e6,
+                cost.energy_pj / 1e6,
+                (cost.cycles * cost.energy_pj) / 1e12,
+                cost.mean_utilization,
+            ])
+
+    emit(
+        "ext_energy",
+        "EXT-E1: Edge-LLM iteration across accelerators and objectives",
+        ["accelerator", "objective", "Mcycles", "energy uJ", "EDP (au)",
+         "mean util"],
+        rows,
+    )
+
+    for accel_name in ("edge-GPU-like", "edge-TPU-like"):
+        lat = results[(accel_name, "latency")]
+        eng = results[(accel_name, "energy")]
+        edp = results[(accel_name, "edp")]
+        # Each objective must win (or tie) on its own metric.
+        assert lat.cycles <= eng.cycles + 1e-6
+        assert eng.energy_pj <= lat.energy_pj + 1e-6
+        assert (edp.cycles * edp.energy_pj) <= (
+            lat.cycles * lat.energy_pj
+        ) * (1 + 1e-9)
+
+    benchmark.pedantic(
+        lambda: schedule_workloads(gemms, EDGE_TPU_LIKE, strategy="exhaustive",
+                                   objective="edp"),
+        rounds=3, iterations=1,
+    )

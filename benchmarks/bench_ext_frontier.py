@@ -1,0 +1,118 @@
+"""EXT-E2 — extension: the compression/quality frontier.
+
+Sweeps the LUC compute budget and reports, for each point, the policy the
+greedy search picks, the post-compression perplexity, the perplexity after
+a fixed adaptation run, and the modeled iteration cost — the
+cost-vs-quality frontier a deployment engineer would pick an operating
+point from.  Also contrasts one-shot vs iterative compression at the
+harshest budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import vanilla_trainer
+from repro.data import lm_batches
+from repro.eval import model_perplexity
+from repro.hw import EDGE_GPU_LIKE, schedule_workloads, tuning_iteration_workload
+from repro.luc import (
+    apply_luc,
+    enumerate_layer_options,
+    iterative_compress,
+    measure_sensitivity,
+    search_policy,
+)
+
+from .common import (
+    BATCH,
+    SEQ,
+    bench_config,
+    calib_batch,
+    clone_model,
+    emit,
+    pretrain_corpus,
+)
+
+OPTIONS = enumerate_layer_options((2, 4, 8), (0.0, 0.3, 0.5))
+BUDGETS = (0.5, 0.3, 0.2, 0.125)
+RECOVERY_STEPS = 20
+
+
+def _iteration_mcycles(cfg, policy):
+    gemms = tuning_iteration_workload(
+        cfg, BATCH, SEQ, cfg.num_layers, 0,
+        bits_per_block=policy.bits_per_block(),
+        sparsity_per_block=policy.sparsity_per_block(),
+    )
+    return schedule_workloads(gemms, EDGE_GPU_LIKE, strategy="exhaustive").cycles / 1e6
+
+
+def test_ext_budget_frontier(base_state, benchmark):
+    cfg = bench_config()
+    corpus = pretrain_corpus()
+    base_ppl = model_perplexity(clone_model(base_state), corpus, num_batches=3)
+    profile = measure_sensitivity(
+        clone_model(base_state), *calib_batch(corpus), OPTIONS,
+        metric="loss_delta",
+    )
+
+    rows = [["uncompressed", 1.0, base_ppl, base_ppl,
+             _iteration_mcycles(cfg, _dense_policy(cfg))]]
+    frontier = []
+    for budget in BUDGETS:
+        policy = search_policy(profile, cfg.num_layers, budget, options=OPTIONS)
+        model = clone_model(base_state)
+        apply_luc(model, policy)
+        post = model_perplexity(model, corpus, num_batches=3)
+        vanilla_trainer(model, lr=1e-3).train(
+            lm_batches(corpus, BATCH, SEQ, RECOVERY_STEPS, np.random.default_rng(3))
+        )
+        recovered = model_perplexity(model, corpus, num_batches=3)
+        mcycles = _iteration_mcycles(cfg, policy)
+        frontier.append((budget, recovered, mcycles))
+        rows.append([f"one-shot @ {budget}", policy.cost(), post, recovered,
+                     mcycles])
+
+    # Iterative compression at the harshest budget.
+    model = clone_model(base_state)
+    calib_in, calib_tg = calib_batch(corpus)
+    history = iterative_compress(
+        model, calib_in, calib_tg,
+        lambda: lm_batches(corpus, BATCH, SEQ, RECOVERY_STEPS,
+                           np.random.default_rng(4)),
+        target_budget=BUDGETS[-1], rounds=3,
+        recovery_steps=RECOVERY_STEPS // 2, options=OPTIONS,
+    )
+    iter_ppl = model_perplexity(model, corpus, num_batches=3)
+    rows.append([
+        f"iterative (3 rounds) @ {BUDGETS[-1]}",
+        history[-1].policy.cost(),
+        float("nan"),
+        iter_ppl,
+        _iteration_mcycles(cfg, history[-1].policy),
+    ])
+
+    emit(
+        "ext_frontier",
+        "EXT-E2: compression budget vs quality vs modeled iteration cost\n"
+        f"(recovery = {RECOVERY_STEPS} steps; base ppl {base_ppl:.3f})",
+        ["configuration", "cost", "ppl post", "ppl recovered", "Mcycles/iter"],
+        rows,
+    )
+
+    # Frontier sanity: cost decreases monotonically with budget, quality
+    # degrades (weakly) as compression tightens.
+    cycles = [f[2] for f in frontier]
+    assert all(a >= b for a, b in zip(cycles, cycles[1:]))
+    assert frontier[-1][1] < base_ppl * 1.5  # harshest point still usable
+    # Iterative must not lose to one-shot at the same harsh budget.
+    oneshot_h = [f for f in frontier if f[0] == BUDGETS[-1]][0][1]
+    assert iter_ppl <= oneshot_h * 1.15
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def _dense_policy(cfg):
+    from repro.luc import LUCPolicy
+
+    return LUCPolicy.uncompressed(cfg.num_layers)

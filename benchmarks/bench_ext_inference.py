@@ -1,0 +1,83 @@
+"""EXT-E3 — extension: inference-phase cost and the price of voting.
+
+The tuning loop is the paper's focus, but the deployed model also serves
+requests.  This bench prices prompt prefill + token generation on the edge
+accelerator for: the uncompressed model, the LUC-compressed model, and the
+compressed model with voting enabled (extra exit unembeddings) — showing
+compression's inference dividend and that the voting overhead is marginal.
+"""
+
+import pytest
+
+from repro.hw import EDGE_GPU_LIKE, generation_cost
+from repro.luc import LUCPolicy
+
+from .common import EXIT_POINTS, bench_config, emit
+
+PROMPT_LEN = 48
+NEW_TOKENS = 16
+POLICY = LUCPolicy.uniform(8, 4, 0.3)
+
+
+def test_ext_inference_costs(base_state, benchmark):
+    cfg = bench_config()
+
+    dense = generation_cost(
+        cfg, EDGE_GPU_LIKE, batch=1, prompt_len=PROMPT_LEN,
+        new_tokens=NEW_TOKENS, strategy="exhaustive",
+    )
+    compressed = generation_cost(
+        cfg, EDGE_GPU_LIKE, batch=1, prompt_len=PROMPT_LEN,
+        new_tokens=NEW_TOKENS,
+        bits_per_block=POLICY.bits_per_block(),
+        sparsity_per_block=POLICY.sparsity_per_block(),
+        strategy="exhaustive",
+    )
+    voted = generation_cost(
+        cfg, EDGE_GPU_LIKE, batch=1, prompt_len=PROMPT_LEN,
+        new_tokens=NEW_TOKENS,
+        bits_per_block=POLICY.bits_per_block(),
+        sparsity_per_block=POLICY.sparsity_per_block(),
+        exit_points=EXIT_POINTS,
+        strategy="exhaustive",
+    )
+
+    rows = []
+    for name, cost in [
+        ("uncompressed", dense),
+        ("LUC-compressed", compressed),
+        ("LUC-compressed + voting", voted),
+    ]:
+        rows.append([
+            name,
+            cost["prefill_cycles"] / 1e6,
+            cost["decode_cycles"] / 1e6,
+            cost["voting_cycles"] / 1e6,
+            cost["total_cycles"] / 1e6,
+            dense["total_cycles"] / cost["total_cycles"],
+        ])
+
+    emit(
+        "ext_inference",
+        f"EXT-E3: generation cost (prefill {PROMPT_LEN} + {NEW_TOKENS} tokens)",
+        ["configuration", "prefill Mcyc", "decode Mcyc", "voting Mcyc",
+         "total Mcyc", "speedup"],
+        rows,
+    )
+
+    # Compression speeds up inference...
+    assert compressed["total_cycles"] < dense["total_cycles"]
+    # ...and the voting overhead is a small fraction of the total.
+    overhead = voted["voting_cycles"]
+    assert overhead < 0.15 * voted["total_cycles"]
+    assert voted["total_cycles"] < dense["total_cycles"]
+
+    benchmark.pedantic(
+        lambda: generation_cost(
+            cfg, EDGE_GPU_LIKE, 1, PROMPT_LEN, 2,
+            bits_per_block=POLICY.bits_per_block(),
+            sparsity_per_block=POLICY.sparsity_per_block(),
+            strategy="heuristic",
+        ),
+        rounds=3, iterations=1,
+    )

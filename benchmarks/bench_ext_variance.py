@@ -1,0 +1,80 @@
+"""EXT-E4 — extension: seed variance of the headline comparison.
+
+Single-run tables can mislead; this bench repeats the core Edge-LLM vs
+vanilla-tuning comparison over three data/init seeds (at a reduced step
+budget) and reports mean ± std of adapted perplexity, confirming the
+ordering is not a seed artifact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import (
+    AdaptiveLayerTrainer,
+    AdaptiveTuningConfig,
+    VotingCombiner,
+    vanilla_trainer,
+)
+from repro.data import MarkovChainCorpus, lm_batches
+from repro.eval import model_perplexity, perplexity
+
+from .common import BATCH, EXIT_POINTS, SEQ, VOCAB, WINDOW, clone_model, emit
+
+SEEDS = (0, 1, 2)
+STEPS = 30
+
+
+def _run_pair(base_state, data_seed):
+    adapt = MarkovChainCorpus(vocab_size=VOCAB, order=1, seed=10 + data_seed)
+
+    def batches(seed):
+        return lm_batches(adapt, BATCH, SEQ, STEPS, np.random.default_rng(seed))
+
+    vanilla_model = clone_model(base_state)
+    vanilla_trainer(vanilla_model, lr=1e-3).train(batches(data_seed))
+    vanilla_ppl = model_perplexity(vanilla_model, adapt, num_batches=3)
+
+    edge_model = clone_model(base_state)
+    trainer = AdaptiveLayerTrainer(
+        edge_model,
+        AdaptiveTuningConfig(window=WINDOW, exit_points=EXIT_POINTS, lr=2e-3,
+                             seed=data_seed),
+    )
+    trainer.train(batches(data_seed))
+    voter = VotingCombiner(edge_model, trainer.exit_heads)
+    calib = next(lm_batches(adapt, 4, SEQ, 1, np.random.default_rng(99)))
+    voter.calibrate(*calib)
+    edge_ppl = perplexity(voter.combined_logits, adapt, num_batches=3)
+    zero_shot = model_perplexity(clone_model(base_state), adapt, num_batches=3)
+    return zero_shot, vanilla_ppl, edge_ppl
+
+
+def test_ext_seed_variance(base_state, benchmark):
+    zero, vanilla, edge = [], [], []
+    for seed in SEEDS:
+        z, v, e = _run_pair(base_state, seed)
+        zero.append(z)
+        vanilla.append(v)
+        edge.append(e)
+
+    def stats(xs):
+        return float(np.mean(xs)), float(np.std(xs))
+
+    rows = [
+        ["no adaptation", *stats(zero)],
+        [f"vanilla tuning ({STEPS} steps)", *stats(vanilla)],
+        [f"Edge-LLM ({STEPS} steps, voted)", *stats(edge)],
+    ]
+    emit(
+        "ext_variance",
+        f"EXT-E4: adapted perplexity over {len(SEEDS)} seeds (mean, std)",
+        ["method", "ppl mean", "ppl std"],
+        rows,
+    )
+
+    # Ordering must hold per-seed, not just on average.
+    for z, v, e in zip(zero, vanilla, edge):
+        assert e < z / 5, "Edge-LLM must adapt on every seed"
+        assert e < 5 * v, "Edge-LLM stays in vanilla's regime on every seed"
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,97 @@
+"""R-F2 — memory vs backprop depth (the adaptive-layer-tuning enabler).
+
+Sweeps the tuning window and reports the per-iteration memory breakdown
+from the analytical model: activation memory scales with the gradient
+window, optimizer/gradient memory with the trainable subset, while vanilla
+tuning pays for the full stack.
+"""
+
+import pytest
+
+from repro.adaptive import (
+    AdaptiveLayerTrainer,
+    AdaptiveTuningConfig,
+    checkpointed_trainer,
+    vanilla_trainer,
+)
+from repro.eval import model_weight_bytes
+from repro.hw import total_macs, tuning_iteration_workload
+
+from .common import BATCH, EXIT_POINTS, SEQ, bench_config, clone_model, emit
+
+
+def test_fig2_memory_vs_window(base_state, benchmark):
+    cfg = bench_config()
+    rows = []
+    for window in (1, 2, 4):
+        model = clone_model(base_state)
+        trainer = AdaptiveLayerTrainer(
+            model,
+            AdaptiveTuningConfig(window=window, exit_points=EXIT_POINTS),
+        )
+        report = trainer.memory_report(BATCH, SEQ)
+        rows.append([
+            f"adaptive, window={window}",
+            report.activation_bytes / 1e6,
+            report.gradient_bytes / 1e6,
+            report.optimizer_bytes / 1e6,
+            report.total_bytes / 1e6,
+        ])
+    # Gradient checkpointing: the classic memory/compute trade — small
+    # activations like the adaptive window, but full-depth gradients,
+    # full optimizer state, and ~1.5x forward compute.
+    model = clone_model(base_state)
+    ckpt = checkpointed_trainer(model)
+    report = ckpt.memory_report(BATCH, SEQ)
+    rows.append([
+        "grad checkpointing (full depth)",
+        report.activation_bytes / 1e6,
+        report.gradient_bytes / 1e6,
+        report.optimizer_bytes / 1e6,
+        report.total_bytes / 1e6,
+    ])
+
+    model = clone_model(base_state)
+    vanilla = vanilla_trainer(model)
+    report = vanilla.memory_report(BATCH, SEQ)
+    rows.append([
+        "vanilla (full backprop)",
+        report.activation_bytes / 1e6,
+        report.gradient_bytes / 1e6,
+        report.optimizer_bytes / 1e6,
+        report.total_bytes / 1e6,
+    ])
+
+    emit(
+        "fig2_memory",
+        f"R-F2: per-iteration tuning memory vs gradient window "
+        f"(batch={BATCH}, seq={SEQ}, {cfg.num_layers} layers)",
+        ["configuration", "act MB", "grad MB", "opt MB", "total MB"],
+        rows,
+    )
+
+    # Activation memory must scale linearly with the window and the
+    # vanilla row must dominate everything.
+    act = {r[0]: r[1] for r in rows}
+    assert act["adaptive, window=2"] == pytest.approx(
+        2 * act["adaptive, window=1"], rel=0.01
+    )
+    assert act["vanilla (full backprop)"] > 1.9 * act["adaptive, window=4"]
+    totals = {r[0]: r[4] for r in rows}
+    assert totals["vanilla (full backprop)"] == max(totals.values())
+    # Checkpointing fixes activations but keeps full optimizer state, so
+    # adaptive windows still win on total memory...
+    assert totals["adaptive, window=2"] < totals["grad checkpointing (full depth)"]
+    # ...and checkpointing pays ~1.5x the compute where the window pays less.
+    cfg_ = bench_config()
+    ckpt_macs = total_macs(
+        tuning_iteration_workload(
+            cfg_, BATCH, SEQ, cfg_.num_layers, 0, checkpoint_recompute=True
+        )
+    )
+    plain_macs = total_macs(
+        tuning_iteration_workload(cfg_, BATCH, SEQ, cfg_.num_layers, 0)
+    )
+    assert ckpt_macs > plain_macs
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,168 @@
+"""R-T1 — main results table: adaptation quality vs tuning method.
+
+Reconstruction of the paper's headline table: Edge-LLM (LUC + adaptive
+layer tuning + voting) reaches task quality comparable to vanilla full
+fine-tuning while the baselines trade quality or memory differently.
+
+Columns: trainable parameters, adapted perplexity on the downstream
+language, multiple-choice accuracy, and worst-case iteration activation
+memory (the on-device constraint).
+"""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import (
+    AdaptiveLayerTrainer,
+    AdaptiveTuningConfig,
+    VotingCombiner,
+    vanilla_trainer,
+)
+from repro.eval import (
+    model_perplexity,
+    multiple_choice_accuracy,
+    perplexity,
+    training_memory_report,
+)
+from repro.luc import enumerate_layer_options, measure_sensitivity, search_policy, apply_luc
+from repro.peft import LadderSideNetwork, apply_bitfit, apply_lora, tune
+
+from .common import (
+    ADAPT_STEPS,
+    BATCH,
+    BUDGET,
+    EXIT_POINTS,
+    SEQ,
+    WINDOW,
+    adapt_batches,
+    adapt_corpus,
+    bench_config,
+    calib_batch,
+    clone_model,
+    emit,
+    pretrain_corpus,
+    qa_task,
+)
+
+
+def _activation_mb(cfg, grad_blocks, trainable):
+    report = training_memory_report(
+        cfg, BATCH, SEQ, grad_blocks=grad_blocks, trainable_params=trainable
+    )
+    return (report.activation_bytes + report.optimizer_bytes) / 1e6
+
+
+def test_table1_main_results(base_state, benchmark):
+    cfg = bench_config()
+    corpus = adapt_corpus()
+    qa_items = qa_task().dataset(60)
+    rows = []
+
+    # --- zero-shot reference -----------------------------------------
+    model = clone_model(base_state)
+    rows.append([
+        "no adaptation", 0,
+        model_perplexity(model, corpus, num_batches=4),
+        multiple_choice_accuracy(lambda ids: model(ids), qa_items),
+        0.0,
+    ])
+
+    # --- vanilla full fine-tuning ------------------------------------
+    model = clone_model(base_state)
+    trainer = vanilla_trainer(model, lr=1e-3)
+    trainer.train(adapt_batches(ADAPT_STEPS))
+    rows.append([
+        "full fine-tuning (vanilla)",
+        model.num_parameters(),
+        model_perplexity(model, corpus, num_batches=4),
+        multiple_choice_accuracy(lambda ids: model(ids), qa_items),
+        _activation_mb(cfg, cfg.num_layers, model.num_parameters()),
+    ])
+
+    # --- LoRA ----------------------------------------------------------
+    model = clone_model(base_state)
+    _, trainable = apply_lora(model, rank=4, seed=0)
+    tune(lambda ids: model(ids), trainable, adapt_batches(ADAPT_STEPS), lr=5e-3)
+    n_lora = sum(p.size for p in trainable)
+    rows.append([
+        "LoRA (r=4)", n_lora,
+        model_perplexity(model, corpus, num_batches=4),
+        multiple_choice_accuracy(lambda ids: model(ids), qa_items),
+        _activation_mb(cfg, cfg.num_layers, n_lora),
+    ])
+
+    # --- BitFit ----------------------------------------------------------
+    model = clone_model(base_state)
+    trainable = apply_bitfit(model)
+    tune(lambda ids: model(ids), trainable, adapt_batches(ADAPT_STEPS), lr=1e-2)
+    n_bitfit = sum(p.size for p in trainable)
+    rows.append([
+        "BitFit", n_bitfit,
+        model_perplexity(model, corpus, num_batches=4),
+        multiple_choice_accuracy(lambda ids: model(ids), qa_items),
+        _activation_mb(cfg, cfg.num_layers, n_bitfit),
+    ])
+
+    # --- Ladder Side Tuning ----------------------------------------------
+    model = clone_model(base_state)
+    lst = LadderSideNetwork(model, reduction=4, seed=0)
+    tune(lst, lst.side_parameters(), adapt_batches(ADAPT_STEPS), lr=5e-3)
+    rows.append([
+        "Ladder Side Tuning", lst.num_side_parameters(),
+        perplexity(lst, corpus, num_batches=4),
+        multiple_choice_accuracy(lst, qa_items),
+        _activation_mb(cfg, 0, lst.num_side_parameters()),
+    ])
+
+    # --- Edge-LLM (full pipeline) -----------------------------------------
+    model = clone_model(base_state)
+    options = enumerate_layer_options((2, 4, 8), (0.0, 0.3, 0.5))
+    profile = measure_sensitivity(
+        model, *calib_batch(pretrain_corpus()), options, metric="loss_delta"
+    )
+    policy = search_policy(profile, cfg.num_layers, BUDGET, options=options)
+    apply_luc(model, policy)
+    trainer = AdaptiveLayerTrainer(
+        model, AdaptiveTuningConfig(window=WINDOW, exit_points=EXIT_POINTS, lr=2e-3)
+    )
+    trainer.train(adapt_batches(ADAPT_STEPS))
+    voter = VotingCombiner(model, trainer.exit_heads, strategy="calibrated")
+    voter.calibrate(*calib_batch(corpus, seed=99))
+    window = trainer.max_window()
+    rows.append([
+        "Edge-LLM (LUC+adaptive+voting)",
+        trainer.window_trainable_params(window),
+        perplexity(voter.combined_logits, corpus, num_batches=4),
+        multiple_choice_accuracy(voter.combined_logits, qa_items),
+        _activation_mb(cfg, window.depth, trainer.window_trainable_params(window)),
+    ])
+
+    emit(
+        "table1_accuracy",
+        "R-T1: adaptation quality by tuning method "
+        f"({ADAPT_STEPS} steps on the downstream language)",
+        ["method", "trainable", "ppl (down)", "QA acc", "act+opt MB"],
+        rows,
+    )
+
+    by_name = {r[0]: r for r in rows}
+    # Edge-LLM must clearly beat no adaptation...
+    assert by_name["Edge-LLM (LUC+adaptive+voting)"][2] < by_name["no adaptation"][2] / 2
+    # ...with quality approaching vanilla tuning (paper: "comparable";
+    # see EXPERIMENTS.md for the gap-vs-steps discussion).
+    assert (
+        by_name["Edge-LLM (LUC+adaptive+voting)"][3]
+        >= by_name["full fine-tuning (vanilla)"][3] - 0.25
+    )
+    # ...and beating every parameter-efficient baseline at this budget.
+    for baseline in ("LoRA (r=4)", "BitFit", "Ladder Side Tuning"):
+        assert (
+            by_name["Edge-LLM (LUC+adaptive+voting)"][3] > by_name[baseline][3]
+        )
+    # ...and far lower activation+optimizer memory.
+    assert (
+        by_name["Edge-LLM (LUC+adaptive+voting)"][4]
+        < by_name["full fine-tuning (vanilla)"][4] / 2
+    )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,99 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one reconstructed table/figure (see DESIGN.md)
+and both prints it and writes it under ``benchmarks/results/`` so the rows
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.data import MarkovChainCorpus, MultipleChoiceTask, lm_batches
+from repro.nn import AdamW, TransformerConfig, TransformerLM
+from repro.tensor import cross_entropy
+from repro.utils import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+VOCAB = 64
+DIM = 64
+LAYERS = 8
+HEADS = 4
+SEQ = 32
+BATCH = 8
+PRETRAIN_STEPS = 250
+ADAPT_STEPS = 60
+PRETRAIN_SEED = 0
+ADAPT_SEED = 1
+
+# Adaptive-tuning setup used across benches (calibrated so the modeled
+# speedup lands in the paper's regime; see EXPERIMENTS.md).
+EXIT_POINTS = [3, 6, 8]
+WINDOW = 2
+BUDGET = 0.30
+
+
+def bench_config(**overrides) -> TransformerConfig:
+    defaults = dict(
+        vocab_size=VOCAB, dim=DIM, num_layers=LAYERS, num_heads=HEADS,
+        max_len=128, seed=0,
+    )
+    defaults.update(overrides)
+    return TransformerConfig(**defaults)
+
+
+def pretrain_corpus() -> MarkovChainCorpus:
+    return MarkovChainCorpus(vocab_size=VOCAB, order=1, seed=PRETRAIN_SEED)
+
+
+def adapt_corpus() -> MarkovChainCorpus:
+    return MarkovChainCorpus(vocab_size=VOCAB, order=1, seed=ADAPT_SEED)
+
+
+def qa_task() -> MultipleChoiceTask:
+    return MultipleChoiceTask(
+        adapt_corpus(), num_choices=4, prompt_len=12, answer_len=5, seed=7
+    )
+
+
+def pretrain_model(steps: int = PRETRAIN_STEPS) -> TransformerLM:
+    """Train the shared base model on the pretraining language."""
+    model = TransformerLM(bench_config())
+    corpus = pretrain_corpus()
+    rng = np.random.default_rng(0)
+    opt = AdamW(model.parameters(), lr=3e-3)
+    for inputs, targets in lm_batches(corpus, BATCH, SEQ, steps, rng):
+        loss = cross_entropy(model(inputs), targets)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return model
+
+
+def clone_model(state) -> TransformerLM:
+    model = TransformerLM(bench_config())
+    model.load_state_dict(state)
+    return model
+
+
+def adapt_batches(n_steps: int = ADAPT_STEPS, seed: int = 0):
+    return lm_batches(adapt_corpus(), BATCH, SEQ, n_steps, np.random.default_rng(seed))
+
+
+def calib_batch(corpus, seed: int = 42):
+    return next(lm_batches(corpus, 4, SEQ, 1, np.random.default_rng(seed)))
+
+
+def emit(name: str, title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Print a result table and persist it to benchmarks/results/."""
+    table = format_table(headers, rows)
+    text = f"{title}\n{table}\n"
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text)
+    return text

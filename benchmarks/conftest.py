@@ -1,0 +1,11 @@
+"""Session-scoped fixtures shared by all benchmarks."""
+
+import pytest
+
+from .common import pretrain_model
+
+
+@pytest.fixture(scope="session")
+def base_state():
+    """State dict of the pretrained base model (trained once per run)."""
+    return pretrain_model().state_dict()

@@ -1,0 +1,79 @@
+"""Scenario: continuous on-device adaptation under distribution drift.
+
+The paper's motivating deployment: the data an edge assistant sees keeps
+shifting, so adaptation never stops.  This example runs Edge-LLM's
+adaptive layer tuning on a stream that drifts from language A to language
+B, with a reservoir replay buffer to resist forgetting, and tracks
+perplexity on *both* languages over time.
+
+Run:  python examples/continual_adaptation.py
+"""
+
+import numpy as np
+
+from repro import MarkovChainCorpus, TransformerConfig, TransformerLM, lm_batches
+from repro.adaptive import AdaptiveLayerTrainer, AdaptiveTuningConfig
+from repro.data import DriftingCorpusStream, ReplayBuffer, continual_batches, linear_drift
+from repro.eval import model_perplexity
+from repro.nn import AdamW
+from repro.tensor import cross_entropy
+from repro.utils import format_table
+
+VOCAB, BATCH, SEQ = 64, 8, 32
+PHASE_STEPS = 90  # stream length; drift completes at step 60
+
+
+def main():
+    rng = np.random.default_rng(0)
+    config = TransformerConfig(
+        vocab_size=VOCAB, dim=64, num_layers=8, num_heads=4, max_len=128
+    )
+    model = TransformerLM(config)
+    lang_a = MarkovChainCorpus(vocab_size=VOCAB, order=1, seed=0)
+    lang_b = MarkovChainCorpus(vocab_size=VOCAB, order=1, seed=1)
+
+    print("pretraining on language A ...")
+    opt = AdamW(model.parameters(), lr=3e-3)
+    for inputs, targets in lm_batches(lang_a, BATCH, SEQ, 200, rng):
+        loss = cross_entropy(model(inputs), targets)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+
+    trainer = AdaptiveLayerTrainer(
+        model,
+        AdaptiveTuningConfig(window=2, exit_points=[3, 6, 8], lr=1.5e-3),
+    )
+    stream = DriftingCorpusStream(
+        lang_a, lang_b, linear_drift(60), BATCH, SEQ, seed=5
+    )
+    replay = ReplayBuffer(capacity=8, seed=5)
+
+    print(f"\ncontinually adapting over {PHASE_STEPS} drifting steps "
+          "(with replay)\n")
+    rows = []
+    for step, (inputs, targets) in enumerate(
+        continual_batches(stream, PHASE_STEPS, replay=replay, replay_every=4)
+    ):
+        trainer.train_step(inputs, targets)
+        if step % 20 == 0 or step == PHASE_STEPS - 1:
+            rows.append([
+                step,
+                f"{stream.mixture_weight():.2f}",
+                model_perplexity(model, lang_a, num_batches=2),
+                model_perplexity(model, lang_b, num_batches=2),
+            ])
+
+    print(format_table(
+        ["step", "drift α", "ppl on A (old)", "ppl on B (new)"], rows
+    ))
+    print(
+        "\nThe model tracks the drift: perplexity on B falls as α rises, "
+        "while replay\nkeeps perplexity on A from exploding — the "
+        "continuous-adaptation loop the\npaper's memory/compute savings "
+        "are designed to make affordable on-device."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Scenario: choosing an edge accelerator for Edge-LLM workloads.
+
+Uses the analytical hardware model to sweep accelerator configurations
+(PE array size, SRAM capacity, DRAM bandwidth) against the LUC-compressed
+adaptive-tuning workload, with a schedule search per configuration, and
+prints the latency / energy / utilization frontier.
+
+Run:  python examples/hardware_design_space.py
+"""
+
+import numpy as np
+
+from repro import TransformerConfig
+from repro.hw import (
+    AcceleratorSpec,
+    schedule_workloads,
+    tuning_iteration_workload,
+)
+from repro.luc import LUCPolicy
+from repro.utils import format_table
+
+CONFIG = TransformerConfig(
+    vocab_size=64, dim=64, num_layers=8, num_heads=4, max_len=128
+)
+BATCH, SEQ = 8, 32
+
+# A representative LUC policy (mid-depth exits keep higher precision).
+POLICY = LUCPolicy.uniform(8, 4, 0.3)
+
+
+def edge_llm_workload():
+    """One adaptive iteration: exit at block 6, gradient window of 2."""
+    return tuning_iteration_workload(
+        CONFIG, BATCH, SEQ,
+        forward_blocks=6, grad_start=4,
+        bits_per_block=POLICY.bits_per_block(),
+        sparsity_per_block=POLICY.sparsity_per_block(),
+    )
+
+
+def main():
+    gemms = edge_llm_workload()
+    sweeps = [
+        ("8x8 PEs, 128KB, 8B/cyc",
+         AcceleratorSpec(pe_rows=8, pe_cols=8, sram_bytes=128 * 1024,
+                         dram_bytes_per_cycle=8.0)),
+        ("16x16 PEs, 256KB, 16B/cyc (default)", AcceleratorSpec()),
+        ("16x16 PEs, 64KB, 16B/cyc",
+         AcceleratorSpec(sram_bytes=64 * 1024)),
+        ("32x32 PEs, 512KB, 16B/cyc",
+         AcceleratorSpec(pe_rows=32, pe_cols=32, sram_bytes=512 * 1024)),
+        ("32x32 PEs, 512KB, 4B/cyc (starved)",
+         AcceleratorSpec(pe_rows=32, pe_cols=32, sram_bytes=512 * 1024,
+                         dram_bytes_per_cycle=4.0)),
+    ]
+
+    rows = []
+    for name, accel in sweeps:
+        best = schedule_workloads(gemms, accel, strategy="exhaustive")
+        naive = schedule_workloads(gemms, accel, strategy="heuristic")
+        rows.append([
+            name,
+            best.cycles / 1e6,
+            best.latency_seconds(accel) * 1e3,
+            best.energy_pj / 1e6,
+            best.mean_utilization,
+            naive.cycles / best.cycles,
+        ])
+
+    print("Edge-LLM adaptive-iteration workload across accelerator configs")
+    print("(schedule search run per configuration)\n")
+    print(format_table(
+        ["accelerator", "Mcycles", "latency ms", "energy uJ",
+         "mean util", "search gain"],
+        rows,
+    ))
+
+    print(
+        "\nReading the table: bigger PE arrays only pay off if SRAM and "
+        "DRAM keep up;\nthe schedule search matters most exactly where the "
+        "mapping is hardest (small\nSRAM, starved DRAM) — the paper's "
+        "motivation for coupling compression with\na scheduling search space."
+    )
+
+
+if __name__ == "__main__":
+    main()

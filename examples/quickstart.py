@@ -1,0 +1,82 @@
+"""Quickstart: the full Edge-LLM pipeline in ~60 lines.
+
+1. Pretrain a small LLaMA-style LM on a synthetic "web corpus".
+2. Compress it with LUC (layer-wise bits + pruning under a compute budget).
+3. Adapt it on-device to a new language with adaptive layer tuning.
+4. Calibrate exit voting and evaluate.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    EdgeLLM,
+    EdgeLLMConfig,
+    MarkovChainCorpus,
+    TransformerConfig,
+    TransformerLM,
+    lm_batches,
+)
+from repro.adaptive import AdaptiveTuningConfig
+from repro.eval import model_perplexity, perplexity
+from repro.nn import AdamW
+from repro.tensor import cross_entropy
+
+
+def main():
+    rng = np.random.default_rng(0)
+
+    # --- 1. pretrain the base model -----------------------------------
+    config = TransformerConfig(
+        vocab_size=64, dim=64, num_layers=8, num_heads=4, max_len=128, seed=0
+    )
+    model = TransformerLM(config)
+    web_corpus = MarkovChainCorpus(vocab_size=64, order=1, seed=0)
+    print(f"pretraining {model.num_parameters():,} parameters ...")
+    opt = AdamW(model.parameters(), lr=3e-3)
+    for inputs, targets in lm_batches(web_corpus, 8, 32, 200, rng):
+        loss = cross_entropy(model(inputs), targets)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    print(f"  base perplexity: {model_perplexity(model, web_corpus):.2f}")
+
+    # --- 2. compress with LUC ------------------------------------------
+    edge = EdgeLLM(
+        model,
+        EdgeLLMConfig(
+            compute_budget=0.3,
+            tuning=AdaptiveTuningConfig(window=2, exit_points=[3, 6, 8], lr=2e-3),
+        ),
+    )
+    calib_inputs, calib_targets = next(lm_batches(web_corpus, 4, 32, 1, rng))
+    policy = edge.compress(calib_inputs, calib_targets)
+    print("\nLUC policy:")
+    print(policy.describe())
+
+    # --- 3. on-device adaptation ----------------------------------------
+    user_corpus = MarkovChainCorpus(vocab_size=64, order=1, seed=1)
+    print(
+        f"\nbefore adaptation, perplexity on the user's language: "
+        f"{model_perplexity(model, user_corpus):.1f}"
+    )
+    edge.adapt(lm_batches(user_corpus, 8, 32, 60, rng))
+
+    # --- 4. voting + evaluation ------------------------------------------
+    val_inputs, val_targets = next(lm_batches(user_corpus, 4, 32, 1, rng))
+    edge.calibrate_voting(val_inputs, val_targets)
+    print(edge.voter.describe())
+    adapted = perplexity(edge.logits, user_corpus)
+    print(f"after adaptation (voted inference): {adapted:.2f}")
+
+    # --- hardware accounting ----------------------------------------------
+    speedup = edge.speedup_vs_vanilla(batch=8, seq=32)
+    memory = edge.memory_report(batch=8, seq=32)
+    print(f"\nmodeled per-iteration speedup vs vanilla tuning: {speedup:.2f}x")
+    print(f"per-iteration memory: {memory.total_bytes / 1e6:.1f} MB "
+          f"(activations {memory.activation_bytes / 1e6:.1f} MB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so `pip install -e .` works in offline
+environments whose pip cannot build PEP 660 editable wheels (no `wheel`
+package available): without a [build-system] table pip falls back to the
+legacy `setup.py develop` path, which needs nothing but setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of EDGE-LLM (DAC 2024): unified compression and "
+        "adaptive layer voting for on-device LLM adaptation"
+    ),
+    license="MIT",
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis", "scipy"]},
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

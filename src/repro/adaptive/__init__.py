@@ -1,0 +1,45 @@
+"""Adaptive layer tuning & voting (Edge-LLM core component #2)."""
+
+from .distill import distill_exit_heads, distillation_loss
+from .exit_heads import ExitHead, ExitHeadSet
+from .schedules import (
+    FixedShallowSchedule,
+    FullDepthSchedule,
+    ImportanceSchedule,
+    LayerSchedule,
+    RandomExitSchedule,
+    RoundRobinSchedule,
+    TuningWindow,
+    make_schedule,
+)
+from .trainer import (
+    AdaptiveLayerTrainer,
+    AdaptiveTuningConfig,
+    StepStats,
+    checkpointed_trainer,
+    default_exit_points,
+    vanilla_trainer,
+)
+from .voting import VotingCombiner
+
+__all__ = [
+    "ExitHead",
+    "ExitHeadSet",
+    "TuningWindow",
+    "LayerSchedule",
+    "RoundRobinSchedule",
+    "RandomExitSchedule",
+    "ImportanceSchedule",
+    "FixedShallowSchedule",
+    "FullDepthSchedule",
+    "make_schedule",
+    "AdaptiveTuningConfig",
+    "AdaptiveLayerTrainer",
+    "StepStats",
+    "default_exit_points",
+    "vanilla_trainer",
+    "checkpointed_trainer",
+    "VotingCombiner",
+    "distill_exit_heads",
+    "distillation_loss",
+]

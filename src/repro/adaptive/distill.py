@@ -1,0 +1,92 @@
+"""Exit-head self-distillation.
+
+Before (or between) adaptation rounds, the early-exit heads can be trained
+to imitate the final head's output distribution on unlabeled data — a
+cheap way to warm-start exits so the voting ensemble begins from a strong
+point.  The backbone stays frozen; only head parameters update.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..nn.optim import Adam
+from ..nn.transformer import TransformerLM
+from ..tensor import Tensor, log_softmax, no_grad, softmax
+from .exit_heads import ExitHeadSet
+
+
+def distillation_loss(
+    student_logits: Tensor, teacher_logits: np.ndarray, temperature: float = 2.0
+) -> Tensor:
+    """KL(teacher || student) with temperature, teacher detached.
+
+    Returns the mean over all positions (constant teacher-entropy term
+    dropped; gradients are identical).
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    teacher = np.asarray(
+        teacher_logits.data if isinstance(teacher_logits, Tensor) else teacher_logits
+    )
+    teacher_probs = softmax(Tensor(teacher / temperature)).data
+    student_log_probs = log_softmax(student_logits * (1.0 / temperature))
+    per_position = -(Tensor(teacher_probs) * student_log_probs).sum(axis=-1)
+    # The conventional T^2 factor keeps gradient magnitudes comparable
+    # across temperatures.
+    return per_position.mean() * (temperature**2)
+
+
+def distill_exit_heads(
+    model: TransformerLM,
+    exit_heads: ExitHeadSet,
+    batches: Iterable,
+    lr: float = 1e-3,
+    temperature: float = 2.0,
+    max_steps: Optional[int] = None,
+) -> List[float]:
+    """Train every exit head to match the frozen final head.
+
+    ``batches`` yields ``(inputs, _)`` pairs; targets are unused (the
+    teacher provides soft labels).  Returns the per-step mean loss.
+
+    Note: with embedding-tied heads only the exit RMSNorm gains are
+    trainable; untied heads (``tie_embeddings=False``) give distillation
+    full capacity.
+    """
+    head_params = exit_heads.parameters()
+    model_param_ids = {id(p) for p in model.parameters()}
+    trainable = [p for p in head_params if id(p) not in model_param_ids]
+    if not trainable:
+        raise ValueError("exit heads expose no trainable parameters")
+    optimizer = Adam(trainable, lr=lr)
+    was_training = model.training
+    model.eval()
+    losses: List[float] = []
+    try:
+        for step, batch in enumerate(batches):
+            if max_steps is not None and step >= max_steps:
+                break
+            inputs = batch[0] if isinstance(batch, tuple) else batch
+            with no_grad():
+                teacher_logits, hiddens = model(inputs, return_hidden_states=True)
+            total = None
+            for point in exit_heads.exit_points:
+                if point >= model.num_layers:
+                    continue
+                student = exit_heads.logits_at(point, Tensor(hiddens[point - 1].data))
+                loss = distillation_loss(student, teacher_logits.data, temperature)
+                total = loss if total is None else total + loss
+            if total is None:
+                raise ValueError("no intermediate exits to distill")
+            optimizer.zero_grad()
+            total.backward()
+            optimizer.step()
+            losses.append(total.item() / max(len(exit_heads.exit_points), 1))
+    finally:
+        model.train(was_training)
+    if not losses:
+        raise ValueError("no batches consumed")
+    return losses

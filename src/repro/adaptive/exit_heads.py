@@ -1,0 +1,111 @@
+"""Early-exit heads: lightweight LM heads tapping intermediate blocks.
+
+Adaptive layer tuning backpropagates from an exit head part-way up the
+stack instead of from the final head, truncating gradient depth.  At
+inference the heads' predictions are combined by the voting scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.layers import Linear, RMSNorm
+from ..nn.module import Module, ModuleList
+from ..nn.transformer import TransformerLM
+from ..tensor import Tensor
+
+
+class ExitHead(Module):
+    """Norm + unembedding tapped at one block's output.
+
+    With ``tie_to`` given, the unembedding re-uses the token embedding
+    matrix (zero extra unembedding parameters) — the memory-frugal default
+    for edge adaptation.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        vocab_size: int,
+        tie_to: Optional[Module] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.norm = RMSNorm(dim)
+        # Deliberately not registered as a submodule: the tied embedding
+        # belongs to the backbone, and registering it here would double
+        # count its parameters in every head.
+        object.__setattr__(self, "_tied_embedding", tie_to)
+        if tie_to is None:
+            self.proj = Linear(dim, vocab_size, bias=False,
+                               rng=rng or np.random.default_rng(0))
+        else:
+            self.proj = None
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        hidden = self.norm(hidden)
+        if self.proj is not None:
+            return self.proj(hidden)
+        return hidden @ self._tied_embedding.weight.T
+
+
+class ExitHeadSet(Module):
+    """Exit heads at a fixed set of block indices.
+
+    ``exit_points`` are 1-based depths counted in blocks: an exit at *k*
+    reads the hidden state after block ``k-1``.  The model's own final
+    head is always available in addition (depth ``num_layers``).
+    """
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        exit_points: Sequence[int],
+        tie_embeddings: bool = True,
+        seed: int = 0,
+    ):
+        super().__init__()
+        num_layers = model.num_layers
+        points = sorted(set(int(p) for p in exit_points))
+        if not points:
+            raise ValueError("need at least one exit point")
+        if points[0] < 1 or points[-1] > num_layers:
+            raise ValueError(
+                f"exit points must lie in [1, {num_layers}], got {points}"
+            )
+        self.exit_points: List[int] = points
+        rng = np.random.default_rng(seed)
+        tie = model.embed if tie_embeddings else None
+        self.heads = ModuleList(
+            [
+                ExitHead(model.config.dim, model.config.vocab_size, tie_to=tie, rng=rng)
+                for _ in points
+            ]
+        )
+
+    def head_for(self, exit_point: int) -> ExitHead:
+        try:
+            index = self.exit_points.index(exit_point)
+        except ValueError:
+            raise KeyError(f"no exit head at depth {exit_point}") from None
+        return self.heads[index]
+
+    def logits_at(self, exit_point: int, hidden: Tensor) -> Tensor:
+        return self.head_for(exit_point)(hidden)
+
+    def all_logits(
+        self, model: TransformerLM, ids: np.ndarray
+    ) -> Dict[int, Tensor]:
+        """Forward once; return logits at every exit plus the final head."""
+        logits, hiddens = model(ids, return_hidden_states=True)
+        out: Dict[int, Tensor] = {}
+        for point in self.exit_points:
+            if point == model.num_layers:
+                out[point] = logits
+            else:
+                out[point] = self.logits_at(point, hiddens[point - 1])
+        if model.num_layers not in out:
+            out[model.num_layers] = logits
+        return out

@@ -1,0 +1,274 @@
+"""The adaptive layer tuning loop (Edge-LLM core component #2).
+
+Each iteration:
+
+1. a :class:`LayerSchedule` picks an exit depth and a gradient window,
+2. blocks below the window run forward-only (no tape, no saved
+   activations), the hidden state is detached,
+3. blocks inside the window and the exit head run with gradients,
+4. the loss at the exit head is backpropagated — through ``window`` blocks
+   instead of the full stack.
+
+Forward compute stops at the exit (blocks above it are skipped entirely),
+backward compute and activation memory scale with the window, which is the
+mechanism behind the paper's speedup and memory claims.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..eval.memory import MemoryReport, block_param_count, training_memory_report
+from ..nn.optim import Adafactor, Adam, AdamW, Optimizer, SGD, clip_grad_norm
+from ..nn.transformer import TransformerLM
+from ..tensor import Tensor, cross_entropy, no_grad
+from .exit_heads import ExitHeadSet
+from .schedules import LayerSchedule, TuningWindow, make_schedule
+
+_OPTIMIZERS = {"adamw": AdamW, "adam": Adam, "sgd": SGD, "adafactor": Adafactor}
+
+
+def default_exit_points(num_layers: int, n_exits: int = 3) -> List[int]:
+    """Evenly spaced exits ending at the final layer."""
+    if n_exits < 1:
+        raise ValueError("need at least one exit")
+    n_exits = min(n_exits, num_layers)
+    points = np.linspace(num_layers / n_exits, num_layers, n_exits)
+    return sorted(set(int(round(p)) for p in points))
+
+
+@dataclasses.dataclass
+class AdaptiveTuningConfig:
+    """Hyper-parameters of the adaptive tuning loop."""
+
+    window: int = 2
+    exit_points: Optional[Sequence[int]] = None  # default: 3 even exits
+    schedule: str = "round_robin"
+    optimizer: str = "adamw"
+    lr: float = 1e-3
+    weight_decay: float = 0.0
+    grad_clip: float = 1.0
+    tie_exit_heads: bool = True
+    checkpoint_blocks: bool = False  # gradient-checkpoint the window blocks
+    seed: int = 0
+
+
+@dataclasses.dataclass
+class StepStats:
+    """What one tuning iteration did (and what it cost)."""
+
+    iteration: int
+    loss: float
+    window: TuningWindow
+    forward_blocks: int
+    grad_blocks: int
+    trainable_params: int
+
+
+class AdaptiveLayerTrainer:
+    """Runs adaptive layer tuning on a (possibly compressed) model."""
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        config: Optional[AdaptiveTuningConfig] = None,
+        exit_heads: Optional[ExitHeadSet] = None,
+    ):
+        self.model = model
+        self.config = config or AdaptiveTuningConfig()
+        points = list(
+            self.config.exit_points
+            if self.config.exit_points is not None
+            else default_exit_points(model.num_layers)
+        )
+        if exit_heads is None:
+            exit_heads = ExitHeadSet(
+                model,
+                [p for p in points if p < model.num_layers] or [model.num_layers],
+                tie_embeddings=self.config.tie_exit_heads,
+                seed=self.config.seed,
+            )
+        self.exit_heads = exit_heads
+        self.schedule: LayerSchedule = make_schedule(
+            self.config.schedule,
+            points,
+            self.config.window,
+            num_layers=model.num_layers,
+        )
+        self._rng = np.random.default_rng(self.config.seed)
+        params = list(model.parameters()) + [
+            p for p in exit_heads.parameters()
+        ]
+        # Dedupe tied parameters (exit heads may share the embedding).
+        seen, unique = set(), []
+        for p in params:
+            if id(p) not in seen:
+                seen.add(id(p))
+                unique.append(p)
+        opt_cls = _OPTIMIZERS.get(self.config.optimizer)
+        if opt_cls is None:
+            raise ValueError(f"unknown optimizer {self.config.optimizer!r}")
+        kwargs = {"lr": self.config.lr}
+        if self.config.optimizer in ("adamw",):
+            kwargs["weight_decay"] = self.config.weight_decay
+        self.optimizer: Optimizer = opt_cls(unique, **kwargs)
+        self.iteration = 0
+        self.history: List[StepStats] = []
+
+    # ------------------------------------------------------------------
+    def _logits_for_window(self, inputs: np.ndarray, window: TuningWindow) -> Tensor:
+        model = self.model
+        with no_grad():
+            hidden = model.embed_tokens(inputs)
+            hidden = model.run_blocks(hidden, 0, window.start)
+        hidden = Tensor(hidden.data)  # cut the (empty) tape explicitly
+        hidden = model.run_blocks(
+            hidden,
+            window.start,
+            window.stop,
+            checkpoint_blocks=self.config.checkpoint_blocks,
+        )
+        if window.exit_point >= model.num_layers:
+            return model.head(hidden)
+        return self.exit_heads.logits_at(window.exit_point, hidden)
+
+    def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> StepStats:
+        """One adaptive tuning iteration on a single batch."""
+        window = self.schedule.select(self.iteration, self._rng)
+        logits = self._logits_for_window(inputs, window)
+        loss = cross_entropy(logits, targets)
+        self.optimizer.zero_grad()
+        loss.backward()
+        if self.config.grad_clip:
+            clip_grad_norm(self.optimizer.params, self.config.grad_clip)
+        self.optimizer.step()
+
+        if hasattr(self.schedule, "update"):
+            self.schedule.update(window.exit_point, loss.item())
+
+        stats = StepStats(
+            iteration=self.iteration,
+            loss=loss.item(),
+            window=window,
+            forward_blocks=window.stop,
+            grad_blocks=window.depth,
+            trainable_params=self.window_trainable_params(window),
+        )
+        self.iteration += 1
+        self.history.append(stats)
+        return stats
+
+    def train(
+        self,
+        batches: Iterable,
+        max_steps: Optional[int] = None,
+        eval_fn=None,
+        eval_every: int = 0,
+        patience: Optional[int] = None,
+    ) -> List[StepStats]:
+        """Run over an iterable of (inputs, targets) batches.
+
+        ``eval_fn`` (zero-argument, returns a float where lower is better)
+        is called every ``eval_every`` steps; with ``patience`` set,
+        training stops early after that many consecutive non-improving
+        evaluations (simple early stopping for on-device budgets).
+        """
+        if eval_every and eval_fn is None:
+            raise ValueError("eval_every requires eval_fn")
+        stats = []
+        best = float("inf")
+        stale = 0
+        for step, (inputs, targets) in enumerate(batches):
+            if max_steps is not None and step >= max_steps:
+                break
+            stats.append(self.train_step(inputs, targets))
+            if eval_every and (step + 1) % eval_every == 0:
+                score = float(eval_fn())
+                if score < best - 1e-9:
+                    best = score
+                    stale = 0
+                else:
+                    stale += 1
+                    if patience is not None and stale >= patience:
+                        break
+        return stats
+
+    # ------------------------------------------------------------------
+    def window_trainable_params(self, window: TuningWindow) -> int:
+        per_block = block_param_count(self.model.config)
+        head_params = 0
+        if window.exit_point < self.model.num_layers:
+            head = self.exit_heads.head_for(window.exit_point)
+            head_params = sum(
+                p.size for _, p in head.named_parameters()
+            )
+        else:
+            head_params = self.model.config.dim  # final RMSNorm
+        return per_block * window.depth + head_params
+
+    def max_window(self) -> TuningWindow:
+        """The largest window the schedule can emit (worst-case memory)."""
+        windows = [
+            self.schedule._window_for_exit(p) for p in self.schedule.exit_points
+        ]
+        return max(windows, key=lambda w: w.depth)
+
+    def memory_report(
+        self, batch: int, seq: int, weight_bytes: Optional[int] = None
+    ) -> MemoryReport:
+        """Worst-case per-iteration memory under this trainer's schedule."""
+        window = self.max_window()
+        return training_memory_report(
+            self.model.config,
+            batch,
+            seq,
+            grad_blocks=window.depth,
+            trainable_params=self.window_trainable_params(window),
+            optimizer_floats_per_param=self.optimizer.state_floats_per_param,
+            weight_bytes=weight_bytes,
+            checkpointed=self.config.checkpoint_blocks,
+        )
+
+    def average_cost_blocks(self) -> Dict[str, float]:
+        """Mean forward/backward block counts over the exit cycle —
+        the workload numbers the hardware model consumes."""
+        windows = [
+            self.schedule._window_for_exit(p) for p in self.schedule.exit_points
+        ]
+        return {
+            "forward_blocks": float(np.mean([w.stop for w in windows])),
+            "grad_blocks": float(np.mean([w.depth for w in windows])),
+        }
+
+
+def vanilla_trainer(
+    model: TransformerLM,
+    lr: float = 1e-3,
+    optimizer: str = "adamw",
+    grad_clip: float = 1.0,
+    seed: int = 0,
+    checkpoint_blocks: bool = False,
+) -> AdaptiveLayerTrainer:
+    """Full-depth tuning baseline expressed as a degenerate schedule."""
+    config = AdaptiveTuningConfig(
+        window=model.num_layers,
+        exit_points=[model.num_layers],
+        schedule="full",
+        optimizer=optimizer,
+        lr=lr,
+        grad_clip=grad_clip,
+        seed=seed,
+        checkpoint_blocks=checkpoint_blocks,
+    )
+    return AdaptiveLayerTrainer(model, config)
+
+
+def checkpointed_trainer(
+    model: TransformerLM, lr: float = 1e-3, **kwargs
+) -> AdaptiveLayerTrainer:
+    """Full-depth tuning with per-block gradient checkpointing — the
+    classic memory/compute trade the adaptive window is compared against."""
+    return vanilla_trainer(model, lr=lr, checkpoint_blocks=True, **kwargs)

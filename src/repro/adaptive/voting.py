@@ -1,0 +1,129 @@
+"""Adaptive layer voting: combine per-exit predictions at inference.
+
+After adaptive layer tuning, every exit head is a partially-specialized
+predictor.  The voting combiner forms the final output distribution as a
+weighted mixture of per-exit probabilities.  Weight strategies:
+
+* ``calibrated``  softmax of negative per-exit validation loss (the
+                  paper's "adaptive" combination — exits that adapted
+                  better get more say).  The default.
+* ``uniform``     equal weights (ablation).
+* ``best``        winner-take-all on validation loss (ablation).
+* ``confidence``  per-token weights from each exit's own confidence
+                  (entropy-based, computed on the fly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.transformer import TransformerLM
+from ..tensor import Tensor, nll_from_logits, no_grad
+from .exit_heads import ExitHeadSet
+
+_STRATEGIES = ("calibrated", "uniform", "best", "confidence")
+
+
+def _softmax_np(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+class VotingCombiner:
+    """Weights exit-head output distributions into one prediction."""
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        exit_heads: ExitHeadSet,
+        strategy: str = "calibrated",
+        temperature: float = 1.0,
+    ):
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
+        self.model = model
+        self.exit_heads = exit_heads
+        self.strategy = strategy
+        self.temperature = temperature
+        self.exit_points: List[int] = sorted(
+            set(exit_heads.exit_points) | {model.num_layers}
+        )
+        self.weights: Optional[Dict[int, float]] = None
+        self.validation_losses: Optional[Dict[int, float]] = None
+
+    # ------------------------------------------------------------------
+    def calibrate(
+        self, inputs: np.ndarray, targets: np.ndarray
+    ) -> Dict[int, float]:
+        """Measure per-exit validation loss and derive voting weights."""
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                per_exit = self.exit_heads.all_logits(self.model, inputs)
+                losses = {
+                    point: float(nll_from_logits(logits, targets).mean())
+                    for point, logits in per_exit.items()
+                }
+        finally:
+            self.model.train(was_training)
+        self.validation_losses = losses
+        if self.strategy == "uniform":
+            w = {p: 1.0 / len(self.exit_points) for p in self.exit_points}
+        elif self.strategy == "best":
+            best = min(losses, key=losses.get)
+            w = {p: (1.0 if p == best else 0.0) for p in self.exit_points}
+        else:  # calibrated (confidence also uses calibrated priors)
+            arr = np.array([losses[p] for p in self.exit_points])
+            logits = -arr / max(self.temperature, 1e-6)
+            logits -= logits.max()
+            e = np.exp(logits)
+            probs = e / e.sum()
+            w = dict(zip(self.exit_points, probs.tolist()))
+        self.weights = w
+        return w
+
+    # ------------------------------------------------------------------
+    def combined_logits(self, ids: np.ndarray) -> Tensor:
+        """Log of the weighted per-exit probability mixture.
+
+        Returned as a Tensor of log-probabilities, which behaves as
+        logits for every downstream metric (softmax-invariant).
+        """
+        if self.weights is None and self.strategy != "confidence":
+            raise RuntimeError("call calibrate() before combined_logits()")
+        with no_grad():
+            per_exit = self.exit_heads.all_logits(self.model, ids)
+        probs = {p: _softmax_np(t.data) for p, t in per_exit.items()}
+
+        if self.strategy == "confidence":
+            mixture = self._confidence_mixture(probs)
+        else:
+            mixture = np.zeros_like(next(iter(probs.values())))
+            for point in self.exit_points:
+                mixture += self.weights[point] * probs[point]
+        return Tensor(np.log(mixture + 1e-12))
+
+    def _confidence_mixture(self, probs: Dict[int, np.ndarray]) -> np.ndarray:
+        """Per-token weights: exits that are confident (low entropy) on a
+        token dominate that token's vote."""
+        stacked = np.stack([probs[p] for p in self.exit_points])  # (E,B,T,V)
+        entropy = -(stacked * np.log(stacked + 1e-12)).sum(axis=-1)  # (E,B,T)
+        scores = -entropy / max(self.temperature, 1e-6)
+        w = _softmax_np(scores, axis=0)[..., None]  # (E,B,T,1)
+        return (w * stacked).sum(axis=0)
+
+    # ------------------------------------------------------------------
+    def __call__(self, ids: np.ndarray) -> Tensor:
+        return self.combined_logits(ids)
+
+    def describe(self) -> str:
+        if self.weights is None:
+            return f"VotingCombiner(strategy={self.strategy}, uncalibrated)"
+        parts = ", ".join(
+            f"exit{p}={w:.2f}" for p, w in sorted(self.weights.items())
+        )
+        return f"VotingCombiner(strategy={self.strategy}, {parts})"

@@ -1,0 +1,268 @@
+"""Command-line interface for the Edge-LLM reproduction.
+
+Subcommands cover the deployment workflow end to end on synthetic data:
+
+* ``pretrain``  train a base model and save an .npz checkpoint
+* ``evaluate``  perplexity / QA accuracy of a checkpoint on a language seed
+* ``compress``  profile + search a LUC policy for a checkpoint
+* ``adapt``     run the full Edge-LLM pipeline (compress -> adapt -> vote)
+* ``speedup``   modeled per-iteration cost vs vanilla tuning
+
+Run ``python -m repro <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--vocab", type=int, default=64)
+    parser.add_argument("--dim", type=int, default=64)
+    parser.add_argument("--layers", type=int, default=8)
+    parser.add_argument("--heads", type=int, default=4)
+    parser.add_argument("--max-len", type=int, default=128)
+
+
+def _add_data_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--language-seed", type=int, default=0,
+                        help="seed of the hidden Markov language")
+    parser.add_argument("--order", type=int, default=1)
+    parser.add_argument("--batch", type=int, default=8)
+    parser.add_argument("--seq", type=int, default=32)
+
+
+def _corpus(args, seed: Optional[int] = None):
+    from .data import MarkovChainCorpus
+
+    return MarkovChainCorpus(
+        vocab_size=args.vocab, order=args.order,
+        seed=args.language_seed if seed is None else seed,
+    )
+
+
+def cmd_pretrain(args) -> int:
+    from .data import lm_batches
+    from .nn import AdamW, TransformerConfig, TransformerLM, save_model
+    from .tensor import cross_entropy
+
+    config = TransformerConfig(
+        vocab_size=args.vocab, dim=args.dim, num_layers=args.layers,
+        num_heads=args.heads, max_len=args.max_len, seed=args.seed,
+    )
+    model = TransformerLM(config)
+    corpus = _corpus(args)
+    rng = np.random.default_rng(args.seed)
+    opt = AdamW(model.parameters(), lr=args.lr)
+    print(f"pretraining {model.num_parameters():,} params for {args.steps} steps")
+    for step, (inputs, targets) in enumerate(
+        lm_batches(corpus, args.batch, args.seq, args.steps, rng)
+    ):
+        loss = cross_entropy(model(inputs), targets)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        if step % max(args.steps // 10, 1) == 0:
+            print(f"  step {step:5d}  loss {loss.item():.4f}")
+    save_model(model, args.out)
+    print(f"saved checkpoint to {args.out}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from .data import MultipleChoiceTask
+    from .eval import model_choice_accuracy, model_perplexity
+    from .nn import load_model
+
+    model = load_model(args.model)
+    corpus = _corpus(args)
+    ppl = model_perplexity(model, corpus, batch_size=args.batch,
+                           seq_len=args.seq)
+    qa = MultipleChoiceTask(corpus, num_choices=4, prompt_len=12,
+                            answer_len=5, seed=args.seed)
+    acc = model_choice_accuracy(model, qa.dataset(args.qa_items))
+    print(json.dumps({
+        "perplexity": round(ppl, 4),
+        "qa_accuracy": round(acc, 4),
+        "language_seed": args.language_seed,
+    }, indent=2))
+    return 0
+
+
+def cmd_compress(args) -> int:
+    from .data import lm_batches
+    from .luc import enumerate_layer_options, measure_sensitivity, search_policy
+    from .nn import load_model
+
+    model = load_model(args.model)
+    corpus = _corpus(args)
+    rng = np.random.default_rng(args.seed)
+    calib_inputs, calib_targets = next(
+        lm_batches(corpus, 4, args.seq, 1, rng)
+    )
+    options = enumerate_layer_options(tuple(args.bits), tuple(args.ratios))
+    profile = measure_sensitivity(
+        model, calib_inputs, calib_targets, options, metric=args.metric
+    )
+    policy = search_policy(
+        profile, model.num_layers, args.budget,
+        strategy=args.strategy, options=options,
+    )
+    print(policy.describe())
+    if args.out:
+        payload = [
+            {"bits": l.bits, "prune_ratio": l.prune_ratio}
+            for l in policy.layers
+        ]
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"policy written to {args.out}")
+    return 0
+
+
+def cmd_adapt(args) -> int:
+    from .adaptive import AdaptiveTuningConfig
+    from .data import lm_batches
+    from .eval import perplexity
+    from .nn import load_model
+    from .pipeline import EdgeLLM, EdgeLLMConfig
+
+    model = load_model(args.model)
+    pre = _corpus(args, seed=args.language_seed)
+    target = _corpus(args, seed=args.target_seed)
+    rng = np.random.default_rng(args.seed)
+
+    edge = EdgeLLM(model, EdgeLLMConfig(
+        compute_budget=args.budget,
+        tuning=AdaptiveTuningConfig(
+            window=args.window,
+            exit_points=args.exits or None,
+            lr=args.lr,
+        ),
+    ))
+    edge.compress(*next(lm_batches(pre, 4, args.seq, 1, rng)))
+    edge.adapt(lm_batches(target, args.batch, args.seq, args.steps, rng))
+    edge.calibrate_voting(*next(lm_batches(target, 4, args.seq, 1, rng)))
+    result = {
+        "adapted_perplexity": round(
+            perplexity(edge.logits, target, batch_size=args.batch,
+                       seq_len=args.seq), 4
+        ),
+        "policy_cost": round(edge.policy.cost(), 4),
+        "speedup_vs_vanilla": round(
+            edge.speedup_vs_vanilla(args.batch, args.seq), 3
+        ),
+        "memory_bytes": edge.memory_report(args.batch, args.seq).as_dict(),
+    }
+    print(json.dumps(result, indent=2))
+    return 0
+
+
+def cmd_speedup(args) -> int:
+    from .hw import EDGE_GPU_LIKE, schedule_workloads, tuning_iteration_workload
+    from .nn import TransformerConfig
+
+    config = TransformerConfig(
+        vocab_size=args.vocab, dim=args.dim, num_layers=args.layers,
+        num_heads=args.heads, max_len=args.max_len,
+    )
+    vanilla = schedule_workloads(
+        tuning_iteration_workload(config, args.batch, args.seq,
+                                  args.layers, 0),
+        EDGE_GPU_LIKE, strategy="exhaustive",
+    )
+    bits = {i: args.avg_bits for i in range(args.layers)}
+    sparsity = {i: args.avg_sparsity for i in range(args.layers)}
+    exit_point = max(args.layers - 2, 1)
+    edge = schedule_workloads(
+        tuning_iteration_workload(
+            config, args.batch, args.seq, exit_point,
+            max(exit_point - args.window, 0),
+            bits_per_block=bits, sparsity_per_block=sparsity,
+        ),
+        EDGE_GPU_LIKE, strategy="exhaustive",
+    )
+    print(json.dumps({
+        "vanilla_mcycles": round(vanilla.cycles / 1e6, 4),
+        "edge_llm_mcycles": round(edge.cycles / 1e6, 4),
+        "speedup": round(vanilla.cycles / edge.cycles, 3),
+        "edge_utilization": round(edge.mean_utilization, 3),
+    }, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Edge-LLM reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("pretrain", help="train a base model checkpoint")
+    _add_model_args(p)
+    _add_data_args(p)
+    p.add_argument("--steps", type=int, default=200)
+    p.add_argument("--lr", type=float, default=3e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_pretrain)
+
+    p = sub.add_parser("evaluate", help="perplexity/QA of a checkpoint")
+    _add_model_args(p)
+    _add_data_args(p)
+    p.add_argument("--model", required=True)
+    p.add_argument("--qa-items", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser("compress", help="search a LUC policy")
+    _add_model_args(p)
+    _add_data_args(p)
+    p.add_argument("--model", required=True)
+    p.add_argument("--budget", type=float, default=0.3)
+    p.add_argument("--bits", type=int, nargs="+", default=[2, 4, 8])
+    p.add_argument("--ratios", type=float, nargs="+", default=[0.0, 0.3, 0.5])
+    p.add_argument("--metric", default="loss_delta",
+                   choices=["loss_delta", "kl", "weight_error"])
+    p.add_argument("--strategy", default="greedy",
+                   choices=["greedy", "evolutionary", "random"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="write the policy as JSON")
+    p.set_defaults(fn=cmd_compress)
+
+    p = sub.add_parser("adapt", help="full Edge-LLM pipeline")
+    _add_model_args(p)
+    _add_data_args(p)
+    p.add_argument("--model", required=True)
+    p.add_argument("--target-seed", type=int, default=1,
+                   help="seed of the downstream language")
+    p.add_argument("--budget", type=float, default=0.3)
+    p.add_argument("--window", type=int, default=2)
+    p.add_argument("--exits", type=int, nargs="*", default=None)
+    p.add_argument("--steps", type=int, default=60)
+    p.add_argument("--lr", type=float, default=2e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_adapt)
+
+    p = sub.add_parser("speedup", help="modeled iteration speedup")
+    _add_model_args(p)
+    _add_data_args(p)
+    p.add_argument("--avg-bits", type=int, default=4)
+    p.add_argument("--avg-sparsity", type=float, default=0.3)
+    p.add_argument("--window", type=int, default=2)
+    p.set_defaults(fn=cmd_speedup)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Synthetic data substrate: corpora, QA tasks, batching."""
+
+from .corpus import MarkovChainCorpus, ZipfUnigramCorpus, lm_batches
+from .drift import (
+    DriftingCorpusStream,
+    ReplayBuffer,
+    abrupt_drift,
+    continual_batches,
+    linear_drift,
+    periodic_drift,
+)
+from .tasks import AdaptationTask, MultipleChoiceItem, MultipleChoiceTask
+from .text import CharTokenizer, FactsCorpus, pseudo_word
+
+__all__ = [
+    "MarkovChainCorpus",
+    "ZipfUnigramCorpus",
+    "lm_batches",
+    "MultipleChoiceTask",
+    "MultipleChoiceItem",
+    "AdaptationTask",
+    "DriftingCorpusStream",
+    "ReplayBuffer",
+    "continual_batches",
+    "linear_drift",
+    "abrupt_drift",
+    "periodic_drift",
+    "CharTokenizer",
+    "FactsCorpus",
+    "pseudo_word",
+]

@@ -1,0 +1,149 @@
+"""Drifting-distribution streams for *continuous* adaptation.
+
+The paper motivates Edge-LLM with applications that require "continuous
+and privacy-preserving adaptation" — the data the device sees keeps
+shifting.  :class:`DriftingCorpusStream` simulates that: a stream of LM
+batches whose underlying language interpolates between two (or more)
+hidden Markov languages over time, per a drift schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .corpus import MarkovChainCorpus
+
+
+def linear_drift(total_steps: int) -> Callable[[int], float]:
+    """Mixture weight ramping 0 -> 1 linearly over ``total_steps``."""
+    if total_steps < 1:
+        raise ValueError("total_steps must be >= 1")
+
+    def alpha(step: int) -> float:
+        return min(max(step / total_steps, 0.0), 1.0)
+
+    return alpha
+
+
+def abrupt_drift(switch_step: int) -> Callable[[int], float]:
+    """Mixture weight jumping 0 -> 1 at ``switch_step`` (domain switch)."""
+
+    def alpha(step: int) -> float:
+        return 0.0 if step < switch_step else 1.0
+
+    return alpha
+
+
+def periodic_drift(period: int) -> Callable[[int], float]:
+    """Sinusoidal oscillation between the two languages."""
+    if period < 2:
+        raise ValueError("period must be >= 2")
+
+    def alpha(step: int) -> float:
+        return 0.5 * (1.0 - float(np.cos(2 * np.pi * step / period)))
+
+    return alpha
+
+
+class DriftingCorpusStream:
+    """An infinite batch stream drifting from ``source`` to ``target``.
+
+    At step *t*, each sequence in the batch is drawn from ``target`` with
+    probability ``alpha(t)`` and from ``source`` otherwise — a population-
+    level mixture, the standard model of gradual domain shift.
+    """
+
+    def __init__(
+        self,
+        source: MarkovChainCorpus,
+        target: MarkovChainCorpus,
+        alpha: Callable[[int], float],
+        batch_size: int,
+        seq_len: int,
+        seed: int = 0,
+    ):
+        if source.vocab_size != target.vocab_size:
+            raise ValueError("source and target must share a vocabulary")
+        self.source = source
+        self.target = target
+        self.alpha = alpha
+        self.batch_size = batch_size
+        self.seq_len = seq_len
+        self._rng = np.random.default_rng(seed)
+        self.step = 0
+
+    def mixture_weight(self) -> float:
+        return float(self.alpha(self.step))
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(inputs, targets) for the current step; advances the clock."""
+        weight = self.mixture_weight()
+        streams = []
+        for _ in range(self.batch_size):
+            corpus = self.target if self._rng.random() < weight else self.source
+            streams.append(corpus.sample(self.seq_len + 1, self._rng))
+        self.step += 1
+        stacked = np.stack(streams)
+        return stacked[:, :-1], stacked[:, 1:]
+
+    def batches(self, n: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        for _ in range(n):
+            yield self.next_batch()
+
+
+class ReplayBuffer:
+    """Reservoir-sampled replay of past batches (continual-learning aid).
+
+    Mixing replayed batches into the stream mitigates catastrophic
+    forgetting of the earlier distribution while adapting to drift.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self._items: List[Tuple[np.ndarray, np.ndarray]] = []
+        self._seen = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, inputs: np.ndarray, targets: np.ndarray) -> None:
+        """Reservoir sampling: every batch ever seen has equal probability
+        of residing in the buffer."""
+        self._seen += 1
+        item = (inputs.copy(), targets.copy())
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+        else:
+            slot = int(self._rng.integers(self._seen))
+            if slot < self.capacity:
+                self._items[slot] = item
+
+    def sample(self) -> Tuple[np.ndarray, np.ndarray]:
+        if not self._items:
+            raise ValueError("replay buffer is empty")
+        index = int(self._rng.integers(len(self._items)))
+        return self._items[index]
+
+
+def continual_batches(
+    stream: DriftingCorpusStream,
+    n_steps: int,
+    replay: Optional[ReplayBuffer] = None,
+    replay_every: int = 4,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Stream batches, interleaving one replayed batch every
+    ``replay_every`` steps once the buffer is non-empty."""
+    if replay_every < 1:
+        raise ValueError("replay_every must be >= 1")
+    for i in range(n_steps):
+        inputs, targets = stream.next_batch()
+        if replay is not None:
+            replay.add(inputs, targets)
+            if i % replay_every == replay_every - 1 and len(replay) > 0:
+                yield replay.sample()
+        yield inputs, targets

@@ -1,0 +1,108 @@
+"""Synthetic downstream tasks for adaptation and evaluation.
+
+:class:`MultipleChoiceTask` plays the role of the paper's MMLU/commonsense
+QA suites: each item is a prompt with one true continuation (sampled from
+the task's hidden chain) and ``num_choices - 1`` distractors (sampled from
+mismatched contexts).  A model adapted to the task's language assigns the
+true continuation higher likelihood; an unadapted model scores near chance
+(1/num_choices).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from .corpus import MarkovChainCorpus
+
+
+@dataclasses.dataclass
+class MultipleChoiceItem:
+    """One QA item: prompt tokens plus candidate continuations."""
+
+    prompt: np.ndarray
+    choices: List[np.ndarray]
+    answer: int
+
+    @property
+    def num_choices(self) -> int:
+        return len(self.choices)
+
+
+class MultipleChoiceTask:
+    """Generator of likelihood-scored multiple-choice items."""
+
+    def __init__(
+        self,
+        corpus: MarkovChainCorpus,
+        num_choices: int = 4,
+        prompt_len: int = 16,
+        answer_len: int = 6,
+        seed: int = 0,
+    ):
+        if num_choices < 2:
+            raise ValueError("num_choices must be >= 2")
+        if prompt_len < corpus.order:
+            raise ValueError("prompt_len must be >= corpus order")
+        self.corpus = corpus
+        self.num_choices = num_choices
+        self.prompt_len = prompt_len
+        self.answer_len = answer_len
+        self.seed = seed
+
+    def sample_item(self, rng: np.random.Generator) -> MultipleChoiceItem:
+        prompt = self.corpus.sample(self.prompt_len, rng)
+        truth = self.corpus.continuation(prompt, self.answer_len, rng)
+        choices: List[np.ndarray] = []
+        while len(choices) < self.num_choices - 1:
+            # Distractor: a continuation of an unrelated prompt, so it is
+            # locally plausible language but mismatched to this context.
+            other = self.corpus.sample(self.prompt_len, rng)
+            distractor = self.corpus.continuation(other, self.answer_len, rng)
+            if not np.array_equal(distractor, truth):
+                choices.append(distractor)
+        answer = int(rng.integers(0, self.num_choices))
+        choices.insert(answer, truth)
+        return MultipleChoiceItem(prompt=prompt, choices=choices, answer=answer)
+
+    def dataset(self, n_items: int, seed: Optional[int] = None) -> List[MultipleChoiceItem]:
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        return [self.sample_item(rng) for _ in range(n_items)]
+
+
+@dataclasses.dataclass
+class AdaptationTask:
+    """Bundle of everything one adaptation experiment needs.
+
+    ``pretrain_corpus`` is the model's original language (seed A);
+    ``adapt_corpus`` is the downstream language (seed B) whose data the
+    on-device tuner sees; ``qa`` evaluates task accuracy on seed B.
+    """
+
+    pretrain_corpus: MarkovChainCorpus
+    adapt_corpus: MarkovChainCorpus
+    qa: MultipleChoiceTask
+
+    @classmethod
+    def default(
+        cls,
+        vocab_size: int = 64,
+        order: int = 2,
+        pretrain_seed: int = 0,
+        adapt_seed: int = 1,
+        num_choices: int = 4,
+        prompt_len: int = 16,
+        answer_len: int = 6,
+    ) -> "AdaptationTask":
+        pre = MarkovChainCorpus(vocab_size=vocab_size, order=order, seed=pretrain_seed)
+        ada = MarkovChainCorpus(vocab_size=vocab_size, order=order, seed=adapt_seed)
+        qa = MultipleChoiceTask(
+            ada,
+            num_choices=num_choices,
+            prompt_len=prompt_len,
+            answer_len=answer_len,
+            seed=adapt_seed,
+        )
+        return cls(pretrain_corpus=pre, adapt_corpus=ada, qa=qa)

@@ -1,0 +1,126 @@
+"""Character-level text substrate: tokenizer and a synthetic
+personal-knowledge corpus.
+
+The integer Markov corpora drive the quantitative experiments; this module
+adds a *human-readable* stand-in for the paper's instruction-tuning data:
+a knowledge base of pseudo-words ("user facts") rendered as Q/A lines.
+Adapting a model on a user's facts and then greedily decoding an answer
+makes personalization visible as text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_CONSONANTS = "bdfgklmnprstvz"
+_VOWELS = "aeiou"
+
+
+class CharTokenizer:
+    """Bidirectional char <-> id map over a fixed alphabet."""
+
+    def __init__(self, alphabet: str):
+        if len(set(alphabet)) != len(alphabet):
+            raise ValueError("alphabet contains duplicate characters")
+        if not alphabet:
+            raise ValueError("alphabet must be non-empty")
+        self.alphabet = alphabet
+        self._to_id = {ch: i for i, ch in enumerate(alphabet)}
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.alphabet)
+
+    def encode(self, text: str) -> np.ndarray:
+        try:
+            return np.array([self._to_id[ch] for ch in text], dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(f"character {exc.args[0]!r} not in alphabet") from None
+
+    def decode(self, ids: Sequence[int]) -> str:
+        return "".join(self.alphabet[int(i)] for i in ids)
+
+    @classmethod
+    def from_texts(cls, texts: Sequence[str]) -> "CharTokenizer":
+        alphabet = sorted({ch for text in texts for ch in text})
+        return cls("".join(alphabet))
+
+
+def pseudo_word(rng: np.random.Generator, syllables: int = 2) -> str:
+    """A pronounceable CV-syllable word, e.g. 'doke', 'mira'."""
+    return "".join(
+        _CONSONANTS[rng.integers(len(_CONSONANTS))]
+        + _VOWELS[rng.integers(len(_VOWELS))]
+        for _ in range(syllables)
+    )
+
+
+class FactsCorpus:
+    """A user's private knowledge base rendered as Q/A text lines.
+
+    ``n_facts`` (key, value) pairs of pseudo-words are fixed by the seed.
+    Each rendered line looks like ``Q:doke=A:mira;``.  Token streams are
+    concatenations of randomly drawn lines — the adaptation data an
+    on-device assistant would see.
+    """
+
+    TEMPLATE = "Q:{key}=A:{value};"
+
+    def __init__(self, n_facts: int = 24, seed: int = 0, syllables: int = 2):
+        if n_facts < 1:
+            raise ValueError("n_facts must be >= 1")
+        rng = np.random.default_rng(seed)
+        self.seed = seed
+        facts: Dict[str, str] = {}
+        while len(facts) < n_facts:
+            key = pseudo_word(rng, syllables)
+            if key not in facts:
+                facts[key] = pseudo_word(rng, syllables)
+        self.facts = facts
+        self._keys: List[str] = list(facts)
+        alphabet = _CONSONANTS + _VOWELS + "Q:A=;"
+        self.tokenizer = CharTokenizer(alphabet)
+
+    @property
+    def vocab_size(self) -> int:
+        return self.tokenizer.vocab_size
+
+    def render(self, key: str) -> str:
+        return self.TEMPLATE.format(key=key, value=self.facts[key])
+
+    def sample_text(self, min_chars: int, rng: np.random.Generator) -> str:
+        pieces: List[str] = []
+        total = 0
+        while total < min_chars:
+            line = self.render(self._keys[rng.integers(len(self._keys))])
+            pieces.append(line)
+            total += len(line)
+        return "".join(pieces)
+
+    def sample(self, length: int, rng: np.random.Generator) -> np.ndarray:
+        """Token stream of exactly ``length`` (corpus-protocol compatible,
+        so ``lm_batches`` and ``perplexity`` work unchanged)."""
+        text = self.sample_text(length, rng)
+        return self.tokenizer.encode(text[:length])
+
+    def prompt_for(self, key: str) -> Tuple[np.ndarray, str]:
+        """(prompt token ids, expected answer string) for one fact."""
+        if key not in self.facts:
+            raise KeyError(f"unknown fact key {key!r}")
+        prompt = f"Q:{key}=A:"
+        return self.tokenizer.encode(prompt), self.facts[key]
+
+    def recall_accuracy(self, model, n_probe: Optional[int] = None) -> float:
+        """Fraction of facts the model reproduces under greedy decoding."""
+        keys = self._keys if n_probe is None else self._keys[:n_probe]
+        correct = 0
+        for key in keys:
+            prompt_ids, answer = self.prompt_for(key)
+            generated = model.generate(
+                prompt_ids.tolist(), len(answer), greedy=True
+            )
+            if self.tokenizer.decode(generated) == answer:
+                correct += 1
+        return correct / len(keys)

@@ -1,0 +1,42 @@
+"""Evaluation: perplexity, QA accuracy, memory accounting."""
+
+from .accuracy import (
+    choice_log_likelihood,
+    model_choice_accuracy,
+    multiple_choice_accuracy,
+    score_item,
+)
+from .calibration import (
+    expected_calibration_error,
+    model_calibration,
+    token_predictions,
+)
+from .memory import (
+    BYTES_PER_FLOAT,
+    MemoryReport,
+    block_activation_floats,
+    block_param_count,
+    checkpointed_activation_bytes,
+    model_weight_bytes,
+    training_memory_report,
+)
+from .perplexity import model_perplexity, perplexity
+
+__all__ = [
+    "perplexity",
+    "model_perplexity",
+    "multiple_choice_accuracy",
+    "model_choice_accuracy",
+    "choice_log_likelihood",
+    "score_item",
+    "MemoryReport",
+    "block_activation_floats",
+    "block_param_count",
+    "model_weight_bytes",
+    "training_memory_report",
+    "BYTES_PER_FLOAT",
+    "checkpointed_activation_bytes",
+    "expected_calibration_error",
+    "model_calibration",
+    "token_predictions",
+]

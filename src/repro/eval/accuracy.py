@@ -1,0 +1,54 @@
+"""Likelihood-scored multiple-choice accuracy (the MMLU-style metric)."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..data.tasks import MultipleChoiceItem
+from ..tensor import Tensor, nll_from_logits, no_grad
+
+LogitsFn = Callable[[np.ndarray], Tensor]
+
+
+def choice_log_likelihood(
+    logits_fn: LogitsFn, prompt: np.ndarray, continuation: np.ndarray
+) -> float:
+    """Length-normalized log-likelihood of ``continuation`` after ``prompt``."""
+    ids = np.concatenate([prompt, continuation])[None, :]
+    logits = logits_fn(ids[:, :-1])
+    targets = ids[:, 1:]
+    nll = nll_from_logits(logits, targets)[0]
+    span = nll[len(prompt) - 1 :]
+    return float(-span.mean())
+
+
+def score_item(logits_fn: LogitsFn, item: MultipleChoiceItem) -> int:
+    """Predicted choice index: argmax likelihood over candidates."""
+    scores = [
+        choice_log_likelihood(logits_fn, item.prompt, choice)
+        for choice in item.choices
+    ]
+    return int(np.argmax(scores))
+
+
+def multiple_choice_accuracy(
+    logits_fn: LogitsFn, items: Sequence[MultipleChoiceItem]
+) -> float:
+    """Fraction of items whose true continuation scores highest."""
+    if not items:
+        raise ValueError("empty evaluation set")
+    with no_grad():
+        correct = sum(score_item(logits_fn, item) == item.answer for item in items)
+    return correct / len(items)
+
+
+def model_choice_accuracy(model, items: Sequence[MultipleChoiceItem]) -> float:
+    """Accuracy of a TransformerLM's standard (final-head) inference."""
+    was_training = model.training
+    model.eval()
+    try:
+        return multiple_choice_accuracy(lambda ids: model(ids), items)
+    finally:
+        model.train(was_training)

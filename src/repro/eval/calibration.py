@@ -1,0 +1,89 @@
+"""Prediction-quality metrics beyond perplexity: token accuracy and
+calibration (ECE).
+
+Calibration matters for the voting combiner: its confidence-weighted mode
+assumes per-exit confidences are meaningful, which ECE quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..data.corpus import lm_batches
+from ..tensor import Tensor, no_grad
+
+
+def _softmax_np(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def token_predictions(
+    logits: np.ndarray, targets: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-token (confidence, correct) pairs from logits and targets."""
+    logits = np.asarray(logits.data if isinstance(logits, Tensor) else logits)
+    probs = _softmax_np(logits).reshape(-1, logits.shape[-1])
+    flat_targets = np.asarray(targets).reshape(-1)
+    predicted = probs.argmax(axis=-1)
+    confidence = probs[np.arange(probs.shape[0]), predicted]
+    correct = (predicted == flat_targets).astype(np.float64)
+    return confidence, correct
+
+
+def expected_calibration_error(
+    confidences: np.ndarray, correct: np.ndarray, n_bins: int = 10
+) -> float:
+    """Standard ECE: mean |accuracy - confidence| over confidence bins,
+    weighted by bin occupancy."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    confidences = np.asarray(confidences, dtype=np.float64)
+    correct = np.asarray(correct, dtype=np.float64)
+    if confidences.shape != correct.shape:
+        raise ValueError("confidences and correct must align")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    total = confidences.size
+    ece = 0.0
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        in_bin = (confidences > lo) & (confidences <= hi)
+        if lo == 0.0:
+            in_bin |= confidences == 0.0
+        count = int(in_bin.sum())
+        if count == 0:
+            continue
+        ece += (count / total) * abs(
+            correct[in_bin].mean() - confidences[in_bin].mean()
+        )
+    return float(ece)
+
+
+def model_calibration(
+    logits_fn: Callable[[np.ndarray], Tensor],
+    corpus,
+    batch_size: int = 8,
+    seq_len: int = 32,
+    num_batches: int = 4,
+    n_bins: int = 10,
+    seed: int = 1234,
+) -> dict:
+    """Token accuracy + ECE of a logits function on held-out text."""
+    rng = np.random.default_rng(seed)
+    confs, hits = [], []
+    with no_grad():
+        for inputs, targets in lm_batches(
+            corpus, batch_size, seq_len, num_batches, rng
+        ):
+            c, h = token_predictions(logits_fn(inputs), targets)
+            confs.append(c)
+            hits.append(h)
+    confidences = np.concatenate(confs)
+    correct = np.concatenate(hits)
+    return {
+        "token_accuracy": float(correct.mean()),
+        "mean_confidence": float(confidences.mean()),
+        "ece": expected_calibration_error(confidences, correct, n_bins=n_bins),
+    }

@@ -1,0 +1,176 @@
+"""Analytical memory model for one on-device tuning iteration.
+
+The enabling observation of Edge-LLM's adaptive layer tuning is that
+activation memory — the tensors kept alive for backpropagation — scales
+with *backprop depth*, not model depth.  This module prices the four
+components of tuning-iteration memory:
+
+* weights (bit-width- and sparsity-aware),
+* saved activations (only for blocks inside the gradient path),
+* gradients (trainable parameters only),
+* optimizer state (per-optimizer floats/param).
+
+Constants approximate the tensors a standard autograd implementation
+retains per pre-norm transformer block; the experiments depend on the
+scaling behaviour, not the constants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..nn.transformer import TransformerConfig
+
+BYTES_PER_FLOAT = 4
+
+# Saved-activation multipliers per block (counted in floats):
+#   width-D tensors: norms (2), qkv (3), attn-out, proj-in, residuals (2) ≈ 8
+#   width-F tensors: gate, up, silu-out, down-in ≈ 4
+#   attention matrices: scores + softmax ≈ 2 (each B*H*T*T)
+_D_TENSORS_PER_BLOCK = 8
+_F_TENSORS_PER_BLOCK = 4
+_ATTN_MATRICES_PER_BLOCK = 2
+
+
+@dataclasses.dataclass
+class MemoryReport:
+    """Byte-level breakdown of one tuning iteration."""
+
+    weight_bytes: int
+    activation_bytes: int
+    gradient_bytes: int
+    optimizer_bytes: int
+    logits_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.weight_bytes
+            + self.activation_bytes
+            + self.gradient_bytes
+            + self.optimizer_bytes
+            + self.logits_bytes
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "weights": self.weight_bytes,
+            "activations": self.activation_bytes,
+            "gradients": self.gradient_bytes,
+            "optimizer": self.optimizer_bytes,
+            "logits": self.logits_bytes,
+            "total": self.total_bytes,
+        }
+
+
+def block_activation_floats(config: TransformerConfig, batch: int, seq: int) -> int:
+    """Floats a single block keeps alive for its backward pass."""
+    d_floats = batch * seq * config.dim * _D_TENSORS_PER_BLOCK
+    f_floats = batch * seq * config.resolved_mlp_hidden() * _F_TENSORS_PER_BLOCK
+    attn_floats = batch * config.num_heads * seq * seq * _ATTN_MATRICES_PER_BLOCK
+    return d_floats + f_floats + attn_floats
+
+
+def block_param_count(config: TransformerConfig) -> int:
+    """Parameters in one transformer block (attn + MLP + norms)."""
+    d, f = config.dim, config.resolved_mlp_hidden()
+    kv = config.resolved_kv_dim()
+    return 2 * d * d + 2 * d * kv + 3 * d * f + 2 * d
+
+
+def model_weight_bytes(
+    config: TransformerConfig,
+    bits_per_block: Optional[Dict[int, int]] = None,
+    sparsity_per_block: Optional[Dict[int, float]] = None,
+    default_bits: int = 16,
+    index_bits: int = 2,
+) -> int:
+    """Stored-weight footprint under a per-block compression policy.
+
+    Sparse blocks are charged ``bits + index_bits`` per surviving weight
+    (bitmap-style index overhead); embeddings stay at ``default_bits``.
+    """
+    bits_per_block = bits_per_block or {}
+    sparsity_per_block = sparsity_per_block or {}
+    per_block = block_param_count(config)
+    total_bits = 0.0
+    for i in range(config.num_layers):
+        bits = bits_per_block.get(i, default_bits)
+        sparsity = sparsity_per_block.get(i, 0.0)
+        if not 0.0 <= sparsity <= 1.0:
+            raise ValueError(f"sparsity for block {i} out of range: {sparsity}")
+        dense_bits = per_block * bits
+        if sparsity > 0:
+            kept = per_block * (1.0 - sparsity)
+            total_bits += kept * (bits + index_bits)
+        else:
+            total_bits += dense_bits
+    embed_params = config.vocab_size * config.dim
+    if not config.tie_embeddings:
+        embed_params *= 2
+    total_bits += embed_params * default_bits
+    return int(total_bits / 8)
+
+
+def checkpointed_activation_bytes(
+    config: TransformerConfig, batch: int, seq: int, grad_blocks: int
+) -> int:
+    """Activation footprint under per-block gradient checkpointing:
+    one boundary tensor per block plus a single block's interior (only
+    one block is replayed at a time during backward)."""
+    boundaries = grad_blocks * batch * seq * config.dim
+    interior = block_activation_floats(config, batch, seq)
+    return (boundaries + interior) * BYTES_PER_FLOAT
+
+
+def training_memory_report(
+    config: TransformerConfig,
+    batch: int,
+    seq: int,
+    grad_blocks: int,
+    trainable_params: int,
+    optimizer_floats_per_param: float = 2.0,
+    weight_bytes: Optional[int] = None,
+    exit_head_params: int = 0,
+    checkpointed: bool = False,
+) -> MemoryReport:
+    """Price one tuning iteration.
+
+    Parameters
+    ----------
+    grad_blocks:
+        Number of transformer blocks inside the gradient path (the
+        adaptive-layer-tuning window).  Full backprop = ``num_layers``.
+    trainable_params:
+        Parameters actually updated (determines gradient + optimizer
+        bytes).
+    weight_bytes:
+        Stored-weight footprint; defaults to the uncompressed fp16 model.
+    """
+    if grad_blocks < 0 or grad_blocks > config.num_layers:
+        raise ValueError(
+            f"grad_blocks must be in [0, {config.num_layers}], got {grad_blocks}"
+        )
+    if weight_bytes is None:
+        weight_bytes = model_weight_bytes(config)
+    if checkpointed:
+        activation_bytes = checkpointed_activation_bytes(
+            config, batch, seq, grad_blocks
+        )
+    else:
+        activation_bytes = (
+            block_activation_floats(config, batch, seq) * grad_blocks * BYTES_PER_FLOAT
+        )
+    gradient_bytes = trainable_params * BYTES_PER_FLOAT
+    optimizer_bytes = int(trainable_params * optimizer_floats_per_param) * BYTES_PER_FLOAT
+    logits_bytes = batch * seq * config.vocab_size * BYTES_PER_FLOAT
+    if exit_head_params:
+        gradient_bytes += 0  # exit-head params are included in trainable_params
+    return MemoryReport(
+        weight_bytes=weight_bytes,
+        activation_bytes=activation_bytes,
+        gradient_bytes=gradient_bytes,
+        optimizer_bytes=optimizer_bytes,
+        logits_bytes=logits_bytes,
+    )

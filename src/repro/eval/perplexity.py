@@ -1,0 +1,46 @@
+"""Held-out perplexity evaluation."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..data.corpus import lm_batches
+from ..tensor import Tensor, nll_from_logits, no_grad
+
+
+def perplexity(
+    logits_fn: Callable[[np.ndarray], Tensor],
+    corpus,
+    batch_size: int = 8,
+    seq_len: int = 64,
+    num_batches: int = 8,
+    seed: int = 1234,
+) -> float:
+    """Perplexity of ``logits_fn`` on freshly sampled held-out text.
+
+    ``logits_fn`` maps an ``(batch, seq)`` id array to ``(batch, seq,
+    vocab)`` logits — a model, or any composed inference scheme such as the
+    exit-voting combiner.
+    """
+    rng = np.random.default_rng(seed)
+    total_nll = 0.0
+    total_tokens = 0
+    with no_grad():
+        for inputs, targets in lm_batches(corpus, batch_size, seq_len, num_batches, rng):
+            logits = logits_fn(inputs)
+            nll = nll_from_logits(logits, targets)
+            total_nll += float(nll.sum())
+            total_tokens += nll.size
+    return float(np.exp(total_nll / max(total_tokens, 1)))
+
+
+def model_perplexity(model, corpus, **kwargs) -> float:
+    """Convenience wrapper: perplexity of a TransformerLM's final head."""
+    was_training = model.training
+    model.eval()
+    try:
+        return perplexity(lambda ids: model(ids), corpus, **kwargs)
+    finally:
+        model.train(was_training)

@@ -1,0 +1,55 @@
+"""Edge accelerator specification.
+
+An analytical model of a precision-scalable edge NPU: a 2-D PE array with
+bit-serial MACs (cost proportional to operand bit-width), an on-chip SRAM
+buffer, and a DRAM channel.  Numbers default to a Jetson-class edge device
+scaled to this repo's model sizes; the experiments depend on ratios, not
+absolute values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorSpec:
+    """Hardware parameters consumed by the cost model."""
+
+    pe_rows: int = 16
+    pe_cols: int = 16
+    frequency_hz: float = 1.0e9
+    sram_bytes: int = 256 * 1024
+    dram_bytes_per_cycle: float = 16.0
+    base_bits: int = 8            # native MAC operand width
+    sparse_efficiency: float = 0.8  # fraction of pruned MACs actually skipped
+    energy_per_mac_pj: float = 0.5
+    energy_per_sram_byte_pj: float = 1.0
+    energy_per_dram_byte_pj: float = 100.0
+
+    def __post_init__(self):
+        if self.pe_rows < 1 or self.pe_cols < 1:
+            raise ValueError("PE array dims must be positive")
+        if not 0.0 <= self.sparse_efficiency <= 1.0:
+            raise ValueError("sparse_efficiency must be in [0, 1]")
+        if self.sram_bytes <= 0 or self.dram_bytes_per_cycle <= 0:
+            raise ValueError("memory parameters must be positive")
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """Peak 8-bit MAC throughput."""
+        return float(self.pe_rows * self.pe_cols)
+
+    def bit_cycles(self, bits: int) -> float:
+        """Relative MAC cost of a ``bits``-wide operand (bit-serial)."""
+        return max(bits, 1) / self.base_bits
+
+
+EDGE_GPU_LIKE = AcceleratorSpec()
+
+EDGE_TPU_LIKE = AcceleratorSpec(
+    pe_rows=32,
+    pe_cols=32,
+    sram_bytes=512 * 1024,
+    dram_bytes_per_cycle=8.0,
+)

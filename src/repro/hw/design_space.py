@@ -1,0 +1,90 @@
+"""Accelerator design-space exploration.
+
+Sweeps accelerator configurations against a fixed workload (each with its
+own schedule search) and extracts the latency/energy Pareto set — the
+co-design loop the paper's "complementary hardware scheduling search
+space" plugs into.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .accelerator import AcceleratorSpec
+from .search import IterationCost, schedule_workloads
+from .workload import GEMMWorkload
+
+
+@dataclasses.dataclass
+class DesignPoint:
+    """One accelerator configuration with its scheduled workload cost."""
+
+    name: str
+    spec: AcceleratorSpec
+    cost: IterationCost
+
+    @property
+    def cycles(self) -> float:
+        return self.cost.cycles
+
+    @property
+    def energy_pj(self) -> float:
+        return self.cost.energy_pj
+
+    @property
+    def utilization(self) -> float:
+        return self.cost.mean_utilization
+
+
+def default_design_space() -> List[Tuple[str, AcceleratorSpec]]:
+    """A small factorial sweep over PE array, SRAM and DRAM bandwidth."""
+    space = []
+    for pe in (8, 16, 32):
+        for sram_kb in (64, 256):
+            for bw in (8.0, 16.0):
+                name = f"{pe}x{pe}/{sram_kb}KB/{bw:g}Bpc"
+                space.append(
+                    (
+                        name,
+                        AcceleratorSpec(
+                            pe_rows=pe,
+                            pe_cols=pe,
+                            sram_bytes=sram_kb * 1024,
+                            dram_bytes_per_cycle=bw,
+                        ),
+                    )
+                )
+    return space
+
+
+def sweep_designs(
+    gemms: Sequence[GEMMWorkload],
+    designs: Optional[Sequence[Tuple[str, AcceleratorSpec]]] = None,
+    strategy: str = "exhaustive",
+    objective: str = "latency",
+) -> List[DesignPoint]:
+    """Schedule ``gemms`` on every design; returns all evaluated points."""
+    designs = designs if designs is not None else default_design_space()
+    if not designs:
+        raise ValueError("empty design space")
+    points = []
+    for name, spec in designs:
+        cost = schedule_workloads(gemms, spec, strategy=strategy,
+                                  objective=objective)
+        points.append(DesignPoint(name=name, spec=spec, cost=cost))
+    return points
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset under (cycles, energy), sorted by cycles."""
+    front = []
+    for p in points:
+        dominated = any(
+            (q.cycles <= p.cycles and q.energy_pj <= p.energy_pj)
+            and (q.cycles < p.cycles or q.energy_pj < p.energy_pj)
+            for q in points
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.cycles)

@@ -1,0 +1,89 @@
+"""Memory-bound elementwise operation costing.
+
+GEMMs dominate FLOPs, but on bandwidth-limited edge devices the
+elementwise traffic — norms, softmax, activations, residual adds — is a
+real latency floor.  These ops perform O(1) arithmetic per byte, so they
+are modeled as pure DRAM/SRAM streaming: cycles = bytes moved / bandwidth.
+
+Including them (``include_elementwise=True`` on the iteration builders)
+tempers the speedup the pure-GEMM model predicts for aggressive
+compression — compression shrinks GEMMs but not the elementwise floor
+(Amdahl), matching the behaviour real edge GPUs exhibit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ..nn.transformer import TransformerConfig
+from .accelerator import AcceleratorSpec
+
+_BYTES = 4  # elementwise tensors stream at fp32 in this model
+
+
+@dataclasses.dataclass(frozen=True)
+class ElementwiseWorkload:
+    """One streaming op: reads + writes ``bytes_moved`` with trivial math."""
+
+    name: str
+    bytes_moved: float
+
+    def __post_init__(self):
+        if self.bytes_moved <= 0:
+            raise ValueError(f"non-positive traffic in {self.name}")
+
+
+def elementwise_cycles(
+    workload: ElementwiseWorkload, accel: AcceleratorSpec
+) -> float:
+    """Streaming latency: bandwidth-bound, never compute-bound."""
+    return workload.bytes_moved / accel.dram_bytes_per_cycle
+
+
+def block_elementwise_workloads(
+    config: TransformerConfig,
+    batch: int,
+    seq: int,
+    block_index: int,
+    backward: bool = False,
+) -> List[ElementwiseWorkload]:
+    """Streaming ops of one block's forward (x ~3 for backward).
+
+    Counted per block: 2 norms (read+write D), softmax over scores
+    (read+write B*H*T*T), SiLU + gate multiply (F), 2 residual adds (D).
+    """
+    tokens = batch * seq
+    d_bytes = tokens * config.dim * _BYTES
+    f_bytes = tokens * config.resolved_mlp_hidden() * _BYTES
+    attn_bytes = batch * config.num_heads * seq * seq * _BYTES
+    prefix = f"block{block_index}" + (".bwd" if backward else "")
+    scale = 3.0 if backward else 2.0  # read+write fwd; +grad stream bwd
+    return [
+        ElementwiseWorkload(f"{prefix}.norms", 2 * scale * d_bytes),
+        ElementwiseWorkload(f"{prefix}.softmax", scale * attn_bytes),
+        ElementwiseWorkload(f"{prefix}.swiglu", scale * f_bytes),
+        ElementwiseWorkload(f"{prefix}.residuals", 2 * scale * d_bytes),
+    ]
+
+
+def iteration_elementwise_cycles(
+    config: TransformerConfig,
+    accel: AcceleratorSpec,
+    batch: int,
+    seq: int,
+    forward_blocks: int,
+    grad_start: int,
+) -> float:
+    """Total streaming cycles of one tuning iteration's elementwise ops."""
+    if not 0 <= grad_start <= forward_blocks <= config.num_layers:
+        raise ValueError("invalid window")
+    total = 0.0
+    for i in range(forward_blocks):
+        for w in block_elementwise_workloads(config, batch, seq, i):
+            total += elementwise_cycles(w, accel)
+        if i >= grad_start:
+            for w in block_elementwise_workloads(config, batch, seq, i,
+                                                 backward=True):
+                total += elementwise_cycles(w, accel)
+    return total

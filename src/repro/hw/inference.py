@@ -1,0 +1,138 @@
+"""Inference workloads: prefill, incremental decode, and voting overhead.
+
+The paper's framework also changes *inference*: the compressed model runs
+cheaper, and the voting scheme adds one extra unembedding per exit head.
+These builders express those phases as GEMM lists for the same scheduler
+and cost model used for tuning iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..nn.transformer import TransformerConfig
+from .accelerator import AcceleratorSpec
+from .search import IterationCost, schedule_workloads
+from .workload import FP_BITS, GEMMWorkload, block_forward_gemms, head_gemm
+
+
+def prefill_workload(
+    config: TransformerConfig,
+    batch: int,
+    prompt_len: int,
+    bits_per_block: Optional[Dict[int, int]] = None,
+    sparsity_per_block: Optional[Dict[int, float]] = None,
+) -> List[GEMMWorkload]:
+    """Forward pass over the whole prompt (cache build)."""
+    bits_per_block = bits_per_block or {}
+    sparsity_per_block = sparsity_per_block or {}
+    gemms: List[GEMMWorkload] = []
+    for i in range(config.num_layers):
+        gemms.extend(
+            block_forward_gemms(
+                config, batch, prompt_len, i,
+                bits_per_block.get(i, FP_BITS),
+                sparsity_per_block.get(i, 0.0),
+            )
+        )
+    gemms.append(head_gemm(config, batch * prompt_len))
+    return gemms
+
+
+def decode_step_workload(
+    config: TransformerConfig,
+    batch: int,
+    context_len: int,
+    bits_per_block: Optional[Dict[int, int]] = None,
+    sparsity_per_block: Optional[Dict[int, float]] = None,
+) -> List[GEMMWorkload]:
+    """One cached decoding step: single-token projections, attention over
+    the full context."""
+    if context_len < 1:
+        raise ValueError("context_len must be >= 1")
+    bits_per_block = bits_per_block or {}
+    sparsity_per_block = sparsity_per_block or {}
+    d = config.dim
+    f = config.resolved_mlp_hidden()
+    kv = config.resolved_kv_dim()
+    gemms: List[GEMMWorkload] = []
+    for i in range(config.num_layers):
+        bits = bits_per_block.get(i, FP_BITS)
+        sparsity = sparsity_per_block.get(i, 0.0)
+        prefix = f"block{i}"
+        gemms.extend([
+            GEMMWorkload(f"{prefix}.q", batch, d, d, bits, sparsity),
+            GEMMWorkload(f"{prefix}.k", batch, d, kv, bits, sparsity),
+            GEMMWorkload(f"{prefix}.v", batch, d, kv, bits, sparsity),
+            GEMMWorkload(f"{prefix}.scores", batch, d, context_len, FP_BITS, 0.0),
+            GEMMWorkload(f"{prefix}.context", batch, context_len, d, FP_BITS, 0.0),
+            GEMMWorkload(f"{prefix}.o", batch, d, d, bits, sparsity),
+            GEMMWorkload(f"{prefix}.gate", batch, d, f, bits, sparsity),
+            GEMMWorkload(f"{prefix}.up", batch, d, f, bits, sparsity),
+            GEMMWorkload(f"{prefix}.down", batch, f, d, bits, sparsity),
+        ])
+    gemms.append(head_gemm(config, batch))
+    return gemms
+
+
+def voting_overhead_workload(
+    config: TransformerConfig,
+    batch: int,
+    seq: int,
+    exit_points: Sequence[int],
+) -> List[GEMMWorkload]:
+    """Extra unembeddings the voting combiner evaluates beyond the final
+    head (exit hidden states are produced by the main forward anyway)."""
+    extra = [p for p in sorted(set(exit_points)) if p < config.num_layers]
+    return [
+        GEMMWorkload(
+            f"exit{p}.head", batch * seq, config.dim, config.vocab_size, FP_BITS
+        )
+        for p in extra
+    ]
+
+
+def generation_cost(
+    config: TransformerConfig,
+    accel: AcceleratorSpec,
+    batch: int,
+    prompt_len: int,
+    new_tokens: int,
+    bits_per_block: Optional[Dict[int, int]] = None,
+    sparsity_per_block: Optional[Dict[int, float]] = None,
+    exit_points: Optional[Sequence[int]] = None,
+    strategy: str = "exhaustive",
+) -> Dict[str, float]:
+    """Modeled cost of generating ``new_tokens`` after a prompt.
+
+    Returns cycles for the prefill, the summed decode steps, the voting
+    overhead (per full-sequence scoring, if exits given), and the total.
+    """
+    prefill = schedule_workloads(
+        prefill_workload(config, batch, prompt_len, bits_per_block,
+                         sparsity_per_block),
+        accel, strategy=strategy,
+    ).cycles
+    decode = 0.0
+    for t in range(new_tokens):
+        decode += schedule_workloads(
+            decode_step_workload(
+                config, batch, prompt_len + t + 1,
+                bits_per_block, sparsity_per_block,
+            ),
+            accel, strategy=strategy,
+        ).cycles
+    voting = 0.0
+    if exit_points:
+        voting = schedule_workloads(
+            voting_overhead_workload(
+                config, batch, prompt_len + new_tokens, exit_points
+            ),
+            accel, strategy=strategy,
+        ).cycles
+    return {
+        "prefill_cycles": prefill,
+        "decode_cycles": decode,
+        "voting_cycles": voting,
+        "total_cycles": prefill + decode + voting,
+    }

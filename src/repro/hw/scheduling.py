@@ -1,0 +1,86 @@
+"""Schedule search space for mapping a GEMM onto the PE array.
+
+A schedule fixes the tiling factors, the stationary dataflow, and whether
+tile transfers are double-buffered.  The space mirrors the classic
+accelerator-mapping knobs (Timeloop/MAESTRO-style) restricted to the three
+that dominate edge-NPU utilization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Tuple
+
+from .accelerator import AcceleratorSpec
+from .workload import FP_BITS, GEMMWorkload
+
+DATAFLOWS = ("weight_stationary", "output_stationary", "input_stationary")
+
+
+@dataclasses.dataclass(frozen=True)
+class Schedule:
+    """One point in the mapping space."""
+
+    tile_m: int
+    tile_n: int
+    tile_k: int
+    dataflow: str = "weight_stationary"
+    double_buffer: bool = True
+
+    def __post_init__(self):
+        if min(self.tile_m, self.tile_n, self.tile_k) < 1:
+            raise ValueError("tile sizes must be positive")
+        if self.dataflow not in DATAFLOWS:
+            raise ValueError(f"unknown dataflow {self.dataflow!r}")
+
+    def tile_sram_bytes(self, bits: int = FP_BITS) -> float:
+        """Working-set bytes of one tile (A + B at operand precision,
+        C accumulated at 32-bit)."""
+        a = self.tile_m * self.tile_k * bits / 8.0
+        b = self.tile_k * self.tile_n * bits / 8.0
+        c = self.tile_m * self.tile_n * 4.0
+        total = a + b + c
+        return total * (2.0 if self.double_buffer else 1.0)
+
+    def fits(self, accel: AcceleratorSpec, bits: int = FP_BITS) -> bool:
+        return self.tile_sram_bytes(bits) <= accel.sram_bytes
+
+
+def _tile_candidates(dim: int, floor: int = 8, ceiling: int = 512) -> List[int]:
+    """Powers of two up to the dimension (plus the dimension itself)."""
+    options = []
+    t = floor
+    while t < min(dim, ceiling):
+        options.append(t)
+        t *= 2
+    options.append(min(dim, ceiling))
+    return sorted(set(options))
+
+
+def enumerate_schedules(
+    workload: GEMMWorkload, accel: AcceleratorSpec
+) -> Iterator[Schedule]:
+    """Yield every feasible schedule for ``workload`` on ``accel``."""
+    for tm in _tile_candidates(workload.m):
+        for tn in _tile_candidates(workload.n):
+            for tk in _tile_candidates(workload.k):
+                for dataflow in DATAFLOWS:
+                    for double_buffer in (True, False):
+                        schedule = Schedule(tm, tn, tk, dataflow, double_buffer)
+                        if schedule.fits(accel, workload.bits):
+                            yield schedule
+
+
+def heuristic_schedule(
+    workload: GEMMWorkload, accel: AcceleratorSpec
+) -> Schedule:
+    """The fixed rule-of-thumb mapping (the no-search baseline in R-F4):
+    PE-array-sized output tiles, weight-stationary, no double buffering."""
+    tm = min(workload.m, accel.pe_rows)
+    tn = min(workload.n, accel.pe_cols)
+    tk = min(workload.k, 64)
+    schedule = Schedule(tm, tn, tk, "weight_stationary", False)
+    # Shrink K until the tile fits (tiny SRAM configurations).
+    while not schedule.fits(accel, workload.bits) and schedule.tile_k > 1:
+        schedule = dataclasses.replace(schedule, tile_k=max(schedule.tile_k // 2, 1))
+    return schedule

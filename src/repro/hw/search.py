@@ -1,0 +1,216 @@
+"""Schedule search: pick the best mapping for each GEMM of an iteration.
+
+Strategies: ``exhaustive`` (the space per GEMM is small by construction),
+``random`` sampling, and ``evolutionary`` (population over the joint tile/
+dataflow genome) — compared in the R-A4 ablation.  Identical GEMM shapes
+share one search via caching.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .accelerator import AcceleratorSpec
+from .cost_model import CostReport, gemm_cost, objective_value
+from .scheduling import (
+    DATAFLOWS,
+    Schedule,
+    _tile_candidates,
+    enumerate_schedules,
+    heuristic_schedule,
+)
+from .workload import GEMMWorkload
+
+
+@dataclasses.dataclass
+class ScheduledGEMM:
+    """A workload with its chosen schedule and modeled cost."""
+
+    workload: GEMMWorkload
+    schedule: Schedule
+    cost: CostReport
+
+
+@dataclasses.dataclass
+class IterationCost:
+    """Total modeled cost of a full tuning iteration."""
+
+    scheduled: List[ScheduledGEMM]
+
+    @property
+    def cycles(self) -> float:
+        return sum(s.cost.cycles for s in self.scheduled)
+
+    @property
+    def energy_pj(self) -> float:
+        return sum(s.cost.energy_pj for s in self.scheduled)
+
+    @property
+    def dram_bytes(self) -> float:
+        return sum(s.cost.dram_bytes for s in self.scheduled)
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.scheduled:
+            return 0.0
+        weights = np.array([s.cost.cycles for s in self.scheduled])
+        utils = np.array([s.cost.utilization for s in self.scheduled])
+        return float((weights * utils).sum() / max(weights.sum(), 1e-9))
+
+    def latency_seconds(self, accel: AcceleratorSpec) -> float:
+        return self.cycles / accel.frequency_hz
+
+
+def _cache_key(workload: GEMMWorkload) -> Tuple:
+    return (workload.m, workload.k, workload.n, workload.bits,
+            round(workload.sparsity, 4))
+
+
+def exhaustive_best(
+    workload: GEMMWorkload,
+    accel: AcceleratorSpec,
+    objective: str = "latency",
+) -> Schedule:
+    best: Optional[Schedule] = None
+    best_val = np.inf
+    for schedule in enumerate_schedules(workload, accel):
+        val = objective_value(gemm_cost(workload, schedule, accel), objective)
+        if val < best_val:
+            best_val = val
+            best = schedule
+    if best is None:
+        raise RuntimeError(
+            f"no feasible schedule for {workload.name} on this accelerator"
+        )
+    return best
+
+
+def random_best(
+    workload: GEMMWorkload,
+    accel: AcceleratorSpec,
+    objective: str = "latency",
+    n_samples: int = 50,
+    seed: int = 0,
+) -> Schedule:
+    rng = np.random.default_rng(seed)
+    tm_opts = _tile_candidates(workload.m)
+    tn_opts = _tile_candidates(workload.n)
+    tk_opts = _tile_candidates(workload.k)
+    best = heuristic_schedule(workload, accel)
+    best_val = objective_value(gemm_cost(workload, best, accel), objective)
+    for _ in range(n_samples):
+        schedule = Schedule(
+            tm_opts[rng.integers(len(tm_opts))],
+            tn_opts[rng.integers(len(tn_opts))],
+            tk_opts[rng.integers(len(tk_opts))],
+            DATAFLOWS[rng.integers(len(DATAFLOWS))],
+            bool(rng.integers(2)),
+        )
+        if not schedule.fits(accel, workload.bits):
+            continue
+        val = objective_value(gemm_cost(workload, schedule, accel), objective)
+        if val < best_val:
+            best_val = val
+            best = schedule
+    return best
+
+
+def evolutionary_best(
+    workload: GEMMWorkload,
+    accel: AcceleratorSpec,
+    objective: str = "latency",
+    population: int = 16,
+    generations: int = 12,
+    seed: int = 0,
+) -> Schedule:
+    rng = np.random.default_rng(seed)
+    tm_opts = _tile_candidates(workload.m)
+    tn_opts = _tile_candidates(workload.n)
+    tk_opts = _tile_candidates(workload.k)
+
+    def random_genome() -> Tuple[int, int, int, int, int]:
+        return (
+            int(rng.integers(len(tm_opts))),
+            int(rng.integers(len(tn_opts))),
+            int(rng.integers(len(tk_opts))),
+            int(rng.integers(len(DATAFLOWS))),
+            int(rng.integers(2)),
+        )
+
+    def decode(genome) -> Schedule:
+        return Schedule(
+            tm_opts[genome[0]],
+            tn_opts[genome[1]],
+            tk_opts[genome[2]],
+            DATAFLOWS[genome[3]],
+            bool(genome[4]),
+        )
+
+    def fitness(genome) -> float:
+        schedule = decode(genome)
+        if not schedule.fits(accel, workload.bits):
+            return np.inf
+        return objective_value(gemm_cost(workload, schedule, accel), objective)
+
+    pool = [random_genome() for _ in range(population)]
+    scores = [fitness(g) for g in pool]
+    spaces = (len(tm_opts), len(tn_opts), len(tk_opts), len(DATAFLOWS), 2)
+    for _ in range(generations):
+        children = []
+        for _ in range(population):
+            i, j = rng.integers(population), rng.integers(population)
+            parent = pool[i] if scores[i] <= scores[j] else pool[j]
+            child = list(parent)
+            gene = int(rng.integers(5))
+            child[gene] = int(rng.integers(spaces[gene]))
+            children.append(tuple(child))
+        pool_all = pool + children
+        scores_all = scores + [fitness(c) for c in children]
+        order = np.argsort(scores_all)[:population]
+        pool = [pool_all[i] for i in order]
+        scores = [scores_all[i] for i in order]
+    best = pool[int(np.argmin(scores))]
+    if np.isinf(min(scores)):
+        return heuristic_schedule(workload, accel)
+    return decode(best)
+
+
+_SEARCHERS = {
+    "exhaustive": exhaustive_best,
+    "random": random_best,
+    "evolutionary": evolutionary_best,
+}
+
+
+def schedule_workloads(
+    gemms: Sequence[GEMMWorkload],
+    accel: AcceleratorSpec,
+    strategy: str = "exhaustive",
+    objective: str = "latency",
+    **kwargs,
+) -> IterationCost:
+    """Pick a schedule for every GEMM; returns the summed iteration cost.
+
+    ``strategy='heuristic'`` applies the fixed rule-of-thumb mapping
+    (the no-search baseline).
+    """
+    cache: Dict[Tuple, Schedule] = {}
+    scheduled: List[ScheduledGEMM] = []
+    for g in gemms:
+        key = _cache_key(g)
+        if key not in cache:
+            if strategy == "heuristic":
+                cache[key] = heuristic_schedule(g, accel)
+            elif strategy in _SEARCHERS:
+                cache[key] = _SEARCHERS[strategy](g, accel, objective=objective, **kwargs)
+            else:
+                raise ValueError(
+                    f"unknown strategy {strategy!r}; choose from "
+                    f"{sorted(_SEARCHERS) + ['heuristic']}"
+                )
+        schedule = cache[key]
+        scheduled.append(ScheduledGEMM(g, schedule, gemm_cost(g, schedule, accel)))
+    return IterationCost(scheduled)

@@ -1,0 +1,171 @@
+"""Workload extraction: turn a tuning iteration into a list of GEMMs.
+
+The scheduler and cost model operate on GEMM descriptors.  One transformer
+tuning iteration decomposes into:
+
+* forward GEMMs for every *executed* block (adaptive tuning stops at the
+  exit depth),
+* the attention score/context batched matmuls,
+* backward GEMMs (dX and dW, ~2x forward) for blocks inside the gradient
+  window,
+* the head / exit-head projection.
+
+Compression enters through per-block ``bits`` and ``sparsity`` fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..nn.transformer import TransformerConfig
+
+FP_BITS = 16
+
+
+@dataclasses.dataclass(frozen=True)
+class GEMMWorkload:
+    """One matrix multiply: (M x K) @ (K x N), with operand precision."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+    bits: int = FP_BITS
+    sparsity: float = 0.0
+    phase: str = "fwd"  # fwd | bwd
+
+    def __post_init__(self):
+        if min(self.m, self.k, self.n) < 1:
+            raise ValueError(f"degenerate GEMM dims in {self.name}")
+        if not 0.0 <= self.sparsity < 1.0:
+            raise ValueError(f"sparsity out of range in {self.name}")
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+    def operand_bytes(self) -> Dict[str, float]:
+        """Dense operand sizes in bytes (A inputs, B weights, C outputs)."""
+        return {
+            "a": self.m * self.k * self.bits / 8.0,
+            "b": self.k * self.n * self.bits / 8.0 * (1.0 - self.sparsity),
+            "c": self.m * self.n * FP_BITS / 8.0,
+        }
+
+
+def block_forward_gemms(
+    config: TransformerConfig,
+    batch: int,
+    seq: int,
+    block_index: int,
+    bits: int = FP_BITS,
+    sparsity: float = 0.0,
+) -> List[GEMMWorkload]:
+    """Forward GEMMs of one transformer block.
+
+    The batched attention matmuls are folded into single GEMM descriptors
+    with equivalent MAC counts: scores is ``(B*T x D) @ (D x T)`` and
+    context ``(B*T x T) @ (T x D)`` — B*H*T*T*head_dim MACs each.
+    """
+    d = config.dim
+    f = config.resolved_mlp_hidden()
+    kv = config.resolved_kv_dim()
+    tokens = batch * seq
+    prefix = f"block{block_index}"
+    return [
+        GEMMWorkload(f"{prefix}.q", tokens, d, d, bits, sparsity),
+        GEMMWorkload(f"{prefix}.k", tokens, d, kv, bits, sparsity),
+        GEMMWorkload(f"{prefix}.v", tokens, d, kv, bits, sparsity),
+        GEMMWorkload(f"{prefix}.scores", tokens, d, seq, FP_BITS, 0.0),
+        GEMMWorkload(f"{prefix}.context", tokens, seq, d, FP_BITS, 0.0),
+        GEMMWorkload(f"{prefix}.o", tokens, d, d, bits, sparsity),
+        GEMMWorkload(f"{prefix}.gate", tokens, d, f, bits, sparsity),
+        GEMMWorkload(f"{prefix}.up", tokens, d, f, bits, sparsity),
+        GEMMWorkload(f"{prefix}.down", tokens, f, d, bits, sparsity),
+    ]
+
+
+def block_backward_gemms(
+    config: TransformerConfig,
+    batch: int,
+    seq: int,
+    block_index: int,
+    bits: int = FP_BITS,
+    sparsity: float = 0.0,
+) -> List[GEMMWorkload]:
+    """Backward GEMMs: for each forward ``A@B`` both dA (grad @ B^T) and
+    dB (A^T @ grad).  Gradient operands flow at full precision, but dA
+    reuses the (compressed) weight operand, so it keeps the forward bits
+    and sparsity."""
+    backward: List[GEMMWorkload] = []
+    for g in block_forward_gemms(config, batch, seq, block_index, bits, sparsity):
+        backward.append(
+            dataclasses.replace(
+                g, name=g.name + ".dA", m=g.m, k=g.n, n=g.k, phase="bwd"
+            )
+        )
+        backward.append(
+            dataclasses.replace(
+                g,
+                name=g.name + ".dB",
+                m=g.k,
+                k=g.m,
+                n=g.n,
+                bits=FP_BITS,
+                sparsity=0.0,
+                phase="bwd",
+            )
+        )
+    return backward
+
+
+def head_gemm(config: TransformerConfig, tokens: int, phase: str = "fwd") -> GEMMWorkload:
+    return GEMMWorkload(
+        "head", tokens, config.dim, config.vocab_size, FP_BITS, 0.0, phase
+    )
+
+
+def tuning_iteration_workload(
+    config: TransformerConfig,
+    batch: int,
+    seq: int,
+    forward_blocks: int,
+    grad_start: int,
+    bits_per_block: Optional[Dict[int, int]] = None,
+    sparsity_per_block: Optional[Dict[int, float]] = None,
+    checkpoint_recompute: bool = False,
+) -> List[GEMMWorkload]:
+    """All GEMMs of one tuning iteration.
+
+    Blocks ``[0, forward_blocks)`` run forward; blocks ``[grad_start,
+    forward_blocks)`` additionally run backward; the (exit) head runs both.
+    With ``checkpoint_recompute`` each gradient block also replays its
+    forward pass (gradient checkpointing's compute overhead).
+    """
+    if not 0 <= grad_start <= forward_blocks <= config.num_layers:
+        raise ValueError(
+            f"invalid window: grad_start={grad_start}, "
+            f"forward_blocks={forward_blocks}, layers={config.num_layers}"
+        )
+    bits_per_block = bits_per_block or {}
+    sparsity_per_block = sparsity_per_block or {}
+    tokens = batch * seq
+    gemms: List[GEMMWorkload] = []
+    for i in range(forward_blocks):
+        bits = bits_per_block.get(i, FP_BITS)
+        sparsity = sparsity_per_block.get(i, 0.0)
+        gemms.extend(block_forward_gemms(config, batch, seq, i, bits, sparsity))
+        if i >= grad_start:
+            if checkpoint_recompute:
+                gemms.extend(
+                    block_forward_gemms(config, batch, seq, i, bits, sparsity)
+                )
+            gemms.extend(block_backward_gemms(config, batch, seq, i, bits, sparsity))
+    gemms.append(head_gemm(config, tokens, "fwd"))
+    gemms.append(head_gemm(config, tokens, "bwd"))
+    return gemms
+
+
+def total_macs(gemms: List[GEMMWorkload]) -> int:
+    return sum(g.macs for g in gemms)

@@ -1,0 +1,60 @@
+"""LUC — Layer-wise Unified Compression (Edge-LLM core component #1)."""
+
+from .compressed_linear import CompressedLinear
+from .policy import (
+    DEFAULT_BIT_OPTIONS,
+    DEFAULT_PRUNE_OPTIONS,
+    LayerCompression,
+    LUCPolicy,
+    enumerate_layer_options,
+)
+from .sensitivity import (
+    BLOCK_LINEAR_PATHS,
+    SensitivityProfile,
+    block_compressed,
+    compress_block,
+    measure_sensitivity,
+    restore_block,
+)
+from .search import (
+    evolutionary_search,
+    greedy_search,
+    random_search,
+    search_policy,
+)
+from .apply import apply_luc, model_compression_summary, remove_luc
+from .frontier import FrontierPoint, greedy_frontier, policy_at_budget
+from .gptq_apply import gptq_compress_model
+from .hw_aware import block_cycle_costs, hardware_aware_search
+from .iterative import CompressionRound, budget_schedule, iterative_compress
+
+__all__ = [
+    "CompressedLinear",
+    "LayerCompression",
+    "LUCPolicy",
+    "enumerate_layer_options",
+    "DEFAULT_BIT_OPTIONS",
+    "DEFAULT_PRUNE_OPTIONS",
+    "SensitivityProfile",
+    "measure_sensitivity",
+    "compress_block",
+    "restore_block",
+    "block_compressed",
+    "BLOCK_LINEAR_PATHS",
+    "greedy_search",
+    "evolutionary_search",
+    "random_search",
+    "search_policy",
+    "apply_luc",
+    "remove_luc",
+    "model_compression_summary",
+    "iterative_compress",
+    "budget_schedule",
+    "CompressionRound",
+    "greedy_frontier",
+    "policy_at_budget",
+    "FrontierPoint",
+    "hardware_aware_search",
+    "block_cycle_costs",
+    "gptq_compress_model",
+]

@@ -1,0 +1,76 @@
+"""Apply a LUC policy to a model (and undo it)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..nn.transformer import TransformerLM
+from .compressed_linear import CompressedLinear
+from .policy import LUCPolicy
+from .sensitivity import BLOCK_LINEAR_PATHS, _resolve
+
+
+def apply_luc(
+    model: TransformerLM,
+    policy: LUCPolicy,
+    structured: bool = False,
+    act_bits: int = None,
+) -> List[Tuple[object, str, object]]:
+    """Wrap every block's Linears per the policy. Returns an undo list.
+
+    Blocks assigned 16-bit / 0-sparsity are left untouched.  ``act_bits``
+    optionally adds uniform activation quantization (e.g. 8 for a W?A8
+    deployment) to every compressed block.
+    """
+    if policy.num_layers != model.num_layers:
+        raise ValueError(
+            f"policy covers {policy.num_layers} layers, model has {model.num_layers}"
+        )
+    undo: List[Tuple[object, str, object]] = []
+    for block, layer in zip(model.blocks, policy.layers):
+        if layer.bits >= 16 and layer.prune_ratio == 0.0:
+            continue
+        for path in BLOCK_LINEAR_PATHS:
+            parent, attr = _resolve(block, path)
+            original = getattr(parent, attr)
+            inner = original.inner if isinstance(original, CompressedLinear) else original
+            wrapped = CompressedLinear(
+                inner,
+                bits=layer.bits,
+                prune_ratio=layer.prune_ratio,
+                structured=structured,
+                act_bits=act_bits,
+            )
+            setattr(parent, attr, wrapped)
+            undo.append((parent, attr, original))
+    return undo
+
+
+def remove_luc(undo: List[Tuple[object, str, object]]) -> None:
+    """Restore the original Linears recorded by :func:`apply_luc`."""
+    for parent, attr, original in undo:
+        setattr(parent, attr, original)
+
+
+def model_compression_summary(model: TransformerLM) -> List[dict]:
+    """Per-block description of the compression currently applied."""
+    rows = []
+    for i, block in enumerate(model.blocks):
+        bits, sparsities = [], []
+        for path in BLOCK_LINEAR_PATHS:
+            parent, attr = _resolve(block, path)
+            layer = getattr(parent, attr)
+            if isinstance(layer, CompressedLinear):
+                bits.append(layer.bits)
+                sparsities.append(layer.sparsity)
+            else:
+                bits.append(16)
+                sparsities.append(0.0)
+        rows.append(
+            {
+                "block": i,
+                "bits": max(set(bits), key=bits.count),
+                "sparsity": sum(sparsities) / len(sparsities),
+            }
+        )
+    return rows

@@ -1,0 +1,91 @@
+"""Cost/degradation frontier of the greedy compression path.
+
+The greedy search descends from the least-compressed assignment one
+marginal-efficiency step at a time; recording every intermediate policy
+yields (an approximation of) the Pareto frontier of compute cost vs
+predicted degradation — the curve a deployment picks its budget from
+without re-running the search per budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .policy import LayerCompression, LUCPolicy, enumerate_layer_options
+from .search import _least_compressed
+from .sensitivity import SensitivityProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class FrontierPoint:
+    """One step of the greedy descent."""
+
+    cost: float
+    predicted_degradation: float
+    policy: LUCPolicy
+
+
+def greedy_frontier(
+    profile: SensitivityProfile,
+    num_layers: int,
+    options: Optional[Sequence[LayerCompression]] = None,
+    min_cost: Optional[float] = None,
+) -> List[FrontierPoint]:
+    """Record the whole greedy descent from cost≈max down to ``min_cost``
+    (default: the cheapest achievable assignment).
+
+    Points are ordered by strictly decreasing cost; each point's policy is
+    exactly what ``greedy_search`` would return for a budget equal to its
+    cost.
+    """
+    options = list(options or enumerate_layer_options())
+    floor = min(o.cost_factor() for o in options)
+    min_cost = floor if min_cost is None else max(min_cost, floor)
+
+    start = _least_compressed(options)
+    assignment: List[LayerCompression] = [start] * num_layers
+
+    def snapshot() -> FrontierPoint:
+        policy = LUCPolicy(list(assignment))
+        return FrontierPoint(
+            cost=policy.cost(),
+            predicted_degradation=profile.predicted_degradation(policy),
+            policy=policy,
+        )
+
+    points = [snapshot()]
+    while points[-1].cost > min_cost + 1e-12:
+        best_move = None
+        best_efficiency = -np.inf
+        for layer in range(num_layers):
+            current = assignment[layer]
+            current_sens = profile.score(layer, current)
+            for option in options:
+                if option.cost_factor() >= current.cost_factor():
+                    continue
+                saved = current.cost_factor() - option.cost_factor()
+                added = max(profile.score(layer, option) - current_sens, 0.0)
+                efficiency = saved / (added + 1e-9)
+                if efficiency > best_efficiency:
+                    best_efficiency = efficiency
+                    best_move = (layer, option)
+        if best_move is None:
+            break
+        layer, option = best_move
+        assignment[layer] = option
+        points.append(snapshot())
+    return points
+
+
+def policy_at_budget(points: Sequence[FrontierPoint], budget: float) -> LUCPolicy:
+    """Cheapest-degradation policy on the frontier whose cost <= budget."""
+    feasible = [p for p in points if p.cost <= budget + 1e-12]
+    if not feasible:
+        raise ValueError(
+            f"no frontier point satisfies budget {budget}; "
+            f"frontier floor is {min(p.cost for p in points):.4f}"
+        )
+    return min(feasible, key=lambda p: p.predicted_degradation).policy

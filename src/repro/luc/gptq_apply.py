@@ -1,0 +1,75 @@
+"""Model-level GPTQ compression under a LUC policy.
+
+An alternative back-end for LUC's quantization step: instead of dynamic
+STE fake-quant, rewrite each Linear's master weights with GPTQ
+(error-compensated, one-shot) at the policy's bit-width, after applying
+the policy's pruning mask.  Masks are kept active through a
+``CompressedLinear`` wrapper at 16 "effective" bits so the weights —
+already sitting on their quantization grid — are not re-noised, while
+pruned coordinates stay pinned to zero during any later tuning.
+
+Trade-off vs the STE path: better one-shot quality at low bits, but
+subsequent tuning drifts weights off-grid (re-run this pass, or accept
+fake-quant semantics, before deployment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..nn.linear_capture import capture_linear_inputs
+from ..nn.transformer import TransformerLM
+from ..prune.masks import unstructured_mask
+from ..quant.formats import QuantSpec
+from ..quant.gptq import gptq_quantize
+from .compressed_linear import CompressedLinear
+from .policy import LUCPolicy
+from .sensitivity import BLOCK_LINEAR_PATHS, _resolve
+
+
+def gptq_compress_model(
+    model: TransformerLM,
+    policy: LUCPolicy,
+    calib_ids: np.ndarray,
+    damping: float = 0.01,
+) -> List[Tuple[object, str, object]]:
+    """Apply ``policy`` with GPTQ weight rewriting.
+
+    One calibration forward captures every target Linear's inputs; each
+    weight is then pruned (magnitude mask) and GPTQ-quantized against its
+    own input Hessian.  Returns an undo list for the installed mask
+    wrappers (the weight rewrite itself is in-place and not undone).
+    """
+    if policy.num_layers != model.num_layers:
+        raise ValueError(
+            f"policy covers {policy.num_layers} layers, model has {model.num_layers}"
+        )
+    targets = []
+    for block, layer in zip(model.blocks, policy.layers):
+        if layer.bits >= 16 and layer.prune_ratio == 0.0:
+            continue
+        for path in BLOCK_LINEAR_PATHS:
+            parent, attr = _resolve(block, path)
+            targets.append((parent, attr, layer))
+
+    linears = [getattr(parent, attr) for parent, attr, _ in targets]
+    captured = capture_linear_inputs(model, linears, calib_ids)
+
+    undo: List[Tuple[object, str, object]] = []
+    for (parent, attr, layer), linear in zip(targets, linears):
+        inputs = captured[id(linear)]
+        mask = unstructured_mask(linear.weight.data, layer.prune_ratio)
+        masked = linear.weight.data * mask
+        if layer.bits < 16:
+            _, deq = gptq_quantize(
+                masked, inputs, QuantSpec(bits=layer.bits), damping=damping
+            )
+            linear.weight.data = (deq * mask).astype(np.float32)
+        else:
+            linear.weight.data = masked
+        wrapper = CompressedLinear(linear, bits=16, prune_ratio=0.0, mask=mask)
+        setattr(parent, attr, wrapper)
+        undo.append((parent, attr, linear))
+    return undo

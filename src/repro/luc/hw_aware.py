@@ -1,0 +1,118 @@
+"""Hardware-aware LUC policy search.
+
+The abstract cost factor ``(bits/16)·(1−ratio)`` assumes ideal bit-serial
+hardware.  Real mappings have tiling edge effects, DRAM boundedness and
+imperfect sparsity skipping — all captured by the `repro.hw` cost model.
+This module runs the same greedy descent with *modeled cycles* as the
+budget currency: the budget is a fraction of the uncompressed iteration's
+cycles on a concrete accelerator, making the compression policy and the
+hardware mapping co-designed (the paper's "complementary" coupling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..hw.accelerator import AcceleratorSpec
+from ..hw.search import schedule_workloads
+from ..hw.workload import block_backward_gemms, block_forward_gemms
+from ..nn.transformer import TransformerConfig
+from .policy import LayerCompression, LUCPolicy, enumerate_layer_options
+from .search import _least_compressed
+from .sensitivity import SensitivityProfile
+
+
+def block_cycle_costs(
+    config: TransformerConfig,
+    batch: int,
+    seq: int,
+    options: Sequence[LayerCompression],
+    accel: AcceleratorSpec,
+    include_backward: bool = True,
+    strategy: str = "heuristic",
+) -> Dict[LayerCompression, float]:
+    """Modeled cycles of one block's iteration work under each option.
+
+    Blocks are structurally identical, so one evaluation per option covers
+    every layer.  ``strategy='heuristic'`` keeps profiling cheap; the
+    final deployment still searches schedules properly.
+    """
+    costs: Dict[LayerCompression, float] = {}
+    for option in options:
+        gemms = block_forward_gemms(
+            config, batch, seq, 0, option.bits, option.prune_ratio
+        )
+        if include_backward:
+            gemms = gemms + block_backward_gemms(
+                config, batch, seq, 0, option.bits, option.prune_ratio
+            )
+        costs[option] = schedule_workloads(gemms, accel, strategy=strategy).cycles
+    return costs
+
+
+def hardware_aware_search(
+    profile: SensitivityProfile,
+    config: TransformerConfig,
+    batch: int,
+    seq: int,
+    cycle_budget_fraction: float,
+    accel: AcceleratorSpec,
+    options: Optional[Sequence[LayerCompression]] = None,
+    include_backward: bool = True,
+    strategy: str = "heuristic",
+) -> LUCPolicy:
+    """Greedy descent where cost = modeled cycles on ``accel``.
+
+    ``cycle_budget_fraction`` is relative to the uncompressed (16-bit
+    dense) per-block cycles; the returned policy's modeled block cycles
+    average at most that fraction.
+    """
+    if not 0.0 < cycle_budget_fraction <= 1.0:
+        raise ValueError("cycle_budget_fraction must be in (0, 1]")
+    options = list(options or enumerate_layer_options())
+    cycle_costs = block_cycle_costs(
+        config, batch, seq, options, accel,
+        include_backward=include_backward, strategy=strategy,
+    )
+    uncompressed = block_cycle_costs(
+        config, batch, seq, [LayerCompression(16, 0.0)], accel,
+        include_backward=include_backward, strategy=strategy,
+    )[LayerCompression(16, 0.0)]
+    budget_cycles = cycle_budget_fraction * uncompressed
+
+    floor = min(cycle_costs.values())
+    if budget_cycles < floor:
+        raise ValueError(
+            f"cycle budget {budget_cycles:.0f} below the cheapest achievable "
+            f"block cost {floor:.0f} "
+            f"({floor / uncompressed:.3f} of uncompressed)"
+        )
+
+    start = _least_compressed(options)
+    assignment: List[LayerCompression] = [start] * config.num_layers
+
+    def mean_cycles() -> float:
+        return float(np.mean([cycle_costs[a] for a in assignment]))
+
+    while mean_cycles() > budget_cycles:
+        best_move = None
+        best_efficiency = -np.inf
+        for layer in range(config.num_layers):
+            current = assignment[layer]
+            current_sens = profile.score(layer, current)
+            for option in options:
+                if cycle_costs[option] >= cycle_costs[current]:
+                    continue
+                saved = cycle_costs[current] - cycle_costs[option]
+                added = max(profile.score(layer, option) - current_sens, 0.0)
+                efficiency = saved / (added + 1e-9)
+                if efficiency > best_efficiency:
+                    best_efficiency = efficiency
+                    best_move = (layer, option)
+        if best_move is None:
+            break
+        layer, option = best_move
+        assignment[layer] = option
+    return LUCPolicy(list(assignment))

@@ -1,0 +1,95 @@
+"""Iterative LUC: progressive compression with recovery tuning.
+
+One-shot compression to an aggressive budget can over-commit to the
+sensitivities of the *uncompressed* model.  The iterative schedule
+interleaves rounds of (re-)profiling, policy search at a progressively
+tighter budget, and short recovery tuning — the standard prune-retrain
+refinement applied to the unified (prune + quant) policy space.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.transformer import TransformerLM
+from .apply import apply_luc, remove_luc
+from .policy import LayerCompression, LUCPolicy, enumerate_layer_options
+from .search import search_policy
+from .sensitivity import measure_sensitivity
+
+
+@dataclasses.dataclass
+class CompressionRound:
+    """Record of one progressive-compression round."""
+
+    budget: float
+    policy: LUCPolicy
+    recovery_losses: List[float]
+
+
+def budget_schedule(target: float, rounds: int, start: float = 0.6) -> List[float]:
+    """Geometric budget decay from ``start`` to ``target``."""
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    if not 0 < target <= start <= 1.0:
+        raise ValueError("need 0 < target <= start <= 1")
+    if rounds == 1:
+        return [target]
+    ratios = np.geomspace(start, target, rounds)
+    return [float(r) for r in ratios]
+
+
+def iterative_compress(
+    model: TransformerLM,
+    calib_inputs: np.ndarray,
+    calib_targets: np.ndarray,
+    recovery_batches: Callable[[], Iterable],
+    target_budget: float,
+    rounds: int = 3,
+    recovery_steps: int = 15,
+    options: Optional[Sequence[LayerCompression]] = None,
+    metric: str = "loss_delta",
+    strategy: str = "greedy",
+    lr: float = 1e-3,
+) -> List[CompressionRound]:
+    """Progressively compress ``model`` to ``target_budget``.
+
+    Each round re-profiles the *current* (partially compressed, recovered)
+    model, searches a policy at that round's budget, re-applies it from
+    the live master weights, and runs ``recovery_steps`` of full-depth
+    tuning.  The model is left compressed at the final policy; the
+    returned history carries every round's policy and recovery losses.
+
+    ``recovery_batches`` is a zero-argument callable returning a fresh
+    iterable of (inputs, targets) each round.
+    """
+    from ..adaptive.trainer import vanilla_trainer  # local: avoids cycle
+
+    options = list(options or enumerate_layer_options())
+    history: List[CompressionRound] = []
+    undo = None
+    for budget in budget_schedule(target_budget, rounds):
+        if undo:
+            # Re-profile with compression lifted so sensitivities reflect
+            # the recovered master weights.
+            remove_luc(undo)
+        profile = measure_sensitivity(
+            model, calib_inputs, calib_targets, options, metric=metric
+        )
+        policy = search_policy(
+            profile, model.num_layers, budget, strategy=strategy, options=options
+        )
+        undo = apply_luc(model, policy)
+        trainer = vanilla_trainer(model, lr=lr)
+        stats = trainer.train(recovery_batches(), max_steps=recovery_steps)
+        history.append(
+            CompressionRound(
+                budget=budget,
+                policy=policy,
+                recovery_losses=[s.loss for s in stats],
+            )
+        )
+    return history

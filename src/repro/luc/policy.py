@@ -1,0 +1,99 @@
+"""LUC policies: the per-layer (bit-width, pruning-ratio) assignment.
+
+A policy's *compute cost* models edge-accelerator effort per block:
+``params x (bits / 16) x (1 - sparsity)`` — bit-serial/precision-scalable
+MACs are charged proportionally to operand width, and pruned weights cost
+nothing.  Budgets are expressed as a fraction of the uncompressed model's
+cost, which is how the paper frames "cost-effective layer-wise policies".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+BASELINE_BITS = 16
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerCompression:
+    """Compression assigned to one transformer block."""
+
+    bits: int
+    prune_ratio: float
+
+    def cost_factor(self) -> float:
+        """Relative MAC cost vs an uncompressed (16-bit dense) layer."""
+        return (self.bits / BASELINE_BITS) * (1.0 - self.prune_ratio)
+
+
+@dataclasses.dataclass
+class LUCPolicy:
+    """A full per-block compression assignment."""
+
+    layers: List[LayerCompression]
+
+    def __post_init__(self):
+        for i, layer in enumerate(self.layers):
+            if not 0.0 <= layer.prune_ratio < 1.0:
+                raise ValueError(f"layer {i}: prune ratio {layer.prune_ratio} invalid")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def cost(self) -> float:
+        """Mean relative compute cost across blocks (1.0 = uncompressed)."""
+        return float(np.mean([l.cost_factor() for l in self.layers]))
+
+    def average_bits(self) -> float:
+        return float(np.mean([l.bits for l in self.layers]))
+
+    def average_sparsity(self) -> float:
+        return float(np.mean([l.prune_ratio for l in self.layers]))
+
+    def bits_per_block(self) -> Dict[int, int]:
+        return {i: l.bits for i, l in enumerate(self.layers)}
+
+    def sparsity_per_block(self) -> Dict[int, float]:
+        return {i: l.prune_ratio for i, l in enumerate(self.layers)}
+
+    @classmethod
+    def uniform(cls, num_layers: int, bits: int, prune_ratio: float) -> "LUCPolicy":
+        """The paper's uniform-compression baseline."""
+        return cls([LayerCompression(bits, prune_ratio)] * num_layers)
+
+    @classmethod
+    def uncompressed(cls, num_layers: int) -> "LUCPolicy":
+        return cls.uniform(num_layers, BASELINE_BITS, 0.0)
+
+    def describe(self) -> str:
+        rows = [
+            f"  block {i:2d}: {l.bits:2d}-bit, {l.prune_ratio:.0%} pruned"
+            for i, l in enumerate(self.layers)
+        ]
+        header = (
+            f"LUCPolicy(avg_bits={self.average_bits():.1f}, "
+            f"avg_sparsity={self.average_sparsity():.0%}, cost={self.cost():.3f})"
+        )
+        return "\n".join([header] + rows)
+
+
+# The menus the policy search draws from (the paper's LUC search space:
+# a small set of per-layer bit-widths and pruning ratios).
+DEFAULT_BIT_OPTIONS: Tuple[int, ...] = (2, 4, 8)
+DEFAULT_PRUNE_OPTIONS: Tuple[float, ...] = (0.0, 0.3, 0.5)
+
+
+def enumerate_layer_options(
+    bit_options: Sequence[int] = DEFAULT_BIT_OPTIONS,
+    prune_options: Sequence[float] = DEFAULT_PRUNE_OPTIONS,
+) -> List[LayerCompression]:
+    """All (bits, ratio) combinations a single layer may receive."""
+    return [
+        LayerCompression(bits, ratio)
+        for bits in bit_options
+        for ratio in prune_options
+    ]

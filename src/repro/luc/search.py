@@ -1,0 +1,177 @@
+"""Budgeted search for layer-wise compression policies.
+
+Given a sensitivity profile and a compute budget (fraction of the
+uncompressed model's cost), the searchers pick each block's (bits, ratio)
+to minimize predicted degradation:
+
+* ``greedy``       marginal-efficiency knapsack descent (the default; this
+                   is the "cost-effective" procedure the abstract claims).
+* ``evolutionary`` mutation + tournament selection over full policies.
+* ``random``       best of N random feasible policies (ablation floor).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .policy import (
+    DEFAULT_BIT_OPTIONS,
+    DEFAULT_PRUNE_OPTIONS,
+    LayerCompression,
+    LUCPolicy,
+    enumerate_layer_options,
+)
+from .sensitivity import SensitivityProfile
+
+
+def _least_compressed(options: Sequence[LayerCompression]) -> LayerCompression:
+    return max(options, key=lambda o: o.cost_factor())
+
+
+def greedy_search(
+    profile: SensitivityProfile,
+    num_layers: int,
+    budget: float,
+    options: Optional[Sequence[LayerCompression]] = None,
+) -> LUCPolicy:
+    """Knapsack-style descent: repeatedly take the cheapest compression.
+
+    Starting from the least-compressed option everywhere, apply the single
+    per-layer option change with the best cost-saved per degradation-added
+    ratio until the mean cost meets ``budget``.
+    """
+    options = list(options or enumerate_layer_options())
+    _validate_budget(budget, options)
+    start = _least_compressed(options)
+    assignment: List[LayerCompression] = [start] * num_layers
+
+    def mean_cost() -> float:
+        return float(np.mean([a.cost_factor() for a in assignment]))
+
+    while mean_cost() > budget:
+        best_move = None
+        best_efficiency = -np.inf
+        for layer in range(num_layers):
+            current = assignment[layer]
+            current_sens = profile.score(layer, current)
+            for option in options:
+                if option.cost_factor() >= current.cost_factor():
+                    continue
+                saved = current.cost_factor() - option.cost_factor()
+                added = max(profile.score(layer, option) - current_sens, 0.0)
+                efficiency = saved / (added + 1e-9)
+                if efficiency > best_efficiency:
+                    best_efficiency = efficiency
+                    best_move = (layer, option)
+        if best_move is None:
+            break  # nothing left to compress
+        layer, option = best_move
+        assignment[layer] = option
+    return LUCPolicy(list(assignment))
+
+
+def evolutionary_search(
+    profile: SensitivityProfile,
+    num_layers: int,
+    budget: float,
+    options: Optional[Sequence[LayerCompression]] = None,
+    population: int = 32,
+    generations: int = 30,
+    mutation_rate: float = 0.2,
+    seed: int = 0,
+) -> LUCPolicy:
+    """Mutation + tournament selection over full per-layer assignments."""
+    options = list(options or enumerate_layer_options())
+    _validate_budget(budget, options)
+    rng = np.random.default_rng(seed)
+
+    def random_policy() -> List[LayerCompression]:
+        return [options[rng.integers(len(options))] for _ in range(num_layers)]
+
+    def fitness(assignment: List[LayerCompression]) -> float:
+        policy = LUCPolicy(list(assignment))
+        degradation = profile.predicted_degradation(policy)
+        overshoot = max(policy.cost() - budget, 0.0)
+        return degradation + 100.0 * overshoot  # lower is better
+
+    pool = [random_policy() for _ in range(population)]
+    scores = [fitness(p) for p in pool]
+    for _ in range(generations):
+        children = []
+        for _ in range(population):
+            i, j = rng.integers(population), rng.integers(population)
+            parent = pool[i] if scores[i] <= scores[j] else pool[j]
+            child = list(parent)
+            for layer in range(num_layers):
+                if rng.random() < mutation_rate:
+                    child[layer] = options[rng.integers(len(options))]
+            children.append(child)
+        child_scores = [fitness(c) for c in children]
+        merged = list(zip(scores + child_scores, range(2 * population)))
+        merged.sort(key=lambda t: t[0])
+        everyone = pool + children
+        pool = [everyone[idx] for _, idx in merged[:population]]
+        scores = [s for s, _ in merged[:population]]
+    best = pool[int(np.argmin(scores))]
+    return LUCPolicy(list(best))
+
+
+def random_search(
+    profile: SensitivityProfile,
+    num_layers: int,
+    budget: float,
+    options: Optional[Sequence[LayerCompression]] = None,
+    n_samples: int = 200,
+    seed: int = 0,
+) -> LUCPolicy:
+    """Best of ``n_samples`` random feasible policies (ablation floor)."""
+    options = list(options or enumerate_layer_options())
+    _validate_budget(budget, options)
+    rng = np.random.default_rng(seed)
+    best: Optional[LUCPolicy] = None
+    best_score = np.inf
+    for _ in range(n_samples):
+        assignment = [options[rng.integers(len(options))] for _ in range(num_layers)]
+        policy = LUCPolicy(assignment)
+        if policy.cost() > budget:
+            continue
+        score = profile.predicted_degradation(policy)
+        if score < best_score:
+            best_score = score
+            best = policy
+    if best is None:
+        # Fall back to the uniformly cheapest assignment.
+        cheapest = min(options, key=lambda o: o.cost_factor())
+        best = LUCPolicy([cheapest] * num_layers)
+    return best
+
+
+def search_policy(
+    profile: SensitivityProfile,
+    num_layers: int,
+    budget: float,
+    strategy: str = "greedy",
+    options: Optional[Sequence[LayerCompression]] = None,
+    **kwargs,
+) -> LUCPolicy:
+    """Dispatch to a search strategy by name."""
+    searchers = {
+        "greedy": greedy_search,
+        "evolutionary": evolutionary_search,
+        "random": random_search,
+    }
+    if strategy not in searchers:
+        raise ValueError(f"unknown strategy {strategy!r}; choose from {sorted(searchers)}")
+    return searchers[strategy](profile, num_layers, budget, options=options, **kwargs)
+
+
+def _validate_budget(budget: float, options: Sequence[LayerCompression]) -> None:
+    floor = min(o.cost_factor() for o in options)
+    if budget < floor:
+        raise ValueError(
+            f"budget {budget:.3f} below the cheapest achievable cost {floor:.3f}"
+        )
+    if budget > 1.0:
+        raise ValueError(f"budget must be <= 1.0, got {budget}")

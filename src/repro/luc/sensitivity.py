@@ -1,0 +1,184 @@
+"""Per-layer compression sensitivity profiling.
+
+LUC's policy search needs to know how much each block's output quality
+degrades under each candidate (bits, prune-ratio).  This module measures
+that by temporarily compressing one block at a time and scoring the model
+on a calibration batch.
+
+Metrics
+-------
+``loss_delta``  increase in calibration cross-entropy (the paper-standard
+                proxy; needs one forward pass per candidate).
+``kl``          KL divergence between the base and compressed output
+                distributions (label-free).
+``weight_error`` relative weight reconstruction error (no forward pass;
+                the cheap proxy used in the R-A3 ablation).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.layers import Linear
+from ..nn.transformer import TransformerLM
+from ..quant.formats import QuantSpec
+from ..quant.quantizer import fake_quantize
+from ..prune.masks import unstructured_mask
+from ..tensor import Tensor, no_grad, nll_from_logits, softmax
+from .compressed_linear import CompressedLinear
+from .policy import LayerCompression
+
+# Linear sublayers of one TransformerBlock, addressed by dotted path.
+BLOCK_LINEAR_PATHS: Tuple[str, ...] = (
+    "attn.q_proj",
+    "attn.k_proj",
+    "attn.v_proj",
+    "attn.o_proj",
+    "mlp.gate_proj",
+    "mlp.up_proj",
+    "mlp.down_proj",
+)
+
+
+def _resolve(block, path: str):
+    parts = path.split(".")
+    parent = block
+    for part in parts[:-1]:
+        parent = getattr(parent, part)
+    return parent, parts[-1]
+
+
+def compress_block(
+    block, compression: LayerCompression, structured: bool = False
+) -> List[Tuple[object, str, Linear]]:
+    """Replace every Linear in ``block`` with a CompressedLinear.
+
+    Returns an undo list for :func:`restore_block`.
+    """
+    undo = []
+    for path in BLOCK_LINEAR_PATHS:
+        parent, attr = _resolve(block, path)
+        original = getattr(parent, attr)
+        if isinstance(original, CompressedLinear):
+            original = original.inner
+        wrapped = CompressedLinear(
+            original,
+            bits=compression.bits,
+            prune_ratio=compression.prune_ratio,
+            structured=structured,
+        )
+        setattr(parent, attr, wrapped)
+        undo.append((parent, attr, original))
+    return undo
+
+
+def restore_block(undo: List[Tuple[object, str, Linear]]) -> None:
+    for parent, attr, original in undo:
+        setattr(parent, attr, original)
+
+
+@contextlib.contextmanager
+def block_compressed(block, compression: LayerCompression, structured: bool = False):
+    undo = compress_block(block, compression, structured=structured)
+    try:
+        yield
+    finally:
+        restore_block(undo)
+
+
+@dataclasses.dataclass
+class SensitivityProfile:
+    """Measured degradation per (block index, candidate compression)."""
+
+    scores: Dict[Tuple[int, LayerCompression], float]
+    metric: str
+
+    def score(self, block_index: int, compression: LayerCompression) -> float:
+        return self.scores[(block_index, compression)]
+
+    def block_ranking(self, compression: LayerCompression) -> List[int]:
+        """Blocks ordered least-sensitive first for one candidate."""
+        blocks = sorted({b for b, _ in self.scores})
+        return sorted(blocks, key=lambda b: self.scores[(b, compression)])
+
+    def predicted_degradation(self, policy) -> float:
+        """Additive degradation estimate for a full policy (the search
+        objective): sum of per-block scores."""
+        total = 0.0
+        for i, layer in enumerate(policy.layers):
+            key = (i, layer)
+            if key in self.scores:
+                total += self.scores[key]
+            elif layer.bits >= 16 and layer.prune_ratio == 0.0:
+                continue  # uncompressed layers cost nothing
+            else:
+                raise KeyError(f"no sensitivity measured for block {i} / {layer}")
+        return total
+
+
+def measure_sensitivity(
+    model: TransformerLM,
+    calib_inputs: np.ndarray,
+    calib_targets: np.ndarray,
+    options: Sequence[LayerCompression],
+    metric: str = "loss_delta",
+    structured: bool = False,
+) -> SensitivityProfile:
+    """Profile every (block, option) pair on a calibration batch."""
+    if metric not in ("loss_delta", "kl", "weight_error"):
+        raise ValueError(f"unknown sensitivity metric {metric!r}")
+
+    scores: Dict[Tuple[int, LayerCompression], float] = {}
+    was_training = model.training
+    model.eval()
+    try:
+        if metric == "weight_error":
+            for i, block in enumerate(model.blocks):
+                for option in options:
+                    scores[(i, option)] = _weight_error(block, option)
+            return SensitivityProfile(scores=scores, metric=metric)
+
+        with no_grad():
+            base_logits = model(calib_inputs).data
+        base_loss = float(nll_from_logits(base_logits, calib_targets).mean())
+        base_probs = softmax(Tensor(base_logits)).data
+
+        for i, block in enumerate(model.blocks):
+            for option in options:
+                with block_compressed(block, option, structured=structured):
+                    with no_grad():
+                        logits = model(calib_inputs).data
+                if metric == "loss_delta":
+                    loss = float(nll_from_logits(logits, calib_targets).mean())
+                    scores[(i, option)] = max(loss - base_loss, 0.0)
+                else:  # kl
+                    probs = softmax(Tensor(logits)).data
+                    kl = base_probs * (
+                        np.log(base_probs + 1e-9) - np.log(probs + 1e-9)
+                    )
+                    scores[(i, option)] = max(float(kl.sum(-1).mean()), 0.0)
+        return SensitivityProfile(scores=scores, metric=metric)
+    finally:
+        model.train(was_training)
+
+
+def _weight_error(block, option: LayerCompression) -> float:
+    """Forward-free proxy: mean relative reconstruction error of the
+    block's weights under the candidate compression."""
+    spec = QuantSpec(bits=option.bits)
+    errs = []
+    for path in BLOCK_LINEAR_PATHS:
+        parent, attr = _resolve(block, path)
+        layer = getattr(parent, attr)
+        if isinstance(layer, CompressedLinear):
+            layer = layer.inner
+        w = layer.weight.data
+        mask = unstructured_mask(w, option.prune_ratio)
+        recon = fake_quantize(w * mask, spec)
+        denom = float((w**2).mean()) + 1e-12
+        errs.append(float(((w - recon) ** 2).mean()) / denom)
+    return float(np.mean(errs))

@@ -1,0 +1,76 @@
+"""Neural-network substrate: modules, layers, transformer LM, optimizers."""
+
+from .module import Module, ModuleList, Parameter, Sequential
+from .layers import Dropout, Embedding, LayerNorm, Linear, RMSNorm
+from .attention import KVCache, MultiHeadAttention, apply_rope, rope_tables
+from .transformer import (
+    SwiGLUMLP,
+    TransformerBlock,
+    TransformerConfig,
+    TransformerLM,
+)
+from .optim import (
+    Adafactor,
+    Adam,
+    AdamW,
+    ConstantLR,
+    LRSchedule,
+    Optimizer,
+    SGD,
+    StepLR,
+    WarmupCosineLR,
+    clip_grad_norm,
+)
+from .sampling import (
+    beam_search,
+    greedy,
+    sample_temperature,
+    sample_token,
+    sample_top_k,
+    sample_top_p,
+)
+from .linear_capture import capture_linear_inputs
+from .serialization import load_config, load_model, load_state, save_model
+from . import init
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "RMSNorm",
+    "Dropout",
+    "MultiHeadAttention",
+    "KVCache",
+    "rope_tables",
+    "apply_rope",
+    "TransformerConfig",
+    "TransformerBlock",
+    "TransformerLM",
+    "SwiGLUMLP",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "Adafactor",
+    "LRSchedule",
+    "ConstantLR",
+    "WarmupCosineLR",
+    "StepLR",
+    "clip_grad_norm",
+    "sample_token",
+    "sample_temperature",
+    "sample_top_k",
+    "sample_top_p",
+    "greedy",
+    "beam_search",
+    "save_model",
+    "load_model",
+    "load_state",
+    "load_config",
+    "capture_linear_inputs",
+    "init",
+]

@@ -1,0 +1,197 @@
+"""Multi-head causal self-attention with rotary position embeddings."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..tensor import Tensor, concat, masked_fill, softmax
+from .layers import Dropout, Linear
+from .module import Module
+
+
+def rope_tables(head_dim: int, max_len: int, base: float = 10000.0):
+    """Precompute RoPE cos/sin tables of shape ``(max_len, head_dim // 2)``."""
+    if head_dim % 2 != 0:
+        raise ValueError(f"RoPE needs an even head dim, got {head_dim}")
+    inv_freq = 1.0 / (base ** (np.arange(0, head_dim, 2) / head_dim))
+    positions = np.arange(max_len)
+    angles = np.outer(positions, inv_freq)
+    return np.cos(angles).astype(np.float32), np.sin(angles).astype(np.float32)
+
+
+def apply_rope(x: Tensor, cos: np.ndarray, sin: np.ndarray, offset: int = 0) -> Tensor:
+    """Rotate pairs of channels of ``x`` (..., T, head_dim) by position.
+
+    ``offset`` shifts the position index, used during cached decoding.
+    """
+    seq_len = x.shape[-2]
+    cos_t = cos[offset : offset + seq_len]
+    sin_t = sin[offset : offset + seq_len]
+    x1 = x[..., 0::2]
+    x2 = x[..., 1::2]
+    rot1 = x1 * cos_t - x2 * sin_t
+    rot2 = x1 * sin_t + x2 * cos_t
+    # Interleave back: stack on a new trailing axis then flatten.
+    stacked = concat(
+        [rot1.reshape(*rot1.shape, 1), rot2.reshape(*rot2.shape, 1)], axis=-1
+    )
+    return stacked.reshape(*x.shape)
+
+
+class KVCache:
+    """Per-layer key/value cache for incremental decoding."""
+
+    def __init__(self):
+        self.k: Optional[np.ndarray] = None
+        self.v: Optional[np.ndarray] = None
+
+    @property
+    def length(self) -> int:
+        return 0 if self.k is None else self.k.shape[2]
+
+    def append(self, k: np.ndarray, v: np.ndarray):
+        if self.k is None:
+            self.k, self.v = k, v
+        else:
+            self.k = np.concatenate([self.k, k], axis=2)
+            self.v = np.concatenate([self.v, v], axis=2)
+        return self.k, self.v
+
+    def clone(self) -> "KVCache":
+        """Independent copy (used to fork decoding hypotheses)."""
+        other = KVCache()
+        if self.k is not None:
+            other.k = self.k.copy()
+            other.v = self.v.copy()
+        return other
+
+
+class MultiHeadAttention(Module):
+    """Causal multi-head self-attention (LLaMA-style, RoPE, no qkv bias).
+
+    ``num_kv_heads`` < ``num_heads`` enables grouped-query attention
+    (GQA): key/value projections are shared across groups of query heads,
+    shrinking both the projection GEMMs and the KV cache.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        max_len: int = 512,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        rope_base: float = 10000.0,
+        num_kv_heads: Optional[int] = None,
+    ):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        num_kv_heads = num_kv_heads or num_heads
+        if num_heads % num_kv_heads != 0:
+            raise ValueError(
+                f"num_heads {num_heads} not divisible by num_kv_heads {num_kv_heads}"
+            )
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.num_kv_heads = num_kv_heads
+        self.head_dim = dim // num_heads
+        self.kv_dim = self.head_dim * num_kv_heads
+        self.max_len = max_len
+        self.q_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.k_proj = Linear(dim, self.kv_dim, bias=False, rng=rng)
+        self.v_proj = Linear(dim, self.kv_dim, bias=False, rng=rng)
+        self.o_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.attn_dropout = Dropout(dropout)
+        cos, sin = rope_tables(self.head_dim, max_len, base=rope_base)
+        self.register_buffer("rope_cos", cos)
+        self.register_buffer("rope_sin", sin)
+
+    def _split_heads(self, x: Tensor, num_heads: Optional[int] = None) -> Tensor:
+        batch, seq, _ = x.shape
+        heads = num_heads or self.num_heads
+        return x.reshape(batch, seq, heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _expand_kv(self, x: Tensor) -> Tensor:
+        """Repeat kv heads across their query groups (differentiable)."""
+        if self.num_kv_heads == self.num_heads:
+            return x
+        group = self.num_heads // self.num_kv_heads
+        batch, kv_heads, seq, hd = x.shape
+        expanded = x.reshape(batch, kv_heads, 1, seq, hd) * np.ones(
+            (1, 1, group, 1, 1), dtype=np.float32
+        )
+        return expanded.reshape(batch, kv_heads * group, seq, hd)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, seq, hd = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * hd)
+
+    def forward(
+        self,
+        x: Tensor,
+        cache: Optional[KVCache] = None,
+        key_padding_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Attend over ``x`` (batch, seq, dim); causal within the sequence.
+
+        With ``cache`` given, ``x`` is treated as a suffix continuing the
+        cached prefix (incremental decoding); gradients are not tracked
+        through cached state.
+
+        ``key_padding_mask`` is a boolean ``(batch, seq)`` array, True at
+        PAD positions; those keys are excluded from every query's
+        attention.  Not supported together with a cache.
+        """
+        batch, seq, _ = x.shape
+        if key_padding_mask is not None and cache is not None:
+            raise ValueError("key_padding_mask is not supported with a KV cache")
+        if key_padding_mask is not None and key_padding_mask.shape != (batch, seq):
+            raise ValueError(
+                f"key_padding_mask shape {key_padding_mask.shape} != {(batch, seq)}"
+            )
+        offset = cache.length if cache is not None else 0
+        if offset + seq > self.max_len:
+            raise ValueError(
+                f"sequence length {offset + seq} exceeds max_len {self.max_len}"
+            )
+
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(x), self.num_kv_heads)
+        v = self._split_heads(self.v_proj(x), self.num_kv_heads)
+        q = apply_rope(q, self.rope_cos, self.rope_sin, offset=offset)
+        k = apply_rope(k, self.rope_cos, self.rope_sin, offset=offset)
+
+        if cache is not None:
+            # Cached in kv-head layout: GQA shrinks the cache itself.
+            k_full, v_full = cache.append(k.data, v.data)
+            k = Tensor(k_full)
+            v = Tensor(v_full)
+            total = offset + seq
+        else:
+            total = seq
+        k = self._expand_kv(k)
+        v = self._expand_kv(v)
+
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        # Causal mask: query at absolute position offset+i may attend to
+        # keys at absolute positions <= offset+i.
+        q_pos = np.arange(offset, offset + seq)[:, None]
+        k_pos = np.arange(total)[None, :]
+        mask = k_pos > q_pos
+        if key_padding_mask is not None:
+            # (B, 1, 1, T) broadcast over heads and query positions.
+            pad = key_padding_mask.astype(bool)[:, None, None, :]
+            mask = mask | pad
+        if mask.any():
+            scores = masked_fill(scores, mask, -1e9)
+        weights = softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+        out = self._merge_heads(weights @ v)
+        return self.o_proj(out)
+
+    def extra_repr(self) -> str:
+        return f"dim={self.dim}, heads={self.num_heads}"

@@ -1,0 +1,68 @@
+"""Capture the inputs flowing into specific Linear layers.
+
+The module system has no forward hooks by design; this helper temporarily
+swaps targeted Linears for thin recorders, runs one forward pass, and
+restores everything — the input-capture primitive PTQ algorithms (GPTQ)
+need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+from .layers import Linear
+from .module import Module
+
+
+class _RecordingLinear(Module):
+    """Pass-through wrapper that stashes every input it sees."""
+
+    def __init__(self, inner: Linear):
+        super().__init__()
+        self.inner = inner
+        self.captured: List[np.ndarray] = []
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.captured.append(x.data.reshape(-1, x.shape[-1]).copy())
+        return self.inner(x)
+
+
+def capture_linear_inputs(
+    model,
+    linears: Sequence[Linear],
+    ids: np.ndarray,
+) -> Dict[int, np.ndarray]:
+    """Run ``model(ids)`` once and return {id(linear): stacked inputs}.
+
+    Wrapping is by identity: pass the exact Linear objects whose inputs
+    you need.  The model is restored before returning, even on error.
+    """
+    wanted = {id(l) for l in linears}
+    swaps = []
+    for module in model.modules():
+        for name, child in list(module._modules.items()):
+            if id(child) in wanted:
+                recorder = _RecordingLinear(child)
+                setattr(module, name, recorder)
+                swaps.append((module, name, child, recorder))
+    if len({id(c) for _, _, c, _ in swaps}) != len(wanted):
+        for module, name, child, _ in swaps:
+            setattr(module, name, child)
+        raise ValueError("some target linears were not found in the model")
+    try:
+        with no_grad():
+            model(ids)
+    finally:
+        for module, name, child, _ in swaps:
+            setattr(module, name, child)
+    out: Dict[int, np.ndarray] = {}
+    for _, _, child, recorder in swaps:
+        if not recorder.captured:
+            raise RuntimeError(
+                "a target linear was never called during the capture pass"
+            )
+        out[id(child)] = np.concatenate(recorder.captured, axis=0)
+    return out

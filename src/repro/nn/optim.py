@@ -1,0 +1,246 @@
+"""First-order optimizers and gradient utilities.
+
+Optimizer state sizes matter in this reproduction: the Edge-LLM memory
+model charges per-parameter state bytes (two moments for Adam, one for
+momentum-SGD), so each optimizer reports its ``state_floats_per_param``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in-place so their global L2 norm is <= max_norm.
+
+    Returns the pre-clip norm.
+    """
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+class Optimizer:
+    """Base class: tracks parameters and per-parameter state."""
+
+    state_floats_per_param: float = 0.0
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.state: Dict[int, Dict[str, np.ndarray]] = {}
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self.step_count += 1
+        for p in self.params:
+            if p.grad is None or not p.requires_grad:
+                continue
+            self._update(p)
+
+    def _update(self, p: Parameter) -> None:
+        raise NotImplementedError
+
+    def state_bytes(self, bytes_per_float: int = 4) -> int:
+        """Total optimizer-state footprint for the tracked parameters."""
+        n = sum(p.size for p in self.params if p.requires_grad)
+        return int(n * self.state_floats_per_param * bytes_per_float)
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.state_floats_per_param = 1.0 if momentum > 0 else 0.0
+
+    def _update(self, p: Parameter) -> None:
+        grad = p.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        if self.momentum > 0:
+            st = self.state.setdefault(id(p), {"v": np.zeros_like(p.data)})
+            st["v"] = self.momentum * st["v"] + grad
+            grad = st["v"]
+        p.data = p.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    state_floats_per_param = 2.0
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+
+    def _update(self, p: Parameter) -> None:
+        st = self.state.setdefault(
+            id(p), {"m": np.zeros_like(p.data), "v": np.zeros_like(p.data), "t": 0}
+        )
+        st["t"] += 1
+        grad = self._effective_grad(p)
+        st["m"] = self.beta1 * st["m"] + (1 - self.beta1) * grad
+        st["v"] = self.beta2 * st["v"] + (1 - self.beta2) * grad**2
+        m_hat = st["m"] / (1 - self.beta1 ** st["t"])
+        v_hat = st["v"] / (1 - self.beta2 ** st["t"])
+        p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _effective_grad(self, p: Parameter) -> np.ndarray:
+        return p.grad
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (the LLM-tuning default)."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ):
+        super().__init__(params, lr=lr, betas=betas, eps=eps)
+        self.weight_decay = weight_decay
+
+    def _update(self, p: Parameter) -> None:
+        if self.weight_decay:
+            p.data = p.data * (1 - self.lr * self.weight_decay)
+        super()._update(p)
+
+
+class Adafactor(Optimizer):
+    """Adafactor with factored second moments (Shazeer & Stern, 2018).
+
+    For a matrix parameter the second-moment estimate is stored as a row
+    vector plus a column vector instead of a full matrix, shrinking
+    optimizer state from 2 floats/param (Adam) to ~2/sqrt(n) — directly
+    relevant to the on-device tuning memory budget.  Vectors fall back to
+    an unfactored second moment.  (Simplified: fixed decay, no relative
+    step sizes.)
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-2,
+        beta2: float = 0.999,
+        eps: float = 1e-30,
+        clip_threshold: float = 1.0,
+    ):
+        super().__init__(params, lr)
+        self.beta2 = beta2
+        self.eps = eps
+        self.clip_threshold = clip_threshold
+        # Factored state: one row + one column vector per matrix.
+        n = sum(p.size for p in self.params)
+        factored = sum(
+            (p.data.shape[0] + p.data.shape[1]) if p.data.ndim == 2 else p.size
+            for p in self.params
+        )
+        self.state_floats_per_param = factored / max(n, 1)
+
+    def _update(self, p: Parameter) -> None:
+        grad = p.grad
+        sq = grad**2 + self.eps
+        if p.data.ndim == 2:
+            st = self.state.setdefault(
+                id(p),
+                {
+                    "row": np.zeros(p.data.shape[0], dtype=np.float32),
+                    "col": np.zeros(p.data.shape[1], dtype=np.float32),
+                },
+            )
+            st["row"] = self.beta2 * st["row"] + (1 - self.beta2) * sq.mean(axis=1)
+            st["col"] = self.beta2 * st["col"] + (1 - self.beta2) * sq.mean(axis=0)
+            # Rank-1 reconstruction of the second moment.
+            v = np.outer(st["row"], st["col"]) / max(st["row"].mean(), self.eps)
+        else:
+            st = self.state.setdefault(id(p), {"v": np.zeros_like(p.data)})
+            st["v"] = self.beta2 * st["v"] + (1 - self.beta2) * sq
+            v = st["v"]
+        update = grad / np.sqrt(v + self.eps)
+        # RMS clipping keeps early steps (biased v) stable.
+        rms = float(np.sqrt((update**2).mean()))
+        if rms > self.clip_threshold:
+            update = update * (self.clip_threshold / rms)
+        p.data = p.data - self.lr * update
+
+
+class LRSchedule:
+    """Base learning-rate schedule: maps step -> multiplier."""
+
+    def multiplier(self, step: int) -> float:
+        raise NotImplementedError
+
+    def apply(self, optimizer: Optimizer, base_lr: float, step: int) -> float:
+        lr = base_lr * self.multiplier(step)
+        optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRSchedule):
+    def multiplier(self, step: int) -> float:
+        return 1.0
+
+
+class WarmupCosineLR(LRSchedule):
+    """Linear warmup to 1.0 then cosine decay to ``min_mult``."""
+
+    def __init__(self, warmup_steps: int, total_steps: int, min_mult: float = 0.1):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_mult = min_mult
+
+    def multiplier(self, step: int) -> float:
+        if self.warmup_steps > 0 and step < self.warmup_steps:
+            return (step + 1) / self.warmup_steps
+        span = max(self.total_steps - self.warmup_steps, 1)
+        progress = min((step - self.warmup_steps) / span, 1.0)
+        cos = 0.5 * (1 + np.cos(np.pi * progress))
+        return self.min_mult + (1 - self.min_mult) * float(cos)
+
+
+class StepLR(LRSchedule):
+    """Multiply by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, step_size: int, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def multiplier(self, step: int) -> float:
+        return float(self.gamma ** (step // self.step_size))

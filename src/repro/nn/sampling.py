@@ -1,0 +1,150 @@
+"""Token sampling strategies for generation.
+
+Operates on raw logit vectors (numpy), independent of how they were
+produced — the standard head or the voting combiner.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    e = np.exp(shifted)
+    return e / e.sum()
+
+
+def greedy(logits: np.ndarray) -> int:
+    """Argmax decoding."""
+    return int(np.asarray(logits).argmax())
+
+
+def sample_temperature(
+    logits: np.ndarray, rng: np.random.Generator, temperature: float = 1.0
+) -> int:
+    """Plain temperature sampling (temperature -> 0 approaches greedy)."""
+    if temperature <= 0:
+        return greedy(logits)
+    probs = _softmax(np.asarray(logits, dtype=np.float64) / temperature)
+    return int(rng.choice(len(probs), p=probs))
+
+
+def sample_top_k(
+    logits: np.ndarray,
+    rng: np.random.Generator,
+    k: int,
+    temperature: float = 1.0,
+) -> int:
+    """Restrict sampling to the ``k`` highest-probability tokens."""
+    logits = np.asarray(logits, dtype=np.float64)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, logits.size)
+    keep = np.argpartition(logits, -k)[-k:]
+    masked = np.full_like(logits, -np.inf)
+    masked[keep] = logits[keep]
+    return sample_temperature(masked, rng, temperature)
+
+
+def sample_top_p(
+    logits: np.ndarray,
+    rng: np.random.Generator,
+    p: float,
+    temperature: float = 1.0,
+) -> int:
+    """Nucleus sampling: smallest token set with cumulative mass >= p."""
+    if not 0.0 < p <= 1.0:
+        raise ValueError("p must be in (0, 1]")
+    logits = np.asarray(logits, dtype=np.float64)
+    if temperature <= 0:
+        return greedy(logits)
+    probs = _softmax(logits / temperature)
+    order = np.argsort(probs)[::-1]
+    cumulative = np.cumsum(probs[order])
+    cutoff = int(np.searchsorted(cumulative, p)) + 1
+    keep = order[:cutoff]
+    masked = np.zeros_like(probs)
+    masked[keep] = probs[keep]
+    masked /= masked.sum()
+    return int(rng.choice(len(masked), p=masked))
+
+
+def sample_token(
+    logits: np.ndarray,
+    rng: np.random.Generator,
+    temperature: float = 1.0,
+    top_k: Optional[int] = None,
+    top_p: Optional[float] = None,
+) -> int:
+    """One-stop sampler: greedy (temperature 0), top-k, top-p, or plain."""
+    if top_k is not None and top_p is not None:
+        raise ValueError("choose at most one of top_k / top_p")
+    if top_k is not None:
+        return sample_top_k(logits, rng, top_k, temperature)
+    if top_p is not None:
+        return sample_top_p(logits, rng, top_p, temperature)
+    return sample_temperature(logits, rng, temperature)
+
+
+def beam_search(
+    model,
+    prompt,
+    max_new_tokens: int,
+    beam_width: int = 4,
+    length_penalty: float = 1.0,
+) -> list:
+    """Deterministic beam-search decoding with per-beam KV caches.
+
+    Returns the token list of the highest-scoring hypothesis, scored by
+    total log-probability divided by ``len ** length_penalty``.
+    """
+    from ..tensor import no_grad
+
+    if beam_width < 1:
+        raise ValueError("beam_width must be >= 1")
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            caches = model.new_caches()
+            ids = np.asarray(list(prompt), dtype=np.int64)[None, :]
+            logits = model(ids, caches=caches)
+            log_probs = _log_softmax_1d(logits.data[0, -1])
+            # beams: (tokens, score, caches)
+            top = np.argsort(log_probs)[::-1][:beam_width]
+            beams = [
+                ([int(t)], float(log_probs[t]),
+                 [c.clone() for c in caches])
+                for t in top
+            ]
+            for _ in range(max_new_tokens - 1):
+                candidates = []
+                for tokens, score, beam_caches in beams:
+                    step = np.array([[tokens[-1]]], dtype=np.int64)
+                    logits = model(step, caches=beam_caches)
+                    lp = _log_softmax_1d(logits.data[0, -1])
+                    for t in np.argsort(lp)[::-1][:beam_width]:
+                        candidates.append(
+                            (tokens + [int(t)], score + float(lp[t]), beam_caches)
+                        )
+                candidates.sort(
+                    key=lambda c: c[1] / (len(c[0]) ** length_penalty),
+                    reverse=True,
+                )
+                # Keep the top beams; clone caches so siblings stay independent.
+                beams = [
+                    (tokens, score, [c.clone() for c in beam_caches])
+                    for tokens, score, beam_caches in candidates[:beam_width]
+                ]
+            best = max(beams, key=lambda b: b[1] / (len(b[0]) ** length_penalty))
+            return best[0]
+    finally:
+        model.train(was_training)
+
+
+def _log_softmax_1d(logits: np.ndarray) -> np.ndarray:
+    shifted = logits.astype(np.float64) - logits.max()
+    return shifted - np.log(np.exp(shifted).sum())

@@ -1,0 +1,59 @@
+"""Model checkpointing to .npz (no pickling, portable, diff-friendly)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Optional
+
+import numpy as np
+
+from .module import Module
+from .transformer import TransformerConfig, TransformerLM
+
+_CONFIG_KEY = "__config_json__"
+
+
+def save_model(model: Module, path: str) -> None:
+    """Write a module's state dict (and TransformerConfig if present) to
+    a compressed .npz archive."""
+    state = model.state_dict()
+    extras = {}
+    config = getattr(model, "config", None)
+    if isinstance(config, TransformerConfig):
+        extras[_CONFIG_KEY] = np.frombuffer(
+            json.dumps(dataclasses.asdict(config)).encode(), dtype=np.uint8
+        )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state, **extras)
+
+
+def load_state(path: str) -> dict:
+    """Read an .npz checkpoint back into a state dict."""
+    with np.load(path) as archive:
+        return {k: archive[k] for k in archive.files if k != _CONFIG_KEY}
+
+
+def load_config(path: str) -> Optional[TransformerConfig]:
+    """Recover the TransformerConfig stored in a checkpoint, if any."""
+    with np.load(path) as archive:
+        if _CONFIG_KEY not in archive.files:
+            return None
+        raw = archive[_CONFIG_KEY].tobytes().decode()
+    data = json.loads(raw)
+    return TransformerConfig(**data)
+
+
+def load_model(path: str) -> TransformerLM:
+    """Rebuild a TransformerLM from a checkpoint written by save_model."""
+    config = load_config(path)
+    if config is None:
+        raise ValueError(
+            f"{path} has no embedded config; build the model yourself and "
+            f"call load_state_dict(load_state(path))"
+        )
+    model = TransformerLM(config)
+    model.load_state_dict(load_state(path))
+    return model

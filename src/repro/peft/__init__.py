@@ -1,0 +1,22 @@
+"""Baselines: full fine-tuning helpers, LoRA, BitFit, Ladder Side Tuning."""
+
+from .adapters import BottleneckAdapter, apply_adapters, remove_adapters
+from .bitfit import apply_bitfit, restore_full_training
+from .lora import DEFAULT_TARGETS, LoRALinear, apply_lora, remove_lora
+from .lst import LadderSideNetwork
+from .trainer import TuneResult, tune
+
+__all__ = [
+    "BottleneckAdapter",
+    "apply_adapters",
+    "remove_adapters",
+    "LoRALinear",
+    "apply_lora",
+    "remove_lora",
+    "DEFAULT_TARGETS",
+    "apply_bitfit",
+    "restore_full_training",
+    "LadderSideNetwork",
+    "tune",
+    "TuneResult",
+]

@@ -1,0 +1,94 @@
+"""Bottleneck adapters (Houlsby-style) baseline.
+
+Inserts a small residual bottleneck MLP after selected sublayer outputs
+(the attention and MLP output projections).  Zero-initialized up-projection
+makes the adapted model start exactly at the pretrained function.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.layers import Linear
+from ..nn.module import Module, Parameter
+from ..nn.transformer import TransformerLM
+from ..tensor import Tensor, silu
+
+DEFAULT_TARGETS = ("attn.o_proj", "mlp.down_proj")
+
+
+class BottleneckAdapter(Module):
+    """``y = inner(x); y + up(silu(down(y)))`` with a narrow bottleneck."""
+
+    def __init__(
+        self,
+        inner: Linear,
+        bottleneck: int = 8,
+        rng=None,
+    ):
+        super().__init__()
+        if bottleneck < 1:
+            raise ValueError("bottleneck must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        dim = inner.out_features
+        self.inner = inner
+        self.bottleneck = bottleneck
+        self.down = Parameter(
+            (rng.standard_normal((dim, bottleneck)) / np.sqrt(dim)).astype(np.float32)
+        )
+        self.up = Parameter(np.zeros((bottleneck, dim), dtype=np.float32))
+
+    @property
+    def weight(self):
+        return self.inner.weight
+
+    @property
+    def in_features(self) -> int:
+        return self.inner.in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.inner.out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        y = self.inner(x)
+        return y + (silu(y @ self.down) @ self.up)
+
+    def extra_repr(self) -> str:
+        return f"bottleneck={self.bottleneck}"
+
+
+def apply_adapters(
+    model: TransformerLM,
+    bottleneck: int = 8,
+    targets: Sequence[str] = DEFAULT_TARGETS,
+    seed: int = 0,
+) -> Tuple[List[Tuple[object, str, object]], List[Parameter]]:
+    """Freeze the backbone and insert adapters; returns (undo, trainables)."""
+    model.requires_grad_(False)
+    rng = np.random.default_rng(seed)
+    undo: List[Tuple[object, str, object]] = []
+    trainable: List[Parameter] = []
+    for block in model.blocks:
+        for path in targets:
+            parts = path.split(".")
+            parent = block
+            for part in parts[:-1]:
+                parent = getattr(parent, part)
+            attr = parts[-1]
+            original = getattr(parent, attr)
+            inner = (
+                original.inner if isinstance(original, BottleneckAdapter) else original
+            )
+            adapter = BottleneckAdapter(inner, bottleneck=bottleneck, rng=rng)
+            setattr(parent, attr, adapter)
+            undo.append((parent, attr, original))
+            trainable.extend([adapter.down, adapter.up])
+    return undo, trainable
+
+
+def remove_adapters(undo: List[Tuple[object, str, object]]) -> None:
+    for parent, attr, original in undo:
+        setattr(parent, attr, original)

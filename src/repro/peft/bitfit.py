@@ -1,0 +1,31 @@
+"""BitFit — bias/norm-only tuning baseline.
+
+Freezes every matrix and tunes only the 1-D parameters (norm gains and
+biases).  Minimal trainable parameters, but like LoRA it backpropagates
+through the whole stack, so activation memory is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..nn.module import Parameter
+from ..nn.transformer import TransformerLM
+
+
+def apply_bitfit(model: TransformerLM) -> List[Parameter]:
+    """Freeze all weights except 1-D parameters; return the trainables."""
+    trainable: List[Parameter] = []
+    for name, param in model.named_parameters():
+        if param.data.ndim <= 1:
+            param.requires_grad = True
+            trainable.append(param)
+        else:
+            param.requires_grad = False
+    if not trainable:
+        raise RuntimeError("model has no 1-D parameters to tune")
+    return trainable
+
+
+def restore_full_training(model: TransformerLM) -> None:
+    model.requires_grad_(True)

@@ -1,0 +1,107 @@
+"""LoRA — low-rank adapter baseline.
+
+Freezes the backbone and learns rank-``r`` update factors on selected
+projection layers.  This is the standard parameter-efficient baseline
+Edge-LLM is compared against: it shrinks *optimizer/gradient* memory but —
+unlike adaptive layer tuning — still backpropagates through the full depth,
+so activation memory and backward compute stay at full-model scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.layers import Linear
+from ..nn.module import Module, Parameter
+from ..nn.transformer import TransformerLM
+from ..tensor import Tensor
+
+DEFAULT_TARGETS = ("attn.q_proj", "attn.v_proj")
+
+
+class LoRALinear(Module):
+    """Frozen Linear plus a trainable low-rank residual ``x @ A @ B``."""
+
+    def __init__(
+        self,
+        inner: Linear,
+        rank: int = 4,
+        alpha: float = 8.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if rank < 1:
+            raise ValueError("rank must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        self.inner = inner
+        self.rank = rank
+        self.scaling = alpha / rank
+        # A ~ N(0, 1/r), B = 0: the adapter starts as the identity update.
+        self.lora_a = Parameter(
+            (rng.standard_normal((inner.in_features, rank)) / np.sqrt(rank)).astype(
+                np.float32
+            )
+        )
+        self.lora_b = Parameter(np.zeros((rank, inner.out_features), dtype=np.float32))
+
+    @property
+    def weight(self):
+        return self.inner.weight
+
+    @property
+    def in_features(self) -> int:
+        return self.inner.in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.inner.out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        base = self.inner(x)
+        update = (x @ self.lora_a) @ self.lora_b
+        return base + update * self.scaling
+
+    def merged_weight(self) -> np.ndarray:
+        """The dense weight the adapter is equivalent to (for export)."""
+        return self.inner.weight.data + self.scaling * (
+            self.lora_a.data @ self.lora_b.data
+        )
+
+    def extra_repr(self) -> str:
+        return f"rank={self.rank}, scaling={self.scaling:g}"
+
+
+def apply_lora(
+    model: TransformerLM,
+    rank: int = 4,
+    alpha: float = 8.0,
+    targets: Sequence[str] = DEFAULT_TARGETS,
+    seed: int = 0,
+) -> Tuple[List[Tuple[object, str, object]], List[Parameter]]:
+    """Freeze the model and attach LoRA adapters to ``targets`` in every
+    block.  Returns (undo list, trainable adapter parameters)."""
+    model.requires_grad_(False)
+    rng = np.random.default_rng(seed)
+    undo: List[Tuple[object, str, object]] = []
+    trainable: List[Parameter] = []
+    for block in model.blocks:
+        for path in targets:
+            parts = path.split(".")
+            parent = block
+            for part in parts[:-1]:
+                parent = getattr(parent, part)
+            attr = parts[-1]
+            original = getattr(parent, attr)
+            inner = original.inner if isinstance(original, LoRALinear) else original
+            adapter = LoRALinear(inner, rank=rank, alpha=alpha, rng=rng)
+            setattr(parent, attr, adapter)
+            undo.append((parent, attr, original))
+            trainable.extend([adapter.lora_a, adapter.lora_b])
+    return undo, trainable
+
+
+def remove_lora(undo: List[Tuple[object, str, object]]) -> None:
+    for parent, attr, original in undo:
+        setattr(parent, attr, original)

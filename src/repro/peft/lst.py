@@ -1,0 +1,85 @@
+"""Ladder Side Tuning (LST) baseline.
+
+A small side network runs alongside the frozen backbone: at every tap
+depth it fuses a down-projection of the backbone's hidden state into its
+own narrow residual stream, and its final state is up-projected and decoded
+with the (frozen) unembedding.  Because the backbone runs forward-only,
+backpropagation touches only the side network — the closest prior-work
+competitor to adaptive layer tuning on the memory axis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn.layers import Linear, RMSNorm
+from ..nn.module import Module, ModuleList
+from ..nn.transformer import TransformerLM
+from ..tensor import Tensor, no_grad, silu
+
+
+class LadderSideNetwork(Module):
+    """Narrow residual side stream fed by backbone taps."""
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        reduction: int = 4,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if reduction < 1:
+            raise ValueError("reduction must be >= 1")
+        dim = model.config.dim
+        side_dim = max(dim // reduction, 8)
+        rng = np.random.default_rng(seed)
+        self.model = model
+        self.side_dim = side_dim
+        self.input_proj = Linear(dim, side_dim, bias=False, rng=rng)
+        self.downs = ModuleList(
+            [Linear(dim, side_dim, bias=False, rng=rng) for _ in model.blocks]
+        )
+        self.mixers = ModuleList(
+            [Linear(side_dim, side_dim, rng=rng) for _ in model.blocks]
+        )
+        self.out_norm = RMSNorm(side_dim)
+        self.up_proj = Linear(side_dim, dim, bias=False, rng=rng)
+        # Gate starts at 0 so the initial predictions equal the backbone's.
+        from ..nn.module import Parameter
+
+        self.gate = Parameter(np.zeros(1, dtype=np.float32))
+
+    def side_parameters(self):
+        """Trainable parameters of the side stream (backbone excluded)."""
+        return [
+            p
+            for name, p in self.named_parameters()
+            if not name.startswith("model.")
+        ]
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        """Logits = frozen-backbone logits + gated side-network logits."""
+        with no_grad():
+            hidden = self.model.embed_tokens(ids)
+            hiddens = []
+            h = hidden
+            for block in self.model.blocks:
+                h = block(h)
+                hiddens.append(Tensor(h.data))
+            base_logits = self.model.head(h)
+            embedded = Tensor(hidden.data)
+
+        side = self.input_proj(embedded)
+        for down, mixer, tap in zip(self.downs, self.mixers, hiddens):
+            side = side + silu(mixer(side)) + down(tap)
+        side_hidden = self.up_proj(self.out_norm(side))
+        side_logits = side_hidden @ self.model.embed.weight.detach().T
+        return Tensor(base_logits.data) + side_logits * self.gate
+
+    def num_side_parameters(self) -> int:
+        names = [n for n, _ in self.named_parameters()]
+        return sum(
+            p.size for n, p in self.named_parameters() if not n.startswith("model.")
+        )

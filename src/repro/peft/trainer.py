@@ -1,0 +1,64 @@
+"""Generic tuning loop for the baselines (full FT, LoRA, BitFit, LST).
+
+All baselines share the same structure — forward a logits function,
+cross-entropy, clip, step — differing only in which parameters train and
+which callable produces logits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.module import Parameter
+from ..nn.optim import Adam, AdamW, SGD, clip_grad_norm
+from ..tensor import Tensor, cross_entropy
+
+_OPTIMIZERS = {"adamw": AdamW, "adam": Adam, "sgd": SGD}
+
+
+@dataclasses.dataclass
+class TuneResult:
+    """Loss trajectory of one tuning run."""
+
+    losses: List[float]
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1]
+
+    @property
+    def initial_loss(self) -> float:
+        return self.losses[0]
+
+
+def tune(
+    logits_fn: Callable[[np.ndarray], Tensor],
+    params: Sequence[Parameter],
+    batches: Iterable,
+    lr: float = 1e-3,
+    optimizer: str = "adamw",
+    grad_clip: float = 1.0,
+    max_steps: Optional[int] = None,
+) -> TuneResult:
+    """Tune ``params`` to minimize LM loss of ``logits_fn`` over batches."""
+    opt_cls = _OPTIMIZERS.get(optimizer)
+    if opt_cls is None:
+        raise ValueError(f"unknown optimizer {optimizer!r}")
+    opt = opt_cls(list(params), lr=lr)
+    losses: List[float] = []
+    for step, (inputs, targets) in enumerate(batches):
+        if max_steps is not None and step >= max_steps:
+            break
+        loss = cross_entropy(logits_fn(inputs), targets)
+        opt.zero_grad()
+        loss.backward()
+        if grad_clip:
+            clip_grad_norm(opt.params, grad_clip)
+        opt.step()
+        losses.append(loss.item())
+    if not losses:
+        raise ValueError("no batches consumed")
+    return TuneResult(losses=losses)

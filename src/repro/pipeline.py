@@ -1,0 +1,265 @@
+"""End-to-end Edge-LLM orchestration.
+
+``EdgeLLM`` wires the three components into the workflow the paper
+describes: profile-and-compress (LUC), adapt on-device with truncated
+backprop (adaptive layer tuning), combine exits at inference (voting), and
+price every iteration on the edge accelerator (scheduling search).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .adaptive import (
+    AdaptiveLayerTrainer,
+    AdaptiveTuningConfig,
+    StepStats,
+    VotingCombiner,
+)
+from .eval.memory import MemoryReport, model_weight_bytes
+from .hw import (
+    AcceleratorSpec,
+    EDGE_GPU_LIKE,
+    IterationCost,
+    schedule_workloads,
+    tuning_iteration_workload,
+)
+from .luc import (
+    LUCPolicy,
+    apply_luc,
+    enumerate_layer_options,
+    measure_sensitivity,
+    remove_luc,
+    search_policy,
+)
+from .nn.transformer import TransformerLM
+from .tensor import Tensor
+
+
+@dataclasses.dataclass
+class EdgeLLMConfig:
+    """Configuration of the full pipeline."""
+
+    # LUC
+    compute_budget: float = 0.3
+    bit_options: Sequence[int] = (2, 4, 8)
+    prune_options: Sequence[float] = (0.0, 0.3, 0.5)
+    sensitivity_metric: str = "loss_delta"
+    policy_search: str = "greedy"
+    # adaptive tuning
+    tuning: AdaptiveTuningConfig = dataclasses.field(default_factory=AdaptiveTuningConfig)
+    # voting
+    voting_strategy: str = "calibrated"
+    # hardware
+    accelerator: AcceleratorSpec = EDGE_GPU_LIKE
+    schedule_strategy: str = "exhaustive"
+
+
+class EdgeLLM:
+    """The Edge-LLM tuning framework around one backbone model."""
+
+    def __init__(self, model: TransformerLM, config: Optional[EdgeLLMConfig] = None):
+        self.model = model
+        self.config = config or EdgeLLMConfig()
+        self.policy: Optional[LUCPolicy] = None
+        self.trainer: Optional[AdaptiveLayerTrainer] = None
+        self.voter: Optional[VotingCombiner] = None
+        self._luc_undo = None
+
+    # ------------------------------------------------------------------
+    # stage 1: layer-wise unified compression
+    # ------------------------------------------------------------------
+    def compress(
+        self, calib_inputs: np.ndarray, calib_targets: np.ndarray
+    ) -> LUCPolicy:
+        """Profile sensitivities, search a policy under budget, apply it."""
+        cfg = self.config
+        options = enumerate_layer_options(cfg.bit_options, cfg.prune_options)
+        profile = measure_sensitivity(
+            self.model,
+            calib_inputs,
+            calib_targets,
+            options,
+            metric=cfg.sensitivity_metric,
+        )
+        policy = search_policy(
+            profile,
+            self.model.num_layers,
+            cfg.compute_budget,
+            strategy=cfg.policy_search,
+            options=options,
+        )
+        self._luc_undo = apply_luc(self.model, policy)
+        self.policy = policy
+        return policy
+
+    def decompress(self) -> None:
+        """Undo the applied compression (restores original Linears)."""
+        if self._luc_undo:
+            remove_luc(self._luc_undo)
+            self._luc_undo = None
+            self.policy = None
+
+    # ------------------------------------------------------------------
+    # stage 2: adaptive layer tuning
+    # ------------------------------------------------------------------
+    def adapt(
+        self, batches: Iterable, max_steps: Optional[int] = None
+    ) -> List[StepStats]:
+        """Run adaptive layer tuning over (inputs, targets) batches."""
+        if self.trainer is None:
+            self.trainer = AdaptiveLayerTrainer(self.model, self.config.tuning)
+        return self.trainer.train(batches, max_steps=max_steps)
+
+    # ------------------------------------------------------------------
+    # stage 3: adaptive layer voting
+    # ------------------------------------------------------------------
+    def calibrate_voting(
+        self, inputs: np.ndarray, targets: np.ndarray
+    ) -> VotingCombiner:
+        if self.trainer is None:
+            raise RuntimeError("adapt() must run before voting calibration")
+        self.voter = VotingCombiner(
+            self.model, self.trainer.exit_heads, strategy=self.config.voting_strategy
+        )
+        self.voter.calibrate(inputs, targets)
+        return self.voter
+
+    def logits(self, ids: np.ndarray) -> Tensor:
+        """Final inference: voted if calibrated, else the standard head."""
+        if self.voter is not None:
+            return self.voter.combined_logits(ids)
+        return self.model(ids)
+
+    # ------------------------------------------------------------------
+    # hardware accounting
+    # ------------------------------------------------------------------
+    def _mean_window(self):
+        if self.trainer is None:
+            raise RuntimeError("adapt() must run before cost accounting")
+        schedule = self.trainer.schedule
+        return [schedule._window_for_exit(p) for p in schedule.exit_points]
+
+    def iteration_cost(
+        self, batch: int, seq: int, include_elementwise: bool = False
+    ) -> IterationCost:
+        """Modeled cost of an *average* tuning iteration (mean over the
+        exit cycle) with this pipeline's compression and scheduling.
+
+        ``include_elementwise`` adds the memory-bound norm/softmax/
+        activation streaming cycles (see ``repro.hw.elementwise``) to the
+        total — more conservative, closer to end-to-end behaviour.
+        """
+        from .hw import iteration_elementwise_cycles
+
+        windows = self._mean_window()
+        bits = self.policy.bits_per_block() if self.policy else None
+        sparsity = self.policy.sparsity_per_block() if self.policy else None
+        costs = []
+        extra_cycles = 0.0
+        for w in windows:
+            gemms = tuning_iteration_workload(
+                self.model.config,
+                batch,
+                seq,
+                forward_blocks=w.stop,
+                grad_start=w.start,
+                bits_per_block=bits,
+                sparsity_per_block=sparsity,
+            )
+            costs.append(
+                schedule_workloads(
+                    gemms, self.config.accelerator,
+                    strategy=self.config.schedule_strategy,
+                )
+            )
+            if include_elementwise:
+                extra_cycles += iteration_elementwise_cycles(
+                    self.model.config, self.config.accelerator,
+                    batch, seq, w.stop, w.start,
+                )
+        merged = IterationCost([s for c in costs for s in c.scheduled])
+        # Average (not sum) across the windows in the cycle.
+        scale = 1.0 / len(costs)
+        return _ScaledIterationCost(merged, scale, extra_cycles * scale)
+
+    def vanilla_iteration_cost(
+        self,
+        batch: int,
+        seq: int,
+        schedule_strategy: str = "exhaustive",
+        include_elementwise: bool = False,
+    ) -> IterationCost:
+        """Cost of one vanilla tuning iteration (full depth, 16-bit)."""
+        from .hw import iteration_elementwise_cycles
+
+        gemms = tuning_iteration_workload(
+            self.model.config,
+            batch,
+            seq,
+            forward_blocks=self.model.num_layers,
+            grad_start=0,
+        )
+        cost = schedule_workloads(
+            gemms, self.config.accelerator, strategy=schedule_strategy
+        )
+        if include_elementwise:
+            extra = iteration_elementwise_cycles(
+                self.model.config, self.config.accelerator,
+                batch, seq, self.model.num_layers, 0,
+            )
+            return _ScaledIterationCost(cost, 1.0, extra)
+        return cost
+
+    def speedup_vs_vanilla(
+        self, batch: int, seq: int, include_elementwise: bool = False
+    ) -> float:
+        """Per-iteration training speedup (the paper's headline metric).
+
+        ``include_elementwise=True`` charges both sides the memory-bound
+        elementwise floor (the more conservative estimate)."""
+        vanilla = self.vanilla_iteration_cost(
+            batch, seq, include_elementwise=include_elementwise
+        )
+        edge = self.iteration_cost(
+            batch, seq, include_elementwise=include_elementwise
+        )
+        return vanilla.cycles / edge.cycles
+
+    def memory_report(self, batch: int, seq: int) -> MemoryReport:
+        if self.trainer is None:
+            raise RuntimeError("adapt() must run before memory accounting")
+        weight_bytes = None
+        if self.policy is not None:
+            weight_bytes = model_weight_bytes(
+                self.model.config,
+                bits_per_block=self.policy.bits_per_block(),
+                sparsity_per_block=self.policy.sparsity_per_block(),
+            )
+        return self.trainer.memory_report(batch, seq, weight_bytes=weight_bytes)
+
+
+class _ScaledIterationCost(IterationCost):
+    """IterationCost whose totals are scaled (cycle-cycle averaging),
+    plus optional already-scaled extra cycles (elementwise floor)."""
+
+    def __init__(self, inner: IterationCost, scale: float,
+                 extra_cycles: float = 0.0):
+        super().__init__(inner.scheduled)
+        self._scale = scale
+        self._extra_cycles = extra_cycles
+
+    @property
+    def cycles(self) -> float:
+        return super().cycles * self._scale + self._extra_cycles
+
+    @property
+    def energy_pj(self) -> float:
+        return super().energy_pj * self._scale
+
+    @property
+    def dram_bytes(self) -> float:
+        return super().dram_bytes * self._scale

@@ -1,0 +1,21 @@
+"""Magnitude pruning: mask computation and mask-carrying layers."""
+
+from .masks import (
+    global_magnitude_masks,
+    sparsity,
+    structured_mask,
+    unstructured_mask,
+)
+from .nm_sparsity import check_nm_pattern, nm_mask, nm_sparsity
+from .pruned_linear import PrunedLinear
+
+__all__ = [
+    "unstructured_mask",
+    "structured_mask",
+    "global_magnitude_masks",
+    "sparsity",
+    "PrunedLinear",
+    "nm_mask",
+    "nm_sparsity",
+    "check_nm_pattern",
+]

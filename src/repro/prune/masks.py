@@ -1,0 +1,85 @@
+"""Mask computation for magnitude pruning (unstructured and structured)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+
+def unstructured_mask(weight: np.ndarray, ratio: float) -> np.ndarray:
+    """Zero out the ``ratio`` fraction of smallest-|w| entries.
+
+    Returns a float32 {0,1} mask with the same shape as ``weight``.
+    """
+    _check_ratio(ratio)
+    if ratio == 0.0:
+        return np.ones_like(weight, dtype=np.float32)
+    flat = np.abs(weight).reshape(-1)
+    k = int(round(ratio * flat.size))
+    if k >= flat.size:
+        return np.zeros_like(weight, dtype=np.float32)
+    if k == 0:
+        return np.ones_like(weight, dtype=np.float32)
+    threshold = np.partition(flat, k - 1)[k - 1]
+    mask = (np.abs(weight) > threshold).astype(np.float32)
+    # Tie-handling: if the threshold value is shared, keep enough ties to
+    # hit the requested sparsity exactly (deterministic order).
+    deficit = int(mask.size - mask.sum()) - k
+    if deficit > 0:
+        ties = np.flatnonzero((np.abs(weight) == threshold).reshape(-1))
+        mask_flat = mask.reshape(-1)
+        mask_flat[ties[:deficit]] = 1.0
+    return mask
+
+
+def structured_mask(weight: np.ndarray, ratio: float, axis: int = 1) -> np.ndarray:
+    """Prune whole channels: zero the lowest-L2 ``ratio`` of slices along
+    ``axis`` (axis=1 prunes output channels of an ``(in, out)`` weight).
+    """
+    _check_ratio(ratio)
+    if ratio == 0.0:
+        return np.ones_like(weight, dtype=np.float32)
+    other_axes = tuple(i for i in range(weight.ndim) if i != axis % weight.ndim)
+    norms = np.sqrt((weight**2).sum(axis=other_axes))
+    n_channels = norms.size
+    k = int(round(ratio * n_channels))
+    if k == 0:
+        return np.ones_like(weight, dtype=np.float32)
+    order = np.argsort(norms, kind="stable")
+    pruned = order[:k]
+    keep = np.ones(n_channels, dtype=np.float32)
+    keep[pruned] = 0.0
+    shape = [1] * weight.ndim
+    shape[axis % weight.ndim] = n_channels
+    return np.broadcast_to(keep.reshape(shape), weight.shape).astype(np.float32)
+
+
+def global_magnitude_masks(
+    weights: Dict[str, np.ndarray], ratio: float
+) -> Dict[str, np.ndarray]:
+    """Single global threshold across many tensors (layers compete)."""
+    _check_ratio(ratio)
+    if ratio == 0.0:
+        return {k: np.ones_like(v, dtype=np.float32) for k, v in weights.items()}
+    all_mags = np.concatenate([np.abs(v).reshape(-1) for v in weights.values()])
+    k = int(round(ratio * all_mags.size))
+    if k >= all_mags.size:
+        return {k_: np.zeros_like(v, dtype=np.float32) for k_, v in weights.items()}
+    if k == 0:
+        return {k_: np.ones_like(v, dtype=np.float32) for k_, v in weights.items()}
+    threshold = np.partition(all_mags, k - 1)[k - 1]
+    return {
+        name: (np.abs(w) > threshold).astype(np.float32)
+        for name, w in weights.items()
+    }
+
+
+def sparsity(mask: np.ndarray) -> float:
+    """Fraction of zeros in a mask (0 = dense, 1 = fully pruned)."""
+    return float(1.0 - mask.sum() / mask.size)
+
+
+def _check_ratio(ratio: float) -> None:
+    if not 0.0 <= ratio <= 1.0:
+        raise ValueError(f"pruning ratio must be in [0, 1], got {ratio}")

@@ -1,0 +1,53 @@
+"""N:M fine-grained structured sparsity (e.g. 2:4).
+
+In every group of ``m`` consecutive weights along the reduction (input)
+axis, only the ``n`` largest-magnitude entries survive.  This is the
+pattern hardware sparse tensor cores accelerate, and the pattern the
+accelerator model's ``sparse_efficiency`` is calibrated for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def nm_mask(weight: np.ndarray, n: int, m: int, axis: int = 0) -> np.ndarray:
+    """{0,1} mask keeping the top-``n`` of every ``m`` along ``axis``.
+
+    The axis length must be divisible by ``m``.
+    """
+    if not 1 <= n <= m:
+        raise ValueError(f"need 1 <= n <= m, got n={n}, m={m}")
+    axis = axis % weight.ndim
+    size = weight.shape[axis]
+    if size % m != 0:
+        raise ValueError(f"axis length {size} not divisible by group size {m}")
+    if n == m:
+        return np.ones_like(weight, dtype=np.float32)
+
+    moved = np.moveaxis(weight, axis, -1)
+    grouped = moved.reshape(*moved.shape[:-1], size // m, m)
+    order = np.argsort(np.abs(grouped), axis=-1)
+    mask_grouped = np.zeros_like(grouped, dtype=np.float32)
+    top = order[..., m - n :]
+    np.put_along_axis(mask_grouped, top, 1.0, axis=-1)
+    mask = mask_grouped.reshape(moved.shape)
+    return np.moveaxis(mask, -1, axis)
+
+
+def nm_sparsity(n: int, m: int) -> float:
+    """The sparsity fraction an N:M pattern induces."""
+    if not 1 <= n <= m:
+        raise ValueError(f"need 1 <= n <= m, got n={n}, m={m}")
+    return 1.0 - n / m
+
+
+def check_nm_pattern(mask: np.ndarray, n: int, m: int, axis: int = 0) -> bool:
+    """Verify that a mask satisfies the N:M constraint exactly."""
+    axis = axis % mask.ndim
+    size = mask.shape[axis]
+    if size % m != 0:
+        return False
+    moved = np.moveaxis(mask, axis, -1)
+    grouped = moved.reshape(*moved.shape[:-1], size // m, m)
+    return bool(np.all(grouped.sum(axis=-1) == n))

@@ -1,0 +1,73 @@
+"""Mask-carrying Linear wrapper.
+
+The mask multiplies the weight in the forward pass, so pruned weights
+contribute nothing and — because ``d(w*m)/dw = m`` — receive zero gradient,
+keeping them pruned through subsequent tuning without any optimizer hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.layers import Linear
+from ..nn.module import Module
+from ..tensor import Tensor
+from .masks import sparsity, structured_mask, unstructured_mask
+
+
+class PrunedLinear(Module):
+    """A Linear whose weight is elementwise-masked on every forward."""
+
+    def __init__(self, inner: Linear, mask: np.ndarray):
+        super().__init__()
+        if mask.shape != inner.weight.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} != weight shape {inner.weight.shape}"
+            )
+        self.inner = inner
+        self.register_buffer("mask", mask.astype(np.float32))
+
+    @classmethod
+    def magnitude(
+        cls, inner: Linear, ratio: float, structured: bool = False
+    ) -> "PrunedLinear":
+        """Build from a pruning ratio using magnitude saliency."""
+        if structured:
+            mask = structured_mask(inner.weight.data, ratio, axis=1)
+        else:
+            mask = unstructured_mask(inner.weight.data, ratio)
+        return cls(inner, mask)
+
+    @property
+    def weight(self):
+        return self.inner.weight
+
+    @property
+    def bias(self):
+        return self.inner.bias
+
+    @property
+    def in_features(self) -> int:
+        return self.inner.in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.inner.out_features
+
+    @property
+    def sparsity(self) -> float:
+        return sparsity(self.mask)
+
+    def effective_weight(self) -> Tensor:
+        return self.inner.weight * Tensor(self.mask)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.effective_weight()
+        if self.inner.bias is not None:
+            out = out + self.inner.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return f"sparsity={self.sparsity:.2f}"

@@ -1,0 +1,68 @@
+"""Quantization format descriptors.
+
+Edge-LLM's LUC policy assigns each layer a bit-width from a small menu;
+``QuantSpec`` is the value type those policies produce and the quantizers
+consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+SUPPORTED_BITS = (2, 3, 4, 6, 8, 16)
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantSpec:
+    """How to quantize one tensor.
+
+    Attributes
+    ----------
+    bits:
+        Integer bit-width (2..16). 16 is treated as effectively lossless.
+    symmetric:
+        Symmetric (scale only) vs affine (scale + zero point).
+    per_channel:
+        Per-output-channel scales along ``channel_axis`` vs one scale for
+        the whole tensor.
+    channel_axis:
+        Axis holding output channels (1 for this repo's ``(in, out)``
+        Linear weights).
+    """
+
+    bits: int = 8
+    symmetric: bool = True
+    per_channel: bool = True
+    channel_axis: int = 1
+
+    def __post_init__(self):
+        if self.bits not in SUPPORTED_BITS:
+            raise ValueError(
+                f"unsupported bit-width {self.bits}; choose from {SUPPORTED_BITS}"
+            )
+
+    @property
+    def qmin(self) -> int:
+        if self.symmetric:
+            return -(2 ** (self.bits - 1)) + 1
+        return 0
+
+    @property
+    def qmax(self) -> int:
+        if self.symmetric:
+            return 2 ** (self.bits - 1) - 1
+        return 2**self.bits - 1
+
+    @property
+    def num_levels(self) -> int:
+        return self.qmax - self.qmin + 1
+
+    def with_bits(self, bits: int) -> "QuantSpec":
+        return dataclasses.replace(self, bits=bits)
+
+
+FP16 = QuantSpec(bits=16)
+INT8 = QuantSpec(bits=8)
+INT4 = QuantSpec(bits=4)
+INT2 = QuantSpec(bits=2)

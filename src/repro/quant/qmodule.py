@@ -1,0 +1,131 @@
+"""Autograd-aware quantized modules (fake-quant with straight-through
+estimator), used both for post-training compression and for tuning the
+compressed model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.layers import Linear
+from ..nn.module import Module
+from ..tensor import Tensor
+from .formats import QuantSpec
+from .quantizer import calibrate, dequantize, quantize
+
+
+def fake_quant_ste(x: Tensor, spec: QuantSpec, method: str = "minmax") -> Tensor:
+    """Fake-quantize a Tensor with a straight-through gradient.
+
+    Forward: quantize-dequantize.  Backward: identity inside the
+    representable range, zero outside (the standard STE with clipping).
+    """
+    if spec.bits >= 16:
+        return x
+    scale, zero = calibrate(x.data, spec, method=method)
+    q = quantize(x.data, scale, zero, spec)
+    out_data = dequantize(q, scale, zero)
+    # Pass gradient only where the value was not clipped.
+    in_range = (q > spec.qmin) & (q < spec.qmax)
+    # Include exact boundary hits that round-trip (not saturated).
+    in_range |= np.isclose(out_data, x.data, atol=float(np.max(scale)))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * in_range)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+class QuantLinear(Module):
+    """A Linear layer whose weight (and optionally activations) are
+    fake-quantized on every forward pass.
+
+    The underlying full-precision ``inner`` Linear remains the trainable
+    master copy; quantization noise is injected in the forward pass and the
+    STE routes gradients back to the master weights, which is what lets the
+    compressed model be *tuned* (the Edge-LLM use case).
+    """
+
+    def __init__(
+        self,
+        inner: Linear,
+        weight_spec: QuantSpec,
+        act_spec: Optional[QuantSpec] = None,
+        method: str = "minmax",
+    ):
+        super().__init__()
+        self.inner = inner
+        self.weight_spec = weight_spec
+        self.act_spec = act_spec
+        self.method = method
+        # Frozen activation calibration (scale, zero); None = dynamic.
+        self._act_scale: Optional[np.ndarray] = None
+        self._act_zero: Optional[np.ndarray] = None
+
+    @property
+    def weight(self):
+        return self.inner.weight
+
+    @property
+    def bias(self):
+        return self.inner.bias
+
+    @property
+    def in_features(self) -> int:
+        return self.inner.in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.inner.out_features
+
+    def calibrate_activations(self, sample: np.ndarray) -> None:
+        """Freeze activation quantization ranges from a calibration batch."""
+        if self.act_spec is None:
+            raise ValueError("layer has no activation quantization spec")
+        flat = sample.reshape(-1, sample.shape[-1])
+        spec = self.act_spec
+        self._act_scale, self._act_zero = calibrate(flat, spec, method=self.method)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.act_spec is not None and self.act_spec.bits < 16:
+            if self._act_scale is not None:
+                q = quantize(x.data, self._act_scale, self._act_zero, self.act_spec)
+                x = Tensor(dequantize(q, self._act_scale, self._act_zero)) if not x.requires_grad else _requant_with_ste(
+                    x, self._act_scale, self._act_zero, self.act_spec
+                )
+            else:
+                x = fake_quant_ste(x, self.act_spec, method=self.method)
+        w = fake_quant_ste(self.inner.weight, self.weight_spec, method=self.method)
+        out = x @ w
+        if self.inner.bias is not None:
+            out = out + self.inner.bias
+        return out
+
+    def extra_repr(self) -> str:
+        act = self.act_spec.bits if self.act_spec else "fp"
+        return f"w{self.weight_spec.bits}a{act}"
+
+
+def _requant_with_ste(
+    x: Tensor, scale: np.ndarray, zero: np.ndarray, spec: QuantSpec
+) -> Tensor:
+    q = quantize(x.data, scale, zero, spec)
+    out_data = dequantize(q, scale, zero)
+    in_range = (q > spec.qmin) & (q < spec.qmax)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * in_range)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def quantize_linear(layer: Linear, bits: int, act_bits: Optional[int] = None,
+                    method: str = "minmax") -> QuantLinear:
+    """Wrap a Linear in a QuantLinear with the given weight bit-width."""
+    weight_spec = QuantSpec(bits=bits)
+    act_spec = QuantSpec(bits=act_bits, per_channel=False, symmetric=False) if act_bits else None
+    return QuantLinear(layer, weight_spec, act_spec=act_spec, method=method)

@@ -1,0 +1,40 @@
+"""Numpy-backed reverse-mode autodiff substrate."""
+
+from .tensor import Tensor, concat, is_grad_enabled, no_grad, stack, where
+from .functional import (
+    cross_entropy,
+    dropout,
+    embedding,
+    gelu,
+    log_softmax,
+    masked_fill,
+    nll_from_logits,
+    silu,
+    softmax,
+)
+from .checkpoint import checkpoint
+from .gradcheck import check_gradients, numerical_gradient
+from .profiler import TapeStats, profile_tape
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_from_logits",
+    "gelu",
+    "silu",
+    "embedding",
+    "dropout",
+    "masked_fill",
+    "checkpoint",
+    "check_gradients",
+    "numerical_gradient",
+    "profile_tape",
+    "TapeStats",
+]

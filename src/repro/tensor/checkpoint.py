@@ -1,0 +1,57 @@
+"""Gradient checkpointing: trade recompute for activation memory.
+
+The standard alternative to Edge-LLM's adaptive layer tuning for cutting
+activation memory: run a segment without recording the tape, keep only its
+input, and re-run it with recording during the backward pass.  Memory per
+checkpointed segment drops to one boundary activation; compute pays one
+extra forward.
+
+Implemented as a tape node whose backward closure replays the segment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+
+def checkpoint(fn: Callable[[Tensor], Tensor], x: Tensor) -> Tensor:
+    """Apply ``fn`` to ``x`` without storing interior activations.
+
+    ``fn`` must be a pure function of its input tensor and any module
+    parameters it closes over; it is re-executed during backward, so
+    stochastic layers must be seeded externally for exact replay (the
+    transformer stack here is deterministic in eval/zero-dropout mode).
+
+    Gradients flow both to ``x`` and to any parameters used inside ``fn``
+    (they are rediscovered during the replay).
+    """
+    if not is_grad_enabled():
+        with no_grad():
+            return fn(x)
+
+    with no_grad():
+        out_data = fn(x).data
+
+    saved_input = x.data
+
+    def backward(grad: np.ndarray) -> None:
+        # Replay the segment with the tape on, seed it with the incoming
+        # gradient, and forward the boundary gradient to x.  Parameters
+        # used inside fn accumulate their gradients during the replay.
+        replay_in = Tensor(saved_input, requires_grad=True)
+        replay_out = fn(replay_in)
+        replay_out.backward(grad)
+        if x.requires_grad and replay_in.grad is not None:
+            x._accumulate(replay_in.grad)
+
+    # Recorded unconditionally (not via _make): parameters inside fn may
+    # require grad even when the boundary input x does not.
+    out = Tensor(out_data)
+    out.requires_grad = True
+    out._parents = (x,)
+    out._backward_fn = backward
+    return out

@@ -1,0 +1,183 @@
+"""Composite and fused differentiable operations.
+
+These are the numerically careful building blocks the transformer stack
+needs: stable softmax / log-softmax, a fused cross-entropy (the dominant op
+in LM training), GELU/SiLU activations, embedding gather, and dropout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, _ensure_tensor
+
+_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` (fused forward/backward)."""
+    x = _ensure_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            # dL/dx = s * (g - sum(g * s))
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = _ensure_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    ignore_index: Optional[int] = None,
+) -> Tensor:
+    """Mean token-level cross-entropy, fused for speed and stability.
+
+    Parameters
+    ----------
+    logits:
+        ``(..., vocab)`` unnormalized scores.
+    targets:
+        Integer class ids broadcastable to ``logits.shape[:-1]``.
+    ignore_index:
+        Target value whose positions contribute neither loss nor gradient
+        (used for padding).
+    """
+    logits = _ensure_tensor(logits)
+    targets = np.asarray(targets.data if isinstance(targets, Tensor) else targets)
+    flat_logits = logits.data.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1).astype(np.int64)
+
+    if ignore_index is not None:
+        valid = flat_targets != ignore_index
+    else:
+        valid = np.ones_like(flat_targets, dtype=bool)
+    n_valid = max(int(valid.sum()), 1)
+
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - logsumexp
+
+    safe_targets = np.where(valid, flat_targets, 0)
+    picked = log_probs[np.arange(flat_targets.shape[0]), safe_targets]
+    loss_val = -(picked * valid).sum() / n_valid
+    out_data = np.asarray(loss_val, dtype=logits.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        probs = np.exp(log_probs)
+        probs[np.arange(flat_targets.shape[0]), safe_targets] -= 1.0
+        probs *= valid[:, None]
+        probs *= float(grad) / n_valid
+        logits._accumulate(probs.reshape(logits.shape))
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+def nll_from_logits(logits: Tensor, targets: np.ndarray) -> np.ndarray:
+    """Per-position negative log-likelihood (no autograd; eval helper)."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    targets = np.asarray(targets)
+    flat = data.reshape(-1, data.shape[-1])
+    shifted = flat - flat.max(axis=-1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - logsumexp
+    picked = log_probs[np.arange(flat.shape[0]), targets.reshape(-1)]
+    return (-picked).reshape(targets.shape)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """GELU activation (tanh approximation), fused."""
+    x = _ensure_tensor(x)
+    d = x.data
+    inner = _SQRT_2_OVER_PI * (d + 0.044715 * d**3)
+    t = np.tanh(inner)
+    out_data = 0.5 * d * (1.0 + t)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            dinner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * d**2)
+            dt = (1.0 - t**2) * dinner
+            x._accumulate(grad * (0.5 * (1.0 + t) + 0.5 * d * dt))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def silu(x: Tensor) -> Tensor:
+    """SiLU / swish activation ``x * sigmoid(x)``, fused."""
+    x = _ensure_tensor(x)
+    sig = 0.5 * (1.0 + np.tanh(0.5 * x.data))
+    out_data = x.data * sig
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * (sig * (1.0 + x.data * (1.0 - sig))))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def embedding(weight: Tensor, ids: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` by integer ``ids`` (the embedding lookup)."""
+    weight = _ensure_tensor(weight)
+    ids = np.asarray(ids.data if isinstance(ids, Tensor) else ids).astype(np.int64)
+    out_data = weight.data[ids]
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, ids.reshape(-1), grad.reshape(-1, weight.shape[-1]))
+            weight._accumulate(full)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout with an explicit generator (reproducible)."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    x = _ensure_tensor(x)
+    keep = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    out_data = x.data * keep
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * keep)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Set positions where ``mask`` is True to ``value`` (grad blocked there)."""
+    x = _ensure_tensor(x)
+    mask = np.asarray(mask.data if isinstance(mask, Tensor) else mask).astype(bool)
+    out_data = np.where(mask, np.asarray(value, dtype=x.dtype), x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * (~mask))
+
+    return Tensor._make(out_data, (x,), backward)

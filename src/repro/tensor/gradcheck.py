@@ -1,0 +1,59 @@
+"""Finite-difference gradient checking for the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Central-difference gradient of ``fn(*inputs).sum()`` w.r.t. one input."""
+    target = inputs[wrt]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = orig - eps
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = orig
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-2,
+    rtol: float = 1e-2,
+    eps: float = 1e-3,
+) -> None:
+    """Assert analytic gradients match finite differences for every input.
+
+    Raises ``AssertionError`` with the offending input index on mismatch.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    out.sum().backward() if out.data.ndim > 0 else out.backward()
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numerical_gradient(fn, inputs, i, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = float(np.abs(analytic - numeric).max())
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs err {worst:.2e}\n"
+                f"analytic={analytic}\nnumeric={numeric}"
+            )

@@ -1,0 +1,55 @@
+"""Empirical tape profiling: measure what the autograd tape actually
+retains.
+
+The analytical memory model (`repro.eval.memory`) *predicts* activation
+footprints; this profiler *measures* them by intercepting tape-node
+creation and summing the bytes of recorded outputs.  The R-F2 claim
+("activation memory scales with the tuning window") is validated against
+these measurements, not just the model.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from . import tensor as _tensor_mod
+from .tensor import Tensor
+
+
+class TapeStats:
+    """Bytes and node counts recorded while a profiler was active."""
+
+    def __init__(self):
+        self.recorded_bytes = 0
+        self.recorded_nodes = 0
+
+    def reset(self) -> None:
+        self.recorded_bytes = 0
+        self.recorded_nodes = 0
+
+
+@contextlib.contextmanager
+def profile_tape() -> Iterator[TapeStats]:
+    """Count every tape-recorded tensor created inside the context.
+
+    Only nodes that actually join the tape (requires_grad outputs with a
+    backward closure) are counted — exactly the tensors kept alive for
+    the backward pass.
+    """
+    stats = TapeStats()
+    # Accessing a staticmethod on the class yields the plain function.
+    original = Tensor._make
+
+    def counting_make(data, parents, backward_fn):
+        out = original(data, parents, backward_fn)
+        if out.requires_grad and out._backward_fn is not None:
+            stats.recorded_bytes += out.data.nbytes
+            stats.recorded_nodes += 1
+        return out
+
+    Tensor._make = staticmethod(counting_make)
+    try:
+        yield stats
+    finally:
+        Tensor._make = staticmethod(original)

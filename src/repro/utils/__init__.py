@@ -1,0 +1,6 @@
+"""Shared helpers."""
+
+from .metrics import MetricsLogger
+from .tables import format_table
+
+__all__ = ["format_table", "MetricsLogger"]

@@ -1,0 +1,60 @@
+"""Lightweight experiment metrics logging (JSONL on disk, dict in memory)."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+
+class MetricsLogger:
+    """Append-only metrics log.
+
+    Each ``log(step, **metrics)`` call records one row; rows are kept in
+    memory and, if a path was given, streamed to a JSON-lines file so runs
+    survive crashes.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.rows: List[Dict] = []
+        if path:
+            os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+            # Truncate any previous run at this path.
+            open(path, "w").close()
+
+    def log(self, step: int, **metrics) -> None:
+        row = {"step": int(step), **{k: _jsonable(v) for k, v in metrics.items()}}
+        self.rows.append(row)
+        if self.path:
+            with open(self.path, "a") as fh:
+                fh.write(json.dumps(row) + "\n")
+
+    def series(self, key: str) -> List:
+        """All recorded values of one metric, in log order."""
+        return [row[key] for row in self.rows if key in row]
+
+    def last(self, key: str):
+        values = self.series(key)
+        if not values:
+            raise KeyError(f"metric {key!r} never logged")
+        return values[-1]
+
+    @classmethod
+    def load(cls, path: str) -> "MetricsLogger":
+        """Re-hydrate a logger from a JSONL file (read-only semantics)."""
+        logger = cls(path=None)
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    logger.rows.append(json.loads(line))
+        return logger
+
+
+def _jsonable(value):
+    if hasattr(value, "item") and getattr(value, "size", None) == 1:
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value

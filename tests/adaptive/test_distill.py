@@ -1,0 +1,103 @@
+"""Tests for exit-head self-distillation."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import ExitHeadSet, distill_exit_heads, distillation_loss
+from repro.data import lm_batches
+from repro.tensor import Tensor, nll_from_logits, no_grad
+
+
+class TestDistillationLoss:
+    def test_zero_when_student_equals_teacher(self):
+        logits = np.random.default_rng(0).standard_normal((2, 3, 8)).astype(np.float32)
+        student = Tensor(logits.copy(), requires_grad=True)
+        loss = distillation_loss(student, logits, temperature=1.0)
+        # KL term is teacher cross-entropy; at equality it equals the
+        # teacher entropy, and its gradient must vanish.
+        loss.backward()
+        assert np.allclose(student.grad, 0.0, atol=1e-5)
+
+    def test_positive_and_decreasing_with_alignment(self):
+        rng = np.random.default_rng(0)
+        teacher = rng.standard_normal((2, 4, 8)).astype(np.float32)
+        far = Tensor(rng.standard_normal((2, 4, 8)), requires_grad=True)
+        near = Tensor(teacher + 0.01 * rng.standard_normal((2, 4, 8)).astype(np.float32),
+                      requires_grad=True)
+        assert distillation_loss(near, teacher).item() < distillation_loss(
+            far, teacher
+        ).item()
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            distillation_loss(Tensor(np.zeros((1, 2))), np.zeros((1, 2)),
+                              temperature=0.0)
+
+
+class TestDistillExitHeads:
+    def test_untied_heads_approach_teacher(self, pretrained_model, pretrain_corpus):
+        heads = ExitHeadSet(pretrained_model, [2, 4], tie_embeddings=False, seed=0)
+        rng = np.random.default_rng(0)
+        ids, _ = next(lm_batches(pretrain_corpus, 4, 24, 1, rng))
+
+        def exit_quality():
+            with no_grad():
+                per_exit = heads.all_logits(pretrained_model, ids)
+                teacher = per_exit[pretrained_model.num_layers].data
+                t_choice = teacher.argmax(-1)
+                return float(
+                    (per_exit[2].data.argmax(-1) == t_choice).mean()
+                )
+
+        before = exit_quality()
+        losses = distill_exit_heads(
+            pretrained_model,
+            heads,
+            lm_batches(pretrain_corpus, 4, 24, 30, np.random.default_rng(1)),
+            lr=3e-3,
+        )
+        after = exit_quality()
+        assert losses[-1] < losses[0]
+        assert after >= before
+
+    def test_backbone_untouched(self, pretrained_model, pretrain_corpus):
+        heads = ExitHeadSet(pretrained_model, [2], tie_embeddings=False, seed=0)
+        before = {n: p.data.copy() for n, p in pretrained_model.named_parameters()}
+        distill_exit_heads(
+            pretrained_model,
+            heads,
+            lm_batches(pretrain_corpus, 2, 16, 3, np.random.default_rng(0)),
+        )
+        for name, p in pretrained_model.named_parameters():
+            assert np.array_equal(before[name], p.data), name
+
+    def test_no_batches_raises(self, pretrained_model):
+        heads = ExitHeadSet(pretrained_model, [2], tie_embeddings=False)
+        with pytest.raises(ValueError):
+            distill_exit_heads(pretrained_model, heads, [])
+
+    def test_only_final_exit_raises(self, pretrained_model, pretrain_corpus):
+        heads = ExitHeadSet(pretrained_model, [pretrained_model.num_layers],
+                            tie_embeddings=False)
+        batches = lm_batches(pretrain_corpus, 2, 8, 1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            distill_exit_heads(pretrained_model, heads, batches)
+
+    def test_distilled_exit_improves_ppl(self, pretrained_model, pretrain_corpus):
+        from repro.eval import perplexity
+
+        heads = ExitHeadSet(pretrained_model, [3], tie_embeddings=False, seed=0)
+
+        def exit3(ids):
+            with no_grad():
+                return heads.all_logits(pretrained_model, ids)[3]
+
+        before = perplexity(exit3, pretrain_corpus, num_batches=2)
+        distill_exit_heads(
+            pretrained_model,
+            heads,
+            lm_batches(pretrain_corpus, 4, 24, 40, np.random.default_rng(1)),
+            lr=3e-3,
+        )
+        after = perplexity(exit3, pretrain_corpus, num_batches=2)
+        assert after < before

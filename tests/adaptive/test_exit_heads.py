@@ -1,0 +1,64 @@
+"""Tests for early-exit heads."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import ExitHeadSet
+from repro.tensor import no_grad
+
+
+class TestExitHeadSet:
+    def test_invalid_exit_points(self, pretrained_model):
+        with pytest.raises(ValueError):
+            ExitHeadSet(pretrained_model, [])
+        with pytest.raises(ValueError):
+            ExitHeadSet(pretrained_model, [0])
+        with pytest.raises(ValueError):
+            ExitHeadSet(pretrained_model, [pretrained_model.num_layers + 1])
+
+    def test_tied_heads_add_only_norm_params(self, pretrained_model):
+        heads = ExitHeadSet(pretrained_model, [2, 4], tie_embeddings=True)
+        n = sum(p.size for p in heads.parameters())
+        assert n == 2 * pretrained_model.config.dim  # two RMSNorm gains
+
+    def test_untied_heads_have_projections(self, pretrained_model):
+        heads = ExitHeadSet(pretrained_model, [2], tie_embeddings=False)
+        n = sum(p.size for p in heads.parameters())
+        cfg = pretrained_model.config
+        assert n == cfg.dim + cfg.dim * cfg.vocab_size
+
+    def test_head_for_unknown_depth_raises(self, pretrained_model):
+        heads = ExitHeadSet(pretrained_model, [2, 4])
+        with pytest.raises(KeyError):
+            heads.head_for(3)
+
+    def test_all_logits_shapes(self, pretrained_model):
+        heads = ExitHeadSet(pretrained_model, [2, 4])
+        ids = np.random.default_rng(0).integers(0, 32, (2, 8))
+        with no_grad():
+            per_exit = heads.all_logits(pretrained_model, ids)
+        assert set(per_exit) == {2, 4, pretrained_model.num_layers}
+        for logits in per_exit.values():
+            assert logits.shape == (2, 8, 32)
+
+    def test_final_exit_uses_model_head(self, pretrained_model):
+        n = pretrained_model.num_layers
+        heads = ExitHeadSet(pretrained_model, [2, n])
+        ids = np.random.default_rng(0).integers(0, 32, (1, 6))
+        with no_grad():
+            per_exit = heads.all_logits(pretrained_model, ids)
+            direct = pretrained_model(ids)
+        assert np.allclose(per_exit[n].data, direct.data, atol=1e-5)
+
+    def test_exit_points_deduplicated_and_sorted(self, pretrained_model):
+        heads = ExitHeadSet(pretrained_model, [4, 2, 4])
+        assert heads.exit_points == [2, 4]
+
+    def test_exits_differ_from_final(self, pretrained_model):
+        heads = ExitHeadSet(pretrained_model, [2])
+        ids = np.random.default_rng(0).integers(0, 32, (1, 6))
+        with no_grad():
+            per_exit = heads.all_logits(pretrained_model, ids)
+        assert not np.allclose(
+            per_exit[2].data, per_exit[pretrained_model.num_layers].data, atol=1e-3
+        )

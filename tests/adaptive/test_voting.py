@@ -1,0 +1,123 @@
+"""Tests for the adaptive layer voting combiner."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import (
+    AdaptiveLayerTrainer,
+    AdaptiveTuningConfig,
+    VotingCombiner,
+)
+from repro.data import lm_batches
+
+
+@pytest.fixture
+def tuned(pretrained_model, adapt_corpus):
+    """Model after a short adaptive tuning run, with its exit heads."""
+    trainer = AdaptiveLayerTrainer(
+        pretrained_model,
+        AdaptiveTuningConfig(window=2, exit_points=[2, 4, 6], lr=2e-3),
+    )
+    trainer.train(
+        lm_batches(adapt_corpus, 4, 24, 20, np.random.default_rng(0))
+    )
+    return pretrained_model, trainer
+
+
+def calib_batch(corpus, seed=99):
+    return next(lm_batches(corpus, 4, 24, 1, np.random.default_rng(seed)))
+
+
+class TestCalibration:
+    def test_unknown_strategy_raises(self, tuned):
+        model, trainer = tuned
+        with pytest.raises(ValueError):
+            VotingCombiner(model, trainer.exit_heads, strategy="bogus")
+
+    def test_calibrated_weights_sum_to_one(self, tuned, adapt_corpus):
+        model, trainer = tuned
+        voter = VotingCombiner(model, trainer.exit_heads)
+        weights = voter.calibrate(*calib_batch(adapt_corpus))
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert set(weights) == {2, 4, 6}
+
+    def test_best_strategy_one_hot(self, tuned, adapt_corpus):
+        model, trainer = tuned
+        voter = VotingCombiner(model, trainer.exit_heads, strategy="best")
+        weights = voter.calibrate(*calib_batch(adapt_corpus))
+        assert sorted(weights.values()) == pytest.approx([0.0, 0.0, 1.0])
+
+    def test_uniform_strategy(self, tuned, adapt_corpus):
+        model, trainer = tuned
+        voter = VotingCombiner(model, trainer.exit_heads, strategy="uniform")
+        weights = voter.calibrate(*calib_batch(adapt_corpus))
+        assert all(w == pytest.approx(1 / 3) for w in weights.values())
+
+    def test_lower_loss_exit_gets_higher_weight(self, tuned, adapt_corpus):
+        model, trainer = tuned
+        voter = VotingCombiner(model, trainer.exit_heads, temperature=0.5)
+        weights = voter.calibrate(*calib_batch(adapt_corpus))
+        losses = voter.validation_losses
+        best_exit = min(losses, key=losses.get)
+        assert weights[best_exit] == max(weights.values())
+
+
+class TestCombinedLogits:
+    def test_requires_calibration(self, tuned):
+        model, trainer = tuned
+        voter = VotingCombiner(model, trainer.exit_heads)
+        with pytest.raises(RuntimeError):
+            voter.combined_logits(np.zeros((1, 4), dtype=np.int64))
+
+    def test_output_is_log_distribution(self, tuned, adapt_corpus):
+        model, trainer = tuned
+        voter = VotingCombiner(model, trainer.exit_heads)
+        voter.calibrate(*calib_batch(adapt_corpus))
+        ids = np.random.default_rng(0).integers(0, 32, (2, 8))
+        out = voter.combined_logits(ids)
+        probs = np.exp(out.data)
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-3)
+
+    def test_confidence_strategy_no_calibration_needed(self, tuned):
+        model, trainer = tuned
+        voter = VotingCombiner(model, trainer.exit_heads, strategy="confidence")
+        ids = np.random.default_rng(0).integers(0, 32, (1, 8))
+        out = voter.combined_logits(ids)
+        assert np.allclose(np.exp(out.data).sum(axis=-1), 1.0, atol=1e-3)
+
+    def test_best_equals_that_exits_probs(self, tuned, adapt_corpus):
+        model, trainer = tuned
+        voter = VotingCombiner(model, trainer.exit_heads, strategy="best")
+        voter.calibrate(*calib_batch(adapt_corpus))
+        best_exit = max(voter.weights, key=voter.weights.get)
+        ids = np.random.default_rng(0).integers(0, 32, (1, 6))
+        combined = np.exp(voter.combined_logits(ids).data)
+        from repro.tensor import no_grad
+
+        with no_grad():
+            per_exit = trainer.exit_heads.all_logits(model, ids)
+        ref = per_exit[best_exit].data
+        ref_probs = np.exp(ref - ref.max(-1, keepdims=True))
+        ref_probs /= ref_probs.sum(-1, keepdims=True)
+        assert np.allclose(combined, ref_probs, atol=1e-4)
+
+    def test_voting_beats_worst_exit(self, tuned, adapt_corpus):
+        """Calibrated mixture should never be much worse than the best
+        exit and strictly better than the worst one."""
+        from repro.eval import perplexity
+
+        model, trainer = tuned
+        voter = VotingCombiner(model, trainer.exit_heads)
+        voter.calibrate(*calib_batch(adapt_corpus))
+        voted_ppl = perplexity(voter.combined_logits, adapt_corpus, num_batches=2)
+
+        worst = max(voter.validation_losses.values())
+        worst_ppl = float(np.exp(worst))
+        assert voted_ppl < worst_ppl * 1.05
+
+    def test_describe(self, tuned, adapt_corpus):
+        model, trainer = tuned
+        voter = VotingCombiner(model, trainer.exit_heads)
+        assert "uncalibrated" in voter.describe()
+        voter.calibrate(*calib_batch(adapt_corpus))
+        assert "exit2" in voter.describe()

@@ -1,0 +1,56 @@
+"""Shared fixtures: a small pretrained model + its corpora.
+
+The model is pretrained once per test session (a few seconds) and cloned
+via state_dict for tests that mutate it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import MarkovChainCorpus, lm_batches
+from repro.nn import AdamW, TransformerConfig, TransformerLM
+from repro.tensor import cross_entropy
+
+VOCAB = 32
+PRETRAIN_SEED = 0
+ADAPT_SEED = 1
+
+
+def small_config(**overrides) -> TransformerConfig:
+    defaults = dict(
+        vocab_size=VOCAB, dim=48, num_layers=6, num_heads=4, max_len=64, seed=0
+    )
+    defaults.update(overrides)
+    return TransformerConfig(**defaults)
+
+
+@pytest.fixture(scope="session")
+def pretrain_corpus():
+    return MarkovChainCorpus(vocab_size=VOCAB, order=1, seed=PRETRAIN_SEED)
+
+
+@pytest.fixture(scope="session")
+def adapt_corpus():
+    return MarkovChainCorpus(vocab_size=VOCAB, order=1, seed=ADAPT_SEED)
+
+
+@pytest.fixture(scope="session")
+def pretrained_state(pretrain_corpus):
+    """State dict of a model trained close to the corpus entropy floor."""
+    model = TransformerLM(small_config())
+    rng = np.random.default_rng(0)
+    opt = AdamW(model.parameters(), lr=3e-3)
+    for inputs, targets in lm_batches(pretrain_corpus, 8, 32, 100, rng):
+        loss = cross_entropy(model(inputs), targets)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return model.state_dict()
+
+
+@pytest.fixture
+def pretrained_model(pretrained_state):
+    """A fresh clone of the pretrained model (mutate freely)."""
+    model = TransformerLM(small_config())
+    model.load_state_dict(pretrained_state)
+    return model

@@ -1,0 +1,122 @@
+"""Tests for the synthetic corpus generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import MarkovChainCorpus, ZipfUnigramCorpus, lm_batches
+
+
+class TestMarkovChainCorpus:
+    def test_sample_shape_and_range(self):
+        corpus = MarkovChainCorpus(vocab_size=16, seed=0)
+        stream = corpus.sample(100, np.random.default_rng(0))
+        assert stream.shape == (100,)
+        assert stream.min() >= 0 and stream.max() < 16
+
+    def test_deterministic_given_rng(self):
+        corpus = MarkovChainCorpus(vocab_size=16, seed=0)
+        a = corpus.sample(50, np.random.default_rng(7))
+        b = corpus.sample(50, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_different_languages(self):
+        rng = np.random.default_rng(0)
+        a = MarkovChainCorpus(vocab_size=16, seed=0).sample(200, rng)
+        rng = np.random.default_rng(0)
+        b = MarkovChainCorpus(vocab_size=16, seed=99).sample(200, rng)
+        assert not np.array_equal(a, b)
+
+    def test_successors_are_valid_distribution(self):
+        corpus = MarkovChainCorpus(vocab_size=16, branching=4, seed=0)
+        tokens, probs = corpus.successors((1, 2))
+        assert len(tokens) == 4
+        assert len(set(tokens.tolist())) == 4
+        assert np.isclose(probs.sum(), 1.0)
+        assert np.all(probs > 0)
+
+    def test_successors_deterministic(self):
+        corpus = MarkovChainCorpus(vocab_size=16, seed=0)
+        t1, p1 = corpus.successors((3, 4))
+        t2, p2 = corpus.successors((3, 4))
+        assert np.array_equal(t1, t2)
+        assert np.allclose(p1, p2)
+
+    def test_continuation_respects_chain(self):
+        """Every continuation token must be among the context's successors."""
+        corpus = MarkovChainCorpus(vocab_size=16, order=2, seed=0)
+        rng = np.random.default_rng(1)
+        prefix = corpus.sample(10, rng)
+        cont = corpus.continuation(prefix, 5, rng)
+        lp = corpus.sequence_log_prob(cont, prefix)
+        assert np.isfinite(lp)
+
+    def test_continuation_short_prefix_raises(self):
+        corpus = MarkovChainCorpus(vocab_size=16, order=3, seed=0)
+        with pytest.raises(ValueError):
+            corpus.continuation(np.array([1, 2]), 4, np.random.default_rng(0))
+
+    def test_sequence_log_prob_inf_for_impossible(self):
+        corpus = MarkovChainCorpus(vocab_size=64, branching=2, seed=0)
+        prefix = np.array([0, 0])
+        tokens, _ = corpus.successors((0, 0))
+        impossible = next(t for t in range(64) if t not in tokens)
+        lp = corpus.sequence_log_prob(np.array([impossible]), prefix)
+        assert lp == float("-inf")
+
+    def test_entropy_rate_positive_and_bounded(self):
+        corpus = MarkovChainCorpus(vocab_size=32, branching=4, seed=0)
+        h = corpus.entropy_rate_estimate()
+        assert 0.0 < h <= np.log(4) + 1e-6
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MarkovChainCorpus(vocab_size=1)
+        with pytest.raises(ValueError):
+            MarkovChainCorpus(order=0)
+        with pytest.raises(ValueError):
+            MarkovChainCorpus(vocab_size=8, branching=9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), order=st.integers(1, 3))
+    def test_property_streams_stay_in_vocab(self, seed, order):
+        corpus = MarkovChainCorpus(vocab_size=12, order=order, seed=seed)
+        stream = corpus.sample(64, np.random.default_rng(seed))
+        assert np.all((stream >= 0) & (stream < 12))
+
+
+class TestZipfCorpus:
+    def test_probabilities_sum_to_one(self):
+        corpus = ZipfUnigramCorpus(vocab_size=32, seed=0)
+        assert np.isclose(corpus.probs.sum(), 1.0)
+
+    def test_skewed_marginals(self):
+        corpus = ZipfUnigramCorpus(vocab_size=32, exponent=1.5, seed=0)
+        assert corpus.probs.max() / corpus.probs.min() > 10
+
+    def test_entropy_below_uniform(self):
+        corpus = ZipfUnigramCorpus(vocab_size=32, seed=0)
+        assert corpus.entropy_rate_estimate() < np.log(32)
+
+    def test_sample_range(self):
+        corpus = ZipfUnigramCorpus(vocab_size=8, seed=0)
+        stream = corpus.sample(200, np.random.default_rng(0))
+        assert stream.min() >= 0 and stream.max() < 8
+
+
+class TestLMBatches:
+    def test_shapes_and_shift(self):
+        corpus = MarkovChainCorpus(vocab_size=16, seed=0)
+        batches = list(lm_batches(corpus, 4, 10, 3, np.random.default_rng(0)))
+        assert len(batches) == 3
+        x, y = batches[0]
+        assert x.shape == (4, 10) and y.shape == (4, 10)
+        # Target is the input shifted by one.
+        assert np.array_equal(x[:, 1:], y[:, :-1])
+
+    def test_reproducible(self):
+        corpus = MarkovChainCorpus(vocab_size=16, seed=0)
+        a = list(lm_batches(corpus, 2, 8, 2, np.random.default_rng(5)))
+        b = list(lm_batches(corpus, 2, 8, 2, np.random.default_rng(5)))
+        assert all(np.array_equal(x1, x2) for (x1, _), (x2, _) in zip(a, b))

@@ -1,0 +1,163 @@
+"""Tests for drifting streams and the replay buffer."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DriftingCorpusStream,
+    MarkovChainCorpus,
+    ReplayBuffer,
+    abrupt_drift,
+    continual_batches,
+    linear_drift,
+    periodic_drift,
+)
+
+
+def corpora():
+    return (
+        MarkovChainCorpus(vocab_size=16, order=1, seed=0),
+        MarkovChainCorpus(vocab_size=16, order=1, seed=1),
+    )
+
+
+class TestDriftSchedules:
+    def test_linear_endpoints(self):
+        alpha = linear_drift(10)
+        assert alpha(0) == 0.0
+        assert alpha(10) == 1.0
+        assert alpha(5) == pytest.approx(0.5)
+        assert alpha(100) == 1.0
+
+    def test_linear_invalid(self):
+        with pytest.raises(ValueError):
+            linear_drift(0)
+
+    def test_abrupt(self):
+        alpha = abrupt_drift(5)
+        assert alpha(4) == 0.0
+        assert alpha(5) == 1.0
+
+    def test_periodic_oscillates(self):
+        alpha = periodic_drift(8)
+        assert alpha(0) == pytest.approx(0.0, abs=1e-9)
+        assert alpha(4) == pytest.approx(1.0, abs=1e-9)
+        assert alpha(8) == pytest.approx(0.0, abs=1e-9)
+
+    def test_periodic_invalid(self):
+        with pytest.raises(ValueError):
+            periodic_drift(1)
+
+
+class TestDriftingStream:
+    def test_batch_shapes_and_clock(self):
+        src, tgt = corpora()
+        stream = DriftingCorpusStream(src, tgt, linear_drift(10), 4, 8, seed=0)
+        x, y = stream.next_batch()
+        assert x.shape == (4, 8) and y.shape == (4, 8)
+        assert np.array_equal(x[:, 1:], y[:, :-1])
+        assert stream.step == 1
+
+    def test_vocab_mismatch_raises(self):
+        src = MarkovChainCorpus(vocab_size=16, seed=0)
+        tgt = MarkovChainCorpus(vocab_size=32, seed=1)
+        with pytest.raises(ValueError):
+            DriftingCorpusStream(src, tgt, linear_drift(10), 4, 8)
+
+    def test_pre_drift_is_pure_source(self):
+        src, tgt = corpora()
+        stream = DriftingCorpusStream(src, tgt, abrupt_drift(100), 2, 12, seed=0)
+        # All early sequences must be source-consistent (finite oracle lp).
+        for _ in range(3):
+            x, _ = stream.next_batch()
+            for row in x:
+                lp = src.sequence_log_prob(row[1:], row[:1])
+                assert np.isfinite(lp)
+
+    def test_post_drift_is_pure_target(self):
+        src, tgt = corpora()
+        stream = DriftingCorpusStream(src, tgt, abrupt_drift(0), 2, 12, seed=0)
+        x, _ = stream.next_batch()
+        for row in x:
+            lp = tgt.sequence_log_prob(row[1:], row[:1])
+            assert np.isfinite(lp)
+
+    def test_batches_iterator_length(self):
+        src, tgt = corpora()
+        stream = DriftingCorpusStream(src, tgt, linear_drift(10), 2, 8)
+        assert len(list(stream.batches(5))) == 5
+
+    def test_reproducible(self):
+        src, tgt = corpora()
+        a = DriftingCorpusStream(src, tgt, linear_drift(5), 2, 8, seed=3)
+        b = DriftingCorpusStream(src, tgt, linear_drift(5), 2, 8, seed=3)
+        xa, _ = a.next_batch()
+        xb, _ = b.next_batch()
+        assert np.array_equal(xa, xb)
+
+
+class TestReplayBuffer:
+    def batch(self, fill):
+        arr = np.full((2, 4), fill, dtype=np.int64)
+        return arr, arr
+
+    def test_capacity_respected(self):
+        buf = ReplayBuffer(capacity=3, seed=0)
+        for i in range(10):
+            buf.add(*self.batch(i))
+        assert len(buf) == 3
+
+    def test_sample_returns_stored(self):
+        buf = ReplayBuffer(capacity=2, seed=0)
+        buf.add(*self.batch(7))
+        x, y = buf.sample()
+        assert np.all(x == 7)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(3).sample()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(0)
+
+    def test_reservoir_keeps_early_items_sometimes(self):
+        # Over many runs, early batches should survive ~capacity/seen.
+        survivals = 0
+        for seed in range(30):
+            buf = ReplayBuffer(capacity=5, seed=seed)
+            for i in range(50):
+                buf.add(*self.batch(i))
+            stored = {int(x[0, 0]) for x, _ in buf._items}
+            if any(v < 10 for v in stored):
+                survivals += 1
+        assert survivals > 5
+
+    def test_add_copies_data(self):
+        buf = ReplayBuffer(2, seed=0)
+        x, y = self.batch(1)
+        buf.add(x, y)
+        x[:] = 99
+        sx, _ = buf.sample()
+        assert np.all(sx == 1)
+
+
+class TestContinualBatches:
+    def test_replay_interleaved(self):
+        src, tgt = corpora()
+        stream = DriftingCorpusStream(src, tgt, linear_drift(10), 2, 8, seed=0)
+        buf = ReplayBuffer(capacity=4, seed=0)
+        batches = list(continual_batches(stream, 8, replay=buf, replay_every=2))
+        # 8 fresh + 4 replayed
+        assert len(batches) == 12
+
+    def test_no_replay(self):
+        src, tgt = corpora()
+        stream = DriftingCorpusStream(src, tgt, linear_drift(10), 2, 8, seed=0)
+        assert len(list(continual_batches(stream, 6))) == 6
+
+    def test_invalid_replay_every(self):
+        src, tgt = corpora()
+        stream = DriftingCorpusStream(src, tgt, linear_drift(10), 2, 8)
+        with pytest.raises(ValueError):
+            list(continual_batches(stream, 2, replay_every=0))

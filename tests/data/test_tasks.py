@@ -1,0 +1,79 @@
+"""Tests for the multiple-choice QA task generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import AdaptationTask, MarkovChainCorpus, MultipleChoiceTask
+
+
+@pytest.fixture
+def task():
+    corpus = MarkovChainCorpus(vocab_size=32, order=2, seed=3)
+    return MultipleChoiceTask(corpus, num_choices=4, prompt_len=10, answer_len=5, seed=3)
+
+
+class TestMultipleChoiceTask:
+    def test_item_structure(self, task):
+        item = task.sample_item(np.random.default_rng(0))
+        assert item.prompt.shape == (10,)
+        assert item.num_choices == 4
+        assert all(c.shape == (5,) for c in item.choices)
+        assert 0 <= item.answer < 4
+
+    def test_true_choice_is_chain_consistent(self, task):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            item = task.sample_item(rng)
+            lp = task.corpus.sequence_log_prob(item.choices[item.answer], item.prompt)
+            assert np.isfinite(lp)
+
+    def test_oracle_beats_chance(self, task):
+        """Scoring by the true chain's likelihood should get most items
+        right — validates that the task is actually solvable."""
+        items = task.dataset(40)
+        correct = 0
+        for item in items:
+            scores = [
+                task.corpus.sequence_log_prob(c, item.prompt) for c in item.choices
+            ]
+            correct += int(np.argmax(scores) == item.answer)
+        assert correct / len(items) > 0.7
+
+    def test_dataset_reproducible(self, task):
+        a = task.dataset(5)
+        b = task.dataset(5)
+        for ia, ib in zip(a, b):
+            assert np.array_equal(ia.prompt, ib.prompt)
+            assert ia.answer == ib.answer
+
+    def test_dataset_seed_override(self, task):
+        a = task.dataset(5, seed=1)
+        b = task.dataset(5, seed=2)
+        assert any(
+            not np.array_equal(ia.prompt, ib.prompt) for ia, ib in zip(a, b)
+        )
+
+    def test_answer_position_varies(self, task):
+        answers = {item.answer for item in task.dataset(40)}
+        assert len(answers) > 1
+
+    def test_invalid_args(self):
+        corpus = MarkovChainCorpus(vocab_size=16, order=2, seed=0)
+        with pytest.raises(ValueError):
+            MultipleChoiceTask(corpus, num_choices=1)
+        with pytest.raises(ValueError):
+            MultipleChoiceTask(corpus, prompt_len=1)
+
+
+class TestAdaptationTask:
+    def test_default_bundle(self):
+        bundle = AdaptationTask.default(vocab_size=16)
+        assert bundle.pretrain_corpus.seed != bundle.adapt_corpus.seed
+        assert bundle.qa.corpus is bundle.adapt_corpus
+
+    def test_languages_differ(self):
+        bundle = AdaptationTask.default(vocab_size=16)
+        ctx = (1, 2)
+        t_pre, _ = bundle.pretrain_corpus.successors(ctx)
+        t_ada, _ = bundle.adapt_corpus.successors(ctx)
+        assert not np.array_equal(t_pre, t_ada)

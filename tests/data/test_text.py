@@ -1,0 +1,121 @@
+"""Tests for the char tokenizer and the synthetic facts corpus."""
+
+import numpy as np
+import pytest
+
+from repro.data import CharTokenizer, FactsCorpus, pseudo_word
+
+
+class TestCharTokenizer:
+    def test_roundtrip(self):
+        tok = CharTokenizer("abc:;")
+        text = "ab:c;a"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_unknown_char_raises(self):
+        tok = CharTokenizer("ab")
+        with pytest.raises(ValueError):
+            tok.encode("abc")
+
+    def test_duplicate_alphabet_raises(self):
+        with pytest.raises(ValueError):
+            CharTokenizer("aab")
+
+    def test_empty_alphabet_raises(self):
+        with pytest.raises(ValueError):
+            CharTokenizer("")
+
+    def test_from_texts(self):
+        tok = CharTokenizer.from_texts(["hello", "world"])
+        assert set(tok.alphabet) == set("helowrd")
+        assert tok.decode(tok.encode("low")) == "low"
+
+    def test_vocab_size(self):
+        assert CharTokenizer("abcd").vocab_size == 4
+
+
+class TestPseudoWord:
+    def test_structure(self):
+        word = pseudo_word(np.random.default_rng(0), syllables=3)
+        assert len(word) == 6
+
+    def test_seeded(self):
+        a = pseudo_word(np.random.default_rng(5))
+        b = pseudo_word(np.random.default_rng(5))
+        assert a == b
+
+
+class TestFactsCorpus:
+    def test_fact_count_and_determinism(self):
+        a = FactsCorpus(n_facts=10, seed=3)
+        b = FactsCorpus(n_facts=10, seed=3)
+        assert len(a.facts) == 10
+        assert a.facts == b.facts
+
+    def test_different_seeds_different_facts(self):
+        a = FactsCorpus(n_facts=10, seed=0)
+        b = FactsCorpus(n_facts=10, seed=1)
+        assert a.facts != b.facts
+
+    def test_render_template(self):
+        corpus = FactsCorpus(n_facts=3, seed=0)
+        key = next(iter(corpus.facts))
+        line = corpus.render(key)
+        assert line == f"Q:{key}=A:{corpus.facts[key]};"
+
+    def test_sample_protocol(self):
+        corpus = FactsCorpus(n_facts=5, seed=0)
+        stream = corpus.sample(100, np.random.default_rng(0))
+        assert stream.shape == (100,)
+        assert stream.max() < corpus.vocab_size
+
+    def test_sample_decodes_to_fact_lines(self):
+        corpus = FactsCorpus(n_facts=5, seed=0)
+        text = corpus.tokenizer.decode(
+            corpus.sample(120, np.random.default_rng(0))
+        )
+        assert text.startswith("Q:")
+        assert "=A:" in text
+
+    def test_prompt_for(self):
+        corpus = FactsCorpus(n_facts=5, seed=0)
+        key = next(iter(corpus.facts))
+        prompt_ids, answer = corpus.prompt_for(key)
+        assert corpus.tokenizer.decode(prompt_ids) == f"Q:{key}=A:"
+        assert answer == corpus.facts[key]
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            FactsCorpus(n_facts=3, seed=0).prompt_for("zzzz")
+
+    def test_invalid_n_facts(self):
+        with pytest.raises(ValueError):
+            FactsCorpus(n_facts=0)
+
+    def test_works_with_lm_batches(self):
+        from repro.data import lm_batches
+
+        corpus = FactsCorpus(n_facts=5, seed=0)
+        x, y = next(lm_batches(corpus, 2, 16, 1, np.random.default_rng(0)))
+        assert x.shape == (2, 16)
+        assert np.array_equal(x[:, 1:], y[:, :-1])
+
+    def test_model_learns_facts(self):
+        """A small model memorizes the facts and recalls them greedily."""
+        from repro.data import lm_batches
+        from repro.nn import AdamW, TransformerConfig, TransformerLM
+        from repro.tensor import cross_entropy
+
+        corpus = FactsCorpus(n_facts=6, seed=0)
+        model = TransformerLM(TransformerConfig(
+            vocab_size=corpus.vocab_size, dim=48, num_layers=3,
+            num_heads=4, max_len=64, seed=0,
+        ))
+        rng = np.random.default_rng(0)
+        opt = AdamW(model.parameters(), lr=3e-3)
+        for inputs, targets in lm_batches(corpus, 8, 32, 120, rng):
+            loss = cross_entropy(model(inputs), targets)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert corpus.recall_accuracy(model) >= 0.5

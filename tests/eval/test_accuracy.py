@@ -1,0 +1,57 @@
+"""Tests for multiple-choice accuracy scoring."""
+
+import numpy as np
+import pytest
+
+from repro.data import MultipleChoiceTask
+from repro.eval import (
+    choice_log_likelihood,
+    model_choice_accuracy,
+    multiple_choice_accuracy,
+)
+from repro.tensor import Tensor
+
+from ..conftest import VOCAB
+
+
+@pytest.fixture
+def qa_pretrain(pretrain_corpus):
+    return MultipleChoiceTask(
+        pretrain_corpus, num_choices=4, prompt_len=10, answer_len=5, seed=11
+    )
+
+
+class TestAccuracy:
+    def test_uniform_model_near_chance(self, qa_pretrain):
+        def uniform(ids):
+            return Tensor(np.zeros((*ids.shape, VOCAB), dtype=np.float32))
+
+        acc = multiple_choice_accuracy(uniform, qa_pretrain.dataset(40))
+        assert 0.0 <= acc <= 0.55  # 4 choices -> chance is 0.25
+
+    def test_pretrained_model_beats_chance_on_its_language(
+        self, pretrained_model, qa_pretrain
+    ):
+        acc = model_choice_accuracy(pretrained_model, qa_pretrain.dataset(40))
+        assert acc > 0.4
+
+    def test_pretrained_model_near_chance_on_shifted_language(
+        self, pretrained_model, adapt_corpus
+    ):
+        qa_shift = MultipleChoiceTask(
+            adapt_corpus, num_choices=4, prompt_len=10, answer_len=5, seed=11
+        )
+        acc = model_choice_accuracy(pretrained_model, qa_shift.dataset(40))
+        assert acc < 0.6
+
+    def test_empty_dataset_raises(self, pretrained_model):
+        with pytest.raises(ValueError):
+            model_choice_accuracy(pretrained_model, [])
+
+    def test_choice_log_likelihood_finite(self, pretrained_model, qa_pretrain):
+        item = qa_pretrain.dataset(1)[0]
+        ll = choice_log_likelihood(
+            lambda ids: pretrained_model(ids), item.prompt, item.choices[0]
+        )
+        assert np.isfinite(ll)
+        assert ll < 0.0

@@ -1,0 +1,107 @@
+"""Tests for token accuracy, ECE and the metrics logger."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    expected_calibration_error,
+    model_calibration,
+    token_predictions,
+)
+from repro.utils import MetricsLogger
+
+
+class TestTokenPredictions:
+    def test_shapes(self):
+        logits = np.random.default_rng(0).standard_normal((2, 5, 8))
+        targets = np.zeros((2, 5), dtype=np.int64)
+        conf, correct = token_predictions(logits, targets)
+        assert conf.shape == (10,)
+        assert correct.shape == (10,)
+        assert np.all((conf > 0) & (conf <= 1))
+
+    def test_perfect_predictions(self):
+        logits = np.full((1, 3, 4), -10.0)
+        targets = np.array([[0, 1, 2]])
+        for i, t in enumerate(targets[0]):
+            logits[0, i, t] = 10.0
+        conf, correct = token_predictions(logits, targets)
+        assert np.all(correct == 1.0)
+        assert np.all(conf > 0.99)
+
+
+class TestECE:
+    def test_perfectly_calibrated_is_zero(self):
+        rng = np.random.default_rng(0)
+        conf = np.full(20000, 0.7)
+        correct = (rng.random(20000) < 0.7).astype(float)
+        assert expected_calibration_error(conf, correct) < 0.02
+
+    def test_overconfident_is_large(self):
+        conf = np.full(1000, 0.99)
+        correct = np.full(1000, 0.5)
+        correct[:500] = 1.0
+        correct[500:] = 0.0
+        assert expected_calibration_error(conf, correct) > 0.4
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.ones(3), np.ones(4))
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.ones(3), np.ones(3), n_bins=0)
+
+    def test_bounded_by_one(self):
+        conf = np.array([1.0, 1.0])
+        correct = np.array([0.0, 0.0])
+        assert 0.0 <= expected_calibration_error(conf, correct) <= 1.0
+
+
+class TestModelCalibration:
+    def test_report_keys_and_ranges(self, pretrained_model, pretrain_corpus):
+        report = model_calibration(
+            lambda ids: pretrained_model(ids), pretrain_corpus, num_batches=2
+        )
+        assert set(report) == {"token_accuracy", "mean_confidence", "ece"}
+        assert 0.0 <= report["token_accuracy"] <= 1.0
+        assert 0.0 <= report["ece"] <= 1.0
+
+    def test_trained_model_beats_chance_token_accuracy(
+        self, pretrained_model, pretrain_corpus
+    ):
+        report = model_calibration(
+            lambda ids: pretrained_model(ids), pretrain_corpus, num_batches=2
+        )
+        assert report["token_accuracy"] > 2.0 / 32
+
+
+class TestMetricsLogger:
+    def test_in_memory_series(self):
+        logger = MetricsLogger()
+        logger.log(0, loss=1.0, ppl=10.0)
+        logger.log(1, loss=0.5)
+        assert logger.series("loss") == [1.0, 0.5]
+        assert logger.series("ppl") == [10.0]
+        assert logger.last("loss") == 0.5
+
+    def test_missing_metric_raises(self):
+        with pytest.raises(KeyError):
+            MetricsLogger().last("nope")
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run" / "metrics.jsonl")
+        logger = MetricsLogger(path)
+        logger.log(0, loss=np.float32(1.5))
+        logger.log(1, loss=0.75, tags=["a", "b"])
+        loaded = MetricsLogger.load(path)
+        assert loaded.series("loss") == [1.5, 0.75]
+        assert loaded.rows[1]["tags"] == ["a", "b"]
+
+    def test_truncates_previous_run(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        first = MetricsLogger(path)
+        first.log(0, loss=1.0)
+        second = MetricsLogger(path)
+        second.log(0, loss=2.0)
+        assert MetricsLogger.load(path).series("loss") == [2.0]

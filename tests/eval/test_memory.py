@@ -1,0 +1,98 @@
+"""Tests for the analytical memory model."""
+
+import pytest
+
+from repro.eval import (
+    block_activation_floats,
+    block_param_count,
+    model_weight_bytes,
+    training_memory_report,
+)
+from repro.nn import TransformerConfig, TransformerLM
+
+CFG = TransformerConfig(vocab_size=64, dim=64, num_layers=8, num_heads=4, max_len=128)
+
+
+class TestBlockCounts:
+    def test_block_param_count_matches_real_model(self):
+        model = TransformerLM(CFG)
+        block = model.blocks[0]
+        actual = sum(p.size for _, p in block.named_parameters())
+        assert block_param_count(CFG) == actual
+
+    def test_activation_floats_scale_with_batch(self):
+        a = block_activation_floats(CFG, batch=1, seq=32)
+        b = block_activation_floats(CFG, batch=4, seq=32)
+        assert b == 4 * a
+
+    def test_activation_floats_superlinear_in_seq(self):
+        """Attention matrices make activations grow faster than linear."""
+        a = block_activation_floats(CFG, batch=1, seq=32)
+        b = block_activation_floats(CFG, batch=1, seq=64)
+        assert b > 2 * a
+
+
+class TestWeightBytes:
+    def test_uncompressed_is_fp16(self):
+        total = model_weight_bytes(CFG)
+        expected_block_bits = block_param_count(CFG) * 16 * CFG.num_layers
+        embed_bits = CFG.vocab_size * CFG.dim * 16
+        assert total == (expected_block_bits + embed_bits) // 8
+
+    def test_quantization_shrinks(self):
+        q4 = model_weight_bytes(CFG, bits_per_block={i: 4 for i in range(8)})
+        assert q4 < model_weight_bytes(CFG) * 0.5
+
+    def test_sparsity_shrinks_with_index_overhead(self):
+        sparse = model_weight_bytes(
+            CFG, sparsity_per_block={i: 0.5 for i in range(8)}
+        )
+        dense = model_weight_bytes(CFG)
+        assert sparse < dense
+        # Index bits mean it is not a full 2x reduction.
+        assert sparse > dense * 0.4
+
+    def test_untied_embeddings_cost_double(self):
+        untied = TransformerConfig(
+            vocab_size=64, dim=64, num_layers=8, num_heads=4, tie_embeddings=False
+        )
+        assert model_weight_bytes(untied) > model_weight_bytes(CFG)
+
+    def test_invalid_sparsity_raises(self):
+        with pytest.raises(ValueError):
+            model_weight_bytes(CFG, sparsity_per_block={0: 1.5})
+
+
+class TestTrainingMemoryReport:
+    def test_activation_memory_scales_with_grad_blocks(self):
+        full = training_memory_report(CFG, 4, 32, grad_blocks=8, trainable_params=1000)
+        window = training_memory_report(CFG, 4, 32, grad_blocks=2, trainable_params=1000)
+        assert full.activation_bytes == 4 * window.activation_bytes
+
+    def test_optimizer_bytes_follow_floats_per_param(self):
+        adam = training_memory_report(
+            CFG, 4, 32, grad_blocks=2, trainable_params=1000,
+            optimizer_floats_per_param=2.0,
+        )
+        sgd = training_memory_report(
+            CFG, 4, 32, grad_blocks=2, trainable_params=1000,
+            optimizer_floats_per_param=0.0,
+        )
+        assert adam.optimizer_bytes == 8000
+        assert sgd.optimizer_bytes == 0
+
+    def test_total_is_sum_of_parts(self):
+        report = training_memory_report(CFG, 4, 32, grad_blocks=4, trainable_params=500)
+        assert report.total_bytes == sum(
+            v for k, v in report.as_dict().items() if k != "total"
+        )
+
+    def test_invalid_grad_blocks_raises(self):
+        with pytest.raises(ValueError):
+            training_memory_report(CFG, 4, 32, grad_blocks=9, trainable_params=0)
+
+    def test_custom_weight_bytes_passthrough(self):
+        report = training_memory_report(
+            CFG, 4, 32, grad_blocks=1, trainable_params=0, weight_bytes=1234
+        )
+        assert report.weight_bytes == 1234

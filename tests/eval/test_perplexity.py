@@ -1,0 +1,47 @@
+"""Tests for perplexity evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.data import MarkovChainCorpus
+from repro.eval import model_perplexity, perplexity
+from repro.nn import TransformerConfig, TransformerLM
+from repro.tensor import Tensor
+
+from ..conftest import VOCAB, small_config
+
+
+class TestPerplexity:
+    def test_uniform_logits_give_vocab_perplexity(self, pretrain_corpus):
+        def uniform(ids):
+            return Tensor(np.zeros((*ids.shape, VOCAB), dtype=np.float32))
+
+        ppl = perplexity(uniform, pretrain_corpus, num_batches=2)
+        assert ppl == pytest.approx(VOCAB, rel=1e-4)
+
+    def test_pretrained_beats_uniform(self, pretrained_model, pretrain_corpus):
+        ppl = model_perplexity(pretrained_model, pretrain_corpus, num_batches=3)
+        assert ppl < VOCAB * 0.7
+
+    def test_pretrained_worse_on_shifted_language(
+        self, pretrained_model, pretrain_corpus, adapt_corpus
+    ):
+        """Domain shift: the adaptation corpus must be genuinely harder."""
+        ppl_in = model_perplexity(pretrained_model, pretrain_corpus, num_batches=3)
+        ppl_out = model_perplexity(pretrained_model, adapt_corpus, num_batches=3)
+        assert ppl_out > ppl_in * 1.3
+
+    def test_perplexity_above_entropy_floor(self, pretrained_model, pretrain_corpus):
+        floor = np.exp(pretrain_corpus.entropy_rate_estimate())
+        ppl = model_perplexity(pretrained_model, pretrain_corpus, num_batches=3)
+        assert ppl >= floor * 0.95
+
+    def test_deterministic_given_seed(self, pretrained_model, pretrain_corpus):
+        a = model_perplexity(pretrained_model, pretrain_corpus, num_batches=2, seed=7)
+        b = model_perplexity(pretrained_model, pretrain_corpus, num_batches=2, seed=7)
+        assert a == b
+
+    def test_restores_training_mode(self, pretrained_model, pretrain_corpus):
+        pretrained_model.train()
+        model_perplexity(pretrained_model, pretrain_corpus, num_batches=1)
+        assert pretrained_model.training

@@ -1,0 +1,145 @@
+"""Tests for the accelerator spec, schedules and the analytical cost model."""
+
+import math
+
+import pytest
+
+from repro.hw import (
+    AcceleratorSpec,
+    GEMMWorkload,
+    Schedule,
+    enumerate_schedules,
+    gemm_cost,
+    heuristic_schedule,
+    objective_value,
+)
+
+ACC = AcceleratorSpec()
+G = GEMMWorkload("g", 256, 128, 128, bits=8)
+
+
+class TestAcceleratorSpec:
+    def test_macs_per_cycle(self):
+        assert ACC.macs_per_cycle == 256
+
+    def test_bit_cycles_scaling(self):
+        assert ACC.bit_cycles(16) == 2.0
+        assert ACC.bit_cycles(4) == 0.5
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec(pe_rows=0)
+        with pytest.raises(ValueError):
+            AcceleratorSpec(sparse_efficiency=2.0)
+        with pytest.raises(ValueError):
+            AcceleratorSpec(sram_bytes=0)
+
+
+class TestSchedule:
+    def test_tile_bytes(self):
+        s = Schedule(16, 16, 64, double_buffer=False)
+        expected = 16 * 64 + 64 * 16 + 16 * 16 * 4  # 8-bit A/B, 32-bit C
+        assert s.tile_sram_bytes(bits=8) == expected
+
+    def test_double_buffer_doubles(self):
+        single = Schedule(16, 16, 64, double_buffer=False).tile_sram_bytes(8)
+        double = Schedule(16, 16, 64, double_buffer=True).tile_sram_bytes(8)
+        assert double == 2 * single
+
+    def test_fits(self):
+        tiny = AcceleratorSpec(sram_bytes=1024)
+        assert Schedule(8, 8, 8, double_buffer=False).fits(tiny, 8)
+        assert not Schedule(256, 256, 256).fits(tiny, 8)
+
+    def test_invalid_schedule(self):
+        with pytest.raises(ValueError):
+            Schedule(0, 8, 8)
+        with pytest.raises(ValueError):
+            Schedule(8, 8, 8, dataflow="bogus")
+
+    def test_enumeration_only_feasible(self):
+        tiny = AcceleratorSpec(sram_bytes=4096)
+        for s in enumerate_schedules(G, tiny):
+            assert s.fits(tiny, G.bits)
+
+    def test_heuristic_always_fits(self):
+        tiny = AcceleratorSpec(sram_bytes=2048)
+        s = heuristic_schedule(G, tiny)
+        assert s.fits(tiny, G.bits)
+
+
+class TestGemmCost:
+    def schedule(self, **kw):
+        defaults = dict(tile_m=16, tile_n=16, tile_k=64,
+                        dataflow="weight_stationary", double_buffer=True)
+        defaults.update(kw)
+        return Schedule(**defaults)
+
+    def test_compute_cycles_formula(self):
+        s = self.schedule()
+        report = gemm_cost(G, s, ACC)
+        tiles = math.ceil(256 / 16) * math.ceil(128 / 16) * math.ceil(128 / 64)
+        assert report.compute_cycles == pytest.approx(tiles * 64 * 1.0)
+
+    def test_infeasible_schedule_raises(self):
+        tiny = AcceleratorSpec(sram_bytes=256)
+        with pytest.raises(ValueError):
+            gemm_cost(G, self.schedule(), tiny)
+
+    def test_lower_bits_fewer_cycles(self):
+        s = self.schedule()
+        c16 = gemm_cost(GEMMWorkload("g", 256, 128, 128, bits=16), s, ACC)
+        c4 = gemm_cost(GEMMWorkload("g", 256, 128, 128, bits=4), s, ACC)
+        assert c4.compute_cycles < c16.compute_cycles / 2
+
+    def test_sparsity_reduces_compute(self):
+        s = self.schedule()
+        dense = gemm_cost(GEMMWorkload("g", 256, 128, 128, sparsity=0.0), s, ACC)
+        sparse = gemm_cost(GEMMWorkload("g", 256, 128, 128, sparsity=0.5), s, ACC)
+        keep = 1 - 0.5 * ACC.sparse_efficiency
+        assert sparse.compute_cycles == pytest.approx(dense.compute_cycles * keep)
+
+    def test_double_buffer_overlaps(self):
+        overlapped = gemm_cost(G, self.schedule(double_buffer=True), ACC)
+        serial_schedule = self.schedule(double_buffer=False)
+        serial = gemm_cost(G, serial_schedule, ACC)
+        assert overlapped.cycles == pytest.approx(
+            max(overlapped.compute_cycles, overlapped.dram_cycles)
+        )
+        assert serial.cycles == pytest.approx(
+            serial.compute_cycles + serial.dram_cycles
+        )
+
+    def test_small_tiles_underutilize(self):
+        good = gemm_cost(G, self.schedule(tile_m=16, tile_n=16), ACC)
+        bad = gemm_cost(G, self.schedule(tile_m=8, tile_n=8), ACC)
+        assert bad.utilization < good.utilization
+
+    def test_utilization_bounded(self):
+        for s in [self.schedule(), self.schedule(tile_m=8)]:
+            r = gemm_cost(G, s, ACC)
+            assert 0.0 < r.utilization <= 1.0
+
+    def test_output_stationary_writes_c_once(self):
+        ws = gemm_cost(G, self.schedule(dataflow="weight_stationary", tile_k=16), ACC)
+        os = gemm_cost(G, self.schedule(dataflow="output_stationary", tile_k=16), ACC)
+        # With many K tiles, weight-stationary re-spills partial sums.
+        assert os.dram_bytes < ws.dram_bytes
+
+    def test_energy_positive_and_monotone_in_bits(self):
+        s = self.schedule()
+        e4 = gemm_cost(GEMMWorkload("g", 256, 128, 128, bits=4), s, ACC).energy_pj
+        e16 = gemm_cost(GEMMWorkload("g", 256, 128, 128, bits=16), s, ACC).energy_pj
+        assert 0 < e4 < e16
+
+    def test_latency_seconds(self):
+        r = gemm_cost(G, self.schedule(), ACC)
+        assert r.latency_seconds(ACC) == pytest.approx(r.cycles / ACC.frequency_hz)
+
+    def test_objective_values(self):
+        r = gemm_cost(G, self.schedule(), ACC)
+        assert objective_value(r, "latency") == r.cycles
+        assert objective_value(r, "energy") == r.energy_pj
+        assert objective_value(r, "edp") == r.cycles * r.energy_pj
+        with pytest.raises(ValueError):
+            objective_value(r, "bogus")

@@ -1,0 +1,103 @@
+"""Property-based invariants of the hardware cost model."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.hw import (
+    AcceleratorSpec,
+    GEMMWorkload,
+    Schedule,
+    enumerate_schedules,
+    gemm_cost,
+    heuristic_schedule,
+)
+
+ACC = AcceleratorSpec()
+
+dims = st.integers(8, 512)
+bits_st = st.sampled_from([2, 4, 8, 16])
+tile = st.sampled_from([8, 16, 32, 64])
+dataflow = st.sampled_from(
+    ["weight_stationary", "output_stationary", "input_stationary"]
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=dims, k=dims, n=dims, bits=bits_st,
+       sparsity=st.floats(0.0, 0.9),
+       tm=tile, tn=tile, tk=tile, df=dataflow, db=st.booleans())
+def test_cost_report_invariants(m, k, n, bits, sparsity, tm, tn, tk, df, db):
+    workload = GEMMWorkload("g", m, k, n, bits=bits, sparsity=sparsity)
+    schedule = Schedule(tm, tn, tk, df, db)
+    assume(schedule.fits(ACC, bits))
+    report = gemm_cost(workload, schedule, ACC)
+    assert report.cycles > 0
+    assert report.compute_cycles > 0
+    assert report.dram_bytes > 0
+    assert report.energy_pj > 0
+    assert 0.0 < report.utilization <= 1.0
+    if db:
+        assert report.cycles == max(report.compute_cycles, report.dram_cycles)
+    else:
+        assert report.cycles == report.compute_cycles + report.dram_cycles
+
+
+@settings(max_examples=25, deadline=None)
+@given(m=dims, k=dims, n=dims, tm=tile, tn=tile, tk=tile, df=dataflow)
+def test_more_bits_never_cheaper_compute(m, k, n, tm, tn, tk, df):
+    schedule = Schedule(tm, tn, tk, df, True)
+    costs = []
+    for bits in (2, 4, 8, 16):
+        workload = GEMMWorkload("g", m, k, n, bits=bits)
+        assume(schedule.fits(ACC, bits))
+        costs.append(gemm_cost(workload, schedule, ACC).compute_cycles)
+    assert all(a <= b + 1e-9 for a, b in zip(costs, costs[1:]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(m=dims, k=dims, n=dims, tm=tile, tn=tile, tk=tile)
+def test_sparsity_monotone(m, k, n, tm, tn, tk):
+    schedule = Schedule(tm, tn, tk, "weight_stationary", True)
+    assume(schedule.fits(ACC, 8))
+    prev = np.inf
+    for sparsity in (0.0, 0.3, 0.6, 0.9):
+        workload = GEMMWorkload("g", m, k, n, bits=8, sparsity=sparsity)
+        cycles = gemm_cost(workload, schedule, ACC).compute_cycles
+        assert cycles <= prev + 1e-9
+        prev = cycles
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=dims, k=dims, n=dims, bits=bits_st)
+def test_heuristic_always_feasible(m, k, n, bits):
+    workload = GEMMWorkload("g", m, k, n, bits=bits)
+    schedule = heuristic_schedule(workload, ACC)
+    assert schedule.fits(ACC, bits)
+    report = gemm_cost(workload, schedule, ACC)
+    assert report.cycles > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(m=st.integers(8, 128), k=st.integers(8, 128), n=st.integers(8, 128))
+def test_enumeration_contains_only_feasible(m, k, n):
+    workload = GEMMWorkload("g", m, k, n, bits=8)
+    tiny = AcceleratorSpec(sram_bytes=8 * 1024)
+    schedules = list(enumerate_schedules(workload, tiny))
+    assert schedules, "at least one schedule must fit"
+    assert all(s.fits(tiny, 8) for s in schedules)
+
+
+@settings(max_examples=15, deadline=None)
+@given(m=dims, k=dims, n=dims, scale=st.integers(2, 4))
+def test_compute_scales_with_work(m, k, n, scale):
+    """Scaling M multiplies ideal compute proportionally."""
+    schedule = Schedule(16, 16, 64, "weight_stationary", True)
+    small = GEMMWorkload("g", m, k, n, bits=8)
+    big = GEMMWorkload("g", m * scale, k, n, bits=8)
+    assume(schedule.fits(ACC, 8))
+    c_small = gemm_cost(small, schedule, ACC).compute_cycles
+    c_big = gemm_cost(big, schedule, ACC).compute_cycles
+    ratio = c_big / c_small
+    # Tiling ceil effects allow slack but the trend must hold.
+    assert scale * 0.5 <= ratio <= scale * 2.0

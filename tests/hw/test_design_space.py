@@ -1,0 +1,81 @@
+"""Tests for accelerator design-space exploration."""
+
+import pytest
+
+from repro.hw import (
+    AcceleratorSpec,
+    GEMMWorkload,
+    default_design_space,
+    pareto_front,
+    sweep_designs,
+)
+
+GEMMS = [
+    GEMMWorkload("a", 256, 64, 64, bits=4, sparsity=0.3),
+    GEMMWorkload("b", 256, 64, 176, bits=4),
+    GEMMWorkload("c", 256, 64, 64, bits=16),
+]
+
+
+class TestSweep:
+    def test_default_space_size(self):
+        assert len(default_design_space()) == 3 * 2 * 2
+
+    def test_sweep_evaluates_all(self):
+        points = sweep_designs(GEMMS, strategy="heuristic")
+        assert len(points) == len(default_design_space())
+        assert all(p.cycles > 0 and p.energy_pj > 0 for p in points)
+
+    def test_custom_designs(self):
+        designs = [("tiny", AcceleratorSpec(pe_rows=8, pe_cols=8))]
+        points = sweep_designs(GEMMS, designs=designs, strategy="heuristic")
+        assert len(points) == 1
+        assert points[0].name == "tiny"
+
+    def test_empty_design_space_raises(self):
+        with pytest.raises(ValueError):
+            sweep_designs(GEMMS, designs=[])
+
+    def test_bigger_array_not_slower_with_search(self):
+        designs = [
+            ("small", AcceleratorSpec(pe_rows=8, pe_cols=8)),
+            ("big", AcceleratorSpec(pe_rows=32, pe_cols=32)),
+        ]
+        points = {p.name: p for p in sweep_designs(GEMMS, designs=designs)}
+        assert points["big"].cycles <= points["small"].cycles
+
+
+class TestParetoFront:
+    def test_front_is_subset_and_sorted(self):
+        points = sweep_designs(GEMMS, strategy="heuristic")
+        front = pareto_front(points)
+        assert front
+        assert all(p in points for p in front)
+        cycles = [p.cycles for p in front]
+        assert cycles == sorted(cycles)
+
+    def test_no_front_point_dominated(self):
+        points = sweep_designs(GEMMS, strategy="heuristic")
+        front = pareto_front(points)
+        for p in front:
+            for q in points:
+                strictly_better = (
+                    q.cycles <= p.cycles
+                    and q.energy_pj <= p.energy_pj
+                    and (q.cycles < p.cycles or q.energy_pj < p.energy_pj)
+                )
+                assert not strictly_better
+
+    def test_every_point_dominated_by_someone_on_front(self):
+        points = sweep_designs(GEMMS, strategy="heuristic")
+        front = pareto_front(points)
+        for p in points:
+            assert any(
+                q.cycles <= p.cycles and q.energy_pj <= p.energy_pj
+                for q in front
+            )
+
+    def test_single_point_front(self):
+        designs = [("only", AcceleratorSpec())]
+        points = sweep_designs(GEMMS, designs=designs, strategy="heuristic")
+        assert pareto_front(points) == points

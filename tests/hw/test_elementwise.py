@@ -1,0 +1,100 @@
+"""Tests for memory-bound elementwise op costing."""
+
+import pytest
+
+from repro.hw import (
+    AcceleratorSpec,
+    EDGE_GPU_LIKE,
+    ElementwiseWorkload,
+    block_elementwise_workloads,
+    elementwise_cycles,
+    iteration_elementwise_cycles,
+    schedule_workloads,
+    tuning_iteration_workload,
+)
+from repro.nn import TransformerConfig
+
+CFG = TransformerConfig(vocab_size=64, dim=64, num_layers=8, num_heads=4,
+                        max_len=128)
+
+
+class TestElementwiseWorkload:
+    def test_cycles_bandwidth_bound(self):
+        w = ElementwiseWorkload("x", bytes_moved=1600.0)
+        accel = AcceleratorSpec(dram_bytes_per_cycle=16.0)
+        assert elementwise_cycles(w, accel) == pytest.approx(100.0)
+
+    def test_invalid_traffic(self):
+        with pytest.raises(ValueError):
+            ElementwiseWorkload("x", bytes_moved=0.0)
+
+    def test_halving_bandwidth_doubles_cycles(self):
+        w = ElementwiseWorkload("x", bytes_moved=1000.0)
+        fast = AcceleratorSpec(dram_bytes_per_cycle=16.0)
+        slow = AcceleratorSpec(dram_bytes_per_cycle=8.0)
+        assert elementwise_cycles(w, slow) == pytest.approx(
+            2 * elementwise_cycles(w, fast)
+        )
+
+
+class TestBlockWorkloads:
+    def test_four_op_groups(self):
+        ws = block_elementwise_workloads(CFG, 4, 32, 0)
+        names = {w.name.split(".")[-1] for w in ws}
+        assert names == {"norms", "softmax", "swiglu", "residuals"}
+
+    def test_backward_heavier(self):
+        fwd = sum(w.bytes_moved for w in block_elementwise_workloads(CFG, 4, 32, 0))
+        bwd = sum(
+            w.bytes_moved
+            for w in block_elementwise_workloads(CFG, 4, 32, 0, backward=True)
+        )
+        assert bwd > fwd
+
+    def test_softmax_quadratic_in_seq(self):
+        def softmax_bytes(seq):
+            ws = block_elementwise_workloads(CFG, 1, seq, 0)
+            return next(w for w in ws if "softmax" in w.name).bytes_moved
+
+        assert softmax_bytes(64) == pytest.approx(4 * softmax_bytes(32))
+
+
+class TestIterationCycles:
+    def test_scales_with_blocks(self):
+        short = iteration_elementwise_cycles(CFG, EDGE_GPU_LIKE, 4, 32, 4, 2)
+        full = iteration_elementwise_cycles(CFG, EDGE_GPU_LIKE, 4, 32, 8, 0)
+        assert full > short
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            iteration_elementwise_cycles(CFG, EDGE_GPU_LIKE, 4, 32, 9, 0)
+
+    def test_amdahl_effect(self):
+        """Compression shrinks GEMM cycles but not the elementwise floor,
+        so the end-to-end speedup is smaller than GEMM-only predicts."""
+        dense_gemm = schedule_workloads(
+            tuning_iteration_workload(CFG, 8, 32, 8, 0),
+            EDGE_GPU_LIKE, strategy="heuristic",
+        ).cycles
+        comp_gemm = schedule_workloads(
+            tuning_iteration_workload(
+                CFG, 8, 32, 8, 0,
+                bits_per_block={i: 2 for i in range(8)},
+                sparsity_per_block={i: 0.5 for i in range(8)},
+            ),
+            EDGE_GPU_LIKE, strategy="heuristic",
+        ).cycles
+        ew = iteration_elementwise_cycles(CFG, EDGE_GPU_LIKE, 8, 32, 8, 0)
+        gemm_only_speedup = dense_gemm / comp_gemm
+        end_to_end_speedup = (dense_gemm + ew) / (comp_gemm + ew)
+        assert end_to_end_speedup < gemm_only_speedup
+        assert end_to_end_speedup > 1.0
+
+    def test_elementwise_is_minor_but_nonzero_share(self):
+        gemm = schedule_workloads(
+            tuning_iteration_workload(CFG, 8, 32, 8, 0),
+            EDGE_GPU_LIKE, strategy="heuristic",
+        ).cycles
+        ew = iteration_elementwise_cycles(CFG, EDGE_GPU_LIKE, 8, 32, 8, 0)
+        share = ew / (gemm + ew)
+        assert 0.005 < share < 0.5

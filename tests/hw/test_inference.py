@@ -1,0 +1,99 @@
+"""Tests for inference-phase workloads (prefill / decode / voting)."""
+
+import pytest
+
+from repro.hw import (
+    EDGE_GPU_LIKE,
+    decode_step_workload,
+    generation_cost,
+    prefill_workload,
+    total_macs,
+    voting_overhead_workload,
+)
+from repro.nn import TransformerConfig
+
+CFG = TransformerConfig(vocab_size=64, dim=64, num_layers=4, num_heads=4,
+                        max_len=256)
+
+
+class TestPrefill:
+    def test_covers_all_blocks_and_head(self):
+        gemms = prefill_workload(CFG, batch=2, prompt_len=16)
+        names = {g.name.split(".")[0] for g in gemms}
+        assert names == {"block0", "block1", "block2", "block3", "head"}
+
+    def test_compression_applied(self):
+        gemms = prefill_workload(
+            CFG, 2, 16, bits_per_block={0: 4}, sparsity_per_block={0: 0.5}
+        )
+        q0 = next(g for g in gemms if g.name == "block0.q")
+        assert q0.bits == 4 and q0.sparsity == 0.5
+
+    def test_scales_with_prompt(self):
+        short = total_macs(prefill_workload(CFG, 1, 8))
+        long = total_macs(prefill_workload(CFG, 1, 32))
+        assert long > 3.9 * short  # superlinear due to attention
+
+
+class TestDecodeStep:
+    def test_single_token_projections(self):
+        gemms = decode_step_workload(CFG, batch=2, context_len=10)
+        q = next(g for g in gemms if g.name == "block0.q")
+        assert q.m == 2  # one token per sequence
+
+    def test_attention_scales_with_context(self):
+        short = total_macs(decode_step_workload(CFG, 1, context_len=8))
+        long = total_macs(decode_step_workload(CFG, 1, context_len=128))
+        assert long > short
+
+    def test_invalid_context(self):
+        with pytest.raises(ValueError):
+            decode_step_workload(CFG, 1, context_len=0)
+
+    def test_decode_much_cheaper_than_prefill(self):
+        prefill = total_macs(prefill_workload(CFG, 1, 64))
+        step = total_macs(decode_step_workload(CFG, 1, 64))
+        assert step < prefill / 16
+
+
+class TestVotingOverhead:
+    def test_one_gemm_per_intermediate_exit(self):
+        gemms = voting_overhead_workload(CFG, 1, 16, exit_points=[1, 2, 4])
+        # Exit 4 == final head, already computed.
+        assert len(gemms) == 2
+        assert all(g.n == CFG.vocab_size for g in gemms)
+
+    def test_empty_when_only_final(self):
+        assert voting_overhead_workload(CFG, 1, 16, [CFG.num_layers]) == []
+
+    def test_overhead_small_vs_prefill(self):
+        overhead = total_macs(voting_overhead_workload(CFG, 1, 16, [1, 2]))
+        prefill = total_macs(prefill_workload(CFG, 1, 16))
+        assert overhead < prefill * 0.2
+
+
+class TestGenerationCost:
+    def test_components_sum(self):
+        cost = generation_cost(
+            CFG, EDGE_GPU_LIKE, batch=1, prompt_len=8, new_tokens=4,
+            exit_points=[1, 2], strategy="heuristic",
+        )
+        assert cost["total_cycles"] == pytest.approx(
+            cost["prefill_cycles"] + cost["decode_cycles"] + cost["voting_cycles"]
+        )
+
+    def test_compression_reduces_cost(self):
+        dense = generation_cost(
+            CFG, EDGE_GPU_LIKE, 1, 8, 2, strategy="heuristic"
+        )
+        compressed = generation_cost(
+            CFG, EDGE_GPU_LIKE, 1, 8, 2,
+            bits_per_block={i: 4 for i in range(4)},
+            sparsity_per_block={i: 0.5 for i in range(4)},
+            strategy="heuristic",
+        )
+        assert compressed["total_cycles"] < dense["total_cycles"]
+
+    def test_no_exits_no_voting_cost(self):
+        cost = generation_cost(CFG, EDGE_GPU_LIKE, 1, 8, 1, strategy="heuristic")
+        assert cost["voting_cycles"] == 0.0

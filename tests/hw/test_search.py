@@ -1,0 +1,100 @@
+"""Tests for schedule search strategies."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    AcceleratorSpec,
+    GEMMWorkload,
+    evolutionary_best,
+    exhaustive_best,
+    gemm_cost,
+    heuristic_schedule,
+    random_best,
+    schedule_workloads,
+    tuning_iteration_workload,
+)
+from repro.nn import TransformerConfig
+
+ACC = AcceleratorSpec()
+G = GEMMWorkload("g", 256, 128, 128, bits=8)
+CFG = TransformerConfig(vocab_size=64, dim=64, num_layers=4, num_heads=4, max_len=128)
+
+
+class TestSingleGEMMSearch:
+    def test_exhaustive_beats_heuristic(self):
+        best = exhaustive_best(G, ACC)
+        heur = heuristic_schedule(G, ACC)
+        assert gemm_cost(G, best, ACC).cycles <= gemm_cost(G, heur, ACC).cycles
+
+    def test_exhaustive_is_optimal_over_random(self):
+        best = exhaustive_best(G, ACC)
+        rand = random_best(G, ACC, n_samples=30, seed=0)
+        assert gemm_cost(G, best, ACC).cycles <= gemm_cost(G, rand, ACC).cycles
+
+    def test_evolutionary_close_to_exhaustive(self):
+        best = exhaustive_best(G, ACC)
+        evo = evolutionary_best(G, ACC, seed=0)
+        assert gemm_cost(G, evo, ACC).cycles <= gemm_cost(G, best, ACC).cycles * 2.0
+
+    def test_energy_objective_changes_choice_cost(self):
+        lat = exhaustive_best(G, ACC, objective="latency")
+        eng = exhaustive_best(G, ACC, objective="energy")
+        assert (
+            gemm_cost(G, eng, ACC).energy_pj <= gemm_cost(G, lat, ACC).energy_pj
+        )
+
+    def test_random_deterministic_by_seed(self):
+        a = random_best(G, ACC, seed=7)
+        b = random_best(G, ACC, seed=7)
+        assert a == b
+
+
+class TestScheduleWorkloads:
+    def gemms(self):
+        return tuning_iteration_workload(CFG, 2, 16, forward_blocks=4, grad_start=0)
+
+    def test_totals_are_sums(self):
+        cost = schedule_workloads(self.gemms(), ACC, strategy="heuristic")
+        assert cost.cycles == pytest.approx(
+            sum(s.cost.cycles for s in cost.scheduled)
+        )
+        assert cost.energy_pj > 0
+        assert cost.dram_bytes > 0
+
+    def test_search_improves_over_heuristic(self):
+        heur = schedule_workloads(self.gemms(), ACC, strategy="heuristic")
+        best = schedule_workloads(self.gemms(), ACC, strategy="exhaustive")
+        assert best.cycles < heur.cycles
+        assert best.mean_utilization > heur.mean_utilization
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            schedule_workloads(self.gemms(), ACC, strategy="bogus")
+
+    def test_mean_utilization_bounded(self):
+        cost = schedule_workloads(self.gemms(), ACC, strategy="exhaustive")
+        assert 0.0 < cost.mean_utilization <= 1.0
+
+    def test_latency_seconds(self):
+        cost = schedule_workloads(self.gemms(), ACC, strategy="heuristic")
+        assert cost.latency_seconds(ACC) == pytest.approx(
+            cost.cycles / ACC.frequency_hz
+        )
+
+    def test_compressed_workload_is_faster(self):
+        dense = schedule_workloads(self.gemms(), ACC, strategy="exhaustive")
+        compressed_gemms = tuning_iteration_workload(
+            CFG, 2, 16, 4, 0,
+            bits_per_block={i: 4 for i in range(4)},
+            sparsity_per_block={i: 0.5 for i in range(4)},
+        )
+        compressed = schedule_workloads(compressed_gemms, ACC, strategy="exhaustive")
+        assert compressed.cycles < dense.cycles
+
+    def test_empty_iteration_cost(self):
+        from repro.hw import IterationCost
+
+        cost = IterationCost([])
+        assert cost.cycles == 0
+        assert cost.mean_utilization == 0.0

@@ -1,0 +1,109 @@
+"""Tests for GEMM workload extraction."""
+
+import pytest
+
+from repro.hw import (
+    GEMMWorkload,
+    block_backward_gemms,
+    block_forward_gemms,
+    total_macs,
+    tuning_iteration_workload,
+)
+from repro.nn import TransformerConfig
+
+CFG = TransformerConfig(vocab_size=64, dim=64, num_layers=4, num_heads=4, max_len=128)
+
+
+class TestGEMMWorkload:
+    def test_macs(self):
+        g = GEMMWorkload("t", 8, 16, 32)
+        assert g.macs == 8 * 16 * 32
+
+    def test_operand_bytes_respect_bits_and_sparsity(self):
+        g = GEMMWorkload("t", 8, 16, 32, bits=4, sparsity=0.5)
+        ops = g.operand_bytes()
+        assert ops["a"] == 8 * 16 * 0.5          # 4-bit inputs
+        assert ops["b"] == 16 * 32 * 0.5 * 0.5   # 4-bit, half pruned
+        assert ops["c"] == 8 * 32 * 2            # fp16 outputs
+
+    def test_degenerate_dims_raise(self):
+        with pytest.raises(ValueError):
+            GEMMWorkload("t", 0, 4, 4)
+
+    def test_bad_sparsity_raises(self):
+        with pytest.raises(ValueError):
+            GEMMWorkload("t", 4, 4, 4, sparsity=1.0)
+
+
+class TestBlockGEMMs:
+    def test_forward_gemm_count(self):
+        gemms = block_forward_gemms(CFG, batch=2, seq=16, block_index=0)
+        assert len(gemms) == 9  # qkv, scores, context, o, gate, up, down
+
+    def test_attention_macs_correct(self):
+        """Scores MACs must equal B*H*T*T*head_dim = B*T*T*D."""
+        gemms = block_forward_gemms(CFG, batch=2, seq=16, block_index=0)
+        scores = next(g for g in gemms if "scores" in g.name)
+        assert scores.macs == 2 * 16 * 16 * CFG.dim
+
+    def test_compression_applies_to_weights_not_attention(self):
+        gemms = block_forward_gemms(CFG, 2, 16, 0, bits=4, sparsity=0.5)
+        by_name = {g.name.split(".")[-1]: g for g in gemms}
+        assert by_name["q"].bits == 4
+        assert by_name["scores"].bits == 16
+        assert by_name["scores"].sparsity == 0.0
+
+    def test_backward_doubles_gemms(self):
+        fwd = block_forward_gemms(CFG, 2, 16, 0)
+        bwd = block_backward_gemms(CFG, 2, 16, 0)
+        assert len(bwd) == 2 * len(fwd)
+
+    def test_backward_macs_roughly_double_forward(self):
+        fwd = total_macs(block_forward_gemms(CFG, 2, 16, 0))
+        bwd = total_macs(block_backward_gemms(CFG, 2, 16, 0))
+        assert bwd == pytest.approx(2 * fwd, rel=0.01)
+
+    def test_weight_grad_gemms_full_precision(self):
+        bwd = block_backward_gemms(CFG, 2, 16, 0, bits=4, sparsity=0.5)
+        db = [g for g in bwd if g.name.endswith(".dB")]
+        assert all(g.bits == 16 and g.sparsity == 0.0 for g in db)
+
+
+class TestIterationWorkload:
+    def test_vanilla_iteration_covers_all_blocks(self):
+        gemms = tuning_iteration_workload(CFG, 2, 16, forward_blocks=4, grad_start=0)
+        block_names = {g.name.split(".")[0] for g in gemms}
+        assert block_names == {"block0", "block1", "block2", "block3", "head"}
+
+    def test_adaptive_iteration_truncates(self):
+        gemms = tuning_iteration_workload(CFG, 2, 16, forward_blocks=3, grad_start=1)
+        names = [g.name for g in gemms]
+        assert not any(n.startswith("block3") for n in names)
+        assert not any(n.startswith("block0") and n.endswith(".dB") for n in names)
+        assert any(n.startswith("block1") and n.endswith(".dB") for n in names)
+
+    def test_adaptive_cheaper_than_vanilla(self):
+        vanilla = total_macs(
+            tuning_iteration_workload(CFG, 2, 16, forward_blocks=4, grad_start=0)
+        )
+        adaptive = total_macs(
+            tuning_iteration_workload(CFG, 2, 16, forward_blocks=2, grad_start=1)
+        )
+        assert adaptive < vanilla / 2
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            tuning_iteration_workload(CFG, 2, 16, forward_blocks=5, grad_start=0)
+        with pytest.raises(ValueError):
+            tuning_iteration_workload(CFG, 2, 16, forward_blocks=2, grad_start=3)
+
+    def test_per_block_compression_dicts(self):
+        gemms = tuning_iteration_workload(
+            CFG, 2, 16, 2, 0,
+            bits_per_block={0: 4},
+            sparsity_per_block={0: 0.5},
+        )
+        b0_q = next(g for g in gemms if g.name == "block0.q")
+        b1_q = next(g for g in gemms if g.name == "block1.q")
+        assert b0_q.bits == 4 and b0_q.sparsity == 0.5
+        assert b1_q.bits == 16 and b1_q.sparsity == 0.0

@@ -1,0 +1,91 @@
+"""End-to-end tests of the CLI workflows."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+FAST_MODEL = [
+    "--vocab", "32", "--dim", "32", "--layers", "4", "--heads", "4",
+    "--max-len", "64",
+]
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "base.npz")
+    rc = main([
+        "pretrain", *FAST_MODEL, "--steps", "60", "--out", path,
+        "--batch", "8", "--seq", "24",
+    ])
+    assert rc == 0
+    return path
+
+
+class TestPretrain:
+    def test_checkpoint_written(self, checkpoint):
+        assert os.path.exists(checkpoint)
+
+    def test_checkpoint_loadable(self, checkpoint):
+        from repro.nn import load_model
+
+        model = load_model(checkpoint)
+        assert model.num_layers == 4
+
+
+class TestEvaluate:
+    def test_json_output(self, checkpoint, capsys):
+        rc = main([
+            "evaluate", *FAST_MODEL, "--model", checkpoint,
+            "--qa-items", "10",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["perplexity"] > 1.0
+        assert 0.0 <= out["qa_accuracy"] <= 1.0
+
+    def test_shifted_language_worse(self, checkpoint, capsys):
+        main(["evaluate", *FAST_MODEL, "--model", checkpoint])
+        in_domain = json.loads(capsys.readouterr().out)["perplexity"]
+        main(["evaluate", *FAST_MODEL, "--model", checkpoint,
+              "--language-seed", "5"])
+        shifted = json.loads(capsys.readouterr().out)["perplexity"]
+        assert shifted > in_domain
+
+
+class TestCompress:
+    def test_policy_printed_and_saved(self, checkpoint, capsys, tmp_path):
+        out = str(tmp_path / "policy.json")
+        rc = main([
+            "compress", *FAST_MODEL, "--model", checkpoint,
+            "--budget", "0.3", "--out", out,
+        ])
+        assert rc == 0
+        assert "LUCPolicy" in capsys.readouterr().out
+        policy = json.load(open(out))
+        assert len(policy) == 4
+        assert all("bits" in layer for layer in policy)
+
+
+class TestAdapt:
+    def test_full_pipeline(self, checkpoint, capsys):
+        rc = main([
+            "adapt", *FAST_MODEL, "--model", checkpoint,
+            "--steps", "20", "--batch", "4", "--seq", "24",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["speedup_vs_vanilla"] > 1.0
+        assert out["adapted_perplexity"] < 100
+        assert out["policy_cost"] <= 0.3 + 1e-9
+
+
+class TestSpeedup:
+    def test_reports_speedup(self, capsys):
+        rc = main(["speedup", *FAST_MODEL])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["speedup"] > 1.0
+        assert 0.0 < out["edge_utilization"] <= 1.0

@@ -1,0 +1,73 @@
+"""Unit tests for pipeline cost accounting helpers and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.utils import format_table
+
+
+class TestScaledIterationCost:
+    def test_averaging_over_exit_cycle(self, pretrained_model, pretrain_corpus,
+                                       adapt_corpus):
+        from repro import EdgeLLM, EdgeLLMConfig
+        from repro.adaptive import AdaptiveTuningConfig
+        from repro.data import lm_batches
+
+        edge = EdgeLLM(pretrained_model, EdgeLLMConfig(
+            tuning=AdaptiveTuningConfig(window=2, exit_points=[2, 4, 6]),
+            schedule_strategy="heuristic",
+        ))
+        rng = np.random.default_rng(0)
+        edge.adapt(lm_batches(adapt_corpus, 4, 16, 3, rng))
+        cost = edge.iteration_cost(4, 16)
+        # The scaled cost must equal the mean of the three per-exit costs.
+        from repro.hw import schedule_workloads, tuning_iteration_workload
+
+        per_exit = []
+        for e in (2, 4, 6):
+            gemms = tuning_iteration_workload(
+                pretrained_model.config, 4, 16,
+                forward_blocks=e, grad_start=max(e - 2, 0),
+            )
+            per_exit.append(
+                schedule_workloads(gemms, edge.config.accelerator,
+                                   strategy="heuristic").cycles
+            )
+        assert cost.cycles == pytest.approx(np.mean(per_exit), rel=1e-6)
+        assert cost.energy_pj > 0
+        assert cost.dram_bytes > 0
+
+    def test_vanilla_cost_larger(self, pretrained_model, adapt_corpus):
+        from repro import EdgeLLM, EdgeLLMConfig
+        from repro.adaptive import AdaptiveTuningConfig
+        from repro.data import lm_batches
+
+        edge = EdgeLLM(pretrained_model, EdgeLLMConfig(
+            tuning=AdaptiveTuningConfig(window=2, exit_points=[2, 4, 6]),
+            schedule_strategy="heuristic",
+        ))
+        edge.adapt(lm_batches(adapt_corpus, 4, 16, 3, np.random.default_rng(0)))
+        vanilla = edge.vanilla_iteration_cost(4, 16, schedule_strategy="heuristic")
+        assert vanilla.cycles > edge.iteration_cost(4, 16).cycles
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["long-name", 2.25]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert "-+-" in lines[1]
+        assert all(len(l) == len(lines[0]) for l in lines[2:])
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456]], floatfmt=".2f")
+        assert "1.23" in out
+        assert "1.2345" not in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_mixed_types(self):
+        out = format_table(["k", "v"], [["n", 3], ["f", 0.5], ["s", "x"]])
+        assert "0.500" in out

@@ -1,0 +1,140 @@
+"""Integration tests for pipeline variants: GQA backbones, activation
+quantization, checkpointed windows, Adafactor, and checkpoint round-trips
+of adapted models."""
+
+import numpy as np
+import pytest
+
+from repro import EdgeLLM, EdgeLLMConfig
+from repro.adaptive import AdaptiveTuningConfig
+from repro.data import MarkovChainCorpus, lm_batches
+from repro.eval import model_perplexity, perplexity
+from repro.nn import AdamW, TransformerConfig, TransformerLM
+from repro.tensor import cross_entropy
+
+
+def pretrain(config, corpus, steps=80, seed=0):
+    model = TransformerLM(config)
+    rng = np.random.default_rng(seed)
+    opt = AdamW(model.parameters(), lr=3e-3)
+    for inputs, targets in lm_batches(corpus, 8, 24, steps, rng):
+        loss = cross_entropy(model(inputs), targets)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return model
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    return (
+        MarkovChainCorpus(vocab_size=32, order=1, seed=0),
+        MarkovChainCorpus(vocab_size=32, order=1, seed=1),
+    )
+
+
+class TestGQAPipeline:
+    def test_full_pipeline_on_gqa_backbone(self, corpora):
+        pre, ada = corpora
+        config = TransformerConfig(
+            vocab_size=32, dim=48, num_layers=6, num_heads=4,
+            num_kv_heads=2, max_len=64, seed=0,
+        )
+        model = pretrain(config, pre)
+        edge = EdgeLLM(model, EdgeLLMConfig(
+            compute_budget=0.35,
+            bit_options=(4, 8),
+            prune_options=(0.0, 0.3),
+            tuning=AdaptiveTuningConfig(window=2, exit_points=[2, 4, 6], lr=2e-3),
+        ))
+        rng = np.random.default_rng(3)
+        edge.compress(*next(lm_batches(pre, 4, 24, 1, rng)))
+        edge.adapt(lm_batches(ada, 8, 24, 20, rng))
+        edge.calibrate_voting(*next(lm_batches(ada, 4, 24, 1, rng)))
+        ppl = perplexity(edge.logits, ada, num_batches=2)
+        assert ppl < 100
+        assert edge.speedup_vs_vanilla(4, 24) > 1.0
+
+
+class TestActQuantPipeline:
+    def test_w_a8_compression_end_to_end(self, corpora):
+        from repro.luc import (LUCPolicy, apply_luc, CompressedLinear)
+
+        pre, _ = corpora
+        config = TransformerConfig(
+            vocab_size=32, dim=48, num_layers=4, num_heads=4, max_len=64, seed=0
+        )
+        model = pretrain(config, pre)
+        base = model_perplexity(model, pre, num_batches=2)
+        apply_luc(model, LUCPolicy.uniform(4, 8, 0.0), act_bits=8)
+        assert isinstance(model.blocks[0].mlp.down_proj, CompressedLinear)
+        quantized = model_perplexity(model, pre, num_batches=2)
+        assert quantized < base * 1.3
+
+
+class TestCheckpointedWindow:
+    def test_checkpointed_adaptive_tuning_works(self, corpora):
+        from repro.adaptive import AdaptiveLayerTrainer
+
+        pre, ada = corpora
+        config = TransformerConfig(
+            vocab_size=32, dim=48, num_layers=6, num_heads=4, max_len=64, seed=0
+        )
+        model = pretrain(config, pre)
+        trainer = AdaptiveLayerTrainer(model, AdaptiveTuningConfig(
+            window=3, exit_points=[3, 6], lr=2e-3, checkpoint_blocks=True,
+        ))
+        stats = trainer.train(
+            lm_batches(ada, 4, 24, 10, np.random.default_rng(0))
+        )
+        assert stats[-1].loss < stats[0].loss * 1.1
+        plain = AdaptiveLayerTrainer(model, AdaptiveTuningConfig(
+            window=3, exit_points=[3, 6],
+        ))
+        assert (
+            trainer.memory_report(4, 24).activation_bytes
+            < plain.memory_report(4, 24).activation_bytes
+        )
+
+
+class TestAdafactorPipeline:
+    def test_adafactor_tuning_end_to_end(self, corpora):
+        pre, ada = corpora
+        config = TransformerConfig(
+            vocab_size=32, dim=48, num_layers=4, num_heads=4, max_len=64, seed=0
+        )
+        model = pretrain(config, pre)
+        edge = EdgeLLM(model, EdgeLLMConfig(
+            compute_budget=0.4,
+            bit_options=(4, 8),
+            prune_options=(0.0,),
+            tuning=AdaptiveTuningConfig(window=2, exit_points=[2, 4],
+                                        optimizer="adafactor", lr=5e-3),
+        ))
+        rng = np.random.default_rng(3)
+        edge.compress(*next(lm_batches(pre, 4, 24, 1, rng)))
+        edge.adapt(lm_batches(ada, 8, 24, 20, rng))
+        report = edge.memory_report(4, 24)
+        # Adafactor's factored state: optimizer bytes well below grads.
+        assert report.optimizer_bytes < report.gradient_bytes
+
+
+class TestCheckpointRoundTrip:
+    def test_adapted_model_survives_save_load(self, corpora, tmp_path):
+        from repro.adaptive import vanilla_trainer
+        from repro.nn import load_model, save_model
+
+        pre, ada = corpora
+        config = TransformerConfig(
+            vocab_size=32, dim=48, num_layers=4, num_heads=4, max_len=64, seed=0
+        )
+        model = pretrain(config, pre)
+        vanilla_trainer(model, lr=1e-3).train(
+            lm_batches(ada, 8, 24, 20, np.random.default_rng(0))
+        )
+        adapted_ppl = model_perplexity(model, ada, num_batches=2)
+        path = str(tmp_path / "adapted.npz")
+        save_model(model, path)
+        restored = load_model(path)
+        restored_ppl = model_perplexity(restored, ada, num_batches=2)
+        assert restored_ppl == pytest.approx(adapted_ppl, rel=1e-5)

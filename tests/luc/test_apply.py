@@ -1,0 +1,127 @@
+"""Tests for applying/removing LUC policies and CompressedLinear."""
+
+import numpy as np
+import pytest
+
+from repro.luc import (
+    CompressedLinear,
+    LayerCompression,
+    LUCPolicy,
+    apply_luc,
+    model_compression_summary,
+    remove_luc,
+)
+from repro.nn import Adam, Linear
+from repro.tensor import Tensor, no_grad
+
+
+class TestCompressedLinear:
+    def make(self, bits=4, ratio=0.5, seed=0):
+        return CompressedLinear(
+            Linear(16, 8, rng=np.random.default_rng(seed)),
+            bits=bits,
+            prune_ratio=ratio,
+        )
+
+    def test_sparsity_reported(self):
+        layer = self.make(ratio=0.5)
+        assert layer.sparsity == pytest.approx(0.5, abs=0.02)
+
+    def test_effective_weight_is_sparse_and_quantized(self):
+        layer = self.make(bits=2, ratio=0.5)
+        eff = layer.effective_weight().data
+        assert (eff == 0).mean() >= 0.45
+        assert len(np.unique(eff)) <= 4 * 8 + 1  # per-channel 2-bit grids
+
+    def test_forward_shape(self):
+        layer = self.make()
+        out = layer(Tensor(np.ones((3, 16))))
+        assert out.shape == (3, 8)
+
+    def test_grads_flow_to_master_weights(self):
+        layer = self.make()
+        layer(Tensor(np.ones((3, 16)))).sum().backward()
+        assert layer.inner.weight.grad is not None
+
+    def test_pruned_positions_stay_zero_after_tuning(self):
+        layer = self.make(bits=8, ratio=0.5)
+        opt = Adam(layer.parameters(), lr=0.05)
+        x = Tensor(np.random.default_rng(1).standard_normal((8, 16)))
+        for _ in range(5):
+            loss = (layer(x) ** 2).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        eff = layer.effective_weight().data
+        assert np.allclose(eff[layer.mask == 0], 0.0)
+
+    def test_explicit_mask(self):
+        mask = np.zeros((16, 8), dtype=np.float32)
+        layer = CompressedLinear(Linear(16, 8), mask=mask)
+        assert layer.sparsity == 1.0
+
+    def test_mask_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            CompressedLinear(Linear(16, 8), mask=np.ones((2, 2)))
+
+    def test_16bit_no_prune_is_lossless(self):
+        lin = Linear(16, 8, rng=np.random.default_rng(0))
+        layer = CompressedLinear(lin, bits=16, prune_ratio=0.0)
+        x = Tensor(np.random.default_rng(1).standard_normal((4, 16)))
+        assert np.allclose(layer(x).data, lin(x).data, atol=1e-6)
+
+
+class TestApplyLUC:
+    def test_apply_and_remove_roundtrip(self, pretrained_model, pretrain_corpus):
+        from repro.data import lm_batches
+
+        rng = np.random.default_rng(0)
+        inputs, _ = next(lm_batches(pretrain_corpus, 2, 16, 1, rng))
+        with no_grad():
+            base = pretrained_model(inputs).data.copy()
+        policy = LUCPolicy.uniform(pretrained_model.num_layers, 4, 0.3)
+        undo = apply_luc(pretrained_model, policy)
+        with no_grad():
+            compressed = pretrained_model(inputs).data
+        assert not np.allclose(base, compressed, atol=1e-4)
+        remove_luc(undo)
+        with no_grad():
+            restored = pretrained_model(inputs).data
+        assert np.allclose(base, restored, atol=1e-6)
+
+    def test_policy_layer_mismatch_raises(self, pretrained_model):
+        with pytest.raises(ValueError):
+            apply_luc(pretrained_model, LUCPolicy.uniform(3, 4, 0.0))
+
+    def test_uncompressed_blocks_untouched(self, pretrained_model):
+        layers = [LayerCompression(16, 0.0)] * pretrained_model.num_layers
+        layers[2] = LayerCompression(4, 0.5)
+        undo = apply_luc(pretrained_model, LUCPolicy(layers))
+        assert isinstance(pretrained_model.blocks[0].attn.q_proj, Linear)
+        assert isinstance(pretrained_model.blocks[2].attn.q_proj, CompressedLinear)
+        remove_luc(undo)
+
+    def test_summary_reflects_policy(self, pretrained_model):
+        policy = LUCPolicy.uniform(pretrained_model.num_layers, 4, 0.3)
+        undo = apply_luc(pretrained_model, policy)
+        summary = model_compression_summary(pretrained_model)
+        assert all(row["bits"] == 4 for row in summary)
+        assert all(abs(row["sparsity"] - 0.3) < 0.05 for row in summary)
+        remove_luc(undo)
+
+    def test_summary_uncompressed(self, pretrained_model):
+        summary = model_compression_summary(pretrained_model)
+        assert all(row["bits"] == 16 and row["sparsity"] == 0.0 for row in summary)
+
+    def test_mild_compression_small_ppl_hit(self, pretrained_model, pretrain_corpus):
+        """8-bit, no pruning should barely move perplexity."""
+        from repro.eval import model_perplexity
+
+        base = model_perplexity(pretrained_model, pretrain_corpus, num_batches=2)
+        undo = apply_luc(
+            pretrained_model,
+            LUCPolicy.uniform(pretrained_model.num_layers, 8, 0.0),
+        )
+        compressed = model_perplexity(pretrained_model, pretrain_corpus, num_batches=2)
+        remove_luc(undo)
+        assert compressed < base * 1.15

@@ -1,0 +1,80 @@
+"""Tests for the greedy compression frontier."""
+
+import numpy as np
+import pytest
+
+from repro.luc import (
+    FrontierPoint,
+    LayerCompression,
+    SensitivityProfile,
+    greedy_frontier,
+    greedy_search,
+    policy_at_budget,
+)
+
+OPTIONS = [
+    LayerCompression(8, 0.0),
+    LayerCompression(4, 0.0),
+    LayerCompression(4, 0.5),
+    LayerCompression(2, 0.5),
+]
+
+
+def profile(num_layers=4, seed=0):
+    rng = np.random.default_rng(seed)
+    scores = {}
+    for b in range(num_layers):
+        scale = float(rng.uniform(0.5, 5.0))
+        for opt in OPTIONS:
+            scores[(b, opt)] = scale * (1.0 - opt.cost_factor())
+    return SensitivityProfile(scores=scores, metric="synthetic")
+
+
+class TestGreedyFrontier:
+    def test_costs_strictly_decreasing(self):
+        points = greedy_frontier(profile(), 4, options=OPTIONS)
+        costs = [p.cost for p in points]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+
+    def test_degradation_nondecreasing(self):
+        points = greedy_frontier(profile(), 4, options=OPTIONS)
+        degs = [p.predicted_degradation for p in points]
+        assert all(a <= b + 1e-9 for a, b in zip(degs, degs[1:]))
+
+    def test_endpoints(self):
+        points = greedy_frontier(profile(), 4, options=OPTIONS)
+        assert points[0].cost == pytest.approx(0.5)  # 8-bit dense everywhere
+        floor = min(o.cost_factor() for o in OPTIONS)
+        assert points[-1].cost == pytest.approx(floor)
+
+    def test_min_cost_stops_early(self):
+        points = greedy_frontier(profile(), 4, options=OPTIONS, min_cost=0.3)
+        assert points[-1].cost <= 0.3 + 0.51 / 4  # one step below threshold
+        assert points[-1].cost >= min(o.cost_factor() for o in OPTIONS)
+
+    def test_matches_greedy_search_at_each_cost(self):
+        prof = profile()
+        points = greedy_frontier(prof, 4, options=OPTIONS)
+        # greedy_search at a frontier cost must reproduce that point.
+        mid = points[len(points) // 2]
+        searched = greedy_search(prof, 4, mid.cost + 1e-9, options=OPTIONS)
+        assert searched.layers == mid.policy.layers
+
+
+class TestPolicyAtBudget:
+    def test_selects_feasible_minimum_degradation(self):
+        prof = profile()
+        points = greedy_frontier(prof, 4, options=OPTIONS)
+        policy = policy_at_budget(points, 0.3)
+        assert policy.cost() <= 0.3 + 1e-9
+
+    def test_infeasible_budget_raises(self):
+        points = greedy_frontier(profile(), 4, options=OPTIONS)
+        with pytest.raises(ValueError):
+            policy_at_budget(points, 0.01)
+
+    def test_budget_one_gives_least_compressed(self):
+        points = greedy_frontier(profile(), 4, options=OPTIONS)
+        policy = policy_at_budget(points, 1.0)
+        # Degradation-minimal feasible point is the very first one.
+        assert policy.layers == points[0].policy.layers

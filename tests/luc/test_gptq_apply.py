@@ -1,0 +1,124 @@
+"""Tests for model-level GPTQ compression and input capture."""
+
+import numpy as np
+import pytest
+
+from repro.data import lm_batches
+from repro.eval import model_perplexity
+from repro.luc import (
+    CompressedLinear,
+    LUCPolicy,
+    apply_luc,
+    gptq_compress_model,
+    remove_luc,
+)
+from repro.nn import capture_linear_inputs
+from repro.tensor import no_grad
+
+
+@pytest.fixture
+def calib_ids(pretrain_corpus):
+    rng = np.random.default_rng(11)
+    ids, _ = next(lm_batches(pretrain_corpus, 4, 24, 1, rng))
+    return ids
+
+
+class TestCaptureLinearInputs:
+    def test_captures_correct_shapes(self, pretrained_model, calib_ids):
+        targets = [
+            pretrained_model.blocks[0].attn.q_proj,
+            pretrained_model.blocks[2].mlp.down_proj,
+        ]
+        captured = capture_linear_inputs(pretrained_model, targets, calib_ids)
+        assert set(captured) == {id(t) for t in targets}
+        q_in = captured[id(targets[0])]
+        assert q_in.shape == (4 * 24, pretrained_model.config.dim)
+        down_in = captured[id(targets[1])]
+        assert down_in.shape[1] == pretrained_model.config.resolved_mlp_hidden()
+
+    def test_model_restored(self, pretrained_model, calib_ids):
+        from repro.nn import Linear
+
+        target = pretrained_model.blocks[0].attn.q_proj
+        capture_linear_inputs(pretrained_model, [target], calib_ids)
+        assert pretrained_model.blocks[0].attn.q_proj is target
+        assert isinstance(pretrained_model.blocks[0].attn.q_proj, Linear)
+
+    def test_missing_target_raises(self, pretrained_model, calib_ids):
+        from repro.nn import Linear
+
+        orphan = Linear(4, 4)
+        with pytest.raises(ValueError):
+            capture_linear_inputs(pretrained_model, [orphan], calib_ids)
+
+    def test_forward_unchanged_by_capture(self, pretrained_model, calib_ids):
+        with no_grad():
+            before = pretrained_model(calib_ids).data.copy()
+        capture_linear_inputs(
+            pretrained_model, [pretrained_model.blocks[1].attn.v_proj], calib_ids
+        )
+        with no_grad():
+            after = pretrained_model(calib_ids).data
+        assert np.allclose(before, after, atol=1e-6)
+
+
+class TestGPTQCompressModel:
+    def test_policy_mismatch_raises(self, pretrained_model, calib_ids):
+        with pytest.raises(ValueError):
+            gptq_compress_model(
+                pretrained_model, LUCPolicy.uniform(2, 4, 0.0), calib_ids
+            )
+
+    def test_wrappers_installed_and_weights_on_grid(
+        self, pretrained_model, calib_ids
+    ):
+        policy = LUCPolicy.uniform(pretrained_model.num_layers, 4, 0.0)
+        gptq_compress_model(pretrained_model, policy, calib_ids)
+        layer = pretrained_model.blocks[0].attn.q_proj
+        assert isinstance(layer, CompressedLinear)
+        # Per output channel, at most 15 distinct 4-bit values.
+        w = layer.inner.weight.data
+        for col in range(0, w.shape[1], 8):
+            assert len(np.unique(w[:, col])) <= 15
+
+    def test_sparsity_enforced(self, pretrained_model, calib_ids):
+        policy = LUCPolicy.uniform(pretrained_model.num_layers, 8, 0.5)
+        gptq_compress_model(pretrained_model, policy, calib_ids)
+        layer = pretrained_model.blocks[3].mlp.gate_proj
+        eff = layer.effective_weight().data
+        assert (eff == 0).mean() >= 0.45
+
+    def test_quality_at_2bit_beats_ste_rtn(self, pretrained_state,
+                                           pretrain_corpus, calib_ids):
+        """At 2 bits, GPTQ-compressed perplexity <= STE round-to-nearest."""
+        from repro.nn import TransformerLM
+        from ..conftest import small_config
+
+        policy_bits = 2
+
+        rtn_model = TransformerLM(small_config())
+        rtn_model.load_state_dict(pretrained_state)
+        policy = LUCPolicy.uniform(rtn_model.num_layers, policy_bits, 0.0)
+        apply_luc(rtn_model, policy)
+        ppl_rtn = model_perplexity(rtn_model, pretrain_corpus, num_batches=3)
+
+        gptq_model = TransformerLM(small_config())
+        gptq_model.load_state_dict(pretrained_state)
+        gptq_compress_model(gptq_model, policy, calib_ids)
+        ppl_gptq = model_perplexity(gptq_model, pretrain_corpus, num_batches=3)
+        assert ppl_gptq <= ppl_rtn * 1.05
+
+    def test_tunable_after_compression(self, pretrained_model, calib_ids,
+                                       adapt_corpus):
+        from repro.adaptive import AdaptiveLayerTrainer, AdaptiveTuningConfig
+
+        policy = LUCPolicy.uniform(pretrained_model.num_layers, 4, 0.3)
+        gptq_compress_model(pretrained_model, policy, calib_ids)
+        trainer = AdaptiveLayerTrainer(
+            pretrained_model,
+            AdaptiveTuningConfig(window=2, exit_points=[2, 4, 6], lr=2e-3),
+        )
+        stats = trainer.train(
+            lm_batches(adapt_corpus, 4, 24, 9, np.random.default_rng(0))
+        )
+        assert np.isfinite(stats[-1].loss)

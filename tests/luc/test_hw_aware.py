@@ -1,0 +1,107 @@
+"""Tests for hardware-aware LUC policy search."""
+
+import numpy as np
+import pytest
+
+from repro.hw import AcceleratorSpec
+from repro.luc import (
+    LayerCompression,
+    SensitivityProfile,
+    block_cycle_costs,
+    greedy_search,
+    hardware_aware_search,
+)
+from repro.nn import TransformerConfig
+
+CFG = TransformerConfig(vocab_size=64, dim=64, num_layers=6, num_heads=4,
+                        max_len=128)
+ACC = AcceleratorSpec()
+OPTIONS = [
+    LayerCompression(8, 0.0),
+    LayerCompression(4, 0.0),
+    LayerCompression(4, 0.5),
+    LayerCompression(2, 0.5),
+]
+
+
+def profile(seed=0):
+    rng = np.random.default_rng(seed)
+    scores = {}
+    for b in range(CFG.num_layers):
+        scale = float(rng.uniform(0.5, 5.0))
+        for opt in OPTIONS:
+            scores[(b, opt)] = scale * (1.0 - opt.cost_factor())
+    return SensitivityProfile(scores=scores, metric="synthetic")
+
+
+class TestBlockCycleCosts:
+    def test_covers_all_options(self):
+        costs = block_cycle_costs(CFG, 4, 32, OPTIONS, ACC)
+        assert set(costs) == set(OPTIONS)
+        assert all(c > 0 for c in costs.values())
+
+    def test_harsher_options_cheaper(self):
+        costs = block_cycle_costs(CFG, 4, 32, OPTIONS, ACC)
+        assert costs[LayerCompression(2, 0.5)] < costs[LayerCompression(8, 0.0)]
+        assert costs[LayerCompression(4, 0.5)] < costs[LayerCompression(4, 0.0)]
+
+    def test_forward_only_cheaper(self):
+        full = block_cycle_costs(CFG, 4, 32, OPTIONS[:1], ACC)
+        fwd = block_cycle_costs(CFG, 4, 32, OPTIONS[:1], ACC,
+                                include_backward=False)
+        assert fwd[OPTIONS[0]] < full[OPTIONS[0]] / 2
+
+
+class TestHardwareAwareSearch:
+    def test_budget_met_in_cycles(self):
+        policy = hardware_aware_search(
+            profile(), CFG, 4, 32, cycle_budget_fraction=0.7,
+            accel=ACC, options=OPTIONS,
+        )
+        costs = block_cycle_costs(CFG, 4, 32, OPTIONS, ACC)
+        uncompressed = block_cycle_costs(
+            CFG, 4, 32, [LayerCompression(16, 0.0)], ACC
+        )[LayerCompression(16, 0.0)]
+        mean_cycles = np.mean([costs[l] for l in policy.layers])
+        assert mean_cycles <= 0.7 * uncompressed + 1e-6
+
+    def test_invalid_budget_raises(self):
+        with pytest.raises(ValueError):
+            hardware_aware_search(profile(), CFG, 4, 32, 0.0, ACC,
+                                  options=OPTIONS)
+        with pytest.raises(ValueError):
+            hardware_aware_search(profile(), CFG, 4, 32, 1.5, ACC,
+                                  options=OPTIONS)
+
+    def test_unreachable_budget_raises(self):
+        with pytest.raises(ValueError):
+            hardware_aware_search(profile(), CFG, 4, 32, 0.05, ACC,
+                                  options=OPTIONS)
+
+    def test_differs_from_abstract_cost_search_when_hw_disagrees(self):
+        """On DRAM-starved hardware sparsity saves fewer real cycles than
+        the abstract model claims, so the two searches can diverge; both
+        must remain valid policies."""
+        starved = AcceleratorSpec(dram_bytes_per_cycle=1.0,
+                                  sparse_efficiency=0.2)
+        prof = profile()
+        hw_policy = hardware_aware_search(
+            prof, CFG, 4, 32, 0.95, starved, options=OPTIONS
+        )
+        abstract = greedy_search(prof, CFG.num_layers, 0.5, options=OPTIONS)
+        assert hw_policy.num_layers == abstract.num_layers
+        assert all(l in OPTIONS for l in hw_policy.layers)
+
+    def test_spares_sensitive_layers(self):
+        rng_profile = profile(seed=3)
+        # Make block 2 overwhelmingly sensitive.
+        scores = dict(rng_profile.scores)
+        for opt in OPTIONS:
+            scores[(2, opt)] = 100.0 * (1.0 - opt.cost_factor())
+        prof = SensitivityProfile(scores=scores, metric="synthetic")
+        policy = hardware_aware_search(prof, CFG, 4, 32, 0.65, ACC,
+                                       options=OPTIONS)
+        costs = block_cycle_costs(CFG, 4, 32, OPTIONS, ACC)
+        block2 = costs[policy.layers[2]]
+        others = [costs[l] for i, l in enumerate(policy.layers) if i != 2]
+        assert block2 >= max(others)

@@ -1,0 +1,102 @@
+"""Tests for iterative (progressive) LUC compression."""
+
+import numpy as np
+import pytest
+
+from repro.data import lm_batches
+from repro.eval import model_perplexity
+from repro.luc import (
+    CompressedLinear,
+    budget_schedule,
+    enumerate_layer_options,
+    iterative_compress,
+)
+
+OPTIONS = enumerate_layer_options((2, 4, 8), (0.0, 0.5))
+
+
+class TestBudgetSchedule:
+    def test_endpoints(self):
+        sched = budget_schedule(0.125, rounds=3, start=0.5)
+        assert sched[0] == pytest.approx(0.5)
+        assert sched[-1] == pytest.approx(0.125)
+        assert len(sched) == 3
+
+    def test_monotone_decreasing(self):
+        sched = budget_schedule(0.1, rounds=5)
+        assert all(a >= b for a, b in zip(sched, sched[1:]))
+
+    def test_single_round(self):
+        assert budget_schedule(0.2, rounds=1) == [0.2]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            budget_schedule(0.2, rounds=0)
+        with pytest.raises(ValueError):
+            budget_schedule(0.8, rounds=2, start=0.5)
+
+
+class TestIterativeCompress:
+    def run(self, model, corpus, rounds=2, target=0.25, recovery_steps=5):
+        rng = np.random.default_rng(7)
+        calib_in, calib_tg = next(lm_batches(corpus, 4, 24, 1, rng))
+
+        def recovery():
+            return lm_batches(corpus, 4, 24, recovery_steps,
+                              np.random.default_rng(8))
+
+        return iterative_compress(
+            model, calib_in, calib_tg, recovery,
+            target_budget=target, rounds=rounds,
+            recovery_steps=recovery_steps, options=OPTIONS,
+        )
+
+    def test_history_structure(self, pretrained_model, pretrain_corpus):
+        history = self.run(pretrained_model, pretrain_corpus, rounds=2)
+        assert len(history) == 2
+        assert history[-1].budget == pytest.approx(0.25)
+        assert history[0].budget > history[-1].budget
+        assert all(len(r.recovery_losses) == 5 for r in history)
+
+    def test_model_left_compressed_at_final_policy(
+        self, pretrained_model, pretrain_corpus
+    ):
+        history = self.run(pretrained_model, pretrain_corpus, rounds=2)
+        assert isinstance(
+            pretrained_model.blocks[0].attn.q_proj, CompressedLinear
+        ) or any(
+            layer.bits >= 16 and layer.prune_ratio == 0.0
+            for layer in history[-1].policy.layers
+        )
+        assert history[-1].policy.cost() <= 0.25 + 1e-9
+
+    def test_quality_stays_usable(self, pretrained_model, pretrain_corpus):
+        base = model_perplexity(pretrained_model, pretrain_corpus, num_batches=2)
+        self.run(pretrained_model, pretrain_corpus, rounds=2, target=0.2)
+        compressed = model_perplexity(
+            pretrained_model, pretrain_corpus, num_batches=2
+        )
+        assert compressed < base * 1.5
+
+    def test_iterative_no_worse_than_oneshot_at_harsh_budget(
+        self, pretrained_state, pretrain_corpus
+    ):
+        from repro.nn import TransformerLM
+        from ..conftest import small_config
+
+        def fresh():
+            m = TransformerLM(small_config())
+            m.load_state_dict(pretrained_state)
+            return m
+
+        one_model = fresh()
+        one = self.run(one_model, pretrain_corpus, rounds=1, target=0.1,
+                       recovery_steps=10)
+        one_ppl = model_perplexity(one_model, pretrain_corpus, num_batches=2)
+
+        iter_model = fresh()
+        self.run(iter_model, pretrain_corpus, rounds=3, target=0.1,
+                 recovery_steps=10)
+        iter_ppl = model_perplexity(iter_model, pretrain_corpus, num_batches=2)
+        # Progressive compression must not be (meaningfully) worse.
+        assert iter_ppl <= one_ppl * 1.15

@@ -1,0 +1,65 @@
+"""Tests for LUC policy objects and the layer-option menu."""
+
+import pytest
+
+from repro.luc import (
+    DEFAULT_BIT_OPTIONS,
+    DEFAULT_PRUNE_OPTIONS,
+    LayerCompression,
+    LUCPolicy,
+    enumerate_layer_options,
+)
+
+
+class TestLayerCompression:
+    def test_cost_factor_uncompressed(self):
+        assert LayerCompression(16, 0.0).cost_factor() == 1.0
+
+    def test_cost_factor_combined(self):
+        layer = LayerCompression(4, 0.5)
+        assert layer.cost_factor() == pytest.approx(4 / 16 * 0.5)
+
+    def test_hashable_for_profile_keys(self):
+        assert LayerCompression(4, 0.5) == LayerCompression(4, 0.5)
+        assert hash(LayerCompression(4, 0.5)) == hash(LayerCompression(4, 0.5))
+
+
+class TestLUCPolicy:
+    def test_uniform_constructor(self):
+        policy = LUCPolicy.uniform(6, bits=4, prune_ratio=0.3)
+        assert policy.num_layers == 6
+        assert policy.average_bits() == 4.0
+        assert policy.average_sparsity() == pytest.approx(0.3)
+
+    def test_uncompressed_cost_is_one(self):
+        assert LUCPolicy.uncompressed(8).cost() == 1.0
+
+    def test_cost_is_mean_of_layers(self):
+        policy = LUCPolicy(
+            [LayerCompression(16, 0.0), LayerCompression(4, 0.5)]
+        )
+        assert policy.cost() == pytest.approx((1.0 + 0.125) / 2)
+
+    def test_per_block_dicts(self):
+        policy = LUCPolicy([LayerCompression(8, 0.0), LayerCompression(2, 0.5)])
+        assert policy.bits_per_block() == {0: 8, 1: 2}
+        assert policy.sparsity_per_block() == {0: 0.0, 1: 0.5}
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            LUCPolicy([LayerCompression(8, 1.0)])
+
+    def test_describe_contains_blocks(self):
+        text = LUCPolicy.uniform(3, 4, 0.3).describe()
+        assert "block  0" in text and "4-bit" in text
+
+
+class TestOptionMenu:
+    def test_enumeration_size(self):
+        options = enumerate_layer_options((2, 4), (0.0, 0.5))
+        assert len(options) == 4
+
+    def test_defaults(self):
+        options = enumerate_layer_options()
+        assert len(options) == len(DEFAULT_BIT_OPTIONS) * len(DEFAULT_PRUNE_OPTIONS)
+        assert LayerCompression(4, 0.3) in options

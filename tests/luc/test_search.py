@@ -1,0 +1,116 @@
+"""Tests for the LUC policy search strategies."""
+
+import numpy as np
+import pytest
+
+from repro.luc import (
+    LayerCompression,
+    LUCPolicy,
+    SensitivityProfile,
+    evolutionary_search,
+    greedy_search,
+    random_search,
+    search_policy,
+)
+
+OPTIONS = [
+    LayerCompression(8, 0.0),
+    LayerCompression(4, 0.0),
+    LayerCompression(4, 0.5),
+    LayerCompression(2, 0.5),
+]
+
+
+def synthetic_profile(num_layers=6, sensitive_blocks=(0, 5)):
+    """Hand-built profile: named blocks are 10x more compression-sensitive.
+
+    Degradation grows as cost shrinks (monotone, realistic ordering).
+    """
+    scores = {}
+    for b in range(num_layers):
+        scale = 10.0 if b in sensitive_blocks else 1.0
+        for opt in OPTIONS:
+            scores[(b, opt)] = scale * (1.0 - opt.cost_factor())
+    return SensitivityProfile(scores=scores, metric="synthetic")
+
+
+class TestGreedy:
+    def test_meets_budget(self):
+        policy = greedy_search(synthetic_profile(), 6, budget=0.3, options=OPTIONS)
+        assert policy.cost() <= 0.3 + 1e-9
+
+    def test_spares_sensitive_blocks(self):
+        """Sensitive blocks should end up with milder compression."""
+        policy = greedy_search(
+            synthetic_profile(sensitive_blocks=(2,)), 6, budget=0.25, options=OPTIONS
+        )
+        sensitive_cost = policy.layers[2].cost_factor()
+        other_costs = [
+            l.cost_factor() for i, l in enumerate(policy.layers) if i != 2
+        ]
+        assert sensitive_cost >= max(other_costs)
+
+    def test_budget_one_keeps_everything(self):
+        policy = greedy_search(synthetic_profile(), 6, budget=1.0, options=OPTIONS)
+        assert policy.cost() <= 1.0
+        assert policy.average_bits() == 8.0  # least-compressed option
+
+    def test_budget_below_floor_raises(self):
+        with pytest.raises(ValueError):
+            greedy_search(synthetic_profile(), 6, budget=0.01, options=OPTIONS)
+
+    def test_budget_above_one_raises(self):
+        with pytest.raises(ValueError):
+            greedy_search(synthetic_profile(), 6, budget=1.5, options=OPTIONS)
+
+
+class TestEvolutionary:
+    def test_meets_budget(self):
+        policy = evolutionary_search(
+            synthetic_profile(), 6, budget=0.3, options=OPTIONS, seed=0
+        )
+        assert policy.cost() <= 0.3 + 0.02  # soft penalty leaves tiny slack
+
+    def test_deterministic_given_seed(self):
+        a = evolutionary_search(synthetic_profile(), 6, 0.3, options=OPTIONS, seed=3)
+        b = evolutionary_search(synthetic_profile(), 6, 0.3, options=OPTIONS, seed=3)
+        assert a.layers == b.layers
+
+    def test_not_much_worse_than_greedy(self):
+        profile = synthetic_profile()
+        greedy = greedy_search(profile, 6, 0.3, options=OPTIONS)
+        evo = evolutionary_search(profile, 6, 0.3, options=OPTIONS, seed=0)
+        assert profile.predicted_degradation(evo) <= (
+            profile.predicted_degradation(greedy) * 1.5 + 1e-6
+        )
+
+
+class TestRandom:
+    def test_feasible_or_fallback(self):
+        policy = random_search(synthetic_profile(), 6, 0.3, options=OPTIONS, seed=0)
+        assert policy.cost() <= 0.3 + 1e-9
+
+    def test_tight_budget_fallback_to_cheapest(self):
+        # Budget equal to the cheapest option: random sampling rarely hits
+        # it, the fallback must kick in.
+        floor = min(o.cost_factor() for o in OPTIONS)
+        policy = random_search(
+            synthetic_profile(), 6, floor, options=OPTIONS, n_samples=3, seed=0
+        )
+        assert policy.cost() <= floor + 1e-9
+
+
+class TestDispatcher:
+    def test_greedy_beats_random_on_structured_profile(self):
+        profile = synthetic_profile(sensitive_blocks=(0, 1, 2))
+        greedy = search_policy(profile, 6, 0.3, strategy="greedy", options=OPTIONS)
+        rand = search_policy(
+            profile, 6, 0.3, strategy="random", options=OPTIONS, n_samples=20, seed=1
+        )
+        assert profile.predicted_degradation(greedy) <= profile.predicted_degradation(
+            rand
+        ) + 1e-9
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            search_policy(synthetic_profile(), 6, 0.3, strategy="bogus")

@@ -1,0 +1,110 @@
+"""Property-based tests for the LUC policy search invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.luc import (
+    LayerCompression,
+    LUCPolicy,
+    SensitivityProfile,
+    evolutionary_search,
+    greedy_search,
+    random_search,
+)
+
+OPTIONS = [
+    LayerCompression(8, 0.0),
+    LayerCompression(8, 0.5),
+    LayerCompression(4, 0.0),
+    LayerCompression(4, 0.3),
+    LayerCompression(4, 0.5),
+    LayerCompression(2, 0.0),
+    LayerCompression(2, 0.5),
+]
+MIN_COST = min(o.cost_factor() for o in OPTIONS)
+
+
+def random_profile(num_layers: int, seed: int) -> SensitivityProfile:
+    rng = np.random.default_rng(seed)
+    scores = {}
+    for b in range(num_layers):
+        scale = float(rng.uniform(0.1, 10.0))
+        for opt in OPTIONS:
+            # Monotone-ish in compression severity with random noise.
+            base = (1.0 - opt.cost_factor()) * scale
+            scores[(b, opt)] = max(base + rng.normal(0, 0.05), 0.0)
+    return SensitivityProfile(scores=scores, metric="synthetic")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_layers=st.integers(2, 12),
+    budget=st.floats(MIN_COST + 0.01, 1.0),
+    seed=st.integers(0, 1000),
+)
+def test_greedy_always_feasible(num_layers, budget, seed):
+    profile = random_profile(num_layers, seed)
+    policy = greedy_search(profile, num_layers, budget, options=OPTIONS)
+    assert policy.cost() <= budget + 1e-9
+    assert policy.num_layers == num_layers
+    assert all(layer in OPTIONS for layer in policy.layers)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_layers=st.integers(2, 8),
+    budget=st.floats(MIN_COST + 0.05, 0.8),
+    seed=st.integers(0, 1000),
+)
+def test_random_search_feasible_and_within_options(num_layers, budget, seed):
+    profile = random_profile(num_layers, seed)
+    policy = random_search(
+        profile, num_layers, budget, options=OPTIONS, n_samples=50, seed=seed
+    )
+    assert policy.cost() <= budget + 1e-9
+    assert all(layer in OPTIONS for layer in policy.layers)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    num_layers=st.integers(2, 8),
+    budget=st.floats(MIN_COST + 0.05, 0.8),
+    seed=st.integers(0, 1000),
+)
+def test_greedy_competitive_with_random(num_layers, budget, seed):
+    """Greedy is a marginal-efficiency heuristic, not an optimum: it may
+    lose to sampling on adversarial profiles, but must stay competitive."""
+    profile = random_profile(num_layers, seed)
+    greedy = greedy_search(profile, num_layers, budget, options=OPTIONS)
+    rand = random_search(
+        profile, num_layers, budget, options=OPTIONS, n_samples=30, seed=seed
+    )
+    g = profile.predicted_degradation(greedy)
+    r = profile.predicted_degradation(rand)
+    assert g <= 2.0 * r + 1.0
+
+
+@settings(max_examples=8, deadline=None)
+@given(num_layers=st.integers(2, 6), seed=st.integers(0, 500))
+def test_evolutionary_feasible(num_layers, seed):
+    profile = random_profile(num_layers, seed)
+    policy = evolutionary_search(
+        profile, num_layers, 0.3, options=OPTIONS,
+        population=16, generations=10, seed=seed,
+    )
+    assert policy.cost() <= 0.3 + 0.05  # soft-penalty slack
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_layers=st.integers(1, 10),
+    bits=st.sampled_from([2, 4, 8, 16]),
+    ratio=st.floats(0.0, 0.9),
+)
+def test_policy_cost_formula(num_layers, bits, ratio):
+    policy = LUCPolicy.uniform(num_layers, bits, ratio)
+    assert policy.cost() == pytest.approx((bits / 16) * (1 - ratio), rel=1e-6)
+    assert policy.average_bits() == bits
+    assert policy.average_sparsity() == pytest.approx(ratio, rel=1e-6)

@@ -1,0 +1,117 @@
+"""Tests for Adafactor and beam-search decoding."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adafactor, Parameter, beam_search
+from repro.tensor import Tensor
+
+
+class TestAdafactor:
+    def quadratic(self, shape, seed=0):
+        return Parameter(np.random.default_rng(seed).standard_normal(shape) * 2)
+
+    def run_steps(self, opt, p, steps=300):
+        for _ in range(steps):
+            loss = (p * p).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        return float((p.data**2).sum())
+
+    def test_converges_matrix(self):
+        p = self.quadratic((6, 4))
+        assert self.run_steps(Adafactor([p], lr=0.05), p) < 1e-2
+
+    def test_converges_vector(self):
+        p = self.quadratic((8,))
+        assert self.run_steps(Adafactor([p], lr=0.05), p) < 1e-2
+
+    def test_factored_state_smaller_than_adam(self):
+        from repro.nn import Adam
+
+        p = self.quadratic((64, 64))
+        ada = Adafactor([p], lr=0.01)
+        adam = Adam([p], lr=0.01)
+        assert ada.state_bytes() < adam.state_bytes() / 10
+
+    def test_state_floats_for_matrix(self):
+        p = self.quadratic((10, 20))
+        opt = Adafactor([p], lr=0.01)
+        assert opt.state_floats_per_param == pytest.approx(30 / 200)
+
+    def test_vector_fallback_full_state(self):
+        p = self.quadratic((16,))
+        opt = Adafactor([p], lr=0.01)
+        assert opt.state_floats_per_param == pytest.approx(1.0)
+
+    def test_rms_clipping_bounds_step(self):
+        p = Parameter(np.ones((4, 4)))
+        opt = Adafactor([p], lr=1.0, clip_threshold=1.0)
+        p.grad = np.full((4, 4), 100.0, dtype=np.float32)
+        before = p.data.copy()
+        opt.step()
+        step = np.abs(p.data - before)
+        # RMS of the update is clipped to <= 1, times lr.
+        assert float(np.sqrt((step**2).mean())) <= 1.0 + 1e-5
+
+    def test_trainer_accepts_adafactor(self, pretrained_model, adapt_corpus):
+        from repro.adaptive import AdaptiveLayerTrainer, AdaptiveTuningConfig
+        from repro.data import lm_batches
+
+        trainer = AdaptiveLayerTrainer(
+            pretrained_model,
+            AdaptiveTuningConfig(optimizer="adafactor", lr=5e-3, window=2),
+        )
+        stats = trainer.train(
+            lm_batches(adapt_corpus, 4, 16, 8, np.random.default_rng(0))
+        )
+        assert stats[-1].loss < stats[0].loss * 1.2  # moving, not diverging
+        # Optimizer memory reported as sub-linear.
+        report = trainer.memory_report(4, 16)
+        assert report.optimizer_bytes < report.gradient_bytes
+
+
+class TestBeamSearch:
+    def test_returns_requested_length(self, pretrained_model):
+        toks = beam_search(pretrained_model, [1, 2, 3], 5, beam_width=3)
+        assert len(toks) == 5
+        assert all(0 <= t < 32 for t in toks)
+
+    def test_beam1_equals_greedy(self, pretrained_model):
+        greedy_toks = pretrained_model.generate([1, 2, 3], 5, greedy=True)
+        beam_toks = beam_search(pretrained_model, [1, 2, 3], 5, beam_width=1)
+        assert greedy_toks == beam_toks
+
+    def test_wider_beam_no_worse_logprob(self, pretrained_model, pretrain_corpus):
+        """The beam optimum's sequence log-prob must dominate greedy's."""
+        from repro.tensor import nll_from_logits, no_grad
+
+        prompt = [1, 2, 3]
+
+        def seq_logprob(tokens):
+            ids = np.array([prompt + tokens], dtype=np.int64)
+            with no_grad():
+                logits = pretrained_model(ids[:, :-1])
+            nll = nll_from_logits(logits, ids[:, 1:])[0]
+            return -float(nll[len(prompt) - 1:].sum())
+
+        greedy_lp = seq_logprob(pretrained_model.generate(prompt, 6, greedy=True))
+        beam_lp = seq_logprob(
+            beam_search(pretrained_model, prompt, 6, beam_width=4,
+                        length_penalty=0.0)
+        )
+        assert beam_lp >= greedy_lp - 1e-4
+
+    def test_invalid_beam_width(self, pretrained_model):
+        with pytest.raises(ValueError):
+            beam_search(pretrained_model, [1], 3, beam_width=0)
+
+    def test_single_token(self, pretrained_model):
+        toks = beam_search(pretrained_model, [1, 2], 1, beam_width=3)
+        assert len(toks) == 1
+
+    def test_restores_training_mode(self, pretrained_model):
+        pretrained_model.train()
+        beam_search(pretrained_model, [1], 2, beam_width=2)
+        assert pretrained_model.training

@@ -1,0 +1,137 @@
+"""Tests for RoPE and causal multi-head attention (incl. KV cache)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import KVCache, MultiHeadAttention, apply_rope, rope_tables
+from repro.tensor import Tensor, no_grad
+
+
+class TestRope:
+    def test_tables_shape(self):
+        cos, sin = rope_tables(8, 32)
+        assert cos.shape == (32, 4)
+        assert sin.shape == (32, 4)
+
+    def test_odd_head_dim_raises(self):
+        with pytest.raises(ValueError):
+            rope_tables(7, 32)
+
+    def test_position_zero_is_identity(self):
+        cos, sin = rope_tables(8, 16)
+        x = Tensor(np.random.default_rng(0).standard_normal((1, 1, 1, 8)))
+        out = apply_rope(x, cos, sin, offset=0)
+        assert np.allclose(out.data, x.data, atol=1e-6)
+
+    def test_rotation_preserves_norm(self):
+        cos, sin = rope_tables(8, 16)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 3, 5, 8)))
+        out = apply_rope(x, cos, sin)
+        assert np.allclose(
+            np.linalg.norm(out.data, axis=-1),
+            np.linalg.norm(x.data, axis=-1),
+            rtol=1e-4,
+        )
+
+    def test_offset_matches_full_sequence(self):
+        cos, sin = rope_tables(8, 16)
+        x = Tensor(np.random.default_rng(0).standard_normal((1, 1, 6, 8)))
+        full = apply_rope(x, cos, sin, offset=0)
+        tail = apply_rope(Tensor(x.data[:, :, 4:]), cos, sin, offset=4)
+        assert np.allclose(full.data[:, :, 4:], tail.data, atol=1e-5)
+
+    def test_relative_property_dot_products(self):
+        # RoPE makes q_i . k_j depend only on i - j.
+        cos, sin = rope_tables(16, 64)
+        rng = np.random.default_rng(3)
+        q = rng.standard_normal(16).astype(np.float32)
+        k = rng.standard_normal(16).astype(np.float32)
+
+        def rotated_dot(i, j):
+            qi = apply_rope(Tensor(q[None, None, None, :]), cos, sin, offset=i).data[0, 0, 0]
+            kj = apply_rope(Tensor(k[None, None, None, :]), cos, sin, offset=j).data[0, 0, 0]
+            return float(qi @ kj)
+
+        assert np.isclose(rotated_dot(5, 3), rotated_dot(12, 10), atol=1e-3)
+        assert np.isclose(rotated_dot(0, 0), rotated_dot(20, 20), atol=1e-3)
+
+
+class TestAttention:
+    def make(self, dim=32, heads=4, max_len=16, seed=0):
+        return MultiHeadAttention(dim, heads, max_len=max_len,
+                                  rng=np.random.default_rng(seed))
+
+    def test_output_shape(self):
+        attn = self.make()
+        out = attn(Tensor(np.random.default_rng(0).standard_normal((2, 8, 32))))
+        assert out.shape == (2, 8, 32)
+
+    def test_dim_not_divisible_raises(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(30, 4)
+
+    def test_too_long_sequence_raises(self):
+        attn = self.make(max_len=8)
+        with pytest.raises(ValueError):
+            attn(Tensor(np.zeros((1, 9, 32))))
+
+    def test_causality(self):
+        """Changing a future token must not change earlier outputs."""
+        attn = self.make()
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 8, 32)).astype(np.float32)
+        out1 = attn(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 5] += 10.0
+        out2 = attn(Tensor(x2)).data
+        assert np.allclose(out1[0, :5], out2[0, :5], atol=1e-5)
+        assert not np.allclose(out1[0, 5:], out2[0, 5:], atol=1e-3)
+
+    def test_gradients_reach_all_projections(self):
+        attn = self.make()
+        x = Tensor(np.random.default_rng(0).standard_normal((1, 4, 32)),
+                   requires_grad=True)
+        attn(x).sum().backward()
+        for name, p in attn.named_parameters():
+            assert p.grad is not None, name
+        assert x.grad is not None
+
+    def test_kv_cache_matches_full_forward(self):
+        attn = self.make()
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 6, 32)).astype(np.float32)
+        with no_grad():
+            full = attn(Tensor(x)).data
+            cache = KVCache()
+            prefix = attn(Tensor(x[:, :4]), cache=cache).data
+            suffix = attn(Tensor(x[:, 4:]), cache=cache).data
+        assert np.allclose(full[:, :4], prefix, atol=1e-4)
+        assert np.allclose(full[:, 4:], suffix, atol=1e-4)
+
+    def test_kv_cache_token_by_token(self):
+        attn = self.make()
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((1, 5, 32)).astype(np.float32)
+        with no_grad():
+            full = attn(Tensor(x)).data
+            cache = KVCache()
+            outs = [attn(Tensor(x[:, i:i + 1]), cache=cache).data for i in range(5)]
+        stitched = np.concatenate(outs, axis=1)
+        assert np.allclose(full, stitched, atol=1e-4)
+        assert cache.length == 5
+
+    def test_cache_respects_max_len(self):
+        attn = self.make(max_len=4)
+        cache = KVCache()
+        with no_grad():
+            attn(Tensor(np.zeros((1, 4, 32))), cache=cache)
+            with pytest.raises(ValueError):
+                attn(Tensor(np.zeros((1, 1, 32))), cache=cache)
+
+    def test_attention_weights_rowsum(self):
+        """Single-position uniform-value input: output is o_proj(value avg)."""
+        attn = self.make()
+        x = np.zeros((1, 1, 32), dtype=np.float32)
+        out = attn(Tensor(x))
+        assert out.shape == (1, 1, 32)
+        assert np.allclose(out.data, 0.0, atol=1e-6)

@@ -1,0 +1,128 @@
+"""Tests for grouped-query attention (GQA)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import KVCache, MultiHeadAttention, TransformerConfig, TransformerLM
+from repro.tensor import Tensor, cross_entropy, no_grad
+
+
+def make_attn(num_kv_heads, dim=32, heads=4, seed=0):
+    return MultiHeadAttention(
+        dim, heads, max_len=16, rng=np.random.default_rng(seed),
+        num_kv_heads=num_kv_heads,
+    )
+
+
+class TestGQAAttention:
+    def test_kv_projection_narrower(self):
+        attn = make_attn(num_kv_heads=2)
+        assert attn.k_proj.out_features == 16  # 2 heads * head_dim 8
+        assert attn.q_proj.out_features == 32
+
+    def test_invalid_grouping(self):
+        with pytest.raises(ValueError):
+            make_attn(num_kv_heads=3)
+
+    def test_default_is_mha(self):
+        attn = make_attn(num_kv_heads=None)
+        assert attn.num_kv_heads == attn.num_heads
+
+    def test_forward_shape(self):
+        attn = make_attn(num_kv_heads=2)
+        out = attn(Tensor(np.random.default_rng(0).standard_normal((2, 8, 32))))
+        assert out.shape == (2, 8, 32)
+
+    def test_causality_preserved(self):
+        attn = make_attn(num_kv_heads=1)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 8, 32)).astype(np.float32)
+        out1 = attn(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 6] += 5.0
+        out2 = attn(Tensor(x2)).data
+        assert np.allclose(out1[0, :6], out2[0, :6], atol=1e-5)
+
+    def test_gradients_flow(self):
+        attn = make_attn(num_kv_heads=2)
+        x = Tensor(np.random.default_rng(0).standard_normal((1, 4, 32)),
+                   requires_grad=True)
+        attn(x).sum().backward()
+        assert attn.k_proj.weight.grad is not None
+        assert x.grad is not None
+
+    def test_kv_cache_matches_full_forward(self):
+        attn = make_attn(num_kv_heads=2)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 6, 32)).astype(np.float32)
+        with no_grad():
+            full = attn(Tensor(x)).data
+            cache = KVCache()
+            a = attn(Tensor(x[:, :3]), cache=cache).data
+            b = attn(Tensor(x[:, 3:]), cache=cache).data
+        assert np.allclose(full[:, :3], a, atol=1e-4)
+        assert np.allclose(full[:, 3:], b, atol=1e-4)
+
+    def test_cache_stores_kv_layout(self):
+        attn = make_attn(num_kv_heads=2)
+        cache = KVCache()
+        with no_grad():
+            attn(Tensor(np.zeros((1, 4, 32), dtype=np.float32)), cache=cache)
+        assert cache.k.shape[1] == 2  # kv heads, not query heads
+
+    def test_mqa_extreme(self):
+        """num_kv_heads=1 is multi-query attention."""
+        attn = make_attn(num_kv_heads=1)
+        out = attn(Tensor(np.random.default_rng(0).standard_normal((2, 5, 32))))
+        assert out.shape == (2, 5, 32)
+
+
+class TestGQATransformer:
+    def config(self):
+        return TransformerConfig(
+            vocab_size=32, dim=32, num_layers=2, num_heads=4,
+            num_kv_heads=2, max_len=32, seed=0,
+        )
+
+    def test_kv_dim_resolution(self):
+        assert self.config().resolved_kv_dim() == 16
+        dense = TransformerConfig(vocab_size=32, dim=32, num_heads=4)
+        assert dense.resolved_kv_dim() == 32
+
+    def test_model_trains(self):
+        from repro.nn import AdamW
+
+        model = TransformerLM(self.config())
+        ids = np.random.default_rng(0).integers(0, 32, (4, 12))
+        opt = AdamW(model.parameters(), lr=3e-3)
+        losses = []
+        for _ in range(15):
+            loss = cross_entropy(model(ids[:, :-1]), ids[:, 1:])
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+    def test_generation_with_cache(self):
+        model = TransformerLM(self.config())
+        toks = model.generate([1, 2, 3], 4, greedy=True)
+        assert len(toks) == 4
+
+    def test_block_param_count_matches(self):
+        from repro.eval import block_param_count
+
+        model = TransformerLM(self.config())
+        actual = sum(p.size for _, p in model.blocks[0].named_parameters())
+        assert block_param_count(self.config()) == actual
+
+    def test_gqa_workload_cheaper(self):
+        from repro.hw import total_macs, tuning_iteration_workload
+
+        gqa_cfg = self.config()
+        mha_cfg = TransformerConfig(
+            vocab_size=32, dim=32, num_layers=2, num_heads=4, max_len=32
+        )
+        gqa = total_macs(tuning_iteration_workload(gqa_cfg, 2, 8, 2, 0))
+        mha = total_macs(tuning_iteration_workload(mha_cfg, 2, 8, 2, 0))
+        assert gqa < mha

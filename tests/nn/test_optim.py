@@ -1,0 +1,153 @@
+"""Tests for optimizers, LR schedules and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    AdamW,
+    ConstantLR,
+    Parameter,
+    SGD,
+    StepLR,
+    WarmupCosineLR,
+    clip_grad_norm,
+)
+from repro.tensor import Tensor
+
+
+def quadratic_param(seed=0):
+    rng = np.random.default_rng(seed)
+    return Parameter(rng.standard_normal(8) * 3)
+
+
+def run_steps(opt, p, steps=200):
+    for _ in range(steps):
+        loss = (Tensor(p.data * 0) + p * p).sum()  # f(p) = sum p^2
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return float((p.data**2).sum())
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert run_steps(SGD([p], lr=0.1), p) < 1e-6
+
+    def test_momentum_state_reported(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        assert opt.state_floats_per_param == 1.0
+        assert opt.state_bytes() == p.size * 4
+
+    def test_plain_sgd_zero_state(self):
+        p = quadratic_param()
+        assert SGD([p], lr=0.1).state_bytes() == 0
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.ones(4))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        loss = (p * 0).sum()
+        loss.backward()
+        opt.step()
+        assert np.all(p.data < 1.0)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert run_steps(Adam([p], lr=0.05), p, steps=400) < 1e-3
+
+    def test_state_bytes_two_moments(self):
+        p = quadratic_param()
+        assert Adam([p], lr=1e-3).state_bytes() == p.size * 2 * 4
+
+    def test_frozen_params_skipped(self):
+        p = quadratic_param()
+        p.requires_grad = False
+        opt = Adam([p], lr=0.1)
+        before = p.data.copy()
+        p.grad = np.ones_like(p.data)
+        opt.step()
+        assert np.allclose(p.data, before)
+
+    def test_none_grad_skipped(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.1)
+        before = p.data.copy()
+        opt.step()
+        assert np.allclose(p.data, before)
+
+
+class TestAdamW:
+    def test_decay_applies_without_grad_signal(self):
+        p = Parameter(np.full(4, 10.0))
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros_like(p.data)
+        opt.step()
+        assert np.all(p.data < 10.0)
+
+    def test_converges(self):
+        p = quadratic_param()
+        assert run_steps(AdamW([p], lr=0.05, weight_decay=0.0), p, steps=400) < 1e-3
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([0.1, 0.0, 0.0], dtype=np.float32)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert np.isclose(norm, 0.1, atol=1e-6)
+        assert np.isclose(p.grad[0], 0.1)
+
+    def test_clips_above_threshold(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0, dtype=np.float32)
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.isclose(float(np.linalg.norm(p.grad)), 1.0, rtol=1e-5)
+
+    def test_handles_none_grads(self):
+        p = Parameter(np.zeros(4))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantLR().multiplier(0) == 1.0
+        assert ConstantLR().multiplier(1000) == 1.0
+
+    def test_warmup_ramps_linearly(self):
+        sched = WarmupCosineLR(warmup_steps=10, total_steps=100)
+        assert sched.multiplier(0) == pytest.approx(0.1)
+        assert sched.multiplier(9) == pytest.approx(1.0)
+
+    def test_cosine_decays_to_min(self):
+        sched = WarmupCosineLR(warmup_steps=0, total_steps=100, min_mult=0.1)
+        assert sched.multiplier(0) == pytest.approx(1.0, abs=1e-3)
+        assert sched.multiplier(100) == pytest.approx(0.1, abs=1e-3)
+        assert sched.multiplier(200) == pytest.approx(0.1, abs=1e-3)
+
+    def test_step_lr(self):
+        sched = StepLR(step_size=10, gamma=0.5)
+        assert sched.multiplier(0) == 1.0
+        assert sched.multiplier(10) == 0.5
+        assert sched.multiplier(25) == 0.25
+
+    def test_apply_updates_optimizer(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(step_size=1, gamma=0.1)
+        lr = sched.apply(opt, base_lr=1.0, step=2)
+        assert opt.lr == pytest.approx(0.01)
+        assert lr == pytest.approx(0.01)
+
+    def test_invalid_schedule_args(self):
+        with pytest.raises(ValueError):
+            WarmupCosineLR(0, 0)
+        with pytest.raises(ValueError):
+            StepLR(0)

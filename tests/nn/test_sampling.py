@@ -1,0 +1,147 @@
+"""Tests for sampling strategies and model serialization."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    TransformerConfig,
+    TransformerLM,
+    greedy,
+    load_config,
+    load_model,
+    load_state,
+    sample_temperature,
+    sample_token,
+    sample_top_k,
+    sample_top_p,
+    save_model,
+)
+
+LOGITS = np.array([0.1, 3.0, 1.0, -2.0, 2.0], dtype=np.float32)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestGreedy:
+    def test_picks_argmax(self):
+        assert greedy(LOGITS) == 1
+
+
+class TestTemperature:
+    def test_zero_temperature_is_greedy(self):
+        assert sample_temperature(LOGITS, rng(), temperature=0.0) == 1
+
+    def test_low_temperature_concentrates(self):
+        picks = [sample_temperature(LOGITS, rng(i), 0.05) for i in range(50)]
+        assert picks.count(1) >= 48
+
+    def test_high_temperature_spreads(self):
+        picks = {sample_temperature(LOGITS, rng(i), 100.0) for i in range(200)}
+        assert len(picks) >= 4
+
+    def test_reproducible(self):
+        assert sample_temperature(LOGITS, rng(3)) == sample_temperature(
+            LOGITS, rng(3)
+        )
+
+
+class TestTopK:
+    def test_k1_is_greedy(self):
+        for seed in range(10):
+            assert sample_top_k(LOGITS, rng(seed), k=1) == 1
+
+    def test_samples_only_top_k(self):
+        picks = {sample_top_k(LOGITS, rng(i), k=2, temperature=5.0)
+                 for i in range(100)}
+        assert picks <= {1, 4}
+
+    def test_k_larger_than_vocab_ok(self):
+        assert 0 <= sample_top_k(LOGITS, rng(0), k=100) < 5
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            sample_top_k(LOGITS, rng(0), k=0)
+
+
+class TestTopP:
+    def test_tiny_p_is_near_greedy(self):
+        picks = {sample_top_p(LOGITS, rng(i), p=0.01) for i in range(30)}
+        assert picks == {1}
+
+    def test_p_one_allows_all(self):
+        picks = {sample_top_p(LOGITS, rng(i), p=1.0, temperature=50.0)
+                 for i in range(300)}
+        assert len(picks) >= 4
+
+    def test_nucleus_excludes_tail(self):
+        # With p=0.8 the -2.0 logit (tiny mass) must never appear.
+        picks = [sample_top_p(LOGITS, rng(i), p=0.8) for i in range(200)]
+        assert 3 not in picks
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            sample_top_p(LOGITS, rng(0), p=0.0)
+        with pytest.raises(ValueError):
+            sample_top_p(LOGITS, rng(0), p=1.5)
+
+
+class TestSampleToken:
+    def test_mutually_exclusive_filters(self):
+        with pytest.raises(ValueError):
+            sample_token(LOGITS, rng(0), top_k=2, top_p=0.9)
+
+    def test_dispatch(self):
+        assert 0 <= sample_token(LOGITS, rng(0), top_k=2) < 5
+        assert 0 <= sample_token(LOGITS, rng(0), top_p=0.9) < 5
+        assert 0 <= sample_token(LOGITS, rng(0)) < 5
+
+    def test_generate_with_top_k(self, pretrained_model):
+        toks = pretrained_model.generate([1, 2], 5, top_k=3,
+                                         rng=np.random.default_rng(0))
+        assert len(toks) == 5
+
+
+class TestSerialization:
+    def config(self):
+        return TransformerConfig(vocab_size=16, dim=16, num_layers=2,
+                                 num_heads=2, max_len=32, seed=3)
+
+    def test_roundtrip(self, tmp_path):
+        model = TransformerLM(self.config())
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        restored = load_model(path)
+        ids = np.zeros((1, 4), dtype=np.int64)
+        assert np.allclose(model(ids).data, restored(ids).data, atol=1e-6)
+        assert restored.config == model.config
+
+    def test_load_state_only(self, tmp_path):
+        model = TransformerLM(self.config())
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        state = load_state(path)
+        assert set(state) == set(model.state_dict())
+
+    def test_load_config(self, tmp_path):
+        model = TransformerLM(self.config())
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        assert load_config(path) == self.config()
+
+    def test_load_model_without_config_raises(self, tmp_path):
+        from repro.nn import Linear
+
+        path = str(tmp_path / "linear.npz")
+        save_model(Linear(4, 4), path)
+        with pytest.raises(ValueError):
+            load_model(path)
+
+    def test_creates_directories(self, tmp_path):
+        model = TransformerLM(self.config())
+        path = str(tmp_path / "nested" / "dir" / "model.npz")
+        save_model(model, path)
+        assert os.path.exists(path)

@@ -1,0 +1,131 @@
+"""Tests for the TransformerLM: shapes, staged forward, caching, training."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AdamW, TransformerConfig, TransformerLM
+from repro.tensor import Tensor, cross_entropy, no_grad
+
+
+def small_config(**kw):
+    defaults = dict(vocab_size=32, dim=32, num_layers=3, num_heads=4,
+                    max_len=32, seed=0)
+    defaults.update(kw)
+    return TransformerConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TransformerLM(small_config())
+
+
+class TestForward:
+    def test_logits_shape(self, model):
+        ids = np.zeros((2, 7), dtype=np.int64)
+        assert model(ids).shape == (2, 7, 32)
+
+    def test_hidden_states_returned(self, model):
+        ids = np.zeros((1, 5), dtype=np.int64)
+        logits, hiddens = model(ids, return_hidden_states=True)
+        assert len(hiddens) == 3
+        assert all(h.shape == (1, 5, 32) for h in hiddens)
+
+    def test_staged_forward_matches_monolithic(self, model):
+        ids = np.random.default_rng(0).integers(0, 32, (2, 6))
+        with no_grad():
+            full = model(ids).data
+            h = model.embed_tokens(ids)
+            h = model.run_blocks(h, 0, 2)
+            h = model.run_blocks(h, 2)
+            staged = model.head(h).data
+        assert np.allclose(full, staged, atol=1e-5)
+
+    def test_tied_embeddings_share_memory(self):
+        m = TransformerLM(small_config(tie_embeddings=True))
+        assert m.lm_head is None
+        names = [n for n, _ in m.named_parameters()]
+        assert not any("lm_head" in n for n in names)
+
+    def test_untied_head(self):
+        m = TransformerLM(small_config(tie_embeddings=False))
+        assert m.lm_head is not None
+        ids = np.zeros((1, 4), dtype=np.int64)
+        assert m(ids).shape == (1, 4, 32)
+
+    def test_causality_end_to_end(self, model):
+        rng = np.random.default_rng(1)
+        ids = rng.integers(0, 32, (1, 8))
+        with no_grad():
+            out1 = model(ids).data.copy()
+            ids2 = ids.copy()
+            ids2[0, 6] = (ids2[0, 6] + 1) % 32
+            out2 = model(ids2).data
+        assert np.allclose(out1[0, :6], out2[0, :6], atol=1e-4)
+
+
+class TestGeneration:
+    def test_cached_forward_matches_full(self, model):
+        rng = np.random.default_rng(2)
+        ids = rng.integers(0, 32, (1, 10))
+        with no_grad():
+            full = model(ids).data
+            caches = model.new_caches()
+            a = model(ids[:, :6], caches=caches).data
+            b = model(ids[:, 6:], caches=caches).data
+        assert np.allclose(full[:, :6], a, atol=1e-4)
+        assert np.allclose(full[:, 6:], b, atol=1e-4)
+
+    def test_generate_greedy_deterministic(self, model):
+        out1 = model.generate([1, 2, 3], 4, greedy=True)
+        out2 = model.generate([1, 2, 3], 4, greedy=True)
+        assert out1 == out2
+        assert len(out1) == 4
+        assert all(0 <= t < 32 for t in out1)
+
+    def test_generate_seeded_sampling_reproducible(self, model):
+        g1 = model.generate([1], 5, rng=np.random.default_rng(7))
+        g2 = model.generate([1], 5, rng=np.random.default_rng(7))
+        assert g1 == g2
+
+    def test_generate_restores_training_mode(self, model):
+        model.train()
+        model.generate([1], 2, greedy=True)
+        assert model.training
+
+
+class TestTraining:
+    def test_loss_decreases_on_memorization(self):
+        m = TransformerLM(small_config())
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, 32, (4, 16))
+        opt = AdamW(m.parameters(), lr=3e-3)
+        first = last = None
+        for step in range(25):
+            loss = cross_entropy(m(ids[:, :-1]), ids[:, 1:])
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = loss.item()
+            last = loss.item()
+        assert last < first * 0.7
+
+    def test_all_parameters_receive_grads(self):
+        m = TransformerLM(small_config())
+        ids = np.random.default_rng(0).integers(0, 32, (2, 8))
+        loss = cross_entropy(m(ids[:, :-1]), ids[:, 1:])
+        loss.backward()
+        for name, p in m.named_parameters():
+            assert p.grad is not None, f"{name} got no grad"
+
+    def test_config_mlp_hidden_default(self):
+        cfg = small_config(dim=96, mlp_hidden=None)
+        assert cfg.resolved_mlp_hidden() % 8 == 0
+        assert cfg.resolved_mlp_hidden() >= 96 * 8 // 3
+
+    def test_config_mlp_hidden_explicit(self):
+        cfg = small_config(mlp_hidden=123)
+        assert cfg.resolved_mlp_hidden() == 123
+
+    def test_num_layers_property(self, model):
+        assert model.num_layers == 3

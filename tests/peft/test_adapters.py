@@ -1,0 +1,83 @@
+"""Tests for the bottleneck-adapter baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data import lm_batches
+from repro.nn import Linear
+from repro.peft import BottleneckAdapter, apply_adapters, remove_adapters, tune
+from repro.tensor import Tensor, no_grad
+
+
+class TestBottleneckAdapter:
+    def make(self, bottleneck=4):
+        return BottleneckAdapter(
+            Linear(8, 8, rng=np.random.default_rng(0)), bottleneck=bottleneck
+        )
+
+    def test_starts_as_identity_update(self):
+        adapter = self.make()
+        x = Tensor(np.random.default_rng(1).standard_normal((3, 8)))
+        assert np.allclose(adapter(x).data, adapter.inner(x).data, atol=1e-6)
+
+    def test_invalid_bottleneck(self):
+        with pytest.raises(ValueError):
+            self.make(bottleneck=0)
+
+    def test_param_count(self):
+        adapter = self.make(bottleneck=4)
+        assert adapter.down.size + adapter.up.size == 8 * 4 * 2
+
+    def test_nonzero_after_update(self):
+        adapter = self.make()
+        adapter.up.data[:] = 0.1
+        x = Tensor(np.random.default_rng(1).standard_normal((3, 8)))
+        assert not np.allclose(adapter(x).data, adapter.inner(x).data, atol=1e-4)
+
+
+class TestApplyAdapters:
+    def test_backbone_frozen_adapters_trainable(self, pretrained_model):
+        undo, trainable = apply_adapters(pretrained_model, bottleneck=4)
+        assert len(trainable) == pretrained_model.num_layers * 2 * 2
+        assert all(p.requires_grad for p in trainable)
+        backbone = [
+            p for name, p in pretrained_model.named_parameters()
+            if "down" != name.split(".")[-1] and "up" != name.split(".")[-1]
+        ]
+        remove_adapters(undo)
+        pretrained_model.requires_grad_(True)
+
+    def test_initial_forward_unchanged(self, pretrained_model):
+        ids = np.random.default_rng(0).integers(0, 32, (1, 8))
+        with no_grad():
+            base = pretrained_model(ids).data.copy()
+        undo, _ = apply_adapters(pretrained_model, bottleneck=4)
+        with no_grad():
+            adapted = pretrained_model(ids).data
+        assert np.allclose(base, adapted, atol=1e-5)
+        remove_adapters(undo)
+        pretrained_model.requires_grad_(True)
+
+    def test_adapters_learn(self, pretrained_model, adapt_corpus):
+        undo, trainable = apply_adapters(pretrained_model, bottleneck=8)
+        result = tune(
+            lambda ids: pretrained_model(ids),
+            trainable,
+            lm_batches(adapt_corpus, 4, 24, 20, np.random.default_rng(0)),
+            lr=5e-3,
+        )
+        assert result.final_loss < result.initial_loss
+        remove_adapters(undo)
+        pretrained_model.requires_grad_(True)
+
+    def test_remove_restores(self, pretrained_model):
+        ids = np.random.default_rng(0).integers(0, 32, (1, 8))
+        with no_grad():
+            base = pretrained_model(ids).data.copy()
+        undo, trainable = apply_adapters(pretrained_model)
+        trainable[1].data[:] = 1.0  # perturb an up-projection
+        remove_adapters(undo)
+        pretrained_model.requires_grad_(True)
+        with no_grad():
+            restored = pretrained_model(ids).data
+        assert np.allclose(base, restored, atol=1e-6)

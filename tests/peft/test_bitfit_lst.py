@@ -1,0 +1,118 @@
+"""Tests for BitFit and Ladder Side Tuning baselines."""
+
+import numpy as np
+import pytest
+
+from repro.data import lm_batches
+from repro.peft import (
+    LadderSideNetwork,
+    apply_bitfit,
+    restore_full_training,
+    tune,
+)
+from repro.tensor import no_grad
+
+
+class TestBitFit:
+    def test_only_1d_params_trainable(self, pretrained_model):
+        trainable = apply_bitfit(pretrained_model)
+        assert all(p.data.ndim <= 1 for p in trainable)
+        matrices = [
+            p for _, p in pretrained_model.named_parameters() if p.data.ndim > 1
+        ]
+        assert all(not p.requires_grad for p in matrices)
+        restore_full_training(pretrained_model)
+
+    def test_tiny_trainable_fraction(self, pretrained_model):
+        trainable = apply_bitfit(pretrained_model)
+        n_train = sum(p.size for p in trainable)
+        assert n_train < pretrained_model.num_parameters() * 0.02
+        restore_full_training(pretrained_model)
+
+    def test_bitfit_reduces_loss(self, pretrained_model, adapt_corpus):
+        trainable = apply_bitfit(pretrained_model)
+        result = tune(
+            lambda ids: pretrained_model(ids),
+            trainable,
+            lm_batches(adapt_corpus, 4, 24, 20, np.random.default_rng(0)),
+            lr=1e-2,
+        )
+        assert result.final_loss < result.initial_loss
+        restore_full_training(pretrained_model)
+
+    def test_restore_full_training(self, pretrained_model):
+        apply_bitfit(pretrained_model)
+        restore_full_training(pretrained_model)
+        assert all(p.requires_grad for p in pretrained_model.parameters())
+
+
+class TestLST:
+    def test_initial_logits_match_backbone(self, pretrained_model):
+        lst = LadderSideNetwork(pretrained_model, reduction=4)
+        ids = np.random.default_rng(0).integers(0, 32, (2, 8))
+        with no_grad():
+            base = pretrained_model(ids).data
+        out = lst(ids)
+        assert np.allclose(out.data, base, atol=1e-5)  # gate starts at 0
+
+    def test_side_params_exclude_backbone(self, pretrained_model):
+        lst = LadderSideNetwork(pretrained_model, reduction=4)
+        side = lst.side_parameters()
+        backbone_ids = {id(p) for p in pretrained_model.parameters()}
+        assert all(id(p) not in backbone_ids for p in side)
+        assert lst.num_side_parameters() == sum(p.size for p in side)
+
+    def test_side_network_is_small(self, pretrained_model):
+        lst = LadderSideNetwork(pretrained_model, reduction=4)
+        assert lst.num_side_parameters() < pretrained_model.num_parameters() * 0.5
+
+    def test_invalid_reduction(self, pretrained_model):
+        with pytest.raises(ValueError):
+            LadderSideNetwork(pretrained_model, reduction=0)
+
+    def test_backbone_gets_no_grads(self, pretrained_model, adapt_corpus):
+        from repro.tensor import cross_entropy
+
+        lst = LadderSideNetwork(pretrained_model, reduction=4)
+        inputs, targets = next(
+            lm_batches(adapt_corpus, 2, 16, 1, np.random.default_rng(0))
+        )
+        loss = cross_entropy(lst(inputs), targets)
+        loss.backward()
+        assert all(p.grad is None for p in pretrained_model.parameters())
+        assert any(p.grad is not None for p in lst.side_parameters())
+
+    def test_lst_adapts(self, pretrained_model, adapt_corpus):
+        lst = LadderSideNetwork(pretrained_model, reduction=4, seed=0)
+        result = tune(
+            lst,
+            lst.side_parameters(),
+            lm_batches(adapt_corpus, 4, 24, 25, np.random.default_rng(0)),
+            lr=5e-3,
+        )
+        assert result.final_loss < result.initial_loss
+
+
+class TestTuneHelper:
+    def test_unknown_optimizer(self, pretrained_model, adapt_corpus):
+        with pytest.raises(ValueError):
+            tune(
+                lambda ids: pretrained_model(ids),
+                pretrained_model.parameters(),
+                lm_batches(adapt_corpus, 2, 8, 1, np.random.default_rng(0)),
+                optimizer="bogus",
+            )
+
+    def test_no_batches_raises(self, pretrained_model):
+        with pytest.raises(ValueError):
+            tune(lambda ids: pretrained_model(ids),
+                 pretrained_model.parameters(), [])
+
+    def test_max_steps(self, pretrained_model, adapt_corpus):
+        result = tune(
+            lambda ids: pretrained_model(ids),
+            pretrained_model.parameters(),
+            lm_batches(adapt_corpus, 2, 8, 10, np.random.default_rng(0)),
+            max_steps=3,
+        )
+        assert len(result.losses) == 3

@@ -1,0 +1,87 @@
+"""Tests for the LoRA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear
+from repro.peft import LoRALinear, apply_lora, remove_lora, tune
+from repro.tensor import Tensor, no_grad
+
+
+class TestLoRALinear:
+    def make(self, rank=4, seed=0):
+        return LoRALinear(Linear(16, 8, rng=np.random.default_rng(seed)), rank=rank)
+
+    def test_initial_output_matches_base(self):
+        lora = self.make()
+        x = Tensor(np.random.default_rng(1).standard_normal((4, 16)))
+        assert np.allclose(lora(x).data, lora.inner(x).data, atol=1e-6)
+
+    def test_adapter_params_small(self):
+        lora = self.make(rank=2)
+        n = lora.lora_a.size + lora.lora_b.size
+        assert n == 16 * 2 + 2 * 8
+        assert n < lora.inner.weight.size
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            self.make(rank=0)
+
+    def test_merged_weight_equivalence(self):
+        lora = self.make()
+        lora.lora_b.data[:] = np.random.default_rng(2).standard_normal(
+            lora.lora_b.shape
+        )
+        x = np.random.default_rng(3).standard_normal((4, 16)).astype(np.float32)
+        merged = x @ lora.merged_weight() + lora.inner.bias.data
+        assert np.allclose(lora(Tensor(x)).data, merged, atol=1e-4)
+
+
+class TestApplyLoRA:
+    def test_freezes_backbone(self, pretrained_model):
+        undo, trainable = apply_lora(pretrained_model, rank=2)
+        backbone = [
+            p
+            for name, p in pretrained_model.named_parameters()
+            if "lora" not in name
+        ]
+        assert all(not p.requires_grad for p in backbone)
+        assert all(p.requires_grad for p in trainable)
+        remove_lora(undo)
+
+    def test_adapter_count(self, pretrained_model):
+        undo, trainable = apply_lora(pretrained_model, rank=2)
+        # q and v per block, A and B per adapter.
+        assert len(trainable) == pretrained_model.num_layers * 2 * 2
+        remove_lora(undo)
+
+    def test_remove_restores_forward(self, pretrained_model):
+        ids = np.random.default_rng(0).integers(0, 32, (1, 8))
+        with no_grad():
+            base = pretrained_model(ids).data.copy()
+        undo, _ = apply_lora(pretrained_model, rank=2)
+        remove_lora(undo)
+        pretrained_model.requires_grad_(True)
+        with no_grad():
+            restored = pretrained_model(ids).data
+        assert np.allclose(base, restored, atol=1e-6)
+
+    def test_lora_adapts_to_new_language(
+        self, pretrained_model, adapt_corpus, pretrain_corpus
+    ):
+        from repro.data import lm_batches
+        from repro.eval import model_perplexity
+
+        before = model_perplexity(pretrained_model, adapt_corpus, num_batches=2)
+        undo, trainable = apply_lora(pretrained_model, rank=4)
+        result = tune(
+            lambda ids: pretrained_model(ids),
+            trainable,
+            lm_batches(adapt_corpus, 4, 24, 25, np.random.default_rng(0)),
+            lr=5e-3,
+        )
+        after = model_perplexity(pretrained_model, adapt_corpus, num_batches=2)
+        assert result.final_loss < result.initial_loss
+        assert after < before
+        remove_lora(undo)
+        pretrained_model.requires_grad_(True)

@@ -1,0 +1,156 @@
+"""Tests for pruning masks and the PrunedLinear wrapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Linear
+from repro.prune import (
+    PrunedLinear,
+    global_magnitude_masks,
+    sparsity,
+    structured_mask,
+    unstructured_mask,
+)
+from repro.tensor import Tensor
+
+
+def weights(seed=0, shape=(32, 16)):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestUnstructured:
+    def test_sparsity_matches_ratio(self):
+        mask = unstructured_mask(weights(), 0.5)
+        assert sparsity(mask) == pytest.approx(0.5, abs=0.01)
+
+    def test_keeps_largest_magnitudes(self):
+        w = np.array([[0.1, -5.0], [2.0, 0.01]], dtype=np.float32)
+        mask = unstructured_mask(w, 0.5)
+        assert mask[0, 1] == 1.0 and mask[1, 0] == 1.0
+        assert mask[0, 0] == 0.0 and mask[1, 1] == 0.0
+
+    def test_zero_ratio_dense(self):
+        assert sparsity(unstructured_mask(weights(), 0.0)) == 0.0
+
+    def test_full_ratio_empty(self):
+        assert sparsity(unstructured_mask(weights(), 1.0)) == 1.0
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(ValueError):
+            unstructured_mask(weights(), 1.5)
+
+    def test_ties_handled_exactly(self):
+        w = np.ones((10, 10), dtype=np.float32)
+        mask = unstructured_mask(w, 0.3)
+        assert sparsity(mask) == pytest.approx(0.3, abs=0.01)
+
+    @settings(max_examples=20, deadline=None)
+    @given(ratio=st.floats(0.0, 1.0), seed=st.integers(0, 100))
+    def test_property_sparsity_close_to_ratio(self, ratio, seed):
+        mask = unstructured_mask(weights(seed=seed, shape=(20, 20)), ratio)
+        assert abs(sparsity(mask) - ratio) <= 1.5 / 400 + 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(ratio=st.floats(0.0, 0.99), seed=st.integers(0, 100))
+    def test_property_kept_entries_dominate_pruned(self, ratio, seed):
+        w = weights(seed=seed, shape=(10, 10))
+        mask = unstructured_mask(w, ratio)
+        kept = np.abs(w[mask == 1.0])
+        pruned = np.abs(w[mask == 0.0])
+        if kept.size and pruned.size:
+            assert kept.min() >= pruned.max() - 1e-6
+
+
+class TestStructured:
+    def test_whole_columns_removed(self):
+        mask = structured_mask(weights(), 0.25, axis=1)
+        col_sums = mask.sum(axis=0)
+        assert set(np.unique(col_sums)) <= {0.0, 32.0}
+        assert (col_sums == 0).sum() == 4
+
+    def test_rows_axis0(self):
+        mask = structured_mask(weights(), 0.5, axis=0)
+        row_sums = mask.sum(axis=1)
+        assert (row_sums == 0).sum() == 16
+
+    def test_prunes_smallest_norm_channels(self):
+        w = weights().copy()
+        w[:, 3] *= 0.001
+        mask = structured_mask(w, 1.0 / 16, axis=1)
+        assert np.all(mask[:, 3] == 0.0)
+
+
+class TestGlobal:
+    def test_global_budget_respected(self):
+        ws = {"a": weights(0), "b": weights(1) * 10}
+        masks = global_magnitude_masks(ws, 0.5)
+        total = sum(m.size for m in masks.values())
+        zeros = sum(m.size - m.sum() for m in masks.values())
+        assert zeros / total == pytest.approx(0.5, abs=0.02)
+
+    def test_layers_compete(self):
+        """A layer with tiny weights should be pruned much harder."""
+        ws = {"small": weights(0) * 0.01, "big": weights(1)}
+        masks = global_magnitude_masks(ws, 0.5)
+        assert sparsity(masks["small"]) > 0.9
+        assert sparsity(masks["big"]) < 0.1
+
+    def test_extremes(self):
+        ws = {"a": weights(0)}
+        assert sparsity(global_magnitude_masks(ws, 0.0)["a"]) == 0.0
+        assert sparsity(global_magnitude_masks(ws, 1.0)["a"]) == 1.0
+
+
+class TestPrunedLinear:
+    def test_forward_uses_mask(self):
+        lin = Linear(4, 4, rng=np.random.default_rng(0))
+        mask = np.zeros((4, 4), dtype=np.float32)
+        player = PrunedLinear(lin, mask)
+        out = player(Tensor(np.ones((2, 4))))
+        assert np.allclose(out.data, player.inner.bias.data)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            PrunedLinear(Linear(4, 4), np.ones((2, 2)))
+
+    def test_magnitude_constructor(self):
+        player = PrunedLinear.magnitude(Linear(8, 8, rng=np.random.default_rng(0)), 0.5)
+        assert player.sparsity == pytest.approx(0.5, abs=0.02)
+
+    def test_structured_constructor(self):
+        player = PrunedLinear.magnitude(
+            Linear(8, 8, rng=np.random.default_rng(0)), 0.25, structured=True
+        )
+        col_sums = player.mask.sum(axis=0)
+        assert (col_sums == 0).sum() == 2
+
+    def test_pruned_weights_get_zero_grad(self):
+        player = PrunedLinear.magnitude(Linear(6, 6, rng=np.random.default_rng(0)), 0.5)
+        x = Tensor(np.random.default_rng(1).standard_normal((3, 6)))
+        player(x).sum().backward()
+        grads_at_pruned = player.inner.weight.grad[player.mask == 0.0]
+        assert np.allclose(grads_at_pruned, 0.0)
+
+    def test_mask_survives_state_dict_roundtrip(self):
+        a = PrunedLinear.magnitude(Linear(6, 6, rng=np.random.default_rng(0)), 0.5)
+        b = PrunedLinear(Linear(6, 6, rng=np.random.default_rng(1)),
+                         np.ones((6, 6), dtype=np.float32))
+        b.load_state_dict(a.state_dict())
+        assert np.array_equal(a.mask, b.mask)
+        assert b.sparsity == pytest.approx(0.5, abs=0.02)
+
+    def test_tuning_preserves_sparsity(self):
+        from repro.nn import Adam
+
+        player = PrunedLinear.magnitude(Linear(8, 8, rng=np.random.default_rng(0)), 0.5)
+        opt = Adam(player.parameters(), lr=0.01)
+        x = Tensor(np.random.default_rng(1).standard_normal((16, 8)))
+        for _ in range(10):
+            loss = (player(x) ** 2).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        eff = player.effective_weight().data
+        assert sparsity((eff != 0).astype(np.float32)) >= 0.49

@@ -1,0 +1,93 @@
+"""Tests for N:M fine-grained structured sparsity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prune import check_nm_pattern, nm_mask, nm_sparsity, sparsity
+
+
+def weights(seed=0, shape=(16, 8)):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestNMMask:
+    def test_2_4_pattern_valid(self):
+        mask = nm_mask(weights(), 2, 4, axis=0)
+        assert check_nm_pattern(mask, 2, 4, axis=0)
+        assert sparsity(mask) == pytest.approx(0.5)
+
+    def test_1_4_pattern(self):
+        mask = nm_mask(weights(), 1, 4, axis=0)
+        assert check_nm_pattern(mask, 1, 4, axis=0)
+        assert sparsity(mask) == pytest.approx(0.75)
+
+    def test_keeps_largest_in_each_group(self):
+        w = np.zeros((4, 1), dtype=np.float32)
+        w[:, 0] = [0.1, 5.0, -3.0, 0.01]
+        mask = nm_mask(w, 2, 4, axis=0)
+        assert mask[1, 0] == 1.0 and mask[2, 0] == 1.0
+        assert mask[0, 0] == 0.0 and mask[3, 0] == 0.0
+
+    def test_axis1(self):
+        mask = nm_mask(weights(shape=(8, 16)), 2, 4, axis=1)
+        assert check_nm_pattern(mask, 2, 4, axis=1)
+
+    def test_n_equals_m_dense(self):
+        mask = nm_mask(weights(), 4, 4)
+        assert sparsity(mask) == 0.0
+
+    def test_indivisible_axis_raises(self):
+        with pytest.raises(ValueError):
+            nm_mask(weights(shape=(10, 8)), 2, 4, axis=0)
+
+    def test_invalid_nm_raises(self):
+        with pytest.raises(ValueError):
+            nm_mask(weights(), 0, 4)
+        with pytest.raises(ValueError):
+            nm_mask(weights(), 5, 4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 4), seed=st.integers(0, 100))
+    def test_property_pattern_holds(self, n, seed):
+        mask = nm_mask(weights(seed=seed), n, 4, axis=0)
+        assert check_nm_pattern(mask, n, 4, axis=0)
+        assert sparsity(mask) == pytest.approx(nm_sparsity(n, 4))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_property_kept_dominate_within_group(self, seed):
+        w = weights(seed=seed, shape=(8, 4))
+        mask = nm_mask(w, 2, 4, axis=0)
+        for col in range(4):
+            for g in range(2):
+                group = w[g * 4:(g + 1) * 4, col]
+                kept = np.abs(group[mask[g * 4:(g + 1) * 4, col] == 1.0])
+                dropped = np.abs(group[mask[g * 4:(g + 1) * 4, col] == 0.0])
+                assert kept.min() >= dropped.max() - 1e-6
+
+
+class TestNMSparsityHelpers:
+    def test_nm_sparsity_values(self):
+        assert nm_sparsity(2, 4) == 0.5
+        assert nm_sparsity(1, 2) == 0.5
+        assert nm_sparsity(4, 4) == 0.0
+
+    def test_check_rejects_wrong_pattern(self):
+        mask = np.ones((8, 4), dtype=np.float32)
+        assert not check_nm_pattern(mask, 2, 4, axis=0)
+
+    def test_check_rejects_indivisible(self):
+        assert not check_nm_pattern(np.ones((10, 4), dtype=np.float32), 2, 4)
+
+    def test_usable_with_pruned_linear(self):
+        from repro.nn import Linear
+        from repro.prune import PrunedLinear
+        from repro.tensor import Tensor
+
+        lin = Linear(16, 8, rng=np.random.default_rng(0))
+        player = PrunedLinear(lin, nm_mask(lin.weight.data, 2, 4, axis=0))
+        assert player.sparsity == pytest.approx(0.5)
+        out = player(Tensor(np.ones((2, 16))))
+        assert out.shape == (2, 8)

@@ -1,0 +1,103 @@
+"""Tests for STE fake-quant modules (QuantLinear)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear
+from repro.quant import QuantLinear, QuantSpec, fake_quant_ste, quantize_linear
+from repro.tensor import Tensor
+
+
+def make_linear(seed=0, din=16, dout=8):
+    return Linear(din, dout, rng=np.random.default_rng(seed))
+
+
+class TestFakeQuantSTE:
+    def test_forward_is_quantized(self):
+        x = Tensor(np.random.default_rng(0).standard_normal(100), requires_grad=True)
+        out = fake_quant_ste(x, QuantSpec(bits=2, per_channel=False))
+        assert len(np.unique(out.data)) <= 4  # 2-bit grid
+
+    def test_backward_identity_in_range(self):
+        x = Tensor(np.linspace(-1, 1, 11).astype(np.float32), requires_grad=True)
+        out = fake_quant_ste(x, QuantSpec(bits=8, per_channel=False))
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_16bit_passthrough(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        assert fake_quant_ste(x, QuantSpec(bits=16)) is x
+
+
+class TestQuantLinear:
+    def test_matches_linear_at_high_bits(self):
+        lin = make_linear()
+        qlin = quantize_linear(lin, bits=8)
+        x = Tensor(np.random.default_rng(1).standard_normal((4, 16)))
+        assert np.allclose(qlin(x).data, lin(x).data, atol=0.1)
+
+    def test_low_bits_add_noise(self):
+        lin = make_linear()
+        qlin = quantize_linear(lin, bits=2)
+        x = Tensor(np.random.default_rng(1).standard_normal((4, 16)))
+        assert not np.allclose(qlin(x).data, lin(x).data, atol=1e-3)
+
+    def test_master_weights_receive_grads(self):
+        qlin = quantize_linear(make_linear(), bits=4)
+        x = Tensor(np.random.default_rng(1).standard_normal((4, 16)))
+        qlin(x).sum().backward()
+        assert qlin.inner.weight.grad is not None
+        assert qlin.inner.bias.grad is not None
+
+    def test_training_reduces_loss_despite_quant(self):
+        """STE lets a 4-bit layer fit a simple regression target."""
+        from repro.nn import Adam
+
+        rng = np.random.default_rng(0)
+        lin = make_linear(din=8, dout=1)
+        qlin = quantize_linear(lin, bits=4)
+        x = rng.standard_normal((64, 8)).astype(np.float32)
+        true_w = rng.standard_normal((8, 1)).astype(np.float32)
+        y = x @ true_w
+        opt = Adam(qlin.parameters(), lr=0.01)
+        losses = []
+        for _ in range(150):
+            pred = qlin(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.3
+
+    def test_properties_proxied(self):
+        qlin = quantize_linear(make_linear(), bits=4)
+        assert qlin.in_features == 16
+        assert qlin.out_features == 8
+        assert qlin.weight is qlin.inner.weight
+
+    def test_activation_quant_dynamic(self):
+        lin = make_linear()
+        qlin = quantize_linear(lin, bits=8, act_bits=4)
+        x = Tensor(np.random.default_rng(1).standard_normal((4, 16)))
+        out = qlin(x)
+        assert out.shape == (4, 8)
+
+    def test_activation_calibration_freezes_ranges(self):
+        lin = make_linear()
+        qlin = quantize_linear(lin, bits=8, act_bits=8)
+        sample = np.random.default_rng(2).standard_normal((32, 16)).astype(np.float32)
+        qlin.calibrate_activations(sample)
+        assert qlin._act_scale is not None
+        out = qlin(Tensor(sample[:4]))
+        assert out.shape == (4, 8)
+
+    def test_calibrate_without_act_spec_raises(self):
+        qlin = quantize_linear(make_linear(), bits=8)
+        with pytest.raises(ValueError):
+            qlin.calibrate_activations(np.zeros((2, 16), dtype=np.float32))
+
+    def test_params_visible_to_optimizer(self):
+        qlin = quantize_linear(make_linear(), bits=4)
+        names = [n for n, _ in qlin.named_parameters()]
+        assert "inner.weight" in names

