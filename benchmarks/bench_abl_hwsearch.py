@@ -5,9 +5,6 @@ compares how close random sampling and the evolutionary search get to the
 exhaustive optimum as their sample budget grows.
 """
 
-import numpy as np
-import pytest
-
 from repro.hw import (
     EDGE_GPU_LIKE,
     GEMMWorkload,
@@ -69,6 +66,13 @@ def test_abl_schedule_search_convergence(base_state, benchmark):
         "(total cycles over 4 representative GEMMs)",
         ["strategy", "samples", "Mcycles", "gap vs optimum"],
         rows,
+        metrics={
+            "optimum_mcycles": optimum / 1e6,
+            "heuristic_gap": heuristic / optimum,
+            "random_5_gap": random_gaps[5],
+            "random_80_gap": random_gaps[80],
+        },
+        config={"num_gemms": len(GEMMS)},
     )
 
     assert heuristic / optimum > 1.3  # search is worth doing

@@ -12,7 +12,6 @@ mechanism relies on).
 """
 
 import numpy as np
-import pytest
 
 from repro.adaptive import (
     AdaptiveLayerTrainer,
@@ -46,7 +45,9 @@ def _run(base_state, schedule_name):
     voter = VotingCombiner(model, trainer.exit_heads, strategy="calibrated")
     voter.calibrate(*calib_batch(adapt_corpus(), seed=99))
     voted_ppl = perplexity(voter.combined_logits, adapt_corpus(), num_batches=3)
-    exit_ppls = {p: float(np.exp(l)) for p, l in voter.validation_losses.items()}
+    exit_ppls = {
+        p: float(np.exp(val)) for p, val in voter.validation_losses.items()
+    }
     return voted_ppl, exit_ppls
 
 
@@ -74,10 +75,17 @@ def test_abl_layer_selection(base_state, benchmark):
 
     emit(
         "abl_selection",
-        f"R-A2: layer-selection schedule ablation "
+        "R-A2: layer-selection schedule ablation "
         f"({ADAPT_STEPS} steps, window={WINDOW}, calibrated voting)",
         ["schedule", "voted ppl", "best exit ppl", "worst exit ppl"],
         rows,
+        metrics={
+            "vanilla_ppl": vanilla_ppl,
+            **{
+                f"{name}_voted_ppl": results[name][0]
+                for name in ("round_robin", "random", "importance", "fixed_shallow")
+            },
+        },
     )
 
     # NOTE (documented in EXPERIMENTS.md): with tied embeddings and a

@@ -6,8 +6,6 @@ the forward-free weight-reconstruction-error proxy.  Reported: policy
 quality (post-compression perplexity) and profiling cost (forward passes).
 """
 
-import pytest
-
 from repro.eval import model_perplexity
 from repro.luc import (
     apply_luc,
@@ -51,11 +49,18 @@ def test_abl_sensitivity_metric(base_state, benchmark):
 
     emit(
         "abl_sensitivity",
-        f"R-A3: sensitivity-metric ablation for LUC (greedy search, "
+        "R-A3: sensitivity-metric ablation for LUC (greedy search, "
         f"budget {LUC_BUDGET}, base ppl {base_ppl:.3f})",
         ["metric", "calib fwd passes", "policy cost", "ppl post-compress",
          "ppl ratio vs base"],
         rows,
+        metrics={
+            "base_ppl": base_ppl,
+            "loss_delta_ppl": results["loss_delta"],
+            "kl_ppl": results["kl"],
+            "weight_error_ppl": results["weight_error"],
+        },
+        config={"luc_budget": LUC_BUDGET, "num_options": len(OPTIONS)},
     )
 
     # Model-based metrics must not lose to the forward-free proxy by much;

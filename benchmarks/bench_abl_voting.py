@@ -6,9 +6,6 @@ uniform mixing, winner-take-all ("best"), calibrated softmax weights (the
 paper's scheme), and per-token confidence weighting.
 """
 
-import numpy as np
-import pytest
-
 from repro.adaptive import AdaptiveLayerTrainer, AdaptiveTuningConfig, VotingCombiner
 from repro.eval import multiple_choice_accuracy, perplexity
 from repro.tensor import no_grad
@@ -65,15 +62,19 @@ def test_abl_voting_strategies(base_state, benchmark):
         voting_ppl[strategy] = ppl
         rows.append([f"voting: {strategy}", ppl, acc])
 
+    worst_single = max(single_ppl.values())
+    best_single = min(single_ppl.values())
     emit(
         "abl_voting",
         "R-A1: exit combination ablation after adaptive layer tuning",
         ["inference scheme", "ppl (down)", "QA acc"],
         rows,
+        metrics={
+            "best_single_exit_ppl": best_single,
+            "worst_single_exit_ppl": worst_single,
+            **{f"{name}_ppl": voting_ppl[name] for name in voting_ppl},
+        },
     )
-
-    worst_single = max(single_ppl.values())
-    best_single = min(single_ppl.values())
     # Calibrated voting must be robust: never worse than the worst exit,
     # and within a modest factor of the best single exit.
     assert voting_ppl["calibrated"] < worst_single

@@ -8,7 +8,6 @@ modeled cycles.
 """
 
 import numpy as np
-import pytest
 
 from repro.adaptive import AdaptiveLayerTrainer, AdaptiveTuningConfig, VotingCombiner
 from repro.eval import perplexity
@@ -72,6 +71,12 @@ def test_abl_window_tradeoff(base_state, benchmark):
         f"R-A5: tuning-window sweep ({ADAPT_STEPS} steps, exits {EXIT_POINTS})",
         ["configuration", "voted ppl", "act MB", "total MB", "Mcycles/iter"],
         rows,
+        metrics={
+            **{f"window_{w}_voted_ppl": results[w][0] for w in (1, 2, 4)},
+            **{
+                f"window_{w}_total_mb": results[w][1] / 1e6 for w in (1, 2, 4)
+            },
+        },
     )
 
     # Memory and compute must rise monotonically with the window...

@@ -6,8 +6,6 @@ latency- vs energy-optimized schedule search, reporting cycles, energy and
 the energy-delay product.
 """
 
-import pytest
-
 from repro.hw import (
     EDGE_GPU_LIKE,
     EDGE_TPU_LIKE,
@@ -57,6 +55,21 @@ def test_ext_energy_objectives(base_state, benchmark):
         ["accelerator", "objective", "Mcycles", "energy uJ", "EDP (au)",
          "mean util"],
         rows,
+        metrics={
+            "gpu_latency_mcycles": (
+                results[("edge-GPU-like", "latency")].cycles / 1e6
+            ),
+            "tpu_latency_mcycles": (
+                results[("edge-TPU-like", "latency")].cycles / 1e6
+            ),
+            "gpu_energy_uj": (
+                results[("edge-GPU-like", "energy")].energy_pj / 1e6
+            ),
+            "tpu_energy_uj": (
+                results[("edge-TPU-like", "energy")].energy_pj / 1e6
+            ),
+        },
+        config={"policy_bits": 4, "policy_sparsity": 0.3},
     )
 
     for accel_name in ("edge-GPU-like", "edge-TPU-like"):

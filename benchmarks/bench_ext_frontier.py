@@ -9,7 +9,6 @@ harshest budget.
 """
 
 import numpy as np
-import pytest
 
 from repro.adaptive import vanilla_trainer
 from repro.data import lm_batches
@@ -98,6 +97,14 @@ def test_ext_budget_frontier(base_state, benchmark):
         f"(recovery = {RECOVERY_STEPS} steps; base ppl {base_ppl:.3f})",
         ["configuration", "cost", "ppl post", "ppl recovered", "Mcycles/iter"],
         rows,
+        metrics={
+            "base_ppl": base_ppl,
+            "harshest_budget": BUDGETS[-1],
+            "harshest_recovered_ppl": frontier[-1][1],
+            "harshest_mcycles": frontier[-1][2],
+            "iterative_recovered_ppl": iter_ppl,
+        },
+        config={"budgets": list(BUDGETS), "recovery_steps": RECOVERY_STEPS},
     )
 
     # Frontier sanity: cost decreases monotonically with budget, quality

@@ -7,8 +7,6 @@ compressed model with voting enabled (extra exit unembeddings) — showing
 compression's inference dividend and that the voting overhead is marginal.
 """
 
-import pytest
-
 from repro.hw import EDGE_GPU_LIKE, generation_cost
 from repro.luc import LUCPolicy
 
@@ -63,6 +61,18 @@ def test_ext_inference_costs(base_state, benchmark):
         ["configuration", "prefill Mcyc", "decode Mcyc", "voting Mcyc",
          "total Mcyc", "speedup"],
         rows,
+        metrics={
+            "dense_total_mcycles": dense["total_cycles"] / 1e6,
+            "compressed_total_mcycles": compressed["total_cycles"] / 1e6,
+            "voted_total_mcycles": voted["total_cycles"] / 1e6,
+            "compression_speedup": (
+                dense["total_cycles"] / compressed["total_cycles"]
+            ),
+            "voting_overhead_fraction": (
+                voted["voting_cycles"] / voted["total_cycles"]
+            ),
+        },
+        config={"prompt_len": PROMPT_LEN, "new_tokens": NEW_TOKENS},
     )
 
     # Compression speeds up inference...

@@ -7,7 +7,6 @@ ordering is not a seed artifact.
 """
 
 import numpy as np
-import pytest
 
 from repro.adaptive import (
     AdaptiveLayerTrainer,
@@ -65,11 +64,23 @@ def test_ext_seed_variance(base_state, benchmark):
         [f"vanilla tuning ({STEPS} steps)", *stats(vanilla)],
         [f"Edge-LLM ({STEPS} steps, voted)", *stats(edge)],
     ]
+    zero_mean, zero_std = stats(zero)
+    vanilla_mean, vanilla_std = stats(vanilla)
+    edge_mean, edge_std = stats(edge)
     emit(
         "ext_variance",
         f"EXT-E4: adapted perplexity over {len(SEEDS)} seeds (mean, std)",
         ["method", "ppl mean", "ppl std"],
         rows,
+        metrics={
+            "zero_shot_ppl_mean": zero_mean,
+            "zero_shot_ppl_std": zero_std,
+            "vanilla_ppl_mean": vanilla_mean,
+            "vanilla_ppl_std": vanilla_std,
+            "edge_llm_ppl_mean": edge_mean,
+            "edge_llm_ppl_std": edge_std,
+        },
+        config={"seeds": list(SEEDS), "steps": STEPS},
     )
 
     # Ordering must hold per-seed, not just on average.

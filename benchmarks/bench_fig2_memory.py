@@ -14,7 +14,6 @@ from repro.adaptive import (
     checkpointed_trainer,
     vanilla_trainer,
 )
-from repro.eval import model_weight_bytes
 from repro.hw import total_macs, tuning_iteration_workload
 
 from .common import BATCH, EXIT_POINTS, SEQ, bench_config, clone_model, emit
@@ -62,12 +61,24 @@ def test_fig2_memory_vs_window(base_state, benchmark):
         report.total_bytes / 1e6,
     ])
 
+    act_by_name = {r[0]: r[1] for r in rows}
+    total_by_name = {r[0]: r[4] for r in rows}
     emit(
         "fig2_memory",
-        f"R-F2: per-iteration tuning memory vs gradient window "
+        "R-F2: per-iteration tuning memory vs gradient window "
         f"(batch={BATCH}, seq={SEQ}, {cfg.num_layers} layers)",
         ["configuration", "act MB", "grad MB", "opt MB", "total MB"],
         rows,
+        metrics={
+            "adaptive_w2_act_mb": act_by_name["adaptive, window=2"],
+            "vanilla_act_mb": act_by_name["vanilla (full backprop)"],
+            "adaptive_w2_total_mb": total_by_name["adaptive, window=2"],
+            "vanilla_total_mb": total_by_name["vanilla (full backprop)"],
+            "act_reduction_w2": (
+                act_by_name["vanilla (full backprop)"]
+                / act_by_name["adaptive, window=2"]
+            ),
+        },
     )
 
     # Activation memory must scale linearly with the window and the

@@ -16,7 +16,6 @@ iteration** over vanilla tuning at comparable accuracy.  Two measurements:
 import time
 
 import numpy as np
-import pytest
 
 from repro.adaptive import AdaptiveLayerTrainer, AdaptiveTuningConfig, vanilla_trainer
 from repro.hw import EDGE_GPU_LIKE, schedule_workloads, tuning_iteration_workload
@@ -128,6 +127,15 @@ def test_fig3_iteration_speedup(base_state, benchmark):
         "(modeled rows in Mcycles; wall-clock rows in ms)",
         ["configuration", "cost", "speedup vs vanilla"],
         rows,
+        metrics={
+            "paper_target_speedup": 2.92,
+            "modeled_speedup": vanilla_tuned / edge_cycles,
+            "modeled_speedup_luc_only": vanilla_tuned / luc_cycles,
+            "wallclock_speedup": t_vanilla / t_adaptive,
+            "vanilla_tuned_mcycles": vanilla_tuned / 1e6,
+            "edge_llm_mcycles": edge_cycles / 1e6,
+        },
+        config={"policy_cost": policy.cost()},
     )
 
     assert vanilla_tuned / edge_cycles > 2.0

@@ -6,8 +6,6 @@ utilization.  Rows: scheduling strategy -> modeled cycles, mean PE
 utilization, DRAM traffic — on the *same* Edge-LLM iteration workload.
 """
 
-import pytest
-
 from repro.hw import EDGE_GPU_LIKE, schedule_workloads, tuning_iteration_workload
 from repro.luc import enumerate_layer_options, measure_sensitivity, search_policy
 
@@ -64,6 +62,16 @@ def test_fig4_schedule_search(base_state, benchmark):
         "R-F4: schedule search on the LUC-compressed adaptive workload",
         ["strategy", "Mcycles", "mean util", "DRAM MB", "speedup vs heuristic"],
         rows,
+        metrics={
+            "exhaustive_mcycles": results["exhaustive"].cycles / 1e6,
+            "heuristic_mcycles": results["heuristic"].cycles / 1e6,
+            "search_speedup_vs_heuristic": (
+                results["heuristic"].cycles / results["exhaustive"].cycles
+            ),
+            "exhaustive_mean_utilization": results["exhaustive"].mean_utilization,
+            "heuristic_mean_utilization": results["heuristic"].mean_utilization,
+        },
+        config={"policy_cost": policy.cost()},
     )
 
     assert results["exhaustive"].cycles <= results["random"].cycles

@@ -9,9 +9,6 @@ language, multiple-choice accuracy, and worst-case iteration activation
 memory (the on-device constraint).
 """
 
-import numpy as np
-import pytest
-
 from repro.adaptive import (
     AdaptiveLayerTrainer,
     AdaptiveTuningConfig,
@@ -137,15 +134,25 @@ def test_table1_main_results(base_state, benchmark):
         _activation_mb(cfg, window.depth, trainer.window_trainable_params(window)),
     ])
 
+    by_name = {r[0]: r for r in rows}
+    edge_row = by_name["Edge-LLM (LUC+adaptive+voting)"]
+    vanilla_row = by_name["full fine-tuning (vanilla)"]
     emit(
         "table1_accuracy",
         "R-T1: adaptation quality by tuning method "
         f"({ADAPT_STEPS} steps on the downstream language)",
         ["method", "trainable", "ppl (down)", "QA acc", "act+opt MB"],
         rows,
+        metrics={
+            "edge_llm_ppl": edge_row[2],
+            "edge_llm_qa_acc": edge_row[3],
+            "vanilla_ppl": vanilla_row[2],
+            "vanilla_qa_acc": vanilla_row[3],
+            "zero_shot_ppl": by_name["no adaptation"][2],
+            "edge_llm_act_opt_mb": edge_row[4],
+            "vanilla_act_opt_mb": vanilla_row[4],
+        },
     )
-
-    by_name = {r[0]: r for r in rows}
     # Edge-LLM must clearly beat no adaptation...
     assert by_name["Edge-LLM (LUC+adaptive+voting)"][2] < by_name["no adaptation"][2] / 2
     # ...with quality approaching vanilla tuning (paper: "comparable";

@@ -9,7 +9,6 @@ recovery tuning run.
 """
 
 import numpy as np
-import pytest
 
 from repro.adaptive import vanilla_trainer
 from repro.data import lm_batches
@@ -69,16 +68,24 @@ def test_table2_luc_vs_uniform(base_state, benchmark):
         rows.append([name, policy.cost(), post, recovered])
         results[name] = (policy.cost(), post, recovered)
 
+    luc_cost, luc_post, luc_rec = results[f"LUC greedy (budget {LUC_BUDGET})"]
     emit(
         "table2_luc",
         "R-T2: layer-wise (LUC) vs uniform compression at matched budget\n"
-        f"(perplexity on the pretraining language; recovery = "
+        "(perplexity on the pretraining language; recovery = "
         f"{RECOVERY_STEPS} tuning steps)",
         ["policy", "rel. cost", "ppl post-compress", "ppl after recovery"],
         rows,
+        metrics={
+            "base_ppl": base_ppl,
+            "luc_cost": luc_cost,
+            "luc_ppl_post": luc_post,
+            "luc_ppl_recovered": luc_rec,
+            "uniform_2bit_ppl_post": results["uniform 2-bit dense"][1],
+            "uniform_4bit_prune_ppl_post": results["uniform 4-bit + 50% prune"][1],
+        },
+        config={"luc_budget": LUC_BUDGET, "recovery_steps": RECOVERY_STEPS},
     )
-
-    luc_cost, luc_post, luc_rec = results[f"LUC greedy (budget {LUC_BUDGET})"]
     assert luc_cost <= LUC_BUDGET + 1e-9
     # LUC beats both matched-cost uniform assignments before tuning...
     for name in ("uniform 2-bit dense", "uniform 4-bit + 50% prune"):

@@ -1,0 +1,69 @@
+"""Validate benchmark JSON sidecars against the sidecar schema.
+
+Usage (from the repo root, as CI does)::
+
+    PYTHONPATH=src python -m benchmarks.validate_results benchmarks/results \
+        --expect fig3_speedup fig2_memory
+
+Exits non-zero if any sidecar is malformed or an expected bench is
+missing, so it can gate the benchmark-smoke CI job.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .common import validate_sidecar
+
+
+def validate_directory(
+    directory: str, expect: Optional[List[str]] = None
+) -> List[str]:
+    """Validate every ``*.json`` sidecar in ``directory``; return errors."""
+    errors: List[str] = []
+    paths = sorted(glob.glob(os.path.join(directory, "*.json")))
+    seen = set()
+    for path in paths:
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+            validate_sidecar(payload)
+        except (ValueError, json.JSONDecodeError) as exc:
+            errors.append(f"{path}: {exc}")
+            continue
+        name = payload["bench"]
+        seen.add(name)
+        stem = os.path.splitext(os.path.basename(path))[0]
+        if name != stem:
+            errors.append(f"{path}: bench name {name!r} != filename stem {stem!r}")
+        print(
+            f"ok {path}: {len(payload['rows'])} rows, "
+            f"{len(payload['metrics'])} metrics"
+        )
+    for name in expect or []:
+        if name not in seen:
+            errors.append(f"{directory}: expected bench {name!r} has no sidecar")
+    if not paths:
+        errors.append(f"{directory}: no sidecars found")
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("directory", help="directory holding *.json sidecars")
+    parser.add_argument(
+        "--expect", nargs="*", default=None,
+        help="bench names that must be present",
+    )
+    args = parser.parse_args(argv)
+    errors = validate_directory(args.directory, expect=args.expect)
+    for error in errors:
+        print(f"ERROR {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ mechanism behind the paper's speedup and memory claims.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -24,7 +25,8 @@ import numpy as np
 from ..eval.memory import MemoryReport, block_param_count, training_memory_report
 from ..nn.optim import Adafactor, Adam, AdamW, Optimizer, SGD, clip_grad_norm
 from ..nn.transformer import TransformerLM
-from ..tensor import Tensor, cross_entropy, no_grad
+from ..obs import get_registry, span
+from ..tensor import Tensor, cross_entropy, no_grad, profile_tape
 from .exit_heads import ExitHeadSet
 from .schedules import LayerSchedule, TuningWindow, make_schedule
 
@@ -66,6 +68,8 @@ class StepStats:
     forward_blocks: int
     grad_blocks: int
     trainable_params: int
+    wall_time_s: float = 0.0
+    activation_bytes: int = 0  # tape-measured, not modeled
 
 
 class AdaptiveLayerTrainer:
@@ -137,14 +141,17 @@ class AdaptiveLayerTrainer:
 
     def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> StepStats:
         """One adaptive tuning iteration on a single batch."""
-        window = self.schedule.select(self.iteration, self._rng)
-        logits = self._logits_for_window(inputs, window)
-        loss = cross_entropy(logits, targets)
-        self.optimizer.zero_grad()
-        loss.backward()
-        if self.config.grad_clip:
-            clip_grad_norm(self.optimizer.params, self.config.grad_clip)
-        self.optimizer.step()
+        start = time.perf_counter()
+        with span("adapt/iter"), profile_tape() as tape:
+            window = self.schedule.select(self.iteration, self._rng)
+            logits = self._logits_for_window(inputs, window)
+            loss = cross_entropy(logits, targets)
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self.config.grad_clip:
+                clip_grad_norm(self.optimizer.params, self.config.grad_clip)
+            self.optimizer.step()
+        wall_time = time.perf_counter() - start
 
         if hasattr(self.schedule, "update"):
             self.schedule.update(window.exit_point, loss.item())
@@ -156,10 +163,30 @@ class AdaptiveLayerTrainer:
             forward_blocks=window.stop,
             grad_blocks=window.depth,
             trainable_params=self.window_trainable_params(window),
+            wall_time_s=wall_time,
+            activation_bytes=tape.recorded_bytes,
         )
+        self._record_telemetry(stats)
         self.iteration += 1
         self.history.append(stats)
         return stats
+
+    def _record_telemetry(self, stats: StepStats) -> None:
+        """Publish one iteration's stats to the active metrics registry."""
+        reg = get_registry()
+        reg.counter("adapt/iterations").inc()
+        reg.gauge("adapt/last_loss").set(stats.loss)
+        reg.record_row(
+            "adapt/iter",
+            iteration=stats.iteration,
+            loss=stats.loss,
+            wall_time_s=stats.wall_time_s,
+            exit_point=stats.window.exit_point,
+            grad_blocks=stats.grad_blocks,
+            forward_blocks=stats.forward_blocks,
+            activation_bytes=stats.activation_bytes,
+            trainable_params=stats.trainable_params,
+        )
 
     def train(
         self,

@@ -15,7 +15,7 @@ weighted mixture of per-exit probabilities.  Weight strategies:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

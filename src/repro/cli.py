@@ -7,6 +7,11 @@ Subcommands cover the deployment workflow end to end on synthetic data:
 * ``compress``  profile + search a LUC policy for a checkpoint
 * ``adapt``     run the full Edge-LLM pipeline (compress -> adapt -> vote)
 * ``speedup``   modeled per-iteration cost vs vanilla tuning
+* ``report``    pretty-print a telemetry run report saved by --telemetry-out
+
+Every workload subcommand accepts ``--telemetry-out PATH``: the run
+executes under a fresh metrics registry (see ``repro.obs``) and a
+structured JSON run report is written when it finishes.
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -35,6 +40,13 @@ def _add_data_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--order", type=int, default=1)
     parser.add_argument("--batch", type=int, default=8)
     parser.add_argument("--seq", type=int, default=32)
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="write a structured telemetry run report (JSON) on exit",
+    )
 
 
 def _corpus(args, seed: Optional[int] = None):
@@ -116,8 +128,8 @@ def cmd_compress(args) -> int:
     print(policy.describe())
     if args.out:
         payload = [
-            {"bits": l.bits, "prune_ratio": l.prune_ratio}
-            for l in policy.layers
+            {"bits": layer.bits, "prune_ratio": layer.prune_ratio}
+            for layer in policy.layers
         ]
         with open(args.out, "w") as fh:
             json.dump(payload, fh, indent=2)
@@ -196,6 +208,17 @@ def cmd_speedup(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from .obs import format_report, load_report
+
+    report = load_report(args.path)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report, max_rows=args.max_rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Edge-LLM reproduction CLI"
@@ -205,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("pretrain", help="train a base model checkpoint")
     _add_model_args(p)
     _add_data_args(p)
+    _add_telemetry_args(p)
     p.add_argument("--steps", type=int, default=200)
     p.add_argument("--lr", type=float, default=3e-3)
     p.add_argument("--seed", type=int, default=0)
@@ -214,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("evaluate", help="perplexity/QA of a checkpoint")
     _add_model_args(p)
     _add_data_args(p)
+    _add_telemetry_args(p)
     p.add_argument("--model", required=True)
     p.add_argument("--qa-items", type=int, default=40)
     p.add_argument("--seed", type=int, default=0)
@@ -222,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compress", help="search a LUC policy")
     _add_model_args(p)
     _add_data_args(p)
+    _add_telemetry_args(p)
     p.add_argument("--model", required=True)
     p.add_argument("--budget", type=float, default=0.3)
     p.add_argument("--bits", type=int, nargs="+", default=[2, 4, 8])
@@ -237,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("adapt", help="full Edge-LLM pipeline")
     _add_model_args(p)
     _add_data_args(p)
+    _add_telemetry_args(p)
     p.add_argument("--model", required=True)
     p.add_argument("--target-seed", type=int, default=1,
                    help="seed of the downstream language")
@@ -251,17 +278,40 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("speedup", help="modeled iteration speedup")
     _add_model_args(p)
     _add_data_args(p)
+    _add_telemetry_args(p)
     p.add_argument("--avg-bits", type=int, default=4)
     p.add_argument("--avg-sparsity", type=float, default=0.3)
     p.add_argument("--window", type=int, default=2)
     p.set_defaults(fn=cmd_speedup)
+
+    p = sub.add_parser("report", help="pretty-print a telemetry run report")
+    p.add_argument("path", help="report JSON written via --telemetry-out")
+    p.add_argument("--json", action="store_true",
+                   help="dump the raw report instead of formatting it")
+    p.add_argument("--max-rows", type=int, default=10,
+                   help="telemetry table rows to show per table")
+    p.set_defaults(fn=cmd_report)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    telemetry_out = getattr(args, "telemetry_out", None)
+    if not telemetry_out:
+        return args.fn(args)
+
+    from .obs import use_registry, write_report
+
+    with use_registry() as registry:
+        rc = args.fn(args)
+        write_report(
+            telemetry_out,
+            registry,
+            meta={"command": args.command, "exit_code": rc},
+        )
+    print(f"telemetry report written to {telemetry_out}", file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":

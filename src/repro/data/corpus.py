@@ -18,7 +18,7 @@ vocabulary size cost O(1) memory and are fully reproducible.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ hidden Markov languages over time, per a drift schedule.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 

@@ -10,11 +10,10 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict
 
 from .accelerator import AcceleratorSpec
 from .scheduling import Schedule
-from .workload import FP_BITS, GEMMWorkload
+from .workload import GEMMWorkload
 
 
 @dataclasses.dataclass(frozen=True)

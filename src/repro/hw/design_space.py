@@ -9,7 +9,7 @@ space" plugs into.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .accelerator import AcceleratorSpec
 from .search import IterationCost, schedule_workloads

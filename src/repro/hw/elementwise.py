@@ -14,7 +14,7 @@ compression — compression shrinks GEMMs but not the elementwise floor
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import List
 
 from ..nn.transformer import TransformerConfig
 from .accelerator import AcceleratorSpec

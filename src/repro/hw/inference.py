@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..nn.transformer import TransformerConfig
 from .accelerator import AcceleratorSpec
-from .search import IterationCost, schedule_workloads
+from .search import schedule_workloads
 from .workload import FP_BITS, GEMMWorkload, block_forward_gemms, head_gemm
 
 

@@ -9,7 +9,7 @@ that dominate edge-NPU utilization.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, List, Tuple
+from typing import Iterator, List
 
 from .accelerator import AcceleratorSpec
 from .workload import FP_BITS, GEMMWorkload

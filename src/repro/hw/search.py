@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import get_registry, span
 from .accelerator import AcceleratorSpec
 from .cost_model import CostReport, gemm_cost, objective_value
 from .scheduling import (
@@ -76,11 +77,14 @@ def exhaustive_best(
 ) -> Schedule:
     best: Optional[Schedule] = None
     best_val = np.inf
+    evaluated = 0
     for schedule in enumerate_schedules(workload, accel):
+        evaluated += 1
         val = objective_value(gemm_cost(workload, schedule, accel), objective)
         if val < best_val:
             best_val = val
             best = schedule
+    get_registry().counter("hw/search/candidates_evaluated").inc(evaluated)
     if best is None:
         raise RuntimeError(
             f"no feasible schedule for {workload.name} on this accelerator"
@@ -101,6 +105,8 @@ def random_best(
     tk_opts = _tile_candidates(workload.k)
     best = heuristic_schedule(workload, accel)
     best_val = objective_value(gemm_cost(workload, best, accel), objective)
+    evaluated = 0
+    pruned = 0
     for _ in range(n_samples):
         schedule = Schedule(
             tm_opts[rng.integers(len(tm_opts))],
@@ -110,11 +116,16 @@ def random_best(
             bool(rng.integers(2)),
         )
         if not schedule.fits(accel, workload.bits):
+            pruned += 1
             continue
+        evaluated += 1
         val = objective_value(gemm_cost(workload, schedule, accel), objective)
         if val < best_val:
             best_val = val
             best = schedule
+    reg = get_registry()
+    reg.counter("hw/search/candidates_evaluated").inc(evaluated)
+    reg.counter("hw/search/candidates_pruned").inc(pruned)
     return best
 
 
@@ -149,10 +160,14 @@ def evolutionary_best(
             bool(genome[4]),
         )
 
+    reg = get_registry()
+
     def fitness(genome) -> float:
         schedule = decode(genome)
         if not schedule.fits(accel, workload.bits):
+            reg.counter("hw/search/candidates_pruned").inc()
             return np.inf
+        reg.counter("hw/search/candidates_evaluated").inc()
         return objective_value(gemm_cost(workload, schedule, accel), objective)
 
     pool = [random_genome() for _ in range(population)]
@@ -199,18 +214,40 @@ def schedule_workloads(
     """
     cache: Dict[Tuple, Schedule] = {}
     scheduled: List[ScheduledGEMM] = []
-    for g in gemms:
-        key = _cache_key(g)
-        if key not in cache:
-            if strategy == "heuristic":
-                cache[key] = heuristic_schedule(g, accel)
-            elif strategy in _SEARCHERS:
-                cache[key] = _SEARCHERS[strategy](g, accel, objective=objective, **kwargs)
+    cache_hits = 0
+    with span("hw/schedule_search", strategy=strategy):
+        for g in gemms:
+            key = _cache_key(g)
+            if key not in cache:
+                if strategy == "heuristic":
+                    cache[key] = heuristic_schedule(g, accel)
+                elif strategy in _SEARCHERS:
+                    cache[key] = _SEARCHERS[strategy](
+                        g, accel, objective=objective, **kwargs
+                    )
+                else:
+                    raise ValueError(
+                        f"unknown strategy {strategy!r}; choose from "
+                        f"{sorted(_SEARCHERS) + ['heuristic']}"
+                    )
             else:
-                raise ValueError(
-                    f"unknown strategy {strategy!r}; choose from "
-                    f"{sorted(_SEARCHERS) + ['heuristic']}"
-                )
-        schedule = cache[key]
-        scheduled.append(ScheduledGEMM(g, schedule, gemm_cost(g, schedule, accel)))
-    return IterationCost(scheduled)
+                cache_hits += 1
+            schedule = cache[key]
+            scheduled.append(
+                ScheduledGEMM(g, schedule, gemm_cost(g, schedule, accel))
+            )
+    cost = IterationCost(scheduled)
+    reg = get_registry()
+    reg.counter("hw/search/gemms_scheduled").inc(len(scheduled))
+    reg.counter("hw/search/cache_hits").inc(cache_hits)
+    reg.record_row(
+        "hw/schedule_search",
+        strategy=strategy,
+        objective=objective,
+        gemms=len(scheduled),
+        unique_gemms=len(cache),
+        cache_hits=cache_hits,
+        cycles=cost.cycles,
+        mean_utilization=cost.mean_utilization,
+    )
+    return cost

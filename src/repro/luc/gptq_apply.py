@@ -15,7 +15,7 @@ fake-quant semantics, before deployment).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

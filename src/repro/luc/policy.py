@@ -46,19 +46,19 @@ class LUCPolicy:
 
     def cost(self) -> float:
         """Mean relative compute cost across blocks (1.0 = uncompressed)."""
-        return float(np.mean([l.cost_factor() for l in self.layers]))
+        return float(np.mean([blk.cost_factor() for blk in self.layers]))
 
     def average_bits(self) -> float:
-        return float(np.mean([l.bits for l in self.layers]))
+        return float(np.mean([blk.bits for blk in self.layers]))
 
     def average_sparsity(self) -> float:
-        return float(np.mean([l.prune_ratio for l in self.layers]))
+        return float(np.mean([blk.prune_ratio for blk in self.layers]))
 
     def bits_per_block(self) -> Dict[int, int]:
-        return {i: l.bits for i, l in enumerate(self.layers)}
+        return {i: blk.bits for i, blk in enumerate(self.layers)}
 
     def sparsity_per_block(self) -> Dict[int, float]:
-        return {i: l.prune_ratio for i, l in enumerate(self.layers)}
+        return {i: blk.prune_ratio for i, blk in enumerate(self.layers)}
 
     @classmethod
     def uniform(cls, num_layers: int, bits: int, prune_ratio: float) -> "LUCPolicy":
@@ -71,8 +71,8 @@ class LUCPolicy:
 
     def describe(self) -> str:
         rows = [
-            f"  block {i:2d}: {l.bits:2d}-bit, {l.prune_ratio:.0%} pruned"
-            for i, l in enumerate(self.layers)
+            f"  block {i:2d}: {blk.bits:2d}-bit, {blk.prune_ratio:.0%} pruned"
+            for i, blk in enumerate(self.layers)
         ]
         header = (
             f"LUCPolicy(avg_bits={self.average_bits():.1f}, "

@@ -16,14 +16,29 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import get_registry, span
 from .policy import (
-    DEFAULT_BIT_OPTIONS,
-    DEFAULT_PRUNE_OPTIONS,
     LayerCompression,
     LUCPolicy,
     enumerate_layer_options,
 )
 from .sensitivity import SensitivityProfile
+
+
+def _record_search(strategy: str, evaluated: int, pruned: int, policy: LUCPolicy) -> None:
+    """Publish one policy search's work to the active metrics registry."""
+    reg = get_registry()
+    reg.counter("luc/search/runs").inc()
+    reg.counter("luc/search/candidates_evaluated").inc(evaluated)
+    reg.counter("luc/search/candidates_pruned").inc(pruned)
+    reg.gauge("luc/search/last_policy_cost").set(policy.cost())
+    reg.record_row(
+        "luc/search",
+        strategy=strategy,
+        candidates_evaluated=evaluated,
+        candidates_pruned=pruned,
+        policy_cost=policy.cost(),
+    )
 
 
 def _least_compressed(options: Sequence[LayerCompression]) -> LayerCompression:
@@ -46,30 +61,37 @@ def greedy_search(
     _validate_budget(budget, options)
     start = _least_compressed(options)
     assignment: List[LayerCompression] = [start] * num_layers
+    evaluated = 0
+    pruned = 0
 
     def mean_cost() -> float:
         return float(np.mean([a.cost_factor() for a in assignment]))
 
-    while mean_cost() > budget:
-        best_move = None
-        best_efficiency = -np.inf
-        for layer in range(num_layers):
-            current = assignment[layer]
-            current_sens = profile.score(layer, current)
-            for option in options:
-                if option.cost_factor() >= current.cost_factor():
-                    continue
-                saved = current.cost_factor() - option.cost_factor()
-                added = max(profile.score(layer, option) - current_sens, 0.0)
-                efficiency = saved / (added + 1e-9)
-                if efficiency > best_efficiency:
-                    best_efficiency = efficiency
-                    best_move = (layer, option)
-        if best_move is None:
-            break  # nothing left to compress
-        layer, option = best_move
-        assignment[layer] = option
-    return LUCPolicy(list(assignment))
+    with span("luc/search", strategy="greedy"):
+        while mean_cost() > budget:
+            best_move = None
+            best_efficiency = -np.inf
+            for layer in range(num_layers):
+                current = assignment[layer]
+                current_sens = profile.score(layer, current)
+                for option in options:
+                    if option.cost_factor() >= current.cost_factor():
+                        pruned += 1
+                        continue
+                    evaluated += 1
+                    saved = current.cost_factor() - option.cost_factor()
+                    added = max(profile.score(layer, option) - current_sens, 0.0)
+                    efficiency = saved / (added + 1e-9)
+                    if efficiency > best_efficiency:
+                        best_efficiency = efficiency
+                        best_move = (layer, option)
+            if best_move is None:
+                break  # nothing left to compress
+            layer, option = best_move
+            assignment[layer] = option
+    policy = LUCPolicy(list(assignment))
+    _record_search("greedy", evaluated, pruned, policy)
+    return policy
 
 
 def evolutionary_search(
@@ -86,36 +108,44 @@ def evolutionary_search(
     options = list(options or enumerate_layer_options())
     _validate_budget(budget, options)
     rng = np.random.default_rng(seed)
+    evaluated = 0
+    infeasible = 0
 
     def random_policy() -> List[LayerCompression]:
         return [options[rng.integers(len(options))] for _ in range(num_layers)]
 
     def fitness(assignment: List[LayerCompression]) -> float:
+        nonlocal evaluated, infeasible
+        evaluated += 1
         policy = LUCPolicy(list(assignment))
         degradation = profile.predicted_degradation(policy)
         overshoot = max(policy.cost() - budget, 0.0)
+        if overshoot > 0:
+            infeasible += 1
         return degradation + 100.0 * overshoot  # lower is better
 
-    pool = [random_policy() for _ in range(population)]
-    scores = [fitness(p) for p in pool]
-    for _ in range(generations):
-        children = []
-        for _ in range(population):
-            i, j = rng.integers(population), rng.integers(population)
-            parent = pool[i] if scores[i] <= scores[j] else pool[j]
-            child = list(parent)
-            for layer in range(num_layers):
-                if rng.random() < mutation_rate:
-                    child[layer] = options[rng.integers(len(options))]
-            children.append(child)
-        child_scores = [fitness(c) for c in children]
-        merged = list(zip(scores + child_scores, range(2 * population)))
-        merged.sort(key=lambda t: t[0])
-        everyone = pool + children
-        pool = [everyone[idx] for _, idx in merged[:population]]
-        scores = [s for s, _ in merged[:population]]
-    best = pool[int(np.argmin(scores))]
-    return LUCPolicy(list(best))
+    with span("luc/search", strategy="evolutionary"):
+        pool = [random_policy() for _ in range(population)]
+        scores = [fitness(p) for p in pool]
+        for _ in range(generations):
+            children = []
+            for _ in range(population):
+                i, j = rng.integers(population), rng.integers(population)
+                parent = pool[i] if scores[i] <= scores[j] else pool[j]
+                child = list(parent)
+                for layer in range(num_layers):
+                    if rng.random() < mutation_rate:
+                        child[layer] = options[rng.integers(len(options))]
+                children.append(child)
+            child_scores = [fitness(c) for c in children]
+            merged = list(zip(scores + child_scores, range(2 * population)))
+            merged.sort(key=lambda t: t[0])
+            everyone = pool + children
+            pool = [everyone[idx] for _, idx in merged[:population]]
+            scores = [s for s, _ in merged[:population]]
+    best = LUCPolicy(list(pool[int(np.argmin(scores))]))
+    _record_search("evolutionary", evaluated, infeasible, best)
+    return best
 
 
 def random_search(
@@ -132,19 +162,27 @@ def random_search(
     rng = np.random.default_rng(seed)
     best: Optional[LUCPolicy] = None
     best_score = np.inf
-    for _ in range(n_samples):
-        assignment = [options[rng.integers(len(options))] for _ in range(num_layers)]
-        policy = LUCPolicy(assignment)
-        if policy.cost() > budget:
-            continue
-        score = profile.predicted_degradation(policy)
-        if score < best_score:
-            best_score = score
-            best = policy
+    evaluated = 0
+    pruned = 0
+    with span("luc/search", strategy="random"):
+        for _ in range(n_samples):
+            assignment = [
+                options[rng.integers(len(options))] for _ in range(num_layers)
+            ]
+            policy = LUCPolicy(assignment)
+            if policy.cost() > budget:
+                pruned += 1
+                continue
+            evaluated += 1
+            score = profile.predicted_degradation(policy)
+            if score < best_score:
+                best_score = score
+                best = policy
     if best is None:
         # Fall back to the uniformly cheapest assignment.
         cheapest = min(options, key=lambda o: o.cost_factor())
         best = LUCPolicy([cheapest] * num_layers)
+    _record_search("random", evaluated, pruned, best)
     return best
 
 

@@ -40,7 +40,7 @@ def capture_linear_inputs(
     Wrapping is by identity: pass the exact Linear objects whose inputs
     you need.  The model is restored before returning, even on error.
     """
-    wanted = {id(l) for l in linears}
+    wanted = {id(lin) for lin in linears}
     swaps = []
     for module in model.modules():
         for name, child in list(module._modules.items()):

@@ -7,7 +7,7 @@ momentum-SGD), so each optimizer reports its ``state_floats_per_param``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 

@@ -52,7 +52,7 @@ def load_model(path: str) -> TransformerLM:
     if config is None:
         raise ValueError(
             f"{path} has no embedded config; build the model yourself and "
-            f"call load_state_dict(load_state(path))"
+            "call load_state_dict(load_state(path))"
         )
     model = TransformerLM(config)
     model.load_state_dict(load_state(path))

@@ -1,0 +1,62 @@
+"""Run-telemetry subsystem: metrics registry, trace spans, run reports.
+
+Quick tour::
+
+    from repro.obs import get_registry, span, use_registry, write_report
+
+    with use_registry() as reg:            # isolated collection
+        with span("adapt"):                # hierarchical timing
+            for batch in batches:
+                trainer.train_step(*batch)  # hot paths self-report
+        reg.counter("runs").inc()
+        write_report("run.json", reg)      # structured artifact
+
+Instrumented hot paths (`repro.adaptive.trainer`, `repro.luc.search`,
+`repro.hw.search`) look up the active registry via :func:`get_registry`
+on every call, so whichever registry is installed when the work runs
+receives the telemetry.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+    reset_registry,
+    set_registry,
+    use_registry,
+)
+from .report import (
+    REPORT_SCHEMA_VERSION,
+    build_report,
+    format_report,
+    load_report,
+    report_spans,
+    write_report,
+    write_table_jsonl,
+)
+from .spans import SpanRecord, aggregate_spans, current_span, span, walk_spans
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Timer",
+    "get_registry",
+    "reset_registry",
+    "set_registry",
+    "use_registry",
+    "REPORT_SCHEMA_VERSION",
+    "build_report",
+    "format_report",
+    "load_report",
+    "report_spans",
+    "write_report",
+    "write_table_jsonl",
+    "SpanRecord",
+    "aggregate_spans",
+    "current_span",
+    "span",
+    "walk_spans",
+]

@@ -1,0 +1,201 @@
+"""Process-wide metrics registry: counters, gauges, timers, and row tables.
+
+One :class:`MetricsRegistry` instance is active at any time (the *global*
+registry by default); instrumented code looks it up through
+:func:`get_registry` so hot paths never need a handle threaded through
+their signatures.  Tests and CLI runs that want isolation swap in a fresh
+registry with :func:`use_registry`.
+
+Everything is in-memory and cheap: a counter increment is a float add, a
+timer record is a handful of comparisons.  The structured view of an
+entire run lives in :mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Dict, Iterator, List, Optional
+
+
+class Counter:
+    """Monotonically increasing count (iterations done, candidates seen)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> int:
+        if amount < 0:
+            raise ValueError("counters only move forward; use a gauge")
+        self.value += amount
+        return self.value
+
+
+class Gauge:
+    """Last-written value of a quantity that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Timer:
+    """Aggregated duration statistics fed by ``record`` or ``time()``."""
+
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        seconds = float(seconds)
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds} for timer {self.name!r}")
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    @contextlib.contextmanager
+    def time(self) -> Iterator[None]:
+        """``perf_counter``-based scoped measurement."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(time.perf_counter() - start)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store for counters, gauges, timers, row tables and spans."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._tables: Dict[str, List[Dict]] = {}
+        self.spans: List = []  # completed root SpanRecords, in finish order
+
+    # -- instruments ---------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def timer(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    # -- row tables (per-iteration telemetry) --------------------------
+    def record_row(self, table: str, **fields) -> Dict:
+        """Append one telemetry row (a plain dict) to a named table."""
+        row = {k: _plain(v) for k, v in fields.items()}
+        self._tables.setdefault(table, []).append(row)
+        return row
+
+    def rows(self, table: str) -> List[Dict]:
+        return list(self._tables.get(table, []))
+
+    def tables(self) -> Dict[str, List[Dict]]:
+        return {name: list(rows) for name, rows in self._tables.items()}
+
+    # -- spans ---------------------------------------------------------
+    def add_span(self, record) -> None:
+        self.spans.append(record)
+
+    # -- lifecycle -----------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Plain-dict view of every instrument (no span tree; see report)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "timers": {n: t.as_dict() for n, t in sorted(self._timers.items())},
+            "tables": self.tables(),
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+        self._tables.clear()
+        self.spans.clear()
+
+
+def _plain(value):
+    """Coerce numpy scalars and sequences to JSON-friendly python values."""
+    if hasattr(value, "item") and getattr(value, "size", None) == 1:
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active registry (instrumented code calls this)."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the active one; returns the previous."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+def reset_registry() -> MetricsRegistry:
+    """Install and return a fresh, empty active registry."""
+    fresh = MetricsRegistry()
+    set_registry(fresh)
+    return fresh
+
+
+@contextlib.contextmanager
+def use_registry(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Temporarily swap the active registry (fresh one by default).
+
+    Restores the previous registry on exit, so tests and nested tools
+    can collect telemetry without polluting the process-wide instance.
+    """
+    registry = registry or MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

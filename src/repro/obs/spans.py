@@ -1,0 +1,126 @@
+"""Hierarchical trace spans.
+
+A span measures one scoped region of work with ``perf_counter`` and
+remembers where it sat in the call tree::
+
+    with span("adapt"):
+        for batch in batches:
+            with span("adapt/iter"):
+                trainer.train_step(*batch)
+
+Spans nest: a span opened while another is active becomes its child, so a
+finished run yields a tree of timed regions.  Every finished span also
+feeds the active registry's timer keyed by its slash path, which makes
+cross-iteration aggregation (count / total / mean / min / max) free.
+The stack is thread-local; each thread builds its own tree.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .registry import MetricsRegistry, get_registry
+
+
+@dataclasses.dataclass
+class SpanRecord:
+    """One finished (or in-flight) timed region."""
+
+    name: str
+    path: str
+    duration_s: float = 0.0
+    meta: Dict = dataclasses.field(default_factory=dict)
+    children: List["SpanRecord"] = dataclasses.field(default_factory=list)
+
+    def as_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "duration_s": self.duration_s,
+            "meta": dict(self.meta),
+            "children": [c.as_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SpanRecord":
+        return cls(
+            name=payload["name"],
+            path=payload["path"],
+            duration_s=payload["duration_s"],
+            meta=dict(payload.get("meta", {})),
+            children=[cls.from_dict(c) for c in payload.get("children", [])],
+        )
+
+
+_STATE = threading.local()
+
+
+def _stack() -> List[SpanRecord]:
+    if not hasattr(_STATE, "stack"):
+        _STATE.stack = []
+    return _STATE.stack
+
+
+def current_span() -> Optional[SpanRecord]:
+    """The innermost span open on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@contextlib.contextmanager
+def span(
+    name: str,
+    registry: Optional[MetricsRegistry] = None,
+    **meta,
+) -> Iterator[SpanRecord]:
+    """Open a timed region; nests under any span already open.
+
+    The finished record lands on its parent (or, for a root span, on the
+    active registry's ``spans`` list) and its duration is folded into the
+    registry timer named after the span's full path.
+    """
+    stack = _stack()
+    parent = stack[-1] if stack else None
+    path = f"{parent.path}/{name}" if parent else name
+    record = SpanRecord(name=name, path=path, meta=dict(meta))
+    stack.append(record)
+    start = time.perf_counter()
+    try:
+        yield record
+    finally:
+        record.duration_s = time.perf_counter() - start
+        stack.pop()
+        reg = registry or get_registry()
+        if parent is not None:
+            parent.children.append(record)
+        else:
+            reg.add_span(record)
+        reg.timer(record.path).record(record.duration_s)
+
+
+def walk_spans(roots: Sequence[SpanRecord]) -> Iterator[SpanRecord]:
+    """Depth-first iteration over a span forest."""
+    for root in roots:
+        yield root
+        yield from walk_spans(root.children)
+
+
+def aggregate_spans(roots: Sequence[SpanRecord]) -> Dict[str, Dict[str, float]]:
+    """Fold a span forest into per-path duration statistics."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for record in walk_spans(roots):
+        stats = summary.setdefault(
+            record.path,
+            {"count": 0, "total_s": 0.0, "min_s": float("inf"), "max_s": 0.0},
+        )
+        stats["count"] += 1
+        stats["total_s"] += record.duration_s
+        stats["min_s"] = min(stats["min_s"], record.duration_s)
+        stats["max_s"] = max(stats["max_s"], record.duration_s)
+    for stats in summary.values():
+        stats["mean_s"] = stats["total_s"] / stats["count"]
+    return summary

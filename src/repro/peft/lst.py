@@ -10,7 +10,6 @@ competitor to adaptive layer tuning on the memory axis.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 import numpy as np
 
@@ -79,7 +78,6 @@ class LadderSideNetwork(Module):
         return Tensor(base_logits.data) + side_logits * self.gate
 
     def num_side_parameters(self) -> int:
-        names = [n for n, _ in self.named_parameters()]
         return sum(
             p.size for n, p in self.named_parameters() if not n.startswith("model.")
         )

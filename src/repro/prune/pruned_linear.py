@@ -7,7 +7,6 @@ keeping them pruned through subsequent tuning without any optimizer hooks.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -8,7 +8,6 @@ consume.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
 
 SUPPORTED_BITS = (2, 3, 4, 6, 8, 16)
 

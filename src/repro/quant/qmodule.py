@@ -93,9 +93,12 @@ class QuantLinear(Module):
         if self.act_spec is not None and self.act_spec.bits < 16:
             if self._act_scale is not None:
                 q = quantize(x.data, self._act_scale, self._act_zero, self.act_spec)
-                x = Tensor(dequantize(q, self._act_scale, self._act_zero)) if not x.requires_grad else _requant_with_ste(
-                    x, self._act_scale, self._act_zero, self.act_spec
-                )
+                if x.requires_grad:
+                    x = _requant_with_ste(
+                        x, self._act_scale, self._act_zero, self.act_spec
+                    )
+                else:
+                    x = Tensor(dequantize(q, self._act_scale, self._act_zero))
             else:
                 x = fake_quant_ste(x, self.act_spec, method=self.method)
         w = fake_quant_ste(self.inner.weight, self.weight_spec, method=self.method)

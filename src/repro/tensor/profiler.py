@@ -13,7 +13,6 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator
 
-from . import tensor as _tensor_mod
 from .tensor import Tensor
 
 

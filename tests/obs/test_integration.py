@@ -1,0 +1,124 @@
+"""Telemetry integration: trainer rows, search counters, bench sidecars."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import AdaptiveLayerTrainer, AdaptiveTuningConfig
+from repro.data import lm_batches
+from repro.obs import use_registry
+
+from tests.conftest import small_config
+
+
+@pytest.fixture
+def telemetry(pretrained_model, adapt_corpus):
+    """Train a few adaptive steps inside an isolated registry."""
+    with use_registry() as reg:
+        trainer = AdaptiveLayerTrainer(
+            pretrained_model,
+            AdaptiveTuningConfig(window=2, exit_points=[2, 4, 6], lr=1e-3),
+        )
+        stats = trainer.train(
+            lm_batches(adapt_corpus, 4, 16, 5, np.random.default_rng(0))
+        )
+    return reg, stats
+
+
+def test_trainer_emits_per_iteration_rows(telemetry):
+    reg, stats = telemetry
+    assert reg.counter("adapt/iterations").value == 5
+    assert reg.gauge("adapt/last_loss").value == pytest.approx(stats[-1].loss)
+
+    rows = reg.rows("adapt/iter")
+    assert len(rows) == 5
+    for i, (row, st) in enumerate(zip(rows, stats)):
+        assert row["iteration"] == i
+        assert row["loss"] == pytest.approx(st.loss)
+        # wall time and tape-measured activation bytes are real measurements
+        assert row["wall_time_s"] > 0
+        assert row["activation_bytes"] > 0
+        assert row["exit_point"] in (2, 4, 6)
+        assert 1 <= row["grad_blocks"] <= 2
+        assert row["trainable_params"] > 0
+
+
+def test_trainer_spans_nest_and_aggregate(telemetry):
+    reg, _ = telemetry
+    timer = reg.timer("adapt/iter")
+    assert timer.count == 5
+    assert 0 < timer.min_s <= timer.mean_s <= timer.max_s
+    assert len(reg.spans) == 5  # one root span per iteration
+
+
+def test_luc_search_records_candidates(pretrained_model, pretrain_corpus):
+    from repro.luc import enumerate_layer_options, measure_sensitivity, search_policy
+
+    options = enumerate_layer_options((4, 8), (0.0, 0.3))
+    inputs, targets = next(
+        lm_batches(pretrain_corpus, 2, 16, 1, np.random.default_rng(1))
+    )
+    profile = measure_sensitivity(pretrained_model, inputs, targets, options)
+    with use_registry() as reg:
+        search_policy(
+            profile, small_config().num_layers, budget=0.3, options=options
+        )
+    assert reg.counter("luc/search/candidates_evaluated").value > 0
+    assert reg.counter("luc/search/runs").value == 1
+    assert reg.rows("luc/search")
+    assert reg.timer("luc/search").count == 1
+
+
+def test_hw_schedule_search_records_counters():
+    from repro.hw import EDGE_GPU_LIKE, schedule_workloads, tuning_iteration_workload
+
+    gemms = tuning_iteration_workload(small_config(), 2, 16, 6, 4)
+    with use_registry() as reg:
+        schedule_workloads(gemms, EDGE_GPU_LIKE, strategy="heuristic")
+    assert reg.counter("hw/search/gemms_scheduled").value == len(gemms)
+    (row,) = reg.rows("hw/schedule_search")
+    assert row["strategy"] == "heuristic"
+    assert row["cycles"] > 0
+    assert reg.timer("hw/schedule_search").count == 1
+
+
+def test_bench_emit_writes_schema_valid_sidecar(tmp_path, monkeypatch):
+    from benchmarks import common
+
+    monkeypatch.setattr(common, "RESULTS_DIR", str(tmp_path))
+    payload = common.emit(
+        "toy",
+        "toy bench",
+        ["name", "value"],
+        [["a", 1.0], ["b", float("nan")]],
+        metrics={"best": np.float64(1.0)},
+        config={"steps": 3},
+    )
+    common.validate_sidecar(payload)  # self-consistent
+    assert payload["rows"][1]["value"] is None  # NaN → null, strict JSON
+    assert payload["metrics"]["best"] == 1.0
+    assert payload["config"]["steps"] == 3
+    assert payload["config"]["vocab"] == common.VOCAB  # shared config merged
+    assert (tmp_path / "toy.txt").exists()
+
+    import json
+
+    on_disk = json.loads((tmp_path / "toy.json").read_text())
+    assert on_disk == payload
+
+
+def test_validate_sidecar_rejects_malformed():
+    from benchmarks.common import validate_sidecar
+
+    good = {
+        "bench": "x", "title": "t", "schema_version": 1,
+        "headers": ["a"], "rows": [{"a": 1}], "metrics": {}, "config": {},
+    }
+    validate_sidecar(good)
+    for key in good:
+        bad = {k: v for k, v in good.items() if k != key}
+        with pytest.raises(ValueError):
+            validate_sidecar(bad)
+    with pytest.raises(ValueError, match="headers"):
+        validate_sidecar({**good, "rows": [{"b": 1}]})
+    with pytest.raises(ValueError, match="schema_version"):
+        validate_sidecar({**good, "schema_version": 2})

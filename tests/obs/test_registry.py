@@ -1,0 +1,97 @@
+"""Counter/gauge/timer semantics and registry lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+    set_registry,
+    use_registry,
+)
+
+
+def test_counter_increments_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("adapt/iterations")
+    assert c.value == 0
+    assert c.inc() == 1
+    assert c.inc(5) == 6
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    # get-or-create returns the same instance
+    assert reg.counter("adapt/iterations") is c
+
+
+def test_gauge_holds_last_value():
+    g = MetricsRegistry().gauge("loss")
+    assert g.value is None
+    g.set(3.5)
+    g.set(1.25)
+    assert g.value == 1.25
+
+
+def test_timer_aggregates_durations():
+    t = MetricsRegistry().timer("step")
+    for s in (0.1, 0.3, 0.2):
+        t.record(s)
+    assert t.count == 3
+    assert t.total_s == pytest.approx(0.6)
+    assert t.mean_s == pytest.approx(0.2)
+    assert t.min_s == pytest.approx(0.1)
+    assert t.max_s == pytest.approx(0.3)
+    with pytest.raises(ValueError):
+        t.record(-0.5)
+
+
+def test_timer_time_contextmanager_measures():
+    t = MetricsRegistry().timer("scoped")
+    with t.time():
+        sum(range(1000))
+    assert t.count == 1
+    assert t.total_s > 0
+
+
+def test_empty_timer_as_dict_has_no_inf():
+    d = MetricsRegistry().timer("never").as_dict()
+    assert d["count"] == 0
+    assert d["min_s"] == 0.0
+
+
+def test_record_row_coerces_numpy_scalars():
+    reg = MetricsRegistry()
+    reg.record_row("t", loss=np.float64(1.5), step=np.int64(3), name="a")
+    (row,) = reg.rows("t")
+    assert row == {"loss": 1.5, "step": 3, "name": "a"}
+    assert isinstance(row["loss"], float) and isinstance(row["step"], int)
+
+
+def test_snapshot_and_reset():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(2)
+    reg.gauge("g").set(7)
+    reg.timer("t").record(0.5)
+    reg.record_row("rows", x=1)
+    snap = reg.snapshot()
+    assert snap["counters"] == {"c": 2}
+    assert snap["gauges"] == {"g": 7.0}
+    assert snap["timers"]["t"]["count"] == 1
+    assert snap["tables"] == {"rows": [{"x": 1}]}
+    reg.reset()
+    assert reg.snapshot() == {
+        "counters": {}, "gauges": {}, "timers": {}, "tables": {}
+    }
+
+
+def test_use_registry_swaps_and_restores():
+    outer = reset_registry()
+    try:
+        with use_registry() as inner:
+            assert get_registry() is inner
+            get_registry().counter("only-inner").inc()
+        assert get_registry() is outer
+        assert outer.counter("only-inner").value == 0
+        assert inner.counter("only-inner").value == 1
+    finally:
+        set_registry(outer)

@@ -1,0 +1,83 @@
+"""Span nesting, path construction, and aggregation."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    aggregate_spans,
+    current_span,
+    span,
+    use_registry,
+    walk_spans,
+)
+
+
+def test_spans_nest_into_a_tree():
+    with use_registry() as reg:
+        with span("outer"):
+            with span("inner"):
+                pass
+            with span("inner"):
+                pass
+    (root,) = reg.spans
+    assert root.name == "outer" and root.path == "outer"
+    assert [c.path for c in root.children] == ["outer/inner", "outer/inner"]
+    assert root.duration_s >= sum(c.duration_s for c in root.children)
+
+
+def test_current_span_tracks_innermost():
+    with use_registry():
+        assert current_span() is None
+        with span("a"):
+            assert current_span().name == "a"
+            with span("b"):
+                assert current_span().path == "a/b"
+            assert current_span().name == "a"
+        assert current_span() is None
+
+
+def test_span_feeds_registry_timer_by_path():
+    with use_registry() as reg:
+        for _ in range(3):
+            with span("loop"):
+                with span("body"):
+                    pass
+    assert reg.timer("loop").count == 3
+    assert reg.timer("loop/body").count == 3
+    assert len(reg.spans) == 3  # three roots, children attached
+
+
+def test_span_meta_and_yielded_record():
+    with use_registry() as reg:
+        with span("search", strategy="greedy") as rec:
+            rec.meta["evaluated"] = 42
+    (root,) = reg.spans
+    assert root.meta == {"strategy": "greedy", "evaluated": 42}
+
+
+def test_span_records_even_on_exception():
+    with use_registry() as reg:
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+    assert len(reg.spans) == 1
+    assert reg.timer("doomed").count == 1
+
+
+def test_walk_and_aggregate_spans():
+    with use_registry() as reg:
+        for _ in range(2):
+            with span("run"):
+                with span("iter"):
+                    pass
+                with span("iter"):
+                    pass
+    paths = [s.path for s in walk_spans(reg.spans)]
+    assert paths.count("run") == 2 and paths.count("run/iter") == 4
+    summary = aggregate_spans(reg.spans)
+    assert summary["run"]["count"] == 2
+    assert summary["run/iter"]["count"] == 4
+    assert summary["run/iter"]["mean_s"] == pytest.approx(
+        summary["run/iter"]["total_s"] / 4
+    )
+    assert summary["run/iter"]["min_s"] <= summary["run/iter"]["max_s"]
