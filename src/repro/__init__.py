@@ -24,7 +24,20 @@ Quick start::
     logits = edge.logits(ids)                    # voted inference
 """
 
-from . import adaptive, data, eval, hw, luc, nn, peft, prune, quant, tensor, utils
+from . import (
+    adaptive,
+    data,
+    eval,
+    hw,
+    luc,
+    nn,
+    parallel,
+    peft,
+    prune,
+    quant,
+    tensor,
+    utils,
+)
 from .adaptive import (
     AdaptiveLayerTrainer,
     AdaptiveTuningConfig,
@@ -36,6 +49,7 @@ from .data import AdaptationTask, MarkovChainCorpus, MultipleChoiceTask, lm_batc
 from .hw import AcceleratorSpec, EDGE_GPU_LIKE, schedule_workloads
 from .luc import LUCPolicy, apply_luc, measure_sensitivity, search_policy
 from .nn import TransformerConfig, TransformerLM
+from .parallel import EvalCache, WorkerPool
 from .pipeline import EdgeLLM, EdgeLLMConfig
 from .tensor import Tensor
 
@@ -67,9 +81,12 @@ __all__ = [
     "nn",
     "quant",
     "prune",
+    "EvalCache",
+    "WorkerPool",
     "luc",
     "adaptive",
     "hw",
+    "parallel",
     "peft",
     "data",
     "eval",

@@ -13,6 +13,12 @@ Every workload subcommand accepts ``--telemetry-out PATH``: the run
 executes under a fresh metrics registry (see ``repro.obs``) and a
 structured JSON run report is written when it finishes.
 
+The search-heavy subcommands (``compress``, ``adapt``, ``speedup``) also
+accept ``--workers N`` (fan the offline searches out over a process
+pool; results are identical at any worker count) and ``--cache-dir DIR``
+(persist memoized evaluations so repeated runs skip finished work) —
+see ``docs/search.md``.
+
 Run ``python -m repro <subcommand> --help`` for options.
 """
 
@@ -47,6 +53,25 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
         "--telemetry-out", default=None, metavar="PATH",
         help="write a structured telemetry run report (JSON) on exit",
     )
+
+
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the offline searches (0 = all cores; "
+             "results are identical at any worker count)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist memoized search evaluations here so repeated runs "
+             "skip finished work",
+    )
+
+
+def _eval_cache(args):
+    from .parallel import EvalCache
+
+    return EvalCache(args.cache_dir)
 
 
 def _corpus(args, seed: Optional[int] = None):
@@ -118,12 +143,15 @@ def cmd_compress(args) -> int:
         lm_batches(corpus, 4, args.seq, 1, rng)
     )
     options = enumerate_layer_options(tuple(args.bits), tuple(args.ratios))
+    cache = _eval_cache(args)
     profile = measure_sensitivity(
-        model, calib_inputs, calib_targets, options, metric=args.metric
+        model, calib_inputs, calib_targets, options, metric=args.metric,
+        workers=args.workers, cache=cache,
     )
     policy = search_policy(
         profile, model.num_layers, args.budget,
         strategy=args.strategy, options=options,
+        workers=args.workers, cache=cache,
     )
     print(policy.describe())
     if args.out:
@@ -156,6 +184,8 @@ def cmd_adapt(args) -> int:
             exit_points=args.exits or None,
             lr=args.lr,
         ),
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     ))
     edge.compress(*next(lm_batches(pre, 4, args.seq, 1, rng)))
     edge.adapt(lm_batches(target, args.batch, args.seq, args.steps, rng))
@@ -183,10 +213,12 @@ def cmd_speedup(args) -> int:
         vocab_size=args.vocab, dim=args.dim, num_layers=args.layers,
         num_heads=args.heads, max_len=args.max_len,
     )
+    cache = _eval_cache(args)
     vanilla = schedule_workloads(
         tuning_iteration_workload(config, args.batch, args.seq,
                                   args.layers, 0),
         EDGE_GPU_LIKE, strategy="exhaustive",
+        workers=args.workers, cache=cache,
     )
     bits = {i: args.avg_bits for i in range(args.layers)}
     sparsity = {i: args.avg_sparsity for i in range(args.layers)}
@@ -198,6 +230,7 @@ def cmd_speedup(args) -> int:
             bits_per_block=bits, sparsity_per_block=sparsity,
         ),
         EDGE_GPU_LIKE, strategy="exhaustive",
+        workers=args.workers, cache=cache,
     )
     print(json.dumps({
         "vanilla_mcycles": round(vanilla.cycles / 1e6, 4),
@@ -248,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(p)
     _add_data_args(p)
     _add_telemetry_args(p)
+    _add_parallel_args(p)
     p.add_argument("--model", required=True)
     p.add_argument("--budget", type=float, default=0.3)
     p.add_argument("--bits", type=int, nargs="+", default=[2, 4, 8])
@@ -264,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(p)
     _add_data_args(p)
     _add_telemetry_args(p)
+    _add_parallel_args(p)
     p.add_argument("--model", required=True)
     p.add_argument("--target-seed", type=int, default=1,
                    help="seed of the downstream language")
@@ -279,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(p)
     _add_data_args(p)
     _add_telemetry_args(p)
+    _add_parallel_args(p)
     p.add_argument("--avg-bits", type=int, default=4)
     p.add_argument("--avg-sparsity", type=float, default=0.3)
     p.add_argument("--window", type=int, default=2)

@@ -16,7 +16,7 @@ from .scheduling import (
     enumerate_schedules,
     heuristic_schedule,
 )
-from .cost_model import CostReport, gemm_cost, objective_value
+from .cost_model import CostReport, gemm_cost, memoized_gemm_cost, objective_value
 from .elementwise import (
     ElementwiseWorkload,
     block_elementwise_workloads,
@@ -61,6 +61,7 @@ __all__ = [
     "heuristic_schedule",
     "CostReport",
     "gemm_cost",
+    "memoized_gemm_cost",
     "objective_value",
     "IterationCost",
     "ScheduledGEMM",

@@ -104,6 +104,35 @@ def gemm_cost(
     )
 
 
+def memoized_gemm_cost(
+    workload: GEMMWorkload,
+    schedule: Schedule,
+    accel: AcceleratorSpec,
+    cache=None,
+) -> CostReport:
+    """:func:`gemm_cost` through an optional ``repro.parallel.EvalCache``.
+
+    ``gemm_cost`` is pure, so the memoized result is exactly the direct
+    one (property-tested in ``tests/hw/test_cost_cache_properties.py``).
+    The key ignores the workload's ``name``/``phase`` labels — they don't
+    enter the pricing — so identically-shaped GEMMs share an entry.
+    """
+    if cache is None:
+        return gemm_cost(workload, schedule, accel)
+    parts = (
+        "hw/gemm_cost",
+        (workload.m, workload.k, workload.n, workload.bits, workload.sparsity),
+        schedule,
+        accel,
+    )
+    return cache.get_or_compute(
+        parts,
+        lambda: gemm_cost(workload, schedule, accel),
+        encode=dataclasses.asdict,
+        decode=lambda payload: CostReport(**payload),
+    )
+
+
 def objective_value(report: CostReport, objective: str = "latency") -> float:
     """Scalarize a cost report (latency | energy | edp)."""
     if objective == "latency":

@@ -3,19 +3,25 @@
 Strategies: ``exhaustive`` (the space per GEMM is small by construction),
 ``random`` sampling, and ``evolutionary`` (population over the joint tile/
 dataflow genome) — compared in the R-A4 ablation.  Identical GEMM shapes
-share one search via caching.
+share one search via caching, unique shapes fan out over a
+``repro.parallel.WorkerPool`` (``workers=N``), and an optional
+``repro.parallel.EvalCache`` memoizes finished searches persistently so
+repeated runs skip the search entirely.  Results are independent of the
+worker count (see ``tests/parallel/test_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..obs import get_registry, span
+from ..parallel import EvalCache, WorkerPool, stable_key
 from .accelerator import AcceleratorSpec
-from .cost_model import CostReport, gemm_cost, objective_value
+from .cost_model import CostReport, gemm_cost, memoized_gemm_cost, objective_value
 from .scheduling import (
     DATAFLOWS,
     Schedule,
@@ -65,9 +71,19 @@ class IterationCost:
         return self.cycles / accel.frequency_hz
 
 
-def _cache_key(workload: GEMMWorkload) -> Tuple:
+def _cache_key(
+    workload: GEMMWorkload, accel: AcceleratorSpec, objective: str
+) -> Tuple:
+    """Identity of one schedule search's *answer*.
+
+    The schedule depends on the workload's shape/precision/sparsity (not
+    its name or phase), on the accelerator, and on the objective — all
+    three must be in the key.  Sparsity enters exactly (no rounding):
+    workloads whose sparsity differs in the last ulp price differently
+    and must not share a cached schedule.
+    """
     return (workload.m, workload.k, workload.n, workload.bits,
-            round(workload.sparsity, 4))
+            workload.sparsity, accel, objective)
 
 
 def exhaustive_best(
@@ -200,53 +216,132 @@ _SEARCHERS = {
 }
 
 
+def _search_one(
+    workload: GEMMWorkload,
+    accel: AcceleratorSpec,
+    strategy: str,
+    objective: str,
+    kwargs: Dict,
+) -> Schedule:
+    """Search one workload (the unit of work a pool task executes)."""
+    if strategy == "heuristic":
+        return heuristic_schedule(workload, accel)
+    return _SEARCHERS[strategy](workload, accel, objective=objective, **kwargs)
+
+
+def _persist_parts(
+    workload: GEMMWorkload,
+    accel: AcceleratorSpec,
+    strategy: str,
+    objective: str,
+    kwargs: Dict,
+) -> Tuple:
+    """Persistent-cache key parts for one schedule search.
+
+    Covers everything the answer depends on — including the strategy's
+    own knobs (seed, sample counts) — on top of :func:`_cache_key`.
+    """
+    return (
+        "hw/schedule",
+        strategy,
+        objective,
+        _cache_key(workload, accel, objective),
+        sorted(kwargs.items()),
+    )
+
+
+def _decode_schedule(payload: Dict) -> Schedule:
+    return Schedule(**payload)
+
+
 def schedule_workloads(
     gemms: Sequence[GEMMWorkload],
     accel: AcceleratorSpec,
     strategy: str = "exhaustive",
     objective: str = "latency",
+    workers: int = 1,
+    cache: Optional[EvalCache] = None,
     **kwargs,
 ) -> IterationCost:
     """Pick a schedule for every GEMM; returns the summed iteration cost.
 
     ``strategy='heuristic'`` applies the fixed rule-of-thumb mapping
-    (the no-search baseline).
+    (the no-search baseline).  Unique shapes are searched once;
+    ``workers > 1`` fans the searches out over a process pool, and a
+    persistent ``cache`` skips searches finished in a previous run.
+    The chosen schedules are identical at any worker count.
     """
-    cache: Dict[Tuple, Schedule] = {}
+    if strategy not in _SEARCHERS and strategy != "heuristic":
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from "
+            f"{sorted(_SEARCHERS) + ['heuristic']}"
+        )
+    resolved: Dict[Tuple, Schedule] = {}
     scheduled: List[ScheduledGEMM] = []
-    cache_hits = 0
+    shape_hits = 0
+    persistent_hits = 0
     with span("hw/schedule_search", strategy=strategy):
+        # Deduplicate by shape (first-occurrence order), then consult the
+        # persistent cache, then search whatever is left — in parallel.
+        unique: Dict[Tuple, GEMMWorkload] = {}
         for g in gemms:
-            key = _cache_key(g)
-            if key not in cache:
-                if strategy == "heuristic":
-                    cache[key] = heuristic_schedule(g, accel)
-                elif strategy in _SEARCHERS:
-                    cache[key] = _SEARCHERS[strategy](
-                        g, accel, objective=objective, **kwargs
-                    )
-                else:
-                    raise ValueError(
-                        f"unknown strategy {strategy!r}; choose from "
-                        f"{sorted(_SEARCHERS) + ['heuristic']}"
-                    )
+            key = _cache_key(g, accel, objective)
+            if key in unique:
+                shape_hits += 1
             else:
-                cache_hits += 1
-            schedule = cache[key]
+                unique[key] = g
+        missing: List[Tuple[Tuple, GEMMWorkload]] = []
+        for key, g in unique.items():
+            if cache is not None:
+                hit, value = cache.lookup(
+                    stable_key(*_persist_parts(g, accel, strategy,
+                                               objective, kwargs)),
+                    decode=_decode_schedule,
+                )
+                if hit:
+                    resolved[key] = value
+                    persistent_hits += 1
+                    continue
+            missing.append((key, g))
+        if missing:
+            task = functools.partial(
+                _search_one, accel=accel, strategy=strategy,
+                objective=objective, kwargs=kwargs,
+            )
+            with WorkerPool(workers) as pool:
+                found = pool.map(
+                    task, [g for _, g in missing], collect_metrics=True
+                )
+            for (key, g), schedule in zip(missing, found):
+                resolved[key] = schedule
+                if cache is not None:
+                    cache.store(
+                        stable_key(*_persist_parts(g, accel, strategy,
+                                                   objective, kwargs)),
+                        schedule,
+                        encode=dataclasses.asdict,
+                    )
+        for g in gemms:
+            schedule = resolved[_cache_key(g, accel, objective)]
             scheduled.append(
-                ScheduledGEMM(g, schedule, gemm_cost(g, schedule, accel))
+                ScheduledGEMM(
+                    g, schedule, memoized_gemm_cost(g, schedule, accel, cache)
+                )
             )
     cost = IterationCost(scheduled)
     reg = get_registry()
     reg.counter("hw/search/gemms_scheduled").inc(len(scheduled))
-    reg.counter("hw/search/cache_hits").inc(cache_hits)
+    reg.counter("hw/search/cache_hits").inc(shape_hits)
+    reg.counter("hw/search/persistent_cache_hits").inc(persistent_hits)
     reg.record_row(
         "hw/schedule_search",
         strategy=strategy,
         objective=objective,
         gemms=len(scheduled),
-        unique_gemms=len(cache),
-        cache_hits=cache_hits,
+        unique_gemms=len(unique),
+        cache_hits=shape_hits,
+        persistent_hits=persistent_hits,
+        workers=workers,
         cycles=cost.cycles,
         mean_utilization=cost.mean_utilization,
     )

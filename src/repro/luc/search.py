@@ -8,15 +8,25 @@ to minimize predicted degradation:
                    is the "cost-effective" procedure the abstract claims).
 * ``evolutionary`` mutation + tournament selection over full policies.
 * ``random``       best of N random feasible policies (ablation floor).
+
+All three accept ``workers`` (fitness evaluation fans out over a
+``repro.parallel.WorkerPool``; results are identical at any worker
+count — locked down by ``tests/parallel/test_equivalence.py``) and
+duplicate candidate policies are memoized within a run.  At the
+:func:`search_policy` level an optional ``repro.parallel.EvalCache``
+memoizes whole search results persistently, so a repeated run with the
+same profile/budget/options returns instantly.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import functools
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..obs import get_registry, span
+from ..parallel import EvalCache, WorkerPool, stable_key
 from .policy import (
     LayerCompression,
     LUCPolicy,
@@ -24,19 +34,31 @@ from .policy import (
 )
 from .sensitivity import SensitivityProfile
 
+Genome = Tuple[int, ...]  # per-layer indices into the options list
 
-def _record_search(strategy: str, evaluated: int, pruned: int, policy: LUCPolicy) -> None:
+
+def _record_search(
+    strategy: str,
+    evaluated: int,
+    pruned: int,
+    policy: LUCPolicy,
+    workers: int = 1,
+    memo_hits: int = 0,
+) -> None:
     """Publish one policy search's work to the active metrics registry."""
     reg = get_registry()
     reg.counter("luc/search/runs").inc()
     reg.counter("luc/search/candidates_evaluated").inc(evaluated)
     reg.counter("luc/search/candidates_pruned").inc(pruned)
+    reg.counter("luc/search/memo_hits").inc(memo_hits)
     reg.gauge("luc/search/last_policy_cost").set(policy.cost())
     reg.record_row(
         "luc/search",
         strategy=strategy,
         candidates_evaluated=evaluated,
         candidates_pruned=pruned,
+        memo_hits=memo_hits,
+        workers=workers,
         policy_cost=policy.cost(),
     )
 
@@ -45,52 +67,138 @@ def _least_compressed(options: Sequence[LayerCompression]) -> LayerCompression:
     return max(options, key=lambda o: o.cost_factor())
 
 
+# ----------------------------------------------------------------------
+# pool task functions (module-level so they pickle)
+
+
+def _greedy_layer_move(
+    state: Tuple[int, int], scores: np.ndarray, costs: np.ndarray
+) -> Tuple[float, int, int, int]:
+    """Best move for one layer: (efficiency, option_idx, evaluated, pruned).
+
+    Mirrors the serial scan exactly: only strictly cheaper options are
+    candidates, efficiency is cost-saved per degradation-added, and ties
+    resolve to the lowest option index (``argmax`` returns the first max).
+    """
+    layer, cur = state
+    row = scores[layer]
+    cheaper = costs < costs[cur]
+    evaluated = int(cheaper.sum())
+    pruned = len(costs) - evaluated
+    if not evaluated:
+        return (-np.inf, -1, 0, pruned)
+    saved = costs[cur] - costs
+    added = np.maximum(row - row[cur], 0.0)
+    efficiency = np.where(cheaper, saved / (added + 1e-9), -np.inf)
+    best = int(np.argmax(efficiency))
+    return (float(efficiency[best]), best, evaluated, pruned)
+
+
+def _score_genome(
+    genome: Genome,
+    profile: SensitivityProfile,
+    options: Sequence[LayerCompression],
+    budget: Optional[float],
+) -> Tuple[float, bool]:
+    """(score, infeasible) of one genome — the pure fitness evaluation.
+
+    With a ``budget`` the score is the evolutionary objective
+    (degradation + soft overshoot penalty); without one it is the plain
+    predicted degradation used by random search's feasible candidates.
+    """
+    policy = LUCPolicy([options[i] for i in genome])
+    degradation = profile.predicted_degradation(policy)
+    if budget is None:
+        return degradation, False
+    overshoot = max(policy.cost() - budget, 0.0)
+    return degradation + 100.0 * overshoot, overshoot > 0
+
+
+class _GenomeScorer:
+    """Batch fitness evaluation with in-run memoization of duplicates."""
+
+    def __init__(
+        self,
+        profile: SensitivityProfile,
+        options: Sequence[LayerCompression],
+        budget: Optional[float],
+        pool: WorkerPool,
+    ):
+        self._task = functools.partial(
+            _score_genome, profile=profile, options=list(options), budget=budget
+        )
+        self._pool = pool
+        self._memo: Dict[Genome, Tuple[float, bool]] = {}
+        self.evaluated = 0   # fitness requests (the serial loop's count)
+        self.infeasible = 0  # requests whose policy overshot the budget
+        self.memo_hits = 0   # requests answered from the in-run memo
+
+    def scores(self, genomes: Sequence[Genome]) -> List[float]:
+        fresh: List[Genome] = []
+        seen = set()
+        for g in genomes:
+            if g not in self._memo and g not in seen:
+                seen.add(g)
+                fresh.append(g)
+        if fresh:
+            for g, result in zip(fresh, self._pool.map(self._task, fresh)):
+                self._memo[g] = result
+        self.evaluated += len(genomes)
+        self.memo_hits += len(genomes) - len(fresh)
+        out = []
+        for g in genomes:
+            score, infeasible = self._memo[g]
+            if infeasible:
+                self.infeasible += 1
+            out.append(score)
+        return out
+
+
 def greedy_search(
     profile: SensitivityProfile,
     num_layers: int,
     budget: float,
     options: Optional[Sequence[LayerCompression]] = None,
+    workers: int = 1,
 ) -> LUCPolicy:
     """Knapsack-style descent: repeatedly take the cheapest compression.
 
     Starting from the least-compressed option everywhere, apply the single
     per-layer option change with the best cost-saved per degradation-added
-    ratio until the mean cost meets ``budget``.
+    ratio until the mean cost meets ``budget``.  Each round's per-layer
+    candidate scan fans out over the worker pool.
     """
     options = list(options or enumerate_layer_options())
     _validate_budget(budget, options)
-    start = _least_compressed(options)
-    assignment: List[LayerCompression] = [start] * num_layers
+    costs = np.array([o.cost_factor() for o in options], dtype=float)
+    scores = np.array(
+        [[profile.score(layer, o) for o in options] for layer in range(num_layers)],
+        dtype=float,
+    )
+    start = int(np.argmax(costs))  # the least-compressed option
+    assignment = [start] * num_layers
     evaluated = 0
     pruned = 0
+    task = functools.partial(_greedy_layer_move, scores=scores, costs=costs)
 
-    def mean_cost() -> float:
-        return float(np.mean([a.cost_factor() for a in assignment]))
-
-    with span("luc/search", strategy="greedy"):
-        while mean_cost() > budget:
-            best_move = None
+    with span("luc/search", strategy="greedy"), WorkerPool(workers) as pool:
+        while float(np.mean(costs[assignment])) > budget:
+            moves = pool.map(task, [(layer, assignment[layer])
+                                    for layer in range(num_layers)])
+            best_layer = -1
+            best_option = -1
             best_efficiency = -np.inf
-            for layer in range(num_layers):
-                current = assignment[layer]
-                current_sens = profile.score(layer, current)
-                for option in options:
-                    if option.cost_factor() >= current.cost_factor():
-                        pruned += 1
-                        continue
-                    evaluated += 1
-                    saved = current.cost_factor() - option.cost_factor()
-                    added = max(profile.score(layer, option) - current_sens, 0.0)
-                    efficiency = saved / (added + 1e-9)
-                    if efficiency > best_efficiency:
-                        best_efficiency = efficiency
-                        best_move = (layer, option)
-            if best_move is None:
+            for layer, (efficiency, option, n_eval, n_pruned) in enumerate(moves):
+                evaluated += n_eval
+                pruned += n_pruned
+                if efficiency > best_efficiency:
+                    best_efficiency = efficiency
+                    best_layer, best_option = layer, option
+            if best_layer < 0:
                 break  # nothing left to compress
-            layer, option = best_move
-            assignment[layer] = option
-    policy = LUCPolicy(list(assignment))
-    _record_search("greedy", evaluated, pruned, policy)
+            assignment[best_layer] = best_option
+    policy = LUCPolicy([options[i] for i in assignment])
+    _record_search("greedy", evaluated, pruned, policy, workers=workers)
     return policy
 
 
@@ -103,48 +211,46 @@ def evolutionary_search(
     generations: int = 30,
     mutation_rate: float = 0.2,
     seed: int = 0,
+    workers: int = 1,
 ) -> LUCPolicy:
-    """Mutation + tournament selection over full per-layer assignments."""
+    """Mutation + tournament selection over full per-layer assignments.
+
+    All RNG draws happen in the parent process in a fixed order; only the
+    pure fitness evaluations fan out, so the evolved policy is identical
+    at any worker count.
+    """
     options = list(options or enumerate_layer_options())
     _validate_budget(budget, options)
     rng = np.random.default_rng(seed)
-    evaluated = 0
-    infeasible = 0
 
-    def random_policy() -> List[LayerCompression]:
-        return [options[rng.integers(len(options))] for _ in range(num_layers)]
+    def random_genome() -> Genome:
+        return tuple(int(rng.integers(len(options))) for _ in range(num_layers))
 
-    def fitness(assignment: List[LayerCompression]) -> float:
-        nonlocal evaluated, infeasible
-        evaluated += 1
-        policy = LUCPolicy(list(assignment))
-        degradation = profile.predicted_degradation(policy)
-        overshoot = max(policy.cost() - budget, 0.0)
-        if overshoot > 0:
-            infeasible += 1
-        return degradation + 100.0 * overshoot  # lower is better
-
-    with span("luc/search", strategy="evolutionary"):
-        pool = [random_policy() for _ in range(population)]
-        scores = [fitness(p) for p in pool]
+    with span("luc/search", strategy="evolutionary"), WorkerPool(workers) as pool:
+        scorer = _GenomeScorer(profile, options, budget, pool)
+        genomes = [random_genome() for _ in range(population)]
+        scores = scorer.scores(genomes)
         for _ in range(generations):
             children = []
             for _ in range(population):
                 i, j = rng.integers(population), rng.integers(population)
-                parent = pool[i] if scores[i] <= scores[j] else pool[j]
+                parent = genomes[i] if scores[i] <= scores[j] else genomes[j]
                 child = list(parent)
                 for layer in range(num_layers):
                     if rng.random() < mutation_rate:
-                        child[layer] = options[rng.integers(len(options))]
-                children.append(child)
-            child_scores = [fitness(c) for c in children]
+                        child[layer] = int(rng.integers(len(options)))
+                children.append(tuple(child))
+            child_scores = scorer.scores(children)
             merged = list(zip(scores + child_scores, range(2 * population)))
             merged.sort(key=lambda t: t[0])
-            everyone = pool + children
-            pool = [everyone[idx] for _, idx in merged[:population]]
+            everyone = genomes + children
+            genomes = [everyone[idx] for _, idx in merged[:population]]
             scores = [s for s, _ in merged[:population]]
-    best = LUCPolicy(list(pool[int(np.argmin(scores))]))
-    _record_search("evolutionary", evaluated, infeasible, best)
+    best = LUCPolicy([options[i] for i in genomes[int(np.argmin(scores))]])
+    _record_search(
+        "evolutionary", scorer.evaluated, scorer.infeasible, best,
+        workers=workers, memo_hits=scorer.memo_hits,
+    )
     return best
 
 
@@ -155,35 +261,76 @@ def random_search(
     options: Optional[Sequence[LayerCompression]] = None,
     n_samples: int = 200,
     seed: int = 0,
+    workers: int = 1,
 ) -> LUCPolicy:
     """Best of ``n_samples`` random feasible policies (ablation floor)."""
     options = list(options or enumerate_layer_options())
     _validate_budget(budget, options)
     rng = np.random.default_rng(seed)
-    best: Optional[LUCPolicy] = None
-    best_score = np.inf
+    costs = np.array([o.cost_factor() for o in options], dtype=float)
     evaluated = 0
     pruned = 0
-    with span("luc/search", strategy="random"):
-        for _ in range(n_samples):
-            assignment = [
-                options[rng.integers(len(options))] for _ in range(num_layers)
-            ]
-            policy = LUCPolicy(assignment)
-            if policy.cost() > budget:
+    with span("luc/search", strategy="random"), WorkerPool(workers) as pool:
+        genomes = [
+            tuple(int(rng.integers(len(options))) for _ in range(num_layers))
+            for _ in range(n_samples)
+        ]
+        # Budget feasibility is a cheap mean — prune in the parent, then
+        # fan the degradation evaluations of the survivors out.
+        feasible = []
+        for g in genomes:
+            if float(np.mean(costs[list(g)])) > budget:
                 pruned += 1
-                continue
-            evaluated += 1
-            score = profile.predicted_degradation(policy)
+            else:
+                feasible.append(g)
+        scorer = _GenomeScorer(profile, options, None, pool)
+        scores = scorer.scores(feasible)
+        evaluated = scorer.evaluated
+        best_genome: Optional[Genome] = None
+        best_score = np.inf
+        for g, score in zip(feasible, scores):
             if score < best_score:
                 best_score = score
-                best = policy
-    if best is None:
+                best_genome = g
+    if best_genome is None:
         # Fall back to the uniformly cheapest assignment.
         cheapest = min(options, key=lambda o: o.cost_factor())
         best = LUCPolicy([cheapest] * num_layers)
-    _record_search("random", evaluated, pruned, best)
+    else:
+        best = LUCPolicy([options[i] for i in best_genome])
+    _record_search(
+        "random", evaluated, pruned, best,
+        workers=workers, memo_hits=scorer.memo_hits,
+    )
     return best
+
+
+_POLICY_SEARCHERS = {
+    "greedy": greedy_search,
+    "evolutionary": evolutionary_search,
+    "random": random_search,
+}
+
+
+def _profile_fingerprint(profile: SensitivityProfile) -> str:
+    """Content hash of a sensitivity profile (for persistent cache keys)."""
+    return stable_key(
+        profile.metric,
+        sorted(
+            ((block, opt.bits, opt.prune_ratio, score)
+             for (block, opt), score in profile.scores.items())
+        ),
+    )
+
+
+def _encode_policy(policy: LUCPolicy) -> List[List[float]]:
+    return [[layer.bits, layer.prune_ratio] for layer in policy.layers]
+
+
+def _decode_policy(payload: Sequence[Sequence[float]]) -> LUCPolicy:
+    return LUCPolicy(
+        [LayerCompression(int(bits), float(ratio)) for bits, ratio in payload]
+    )
 
 
 def search_policy(
@@ -192,17 +339,49 @@ def search_policy(
     budget: float,
     strategy: str = "greedy",
     options: Optional[Sequence[LayerCompression]] = None,
+    workers: int = 1,
+    cache: Optional[EvalCache] = None,
     **kwargs,
 ) -> LUCPolicy:
-    """Dispatch to a search strategy by name."""
-    searchers = {
-        "greedy": greedy_search,
-        "evolutionary": evolutionary_search,
-        "random": random_search,
-    }
-    if strategy not in searchers:
-        raise ValueError(f"unknown strategy {strategy!r}; choose from {sorted(searchers)}")
-    return searchers[strategy](profile, num_layers, budget, options=options, **kwargs)
+    """Dispatch to a search strategy by name.
+
+    With a ``cache``, the finished policy is memoized persistently under
+    everything that determines it (strategy, profile content, layer
+    count, budget, option menu, strategy knobs) — a warm run skips the
+    search.  ``workers`` never enters the key: it cannot change the
+    result.
+    """
+    if strategy not in _POLICY_SEARCHERS:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {sorted(_POLICY_SEARCHERS)}"
+        )
+    options = list(options or enumerate_layer_options())
+
+    def run() -> LUCPolicy:
+        return _POLICY_SEARCHERS[strategy](
+            profile, num_layers, budget, options=options, workers=workers,
+            **kwargs,
+        )
+
+    if cache is None:
+        return run()
+    parts = (
+        "luc/policy",
+        strategy,
+        _profile_fingerprint(profile),
+        num_layers,
+        budget,
+        tuple(options),
+        sorted(kwargs.items()),
+    )
+    key = stable_key(*parts)
+    hit, cached = cache.lookup(key, decode=_decode_policy)
+    if hit:
+        get_registry().counter("luc/search/persistent_cache_hits").inc()
+        return cached
+    policy = run()
+    cache.store(key, policy, encode=_encode_policy)
+    return policy
 
 
 def _validate_budget(budget: float, options: Sequence[LayerCompression]) -> None:

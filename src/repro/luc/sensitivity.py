@@ -19,12 +19,15 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+import functools
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..nn.layers import Linear
 from ..nn.transformer import TransformerLM
+from ..obs import get_registry
+from ..parallel import EvalCache, WorkerPool, stable_key
 from ..quant.formats import QuantSpec
 from ..quant.quantizer import fake_quantize
 from ..prune.masks import unstructured_mask
@@ -120,6 +123,53 @@ class SensitivityProfile:
         return total
 
 
+def _pair_score(
+    pair: Tuple[int, LayerCompression],
+    model: TransformerLM,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    metric: str,
+    structured: bool,
+    base_loss: Optional[float],
+    base_probs: Optional[np.ndarray],
+) -> float:
+    """Measure one (block, option) pair — the pool's unit of work.
+
+    Pure given its arguments: the block is compressed, scored, and
+    restored, so pair order (and which process runs which pair) cannot
+    change any result.
+    """
+    block_index, option = pair
+    block = model.blocks[block_index]
+    if metric == "weight_error":
+        return _weight_error(block, option)
+    with block_compressed(block, option, structured=structured):
+        with no_grad():
+            logits = model(inputs).data
+    if metric == "loss_delta":
+        loss = float(nll_from_logits(logits, targets).mean())
+        return max(loss - base_loss, 0.0)
+    probs = softmax(Tensor(logits)).data
+    kl = base_probs * (np.log(base_probs + 1e-9) - np.log(probs + 1e-9))
+    return max(float(kl.sum(-1).mean()), 0.0)
+
+
+def _calibration_fingerprint(
+    model: TransformerLM,
+    calib_inputs: np.ndarray,
+    calib_targets: np.ndarray,
+    metric: str,
+    structured: bool,
+) -> str:
+    """Content hash of everything a sensitivity score depends on besides
+    the (block, option) pair itself: the full parameter state (scores
+    flow through every downstream block) and the calibration batch."""
+    return stable_key(
+        "luc/sensitivity", metric, structured,
+        model.state_dict(), np.asarray(calib_inputs), np.asarray(calib_targets),
+    )
+
+
 def measure_sensitivity(
     model: TransformerLM,
     calib_inputs: np.ndarray,
@@ -127,40 +177,77 @@ def measure_sensitivity(
     options: Sequence[LayerCompression],
     metric: str = "loss_delta",
     structured: bool = False,
+    workers: int = 1,
+    cache: Optional[EvalCache] = None,
 ) -> SensitivityProfile:
-    """Profile every (block, option) pair on a calibration batch."""
+    """Profile every (block, option) pair on a calibration batch.
+
+    The per-pair sweep is embarrassingly parallel: ``workers > 1`` fans
+    it out over a process pool (each worker compresses its own copy of
+    the model), with scores identical to the serial sweep.  A persistent
+    ``cache`` keyed on the parameter state and calibration batch lets a
+    repeated profiling run skip every forward pass.
+    """
     if metric not in ("loss_delta", "kl", "weight_error"):
         raise ValueError(f"unknown sensitivity metric {metric!r}")
 
     scores: Dict[Tuple[int, LayerCompression], float] = {}
+    pairs = [
+        (i, option) for i in range(len(model.blocks)) for option in options
+    ]
     was_training = model.training
     model.eval()
     try:
-        if metric == "weight_error":
-            for i, block in enumerate(model.blocks):
-                for option in options:
-                    scores[(i, option)] = _weight_error(block, option)
-            return SensitivityProfile(scores=scores, metric=metric)
+        base_key = (
+            _calibration_fingerprint(
+                model, calib_inputs, calib_targets, metric, structured
+            )
+            if cache is not None
+            else None
+        )
+        missing: List[Tuple[int, LayerCompression]] = []
+        for pair in pairs:
+            if cache is not None:
+                hit, value = cache.lookup(
+                    stable_key(base_key, pair[0], pair[1])
+                )
+                if hit:
+                    scores[pair] = value
+                    continue
+            missing.append(pair)
 
-        with no_grad():
-            base_logits = model(calib_inputs).data
-        base_loss = float(nll_from_logits(base_logits, calib_targets).mean())
-        base_probs = softmax(Tensor(base_logits)).data
-
-        for i, block in enumerate(model.blocks):
-            for option in options:
-                with block_compressed(block, option, structured=structured):
-                    with no_grad():
-                        logits = model(calib_inputs).data
-                if metric == "loss_delta":
-                    loss = float(nll_from_logits(logits, calib_targets).mean())
-                    scores[(i, option)] = max(loss - base_loss, 0.0)
-                else:  # kl
-                    probs = softmax(Tensor(logits)).data
-                    kl = base_probs * (
-                        np.log(base_probs + 1e-9) - np.log(probs + 1e-9)
-                    )
-                    scores[(i, option)] = max(float(kl.sum(-1).mean()), 0.0)
+        if missing:
+            base_loss = None
+            base_probs = None
+            if metric != "weight_error":
+                with no_grad():
+                    base_logits = model(calib_inputs).data
+                base_loss = float(nll_from_logits(base_logits, calib_targets).mean())
+                base_probs = softmax(Tensor(base_logits)).data
+            task = functools.partial(
+                _pair_score,
+                model=model,
+                inputs=calib_inputs,
+                targets=calib_targets,
+                metric=metric,
+                structured=structured,
+                base_loss=base_loss,
+                base_probs=base_probs,
+            )
+            with WorkerPool(workers) as pool:
+                # One chunk per worker: the model payload bound into the
+                # task is pickled once per chunk, not once per pair.
+                measured = pool.map(
+                    task, missing,
+                    chunk_size=max(-(-len(missing) // pool.workers), 1),
+                )
+            for pair, value in zip(missing, measured):
+                scores[pair] = value
+                if cache is not None:
+                    cache.store(stable_key(base_key, pair[0], pair[1]), value)
+        reg = get_registry()
+        reg.counter("luc/sensitivity/pairs_measured").inc(len(missing))
+        reg.counter("luc/sensitivity/pairs_cached").inc(len(pairs) - len(missing))
         return SensitivityProfile(scores=scores, metric=metric)
     finally:
         model.train(was_training)

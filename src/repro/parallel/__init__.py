@@ -1,0 +1,28 @@
+"""Shared parallel/memoization infrastructure for the offline searches.
+
+The LUC policy search and the accelerator schedule search are pure,
+embarrassingly parallel evaluations over cost models.  This package
+gives them one engine:
+
+* :class:`WorkerPool` — chunked, order-preserving process-pool map with
+  a deterministic serial path (``workers=1``) and per-task counter
+  merging, so results *and* telemetry are identical at any worker count.
+* :class:`EvalCache` — in-memory + optional on-disk memoization of pure
+  evaluations behind content-addressed :func:`stable_key` keys.
+* :func:`derive_seed` / :func:`task_seeds` — pure per-task RNG seed
+  derivation for randomized tasks.
+
+See ``docs/search.md`` for the determinism contract and cache semantics.
+"""
+
+from .cache import EvalCache, stable_key
+from .pool import WorkerPool, derive_seed, resolve_workers, task_seeds
+
+__all__ = [
+    "EvalCache",
+    "stable_key",
+    "WorkerPool",
+    "derive_seed",
+    "resolve_workers",
+    "task_seeds",
+]

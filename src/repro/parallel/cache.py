@@ -1,0 +1,172 @@
+"""Persistent memoization for pure search-time cost evaluations.
+
+The policy and schedule searches re-price identical cost-model points
+thousands of times — within one run (evolutionary populations revisit
+genomes) and across runs (every ``adapt`` invocation re-profiles the
+same checkpoint).  ``EvalCache`` memoizes those pure evaluations behind
+a content-addressed key:
+
+* always through an in-process dict (free hits within a run),
+* optionally through a directory of JSON shards (``cache_dir``) that
+  survives across processes — the warm-start path the CLI exposes as
+  ``--cache-dir``.
+
+Keys come from :func:`stable_key`: a SHA-256 over a canonical token tree
+covering dataclasses, dicts, sequences, numpy scalars/arrays and floats
+via shortest-roundtrip ``repr`` — two inputs differing in the last ulp
+get different keys (no lossy rounding; see the ``hw.search._cache_key``
+regression in ``tests/hw/test_cost_cache_properties.py``).
+
+Persisted values must be JSON-serializable; call sites pass ``encode``/
+``decode`` hooks for structured results (schedules, cost reports).  Hits
+and misses are published to the active metrics registry under
+``parallel/cache/*`` so telemetry reports show cache effectiveness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Callable, Optional, Tuple
+
+import numpy as np
+
+from ..obs import get_registry
+
+_MISSING = object()
+
+
+def _token(obj: Any):
+    """Canonical, JSON-able token of ``obj`` for key hashing."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # float(...) folds np.float64 (a float subclass whose repr differs
+        # under numpy>=2) onto the python float with the identical bits.
+        return ["f", repr(float(obj))]
+    if isinstance(obj, np.generic):
+        return _token(obj.item())
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        digest = hashlib.sha256(arr.tobytes()).hexdigest()
+        return ["nd", list(arr.shape), arr.dtype.str, digest]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = [
+            [f.name, _token(getattr(obj, f.name))]
+            for f in dataclasses.fields(obj)
+        ]
+        return ["dc", type(obj).__name__, fields]
+    if isinstance(obj, dict):
+        items = sorted(
+            ([_token(k), _token(v)] for k, v in obj.items()),
+            key=lambda kv: json.dumps(kv[0], sort_keys=True),
+        )
+        return ["map", items]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [_token(v) for v in obj]]
+    if isinstance(obj, (bytes, bytearray)):
+        return ["b", hashlib.sha256(bytes(obj)).hexdigest()]
+    raise TypeError(f"cannot build a stable cache key from {type(obj).__name__}")
+
+
+def stable_key(*parts: Any) -> str:
+    """Content hash of ``parts`` — equal inputs, equal key; that's all."""
+    payload = json.dumps([_token(p) for p in parts], separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class EvalCache:
+    """Two-level (memory, optional disk) memo store for pure evaluations."""
+
+    def __init__(self, cache_dir: Optional[str] = None, namespace: str = "eval"):
+        self.cache_dir = cache_dir
+        self.namespace = namespace
+        self._mem: dict = {}
+        self.hits = 0
+        self.misses = 0
+        if cache_dir:
+            os.makedirs(os.path.join(cache_dir, namespace), exist_ok=True)
+
+    # -- paths ---------------------------------------------------------
+    def _shard_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, self.namespace, key[:2], key + ".json")
+
+    # -- raw get/put ---------------------------------------------------
+    def lookup(self, key: str, decode: Optional[Callable] = None) -> Tuple[bool, Any]:
+        """(hit?, value) for ``key``; disk hits are promoted to memory."""
+        if key in self._mem:
+            self._hit()
+            return True, self._mem[key]
+        if self.cache_dir:
+            path = self._shard_path(key)
+            try:
+                with open(path) as fh:
+                    payload = json.load(fh)
+            except (OSError, ValueError):
+                payload = None
+            if isinstance(payload, dict) and payload.get("key") == key:
+                value = payload["value"]
+                if decode is not None:
+                    value = decode(value)
+                self._mem[key] = value
+                self._hit()
+                return True, value
+        self._miss()
+        return False, None
+
+    def store(self, key: str, value: Any, encode: Optional[Callable] = None) -> None:
+        self._mem[key] = value
+        if not self.cache_dir:
+            return
+        path = self._shard_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        encoded = encode(value) if encode is not None else value
+        payload = json.dumps({"key": key, "value": encoded})
+        # Atomic publish: concurrent writers race benignly (same content).
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- memoization ---------------------------------------------------
+    def get_or_compute(
+        self,
+        parts: Tuple,
+        compute: Callable[[], Any],
+        encode: Optional[Callable] = None,
+        decode: Optional[Callable] = None,
+    ) -> Any:
+        """Memoize ``compute()`` under the stable key of ``parts``."""
+        key = stable_key(*parts)
+        hit, value = self.lookup(key, decode=decode)
+        if hit:
+            return value
+        value = compute()
+        self.store(key, value, encode=encode)
+        return value
+
+    # -- accounting ----------------------------------------------------
+    def _hit(self) -> None:
+        self.hits += 1
+        get_registry().counter("parallel/cache/hits").inc()
+
+    def _miss(self) -> None:
+        self.misses += 1
+        get_registry().counter("parallel/cache/misses").inc()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._mem)

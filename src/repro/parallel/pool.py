@@ -1,0 +1,163 @@
+"""Deterministic work pool for the offline search hot paths.
+
+``WorkerPool`` runs a chunked, order-preserving ``map`` either serially
+(``workers=1``, the reference path) or on a process pool.  The contract
+the equivalence suite (``tests/parallel``) locks down is:
+
+* **Identical results.** ``map`` returns results in input order and the
+  mapped function receives exactly the same arguments either way, so a
+  pure function produces bit-for-bit identical output at any worker
+  count.
+* **Identical telemetry.** With ``collect_metrics=True`` each task runs
+  under an isolated metrics registry and its *counters* are merged back
+  into the caller's active registry — the same totals a serial run
+  produces by incrementing in place.  (Gauges/timers/rows recorded
+  inside workers are dropped; search internals only use counters.)
+* **Graceful degradation.** If process pools are unavailable (platform,
+  sandbox) the pool silently falls back to serial execution and counts
+  the event on ``parallel/pool/fallbacks``.
+
+Randomized tasks must not share one RNG across workers; derive one seed
+per task with :func:`derive_seed` and create the generator inside the
+task.  Derivation is pure (``SeedSequence``), so schedules of random
+draws are reproducible regardless of execution order.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import multiprocessing
+import os
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..obs import get_registry, use_registry
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count request (``None``/``0`` → all cores)."""
+    if workers is None or workers == 0:
+        return max(os.cpu_count() or 1, 1)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return int(workers)
+
+
+def derive_seed(base_seed: int, *indices: int) -> int:
+    """Derive an independent per-task seed from ``(base_seed, *indices)``.
+
+    Uses ``np.random.SeedSequence`` so sibling tasks get decorrelated
+    streams and the derivation is stable across processes and platforms.
+    """
+    ss = np.random.SeedSequence([int(base_seed), *(int(i) for i in indices)])
+    return int(ss.generate_state(1, dtype=np.uint64)[0])
+
+
+def task_seeds(base_seed: int, count: int) -> List[int]:
+    """``count`` decorrelated seeds for tasks ``0..count-1``."""
+    return [derive_seed(base_seed, i) for i in range(count)]
+
+
+def _metered(fn: Callable, item: Any):
+    """Run one task under an isolated registry; return (result, counters)."""
+    with use_registry() as reg:
+        result = fn(item)
+        counters = reg.snapshot()["counters"]
+    return result, counters
+
+
+class WorkerPool:
+    """Order-preserving chunked map over a process pool (or serially).
+
+    Usable as a context manager; the underlying pool is created lazily on
+    the first parallel ``map`` and torn down on ``close()``/``__exit__``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        start_method: str = "fork",
+    ):
+        self.workers = resolve_workers(workers)
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self._pool = None
+        self._serial_fallback = False
+
+    # -- lifecycle -----------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is not None or self._serial_fallback:
+            return self._pool
+        try:
+            ctx = multiprocessing.get_context(self.start_method)
+            self._pool = ctx.Pool(self.workers)
+        except (ValueError, OSError, ImportError):
+            # No fork on this platform / sandbox forbids subprocesses:
+            # degrade to the serial reference path, visibly.
+            self._serial_fallback = True
+            get_registry().counter("parallel/pool/fallbacks").inc()
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- mapping -------------------------------------------------------
+    def _chunks_for(self, n_items: int, chunk_size: Optional[int]) -> int:
+        if chunk_size is not None:
+            return max(int(chunk_size), 1)
+        if self.chunk_size is not None:
+            return max(int(self.chunk_size), 1)
+        # ~4 chunks per worker balances load without re-pickling the
+        # mapped callable (and any payload bound into it) per item.
+        return max(math.ceil(n_items / (self.workers * 4)), 1)
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        collect_metrics: bool = False,
+        chunk_size: Optional[int] = None,
+    ) -> List[Any]:
+        """Apply ``fn`` to every item, preserving input order.
+
+        ``fn`` must be picklable for worker counts > 1 (a module-level
+        function or a ``functools.partial`` of one).  With
+        ``collect_metrics`` every task's counter increments are merged
+        into the caller's active registry on both execution paths.
+        """
+        items = list(items)
+        reg = get_registry()
+        reg.counter("parallel/pool/maps").inc()
+        reg.counter("parallel/pool/tasks").inc(len(items))
+        reg.gauge("parallel/pool/workers").set(self.workers)
+        task = functools.partial(_metered, fn) if collect_metrics else fn
+        with reg.timer("parallel/pool/map").time():
+            if not items:
+                results = []
+            elif self.workers <= 1 or self._ensure_pool() is None:
+                results = [task(item) for item in items]
+            else:
+                results = self._pool.map(
+                    task, items, chunksize=self._chunks_for(len(items), chunk_size)
+                )
+        if collect_metrics:
+            merged = []
+            for result, counters in results:
+                for name, value in counters.items():
+                    if value:
+                        reg.counter(name).inc(value)
+                merged.append(result)
+            return merged
+        return results

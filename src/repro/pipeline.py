@@ -36,6 +36,7 @@ from .luc import (
     search_policy,
 )
 from .nn.transformer import TransformerLM
+from .parallel import EvalCache
 from .tensor import Tensor
 
 
@@ -56,6 +57,9 @@ class EdgeLLMConfig:
     # hardware
     accelerator: AcceleratorSpec = EDGE_GPU_LIKE
     schedule_strategy: str = "exhaustive"
+    # offline-search execution (results are worker-count independent)
+    workers: int = 1
+    cache_dir: Optional[str] = None
 
 
 class EdgeLLM:
@@ -68,6 +72,10 @@ class EdgeLLM:
         self.trainer: Optional[AdaptiveLayerTrainer] = None
         self.voter: Optional[VotingCombiner] = None
         self._luc_undo = None
+        # Memoizes pure search-time evaluations (sensitivity scores,
+        # schedule searches, gemm costs) — in-memory always, on disk
+        # across runs when ``cache_dir`` is set.
+        self.eval_cache = EvalCache(self.config.cache_dir)
 
     # ------------------------------------------------------------------
     # stage 1: layer-wise unified compression
@@ -84,6 +92,8 @@ class EdgeLLM:
             calib_targets,
             options,
             metric=cfg.sensitivity_metric,
+            workers=cfg.workers,
+            cache=self.eval_cache,
         )
         policy = search_policy(
             profile,
@@ -91,6 +101,8 @@ class EdgeLLM:
             cfg.compute_budget,
             strategy=cfg.policy_search,
             options=options,
+            workers=cfg.workers,
+            cache=self.eval_cache,
         )
         self._luc_undo = apply_luc(self.model, policy)
         self.policy = policy
@@ -174,6 +186,8 @@ class EdgeLLM:
                 schedule_workloads(
                     gemms, self.config.accelerator,
                     strategy=self.config.schedule_strategy,
+                    workers=self.config.workers,
+                    cache=self.eval_cache,
                 )
             )
             if include_elementwise:
@@ -204,7 +218,8 @@ class EdgeLLM:
             grad_start=0,
         )
         cost = schedule_workloads(
-            gemms, self.config.accelerator, strategy=schedule_strategy
+            gemms, self.config.accelerator, strategy=schedule_strategy,
+            workers=self.config.workers, cache=self.eval_cache,
         )
         if include_elementwise:
             extra = iteration_elementwise_cycles(

@@ -1,0 +1,101 @@
+"""Canonical seeded search cases shared by the golden generator and test.
+
+The golden file (``golden_search.json``) pins the *exact* output of every
+search strategy for fixed seeds.  Any change to search numerics — tie
+breaking, RNG draw order, cost-model arithmetic — shows up as a diff
+here, which is the point: such changes must be deliberate and reviewed,
+not accidental fallout of a refactor.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m tests.golden.generate
+"""
+
+import numpy as np
+
+from repro.hw import AcceleratorSpec, schedule_workloads, tuning_iteration_workload
+from repro.luc import LayerCompression, SensitivityProfile
+from repro.luc.search import search_policy
+from repro.nn import TransformerConfig
+
+OPTIONS = [
+    LayerCompression(8, 0.0),
+    LayerCompression(8, 0.3),
+    LayerCompression(4, 0.0),
+    LayerCompression(4, 0.5),
+    LayerCompression(2, 0.3),
+    LayerCompression(2, 0.5),
+]
+
+NUM_LAYERS = 8
+BUDGET = 0.4
+
+LUC_CASES = {
+    "greedy": {},
+    "evolutionary": {"population": 12, "generations": 6, "seed": 7},
+    "random": {"n_samples": 50, "seed": 7},
+}
+
+HW_CASES = {
+    "exhaustive": {},
+    "random": {"n_samples": 40, "seed": 7},
+    "evolutionary": {"population": 10, "generations": 5, "seed": 7},
+}
+
+
+def golden_profile() -> SensitivityProfile:
+    rng = np.random.default_rng(123)
+    scores = {}
+    for block in range(NUM_LAYERS):
+        scale = float(rng.uniform(0.5, 10.0))
+        for opt in OPTIONS:
+            noise = float(rng.uniform(0.0, 0.2))
+            scores[(block, opt)] = scale * (1.0 - opt.cost_factor()) + noise
+    return SensitivityProfile(scores=scores, metric="synthetic")
+
+
+def golden_gemms():
+    cfg = TransformerConfig(
+        vocab_size=64, dim=64, num_layers=4, num_heads=4, max_len=64
+    )
+    return tuning_iteration_workload(cfg, batch=2, seq=16, forward_blocks=3,
+                                     grad_start=1)
+
+
+def compute_golden() -> dict:
+    """Run every case and return the JSON-able golden payload."""
+    profile = golden_profile()
+    luc = {}
+    for strategy, kwargs in LUC_CASES.items():
+        policy = search_policy(
+            profile, NUM_LAYERS, BUDGET, strategy=strategy,
+            options=OPTIONS, **kwargs,
+        )
+        luc[strategy] = {
+            "layers": [[c.bits, c.prune_ratio] for c in policy.layers],
+            "avg_cost": policy.cost(),
+            "predicted_degradation": profile.predicted_degradation(policy),
+        }
+
+    gemms = golden_gemms()
+    accel = AcceleratorSpec()
+    hw = {}
+    for strategy, kwargs in HW_CASES.items():
+        cost = schedule_workloads(gemms, accel, strategy=strategy, **kwargs)
+        hw[strategy] = {
+            "schedules": [
+                {
+                    "name": s.workload.name,
+                    "tile_m": s.schedule.tile_m,
+                    "tile_n": s.schedule.tile_n,
+                    "tile_k": s.schedule.tile_k,
+                    "dataflow": s.schedule.dataflow,
+                    "double_buffer": s.schedule.double_buffer,
+                }
+                for s in cost.scheduled
+            ],
+            "cycles": cost.cycles,
+            "energy_pj": cost.energy_pj,
+        }
+
+    return {"schema_version": 1, "luc": luc, "hw": hw}

@@ -1,0 +1,25 @@
+"""Regenerate the golden search outputs.
+
+Usage (from the repo root, after an *intentional* numerics change)::
+
+    PYTHONPATH=src python -m tests.golden.generate
+
+Review the resulting ``golden_search.json`` diff before committing it.
+"""
+
+import json
+import pathlib
+
+from .cases import compute_golden
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_search.json"
+
+
+def main() -> None:
+    payload = compute_golden()
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

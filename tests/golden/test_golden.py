@@ -1,0 +1,56 @@
+"""Exact-match regression against checked-in seeded search outputs."""
+
+import json
+
+import pytest
+
+from .cases import HW_CASES, LUC_CASES, compute_golden
+from .generate import GOLDEN_PATH
+
+REGEN_HINT = (
+    "Golden mismatch. If the numerics change is intentional, regenerate "
+    "with `PYTHONPATH=src python -m tests.golden.generate` and commit the "
+    "diff."
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN_PATH.exists(), (
+        "golden_search.json missing — run tests.golden.generate"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def current():
+    return compute_golden()
+
+
+def test_schema_version(golden):
+    assert golden["schema_version"] == 1
+
+
+@pytest.mark.parametrize("strategy", sorted(LUC_CASES))
+def test_luc_policy_matches_golden(golden, current, strategy):
+    assert current["luc"][strategy] == golden["luc"][strategy], REGEN_HINT
+
+
+@pytest.mark.parametrize("strategy", sorted(HW_CASES))
+def test_hw_schedule_matches_golden(golden, current, strategy):
+    assert current["hw"][strategy] == golden["hw"][strategy], REGEN_HINT
+
+
+def test_no_stray_keys(golden, current):
+    """The golden file covers exactly the cases defined in cases.py."""
+    assert set(golden) == set(current)
+    assert set(golden["luc"]) == set(LUC_CASES)
+    assert set(golden["hw"]) == set(HW_CASES)
+
+
+def test_golden_file_is_normalized():
+    """Checked-in JSON is the generator's own formatting (sorted, indented),
+    so regeneration diffs stay minimal."""
+    raw = GOLDEN_PATH.read_text()
+    payload = json.loads(raw)
+    assert raw == json.dumps(payload, indent=2, sort_keys=True) + "\n"

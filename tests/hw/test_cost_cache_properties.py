@@ -1,0 +1,221 @@
+"""Properties that lock down cost-model memoization and cache keying.
+
+Three families:
+
+* memoized-vs-direct agreement — :func:`memoized_gemm_cost` must be an
+  exact (bit-for-bit) stand-in for :func:`gemm_cost`, in memory and
+  through a JSON round-trip on disk;
+* cache-key hygiene — regression tests for the old ``_cache_key`` bug
+  (workload-shape-only keys with sparsity rounded to 4 decimals, blind
+  to accelerator and objective);
+* monotonicity — for weight-stationary schedules with PE-aligned tiles
+  that divide the GEMM dims, the modeled latency never increases when
+  ``tile_k`` or ``tile_n`` grows (larger tiles ⇒ more reuse, same MACs).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import AcceleratorSpec, GEMMWorkload, memoized_gemm_cost
+from repro.hw.cost_model import gemm_cost, objective_value
+from repro.hw.scheduling import Schedule
+from repro.hw.search import _cache_key
+from repro.parallel import EvalCache
+
+ACC = AcceleratorSpec()
+
+
+def fitting_schedule(workload, accel, tm, tn, tk, dataflow, double_buffer):
+    s = Schedule(tm, tn, tk, dataflow, double_buffer)
+    return s if s.fits(accel, workload.bits) else None
+
+
+# ----------------------------------------------------------------------
+# memoized == direct
+
+
+class TestMemoizedAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        m=st.integers(8, 384),
+        k=st.integers(8, 384),
+        n=st.integers(8, 384),
+        bits=st.sampled_from([2, 3, 4, 8, 16]),
+        sparsity=st.floats(0.0, 0.95, allow_nan=False),
+        tm=st.sampled_from([8, 16, 32, 64]),
+        tn=st.sampled_from([8, 16, 32, 64]),
+        tk=st.sampled_from([8, 16, 32, 64]),
+        dataflow=st.sampled_from(
+            ["weight_stationary", "output_stationary", "input_stationary"]
+        ),
+        double_buffer=st.booleans(),
+    )
+    def test_memory_cache_agrees_with_direct(
+        self, m, k, n, bits, sparsity, tm, tn, tk, dataflow, double_buffer
+    ):
+        workload = GEMMWorkload("fuzz", m, k, n, bits=bits, sparsity=sparsity)
+        schedule = fitting_schedule(
+            workload, ACC, tm, tn, tk, dataflow, double_buffer
+        )
+        if schedule is None:
+            return
+        direct = gemm_cost(workload, schedule, ACC)
+        cache = EvalCache()
+        first = memoized_gemm_cost(workload, schedule, ACC, cache)
+        second = memoized_gemm_cost(workload, schedule, ACC, cache)
+        assert first == direct
+        assert second == direct  # served from cache, still exact
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_disk_roundtrip_is_exact(self, tmp_path):
+        workload = GEMMWorkload("w", 96, 64, 80, bits=4, sparsity=1.0 / 3.0)
+        schedule = Schedule(16, 16, 32, "output_stationary", True)
+        direct = gemm_cost(workload, schedule, ACC)
+        memoized_gemm_cost(workload, schedule, ACC, EvalCache(str(tmp_path)))
+        fresh = EvalCache(str(tmp_path))
+        reloaded = memoized_gemm_cost(workload, schedule, ACC, fresh)
+        assert fresh.hits == 1
+        assert reloaded == direct  # JSON round-trip preserves every float bit
+
+    def test_name_and_phase_do_not_split_entries(self):
+        cache = EvalCache()
+        schedule = Schedule(16, 16, 16)
+        a = GEMMWorkload("attn_qkv", 64, 64, 64, bits=8, phase="fwd")
+        b = GEMMWorkload("mlp_dW", 64, 64, 64, bits=8, phase="bwd")
+        memoized_gemm_cost(a, schedule, ACC, cache)
+        memoized_gemm_cost(b, schedule, ACC, cache)
+        assert cache.hits == 1 and len(cache) == 1
+
+    def test_sparsity_ulp_splits_entries(self):
+        cache = EvalCache()
+        schedule = Schedule(16, 16, 16)
+        s = 0.123456789
+        a = GEMMWorkload("a", 64, 64, 64, sparsity=s)
+        b = GEMMWorkload("b", 64, 64, 64, sparsity=float(np.nextafter(s, 1.0)))
+        memoized_gemm_cost(a, schedule, ACC, cache)
+        memoized_gemm_cost(b, schedule, ACC, cache)
+        assert cache.misses == 2 and len(cache) == 2
+
+    def test_accelerator_splits_entries(self):
+        cache = EvalCache()
+        # A 32x32 tile runs in one pass on a 32x32 PE array but four
+        # passes on the default 16x16 one, so compute cycles must differ.
+        schedule = Schedule(32, 32, 16)
+        w = GEMMWorkload("w", 64, 64, 64)
+        small = memoized_gemm_cost(w, schedule, ACC, cache)
+        big = memoized_gemm_cost(
+            w, schedule, AcceleratorSpec(pe_rows=32, pe_cols=32), cache
+        )
+        assert cache.misses == 2
+        assert small.compute_cycles != big.compute_cycles
+
+
+# ----------------------------------------------------------------------
+# _cache_key regression (the old key was (shape, round(sparsity, 4)))
+
+
+class TestSearchCacheKey:
+    W = GEMMWorkload("w", 64, 64, 64, bits=8, sparsity=0.12345)
+
+    def test_key_depends_on_accelerator(self):
+        other = AcceleratorSpec(pe_rows=32, pe_cols=32)
+        assert _cache_key(self.W, ACC, "latency") != _cache_key(
+            self.W, other, "latency"
+        )
+
+    def test_key_depends_on_objective(self):
+        assert _cache_key(self.W, ACC, "latency") != _cache_key(
+            self.W, ACC, "energy"
+        )
+
+    def test_key_does_not_round_sparsity(self):
+        """0.12345 and 0.123449 agree to 4 decimals; the old key merged
+        them and served one workload the other's schedule."""
+        close = dataclasses.replace(self.W, sparsity=0.123449)
+        assert _cache_key(self.W, ACC, "latency") != _cache_key(
+            close, ACC, "latency"
+        )
+
+    def test_key_ignores_labels_but_not_shape(self):
+        renamed = dataclasses.replace(self.W, name="other", phase="bwd")
+        assert _cache_key(self.W, ACC, "latency") == _cache_key(
+            renamed, ACC, "latency"
+        )
+        wider = dataclasses.replace(self.W, n=128)
+        assert _cache_key(self.W, ACC, "latency") != _cache_key(
+            wider, ACC, "latency"
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bits=st.sampled_from([2, 4, 8]),
+        sparsity=st.floats(0.0, 0.9, allow_nan=False),
+        objective=st.sampled_from(["latency", "energy", "edp"]),
+    )
+    def test_identical_pricing_inputs_share_a_key(
+        self, bits, sparsity, objective
+    ):
+        a = GEMMWorkload("a", 48, 96, 32, bits=bits, sparsity=sparsity)
+        b = GEMMWorkload("b", 48, 96, 32, bits=bits, sparsity=sparsity)
+        assert _cache_key(a, ACC, objective) == _cache_key(b, ACC, objective)
+
+
+# ----------------------------------------------------------------------
+# tile-growth monotonicity
+
+
+def aligned_divisors(dim, align):
+    """Multiples of ``align`` that divide ``dim``, ascending."""
+    return [t for t in range(align, dim + 1, align) if dim % t == 0]
+
+
+class TestTileGrowthMonotonicity:
+    DIMS = [64, 128, 256]
+
+    def latency(self, workload, schedule):
+        return objective_value(gemm_cost(workload, schedule, ACC), "latency")
+
+    @pytest.mark.parametrize("m", DIMS)
+    @pytest.mark.parametrize("n", DIMS)
+    @pytest.mark.parametrize("k", DIMS)
+    def test_latency_non_increasing_in_tile_k(self, m, k, n):
+        workload = GEMMWorkload("w", m, k, n, bits=8)
+        checked = 0
+        for tm in aligned_divisors(m, ACC.pe_rows):
+            for tn in aligned_divisors(n, ACC.pe_cols):
+                tks = [
+                    tk
+                    for tk in aligned_divisors(k, 8)
+                    if Schedule(tm, tn, tk).fits(ACC, workload.bits)
+                ]
+                lat = [
+                    self.latency(workload, Schedule(tm, tn, tk)) for tk in tks
+                ]
+                for small, big in zip(lat, lat[1:]):
+                    assert big <= small
+                    checked += 1
+        assert checked > 0
+
+    @pytest.mark.parametrize("m", DIMS)
+    @pytest.mark.parametrize("n", DIMS)
+    @pytest.mark.parametrize("k", DIMS)
+    def test_latency_non_increasing_in_tile_n(self, m, k, n):
+        workload = GEMMWorkload("w", m, k, n, bits=8)
+        checked = 0
+        for tm in aligned_divisors(m, ACC.pe_rows):
+            for tk in aligned_divisors(k, 8):
+                tns = [
+                    tn
+                    for tn in aligned_divisors(n, ACC.pe_cols)
+                    if Schedule(tm, tn, tk).fits(ACC, workload.bits)
+                ]
+                lat = [
+                    self.latency(workload, Schedule(tm, tn, tk)) for tn in tns
+                ]
+                for small, big in zip(lat, lat[1:]):
+                    assert big <= small
+                    checked += 1
+        assert checked > 0

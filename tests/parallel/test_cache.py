@@ -1,0 +1,142 @@
+"""EvalCache + stable_key: content addressing, persistence, accounting."""
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.obs import use_registry
+from repro.parallel import EvalCache, stable_key
+
+
+@dataclasses.dataclass(frozen=True)
+class Point:
+    x: int
+    y: float
+
+
+class TestStableKey:
+    def test_deterministic(self):
+        assert stable_key(1, "a", 2.5) == stable_key(1, "a", 2.5)
+
+    def test_distinguishes_values_and_types(self):
+        assert stable_key(1) != stable_key(2)
+        assert stable_key(1) != stable_key("1")
+        assert stable_key(True) != stable_key("True")
+        assert stable_key([1, 2]) != stable_key([2, 1])
+
+    def test_float_last_ulp_distinguished(self):
+        a = 0.3
+        b = np.nextafter(0.3, 1.0)
+        assert stable_key(a) != stable_key(b)
+
+    def test_dict_order_irrelevant(self):
+        assert stable_key({"a": 1, "b": 2}) == stable_key({"b": 2, "a": 1})
+
+    def test_dataclass_fields_hashed(self):
+        assert stable_key(Point(1, 2.0)) == stable_key(Point(1, 2.0))
+        assert stable_key(Point(1, 2.0)) != stable_key(Point(1, 2.1))
+
+    def test_ndarray_content_hashed(self):
+        a = np.arange(6, dtype=np.float64)
+        b = np.arange(6, dtype=np.float64)
+        assert stable_key(a) == stable_key(b)
+        b[3] += 1e-12
+        assert stable_key(a) != stable_key(b)
+        assert stable_key(a) != stable_key(a.astype(np.float32))
+
+    def test_numpy_scalars_match_python(self):
+        assert stable_key(np.int64(3)) == stable_key(3)
+        assert stable_key(np.float64(0.5)) == stable_key(0.5)
+
+    def test_unhashable_type_raises(self):
+        with pytest.raises(TypeError):
+            stable_key(object())
+
+
+class TestMemoryCache:
+    def test_get_or_compute_memoizes(self):
+        cache = EvalCache()
+        calls = []
+        assert cache.get_or_compute(("k",), lambda: calls.append(1) or 41) == 41
+        assert cache.get_or_compute(("k",), lambda: calls.append(1) or 99) == 41
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_counters_published(self):
+        with use_registry() as reg:
+            cache = EvalCache()
+            cache.get_or_compute((1,), lambda: "v")
+            cache.get_or_compute((1,), lambda: "v")
+        assert reg.counter("parallel/cache/hits").value == 1
+        assert reg.counter("parallel/cache/misses").value == 1
+
+    def test_len(self):
+        cache = EvalCache()
+        cache.get_or_compute((1,), lambda: "a")
+        cache.get_or_compute((2,), lambda: "b")
+        assert len(cache) == 2
+
+
+class TestPersistentCache:
+    def test_roundtrip_across_instances(self, tmp_path):
+        a = EvalCache(str(tmp_path))
+        a.get_or_compute(("point",), lambda: {"v": 7})
+        b = EvalCache(str(tmp_path))
+        assert b.get_or_compute(("point",), lambda: pytest.fail("not cached")) == {
+            "v": 7
+        }
+        assert b.hits == 1
+
+    def test_encode_decode_hooks(self, tmp_path):
+        a = EvalCache(str(tmp_path))
+        a.get_or_compute(
+            ("pt",), lambda: Point(3, 1.5), encode=dataclasses.asdict
+        )
+        b = EvalCache(str(tmp_path))
+        hit, value = b.lookup(stable_key("pt"), decode=lambda d: Point(**d))
+        assert hit and value == Point(3, 1.5)
+
+    def test_namespaces_isolated(self, tmp_path):
+        a = EvalCache(str(tmp_path), namespace="one")
+        b = EvalCache(str(tmp_path), namespace="two")
+        a.get_or_compute(("k",), lambda: 1)
+        assert b.get_or_compute(("k",), lambda: 2) == 2
+
+    def test_corrupted_shard_is_a_miss(self, tmp_path):
+        a = EvalCache(str(tmp_path))
+        key = stable_key("x")
+        a.store(key, 5)
+        path = a._shard_path(key)
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        b = EvalCache(str(tmp_path))
+        hit, _ = b.lookup(key)
+        assert not hit
+
+    def test_key_mismatch_in_shard_is_a_miss(self, tmp_path):
+        """A shard whose recorded key disagrees (e.g. partial copy from
+        another tree) must not be served."""
+        a = EvalCache(str(tmp_path))
+        key = stable_key("x")
+        a.store(key, 5)
+        with open(a._shard_path(key), "w") as fh:
+            json.dump({"key": "something-else", "value": 5}, fh)
+        b = EvalCache(str(tmp_path))
+        hit, _ = b.lookup(key)
+        assert not hit
+
+    def test_no_tmp_litter(self, tmp_path):
+        cache = EvalCache(str(tmp_path))
+        for i in range(10):
+            cache.get_or_compute((i,), lambda: i)
+        leftovers = [
+            name
+            for _, _, files in os.walk(tmp_path)
+            for name in files
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []

@@ -1,0 +1,224 @@
+"""Serial/parallel equivalence: the contract that makes ``--workers`` safe.
+
+Every search must produce *identical* results at ``workers=1`` and
+``workers=4`` — same policies, same schedules, same modeled cycles —
+across all three LUC strategies and all three HW strategies, for
+arbitrary seeds/budgets/shapes (property-based) and with the persistent
+cache in the loop (a warm run must reproduce the cold run exactly).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import (
+    AcceleratorSpec,
+    GEMMWorkload,
+    schedule_workloads,
+    tuning_iteration_workload,
+)
+from repro.luc import LayerCompression, SensitivityProfile
+from repro.luc.search import search_policy
+from repro.nn import TransformerConfig
+from repro.parallel import EvalCache
+
+ACC = AcceleratorSpec()
+
+OPTIONS = [
+    LayerCompression(8, 0.0),
+    LayerCompression(8, 0.3),
+    LayerCompression(4, 0.0),
+    LayerCompression(4, 0.5),
+    LayerCompression(2, 0.3),
+    LayerCompression(2, 0.5),
+]
+
+LUC_STRATEGIES = ["greedy", "evolutionary", "random"]
+HW_STRATEGIES = ["exhaustive", "random", "evolutionary"]
+
+FLOOR = min(o.cost_factor() for o in OPTIONS)
+
+
+def random_profile(seed: int, num_layers: int) -> SensitivityProfile:
+    """A randomized but deterministic sensitivity profile."""
+    rng = np.random.default_rng(seed)
+    scores = {}
+    for block in range(num_layers):
+        scale = float(rng.uniform(0.5, 10.0))
+        for opt in OPTIONS:
+            noise = float(rng.uniform(0.0, 0.2))
+            scores[(block, opt)] = scale * (1.0 - opt.cost_factor()) + noise
+    return SensitivityProfile(scores=scores, metric="synthetic")
+
+
+def luc_kwargs(strategy: str, seed: int) -> dict:
+    if strategy == "evolutionary":
+        return {"population": 12, "generations": 6, "seed": seed}
+    if strategy == "random":
+        return {"n_samples": 40, "seed": seed}
+    return {}
+
+
+def hw_kwargs(strategy: str, seed: int) -> dict:
+    if strategy == "evolutionary":
+        return {"population": 8, "generations": 4, "seed": seed}
+    if strategy == "random":
+        return {"n_samples": 25, "seed": seed}
+    return {}
+
+
+def schedules_of(cost):
+    return [(s.workload.name, s.schedule) for s in cost.scheduled]
+
+
+# ----------------------------------------------------------------------
+# LUC policy search
+
+
+class TestLUCEquivalence:
+    @pytest.mark.parametrize("strategy", LUC_STRATEGIES)
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        num_layers=st.integers(2, 10),
+        budget=st.floats(FLOOR + 0.01, 1.0, allow_nan=False),
+    )
+    def test_workers_dont_change_policy(self, strategy, seed, num_layers, budget):
+        profile = random_profile(seed, num_layers)
+        kwargs = luc_kwargs(strategy, seed)
+        serial = search_policy(
+            profile, num_layers, budget, strategy=strategy,
+            options=OPTIONS, workers=1, **kwargs,
+        )
+        parallel = search_policy(
+            profile, num_layers, budget, strategy=strategy,
+            options=OPTIONS, workers=4, **kwargs,
+        )
+        assert serial.layers == parallel.layers
+
+    @pytest.mark.parametrize("strategy", LUC_STRATEGIES)
+    def test_warm_cache_reproduces_cold_run(self, strategy, tmp_path):
+        profile = random_profile(11, 6)
+        kwargs = luc_kwargs(strategy, 11)
+        cold_cache = EvalCache(str(tmp_path))
+        cold = search_policy(
+            profile, 6, 0.35, strategy=strategy, options=OPTIONS,
+            workers=4, cache=cold_cache, **kwargs,
+        )
+        warm_cache = EvalCache(str(tmp_path))
+        warm = search_policy(
+            profile, 6, 0.35, strategy=strategy, options=OPTIONS,
+            workers=1, cache=warm_cache, **kwargs,
+        )
+        assert cold.layers == warm.layers
+        assert warm_cache.hits == 1  # the whole search was memoized
+
+    def test_different_profiles_do_not_share_cache_entries(self, tmp_path):
+        cache = EvalCache(str(tmp_path))
+        a = search_policy(
+            random_profile(1, 6), 6, 0.35, options=OPTIONS, cache=cache
+        )
+        b = search_policy(
+            random_profile(2, 6), 6, 0.35, options=OPTIONS, cache=cache
+        )
+        # Both searches ran (two misses); with colliding keys the second
+        # would have been served the first's policy as a hit.
+        assert cache.misses == 2
+        assert not (cache.hits and a.layers == b.layers)
+
+
+# ----------------------------------------------------------------------
+# HW schedule search
+
+
+class TestHWEquivalence:
+    @pytest.mark.parametrize("strategy", HW_STRATEGIES)
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        m=st.sampled_from([32, 64, 256, 512]),
+        k=st.sampled_from([32, 64, 128]),
+        n=st.sampled_from([48, 64, 256]),
+        bits=st.sampled_from([2, 4, 8, 16]),
+        sparsity=st.floats(0.0, 0.9, allow_nan=False),
+    )
+    def test_workers_dont_change_schedules(
+        self, strategy, seed, m, k, n, bits, sparsity
+    ):
+        gemms = [
+            GEMMWorkload("a", m, k, n, bits=bits, sparsity=sparsity),
+            GEMMWorkload("b", n, k, m, bits=bits),
+            GEMMWorkload("a2", m, k, n, bits=bits, sparsity=sparsity),  # dup
+        ]
+        kwargs = hw_kwargs(strategy, seed)
+        serial = schedule_workloads(gemms, ACC, strategy=strategy,
+                                    workers=1, **kwargs)
+        parallel = schedule_workloads(gemms, ACC, strategy=strategy,
+                                      workers=4, **kwargs)
+        assert schedules_of(serial) == schedules_of(parallel)
+        assert serial.cycles == parallel.cycles
+        assert serial.energy_pj == parallel.energy_pj
+
+    @pytest.mark.parametrize("strategy", HW_STRATEGIES)
+    def test_full_iteration_workload_equivalent(self, strategy):
+        cfg = TransformerConfig(
+            vocab_size=64, dim=64, num_layers=3, num_heads=4, max_len=64
+        )
+        gemms = tuning_iteration_workload(cfg, 2, 16, 3, 1)
+        kwargs = hw_kwargs(strategy, 0)
+        serial = schedule_workloads(gemms, ACC, strategy=strategy,
+                                    workers=1, **kwargs)
+        parallel = schedule_workloads(gemms, ACC, strategy=strategy,
+                                      workers=4, **kwargs)
+        assert schedules_of(serial) == schedules_of(parallel)
+        assert serial.cycles == parallel.cycles
+
+    @pytest.mark.parametrize("strategy", HW_STRATEGIES)
+    def test_warm_cache_reproduces_cold_run(self, strategy, tmp_path):
+        cfg = TransformerConfig(
+            vocab_size=64, dim=64, num_layers=2, num_heads=4, max_len=64
+        )
+        gemms = tuning_iteration_workload(cfg, 2, 16, 2, 0)
+        kwargs = hw_kwargs(strategy, 3)
+        cold = schedule_workloads(
+            gemms, ACC, strategy=strategy, workers=4,
+            cache=EvalCache(str(tmp_path)), **kwargs,
+        )
+        warm_cache = EvalCache(str(tmp_path))
+        warm = schedule_workloads(
+            gemms, ACC, strategy=strategy, workers=1,
+            cache=warm_cache, **kwargs,
+        )
+        assert schedules_of(cold) == schedules_of(warm)
+        assert cold.cycles == warm.cycles
+        assert warm_cache.hits > 0
+
+
+# ----------------------------------------------------------------------
+# sensitivity profiling (feeds the LUC search)
+
+
+class TestSensitivityEquivalence:
+    @pytest.mark.parametrize("metric", ["loss_delta", "kl", "weight_error"])
+    def test_workers_dont_change_scores(self, metric):
+        from repro.luc import measure_sensitivity
+        from repro.nn import TransformerLM
+
+        model = TransformerLM(
+            TransformerConfig(
+                vocab_size=32, dim=32, num_layers=3, num_heads=2, max_len=64
+            )
+        )
+        rng = np.random.default_rng(0)
+        inputs = rng.integers(0, 32, size=(2, 12))
+        targets = rng.integers(0, 32, size=(2, 12))
+        opts = OPTIONS[:3]
+        serial = measure_sensitivity(
+            model, inputs, targets, opts, metric=metric, workers=1
+        )
+        parallel = measure_sensitivity(
+            model, inputs, targets, opts, metric=metric, workers=4
+        )
+        assert serial.scores.keys() == parallel.scores.keys()
+        for key in serial.scores:
+            assert serial.scores[key] == parallel.scores[key]  # bit-for-bit

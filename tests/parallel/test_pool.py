@@ -1,0 +1,106 @@
+"""WorkerPool: ordering, chunking, metrics merging, seed derivation."""
+
+import numpy as np
+import pytest
+
+from repro.obs import get_registry, use_registry
+from repro.parallel import WorkerPool, derive_seed, resolve_workers, task_seeds
+from repro.parallel.pool import _metered
+
+
+def square(x):
+    return x * x
+
+
+def counting_square(x):
+    get_registry().counter("test/calls").inc()
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_explicit(self):
+        assert resolve_workers(3) == 3
+
+    def test_zero_and_none_mean_all_cores(self):
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(None) >= 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, 3) == derive_seed(7, 3)
+
+    def test_varies_by_index_and_base(self):
+        seeds = {derive_seed(0, i) for i in range(50)}
+        assert len(seeds) == 50
+        assert derive_seed(0, 1) != derive_seed(1, 1)
+
+    def test_task_seeds_match_pointwise_derivation(self):
+        assert task_seeds(5, 4) == [derive_seed(5, i) for i in range(4)]
+
+    def test_streams_are_decorrelated(self):
+        a = np.random.default_rng(derive_seed(0, 0)).random(100)
+        b = np.random.default_rng(derive_seed(0, 1)).random(100)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.5
+
+
+class TestMap:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_order_preserved(self, workers):
+        with WorkerPool(workers) as pool:
+            assert pool.map(square, range(23)) == [x * x for x in range(23)]
+
+    def test_empty_items(self):
+        with WorkerPool(4) as pool:
+            assert pool.map(square, []) == []
+
+    def test_serial_and_parallel_agree(self):
+        items = list(range(17))
+        with WorkerPool(1) as a, WorkerPool(4) as b:
+            assert a.map(square, items) == b.map(square, items)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_collect_metrics_merges_counters(self, workers):
+        with use_registry() as reg:
+            with WorkerPool(workers) as pool:
+                pool.map(counting_square, range(9), collect_metrics=True)
+        assert reg.counter("test/calls").value == 9
+
+    def test_map_telemetry(self):
+        with use_registry() as reg:
+            with WorkerPool(2) as pool:
+                pool.map(square, range(5))
+        assert reg.counter("parallel/pool/tasks").value == 5
+        assert reg.counter("parallel/pool/maps").value == 1
+        assert reg.gauge("parallel/pool/workers").value == 2
+        assert reg.timer("parallel/pool/map").count == 1
+
+    def test_chunk_size_override(self):
+        with WorkerPool(2) as pool:
+            assert pool.map(square, range(10), chunk_size=3) == [
+                x * x for x in range(10)
+            ]
+
+    def test_fallback_on_bad_start_method(self):
+        pool = WorkerPool(4, start_method="not-a-start-method")
+        with use_registry() as reg:
+            with pool:
+                assert pool.map(square, range(6)) == [x * x for x in range(6)]
+            assert reg.counter("parallel/pool/fallbacks").value == 1
+            assert pool._serial_fallback
+
+
+class TestMetered:
+    def test_returns_result_and_counters(self):
+        result, counters = _metered(counting_square, 3)
+        assert result == 9
+        assert counters["test/calls"] == 1
+
+    def test_isolates_caller_registry(self):
+        with use_registry() as reg:
+            _metered(counting_square, 2)
+            assert reg.counter("test/calls").value == 0
