@@ -1,0 +1,105 @@
+"""EXT — effective-weight folding: frozen-forward latency win.
+
+A LUC-compressed layer's forward used to re-mask and re-calibrate
+quantization on every call, even with frozen weights.  The transform
+layer folds the mask -> fake-quant composition into a cached effective
+weight keyed on the master weight's version counter, so frozen-weight
+forwards (eval, sensitivity profiling, voting calibration, the frozen
+prefix below the tuning window) pay the recalibration exactly once.
+
+This bench times repeated no-grad forwards of a frozen LUC-compressed
+model with folding on vs off (``fold_disabled()``).  The edge-decode
+shape (batch 1, short sequence) is the headline: there the per-forward
+matmul work is small, so mask-multiply + recalibration dominates and
+folding must deliver >= 1.5x.  A larger batch row is reported for
+context.  Fold-cache traffic is recorded through ``repro.obs`` counters.
+"""
+
+import time
+
+import numpy as np
+
+from repro.luc import LUCPolicy, LayerCompression, apply_luc
+from repro.nn import TransformerLM
+from repro.nn.transforms import fold_disabled
+from repro.obs import MetricsRegistry, use_registry
+from repro.tensor import no_grad
+
+from .common import BATCH, SEQ, VOCAB, bench_config, emit
+
+BITS = 4
+PRUNE = 0.5
+REPEATS = 30
+
+
+def _compressed_model() -> TransformerLM:
+    model = TransformerLM(bench_config())
+    policy = LUCPolicy([LayerCompression(BITS, PRUNE)] * model.num_layers)
+    apply_luc(model, policy)
+    model.requires_grad_(False)
+    model.eval()
+    return model
+
+
+def _time_forwards(model, ids, repeats=REPEATS):
+    with no_grad():
+        model(ids)  # warmup: populates the fold cache when enabled
+        start = time.perf_counter()
+        for _ in range(repeats):
+            out = model(ids)
+        elapsed = time.perf_counter() - start
+    return out.data, elapsed / repeats
+
+
+def test_ext_fold_forward(benchmark):
+    model = _compressed_model()
+    shapes = [("edge decode", 1, 16), ("calibration batch", BATCH, SEQ)]
+    rows, metrics = [], {}
+    reg = MetricsRegistry()
+
+    for label, batch, seq in shapes:
+        ids = np.random.default_rng(0).integers(0, VOCAB, (batch, seq))
+        with use_registry(reg):
+            folded_out, folded_s = _time_forwards(model, ids)
+        with fold_disabled():
+            unfolded_out, unfolded_s = _time_forwards(model, ids)
+        # Folding is an optimization, not a numerics change.
+        assert np.array_equal(folded_out, unfolded_out)
+
+        speedup = unfolded_s / folded_s
+        slug = label.split()[0]
+        rows.append([label, batch, seq, round(unfolded_s * 1e3, 3),
+                     round(folded_s * 1e3, 3), round(speedup, 2)])
+        metrics[f"{slug}_unfolded_ms"] = unfolded_s * 1e3
+        metrics[f"{slug}_folded_ms"] = folded_s * 1e3
+        metrics[f"{slug}_speedup"] = speedup
+
+    metrics["fold_hits"] = reg.counter("nn/fold/hits").value
+    metrics["fold_misses"] = reg.counter("nn/fold/misses").value
+
+    emit(
+        "ext_fold_forward",
+        "EXT: frozen-forward latency, folded vs unfolded "
+        f"(LUC {BITS}-bit / {PRUNE:.0%} pruned, all blocks)",
+        ["shape", "batch", "seq", "unfolded_ms", "folded_ms", "speedup"],
+        rows,
+        metrics=metrics,
+        config={"bits": BITS, "prune_ratio": PRUNE, "repeats": REPEATS},
+    )
+
+    # Each compressed Linear misses once (warmup), then always hits.
+    assert metrics["fold_misses"] > 0
+    assert metrics["fold_hits"] > metrics["fold_misses"]
+
+    # Acceptance bar: >= 1.5x on the edge-decode shape, where the
+    # recalibration overhead dominates the small matmuls.
+    assert metrics["edge_speedup"] >= 1.5
+
+    benchmark.pedantic(
+        lambda: _time_forwards(
+            model, np.random.default_rng(0).integers(0, VOCAB, (1, 16)),
+            repeats=3,
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -70,6 +70,11 @@ class StepStats:
     trainable_params: int
     wall_time_s: float = 0.0
     activation_bytes: int = 0  # tape-measured, not modeled
+    # Effective-weight fold cache traffic during this iteration (see
+    # repro.nn.transforms): the frozen prefix below the window should be
+    # all hits after the first iteration; misses flag cache churn.
+    fold_hits: int = 0
+    fold_misses: int = 0
 
 
 class AdaptiveLayerTrainer:
@@ -142,6 +147,9 @@ class AdaptiveLayerTrainer:
     def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> StepStats:
         """One adaptive tuning iteration on a single batch."""
         start = time.perf_counter()
+        reg = get_registry()
+        fold_hits_before = reg.counter("nn/fold/hits").value
+        fold_misses_before = reg.counter("nn/fold/misses").value
         with span("adapt/iter"), profile_tape() as tape:
             window = self.schedule.select(self.iteration, self._rng)
             logits = self._logits_for_window(inputs, window)
@@ -165,6 +173,8 @@ class AdaptiveLayerTrainer:
             trainable_params=self.window_trainable_params(window),
             wall_time_s=wall_time,
             activation_bytes=tape.recorded_bytes,
+            fold_hits=reg.counter("nn/fold/hits").value - fold_hits_before,
+            fold_misses=reg.counter("nn/fold/misses").value - fold_misses_before,
         )
         self._record_telemetry(stats)
         self.iteration += 1
@@ -186,6 +196,8 @@ class AdaptiveLayerTrainer:
             forward_blocks=stats.forward_blocks,
             activation_bytes=stats.activation_bytes,
             trainable_params=stats.trainable_params,
+            fold_hits=stats.fold_hits,
+            fold_misses=stats.fold_misses,
         )
 
     def train(

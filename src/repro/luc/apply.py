@@ -1,21 +1,34 @@
-"""Apply a LUC policy to a model (and undo it)."""
+"""Apply a LUC policy to a model (and undo it).
+
+Built on :mod:`repro.nn.surgery`.  Sites holding a plain Linear (or a
+bare ``CompressedLinear``) are swapped for a fresh ``CompressedLinear``;
+sites that already carry extra transforms (e.g. a LoRA delta attached by
+``apply_lora``) get their LUC transform group replaced *in place*, so
+compression and PEFT compose instead of silently dropping each other.
+"""
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional
 
+from ..nn import surgery
 from ..nn.transformer import TransformerLM
-from .compressed_linear import CompressedLinear
+from ..nn.transforms import FakeQuantSTE, InputQuant, PruneMask, TransformedLinear
+from .compressed_linear import CompressedLinear, luc_transforms
 from .policy import LUCPolicy
-from .sensitivity import BLOCK_LINEAR_PATHS, _resolve
+from .sensitivity import BLOCK_LINEAR_PATHS
+
+# The transform classes apply_luc owns at a site; everything else
+# (LoRA/adapter deltas, capture probes) is preserved across re-application.
+_LUC_GROUP = (PruneMask, FakeQuantSTE, InputQuant)
 
 
 def apply_luc(
     model: TransformerLM,
     policy: LUCPolicy,
     structured: bool = False,
-    act_bits: int = None,
-) -> List[Tuple[object, str, object]]:
+    act_bits: Optional[int] = None,
+) -> List[surgery.UndoToken]:
     """Wrap every block's Linears per the policy. Returns an undo list.
 
     Blocks assigned 16-bit / 0-sparsity are left untouched.  ``act_bits``
@@ -26,14 +39,37 @@ def apply_luc(
         raise ValueError(
             f"policy covers {policy.num_layers} layers, model has {model.num_layers}"
         )
-    undo: List[Tuple[object, str, object]] = []
+    undo: List[surgery.UndoToken] = []
     for block, layer in zip(model.blocks, policy.layers):
         if layer.bits >= 16 and layer.prune_ratio == 0.0:
             continue
         for path in BLOCK_LINEAR_PATHS:
-            parent, attr = _resolve(block, path)
-            original = getattr(parent, attr)
-            inner = original.inner if isinstance(original, CompressedLinear) else original
+            site = surgery.resolve(block, path)
+            original = site.module
+            if isinstance(original, TransformedLinear):
+                extra = [
+                    t for t in original.transforms if not isinstance(t, _LUC_GROUP)
+                ]
+                if extra:
+                    # Keep the foreign transforms (LoRA, adapters, ...);
+                    # swap only the compression group, at pipeline head.
+                    undo.append(
+                        original.replace_group(
+                            _LUC_GROUP,
+                            luc_transforms(
+                                original.inner,
+                                bits=layer.bits,
+                                prune_ratio=layer.prune_ratio,
+                                structured=structured,
+                                act_bits=act_bits,
+                            ),
+                            index=0,
+                        )
+                    )
+                    continue
+                inner = original.inner
+            else:
+                inner = original
             wrapped = CompressedLinear(
                 inner,
                 bits=layer.bits,
@@ -41,15 +77,13 @@ def apply_luc(
                 structured=structured,
                 act_bits=act_bits,
             )
-            setattr(parent, attr, wrapped)
-            undo.append((parent, attr, original))
+            undo.append(surgery.swap(site.parent, site.attr, wrapped))
     return undo
 
 
-def remove_luc(undo: List[Tuple[object, str, object]]) -> None:
+def remove_luc(undo: List[surgery.UndoToken]) -> None:
     """Restore the original Linears recorded by :func:`apply_luc`."""
-    for parent, attr, original in undo:
-        setattr(parent, attr, original)
+    surgery.restore(undo)
 
 
 def model_compression_summary(model: TransformerLM) -> List[dict]:
@@ -58,10 +92,9 @@ def model_compression_summary(model: TransformerLM) -> List[dict]:
     for i, block in enumerate(model.blocks):
         bits, sparsities = [], []
         for path in BLOCK_LINEAR_PATHS:
-            parent, attr = _resolve(block, path)
-            layer = getattr(parent, attr)
-            if isinstance(layer, CompressedLinear):
-                bits.append(layer.bits)
+            layer = surgery.get_module(block, path)
+            if isinstance(layer, TransformedLinear):
+                bits.append(layer.quant_bits)
                 sparsities.append(layer.sparsity)
             else:
                 bits.append(16)

@@ -3,23 +3,68 @@
 LUC composes the two compressions in the order prune -> quantize: the mask
 zeroes low-saliency weights, then the survivors are fake-quantized with a
 straight-through estimator so the compressed layer remains tunable.
+
+Since the surgery refactor this is a thin shim over
+:class:`repro.nn.transforms.TransformedLinear` carrying the pipeline
+``[PruneMask, FakeQuantSTE]`` (plus ``InputQuant`` when activations are
+quantized), which buys effective-weight folding on frozen forwards for
+free.  The constructor signature, attributes, and numerics are unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..nn.layers import Linear
-from ..nn.module import Module
-from ..prune.masks import sparsity as mask_sparsity, structured_mask, unstructured_mask
+from ..nn.transforms import (
+    FakeQuantSTE,
+    InputQuant,
+    PruneMask,
+    Transform,
+    TransformedLinear,
+)
+from ..prune.masks import structured_mask, unstructured_mask
 from ..quant.formats import QuantSpec
-from ..quant.qmodule import fake_quant_ste
-from ..tensor import Tensor
 
 
-class CompressedLinear(Module):
+def luc_transforms(
+    inner: Linear,
+    bits: int = 16,
+    prune_ratio: float = 0.0,
+    structured: bool = False,
+    mask: Optional[np.ndarray] = None,
+    calibration: str = "minmax",
+    act_bits: Optional[int] = None,
+) -> List[Transform]:
+    """Build the LUC transform pipeline for one Linear."""
+    if mask is None:
+        if structured:
+            mask = structured_mask(inner.weight.data, prune_ratio, axis=1)
+        else:
+            mask = unstructured_mask(inner.weight.data, prune_ratio)
+    elif mask.shape != inner.weight.shape:
+        raise ValueError(
+            f"mask shape {mask.shape} != weight shape {inner.weight.shape}"
+        )
+    pipeline: List[Transform] = [
+        PruneMask(mask),
+        FakeQuantSTE(QuantSpec(bits=bits), method=calibration),
+    ]
+    if act_bits is not None and act_bits < 16:
+        # Activations are quantized per-tensor and affine (they are not
+        # zero-centred after nonlinearities), dynamically per batch.
+        pipeline.append(
+            InputQuant(
+                QuantSpec(bits=act_bits, symmetric=False, per_channel=False),
+                method=calibration,
+            )
+        )
+    return pipeline
+
+
+class CompressedLinear(TransformedLinear):
     """Linear with a pruning mask and STE weight quantization."""
 
     def __init__(
@@ -32,62 +77,32 @@ class CompressedLinear(Module):
         calibration: str = "minmax",
         act_bits: Optional[int] = None,
     ):
-        super().__init__()
-        self.inner = inner
+        super().__init__(
+            inner,
+            luc_transforms(
+                inner,
+                bits=bits,
+                prune_ratio=prune_ratio,
+                structured=structured,
+                mask=mask,
+                calibration=calibration,
+                act_bits=act_bits,
+            ),
+        )
         self.bits = bits
         self.prune_ratio = prune_ratio
         self.calibration = calibration
         self.weight_spec = QuantSpec(bits=bits)
         self.act_bits = act_bits
-        # Activations are quantized per-tensor and affine (they are not
-        # zero-centred after nonlinearities), dynamically per batch.
-        self.act_spec = (
-            QuantSpec(bits=act_bits, symmetric=False, per_channel=False)
-            if act_bits is not None and act_bits < 16
-            else None
-        )
-        if mask is None:
-            if structured:
-                mask = structured_mask(inner.weight.data, prune_ratio, axis=1)
-            else:
-                mask = unstructured_mask(inner.weight.data, prune_ratio)
-        elif mask.shape != inner.weight.shape:
-            raise ValueError(
-                f"mask shape {mask.shape} != weight shape {inner.weight.shape}"
-            )
-        self.register_buffer("mask", mask.astype(np.float32))
 
     @property
-    def weight(self):
-        return self.inner.weight
+    def mask(self) -> np.ndarray:
+        return self.prune_mask
 
     @property
-    def bias(self):
-        return self.inner.bias
-
-    @property
-    def in_features(self) -> int:
-        return self.inner.in_features
-
-    @property
-    def out_features(self) -> int:
-        return self.inner.out_features
-
-    @property
-    def sparsity(self) -> float:
-        return mask_sparsity(self.mask)
-
-    def effective_weight(self) -> Tensor:
-        masked = self.inner.weight * Tensor(self.mask)
-        return fake_quant_ste(masked, self.weight_spec, method=self.calibration)
-
-    def forward(self, x: Tensor) -> Tensor:
-        if self.act_spec is not None:
-            x = fake_quant_ste(x, self.act_spec, method=self.calibration)
-        out = x @ self.effective_weight()
-        if self.inner.bias is not None:
-            out = out + self.inner.bias
-        return out
+    def act_spec(self) -> Optional[QuantSpec]:
+        t = self.find(InputQuant)
+        return None if t is None else t.spec
 
     def extra_repr(self) -> str:
         act = f", act={self.act_bits}b" if self.act_spec is not None else ""

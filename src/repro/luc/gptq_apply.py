@@ -19,6 +19,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..nn import surgery
 from ..nn.linear_capture import capture_linear_inputs
 from ..nn.transformer import TransformerLM
 from ..prune.masks import unstructured_mask
@@ -26,7 +27,7 @@ from ..quant.formats import QuantSpec
 from ..quant.gptq import gptq_quantize
 from .compressed_linear import CompressedLinear
 from .policy import LUCPolicy
-from .sensitivity import BLOCK_LINEAR_PATHS, _resolve
+from .sensitivity import BLOCK_LINEAR_PATHS
 
 
 def gptq_compress_model(
@@ -51,14 +52,13 @@ def gptq_compress_model(
         if layer.bits >= 16 and layer.prune_ratio == 0.0:
             continue
         for path in BLOCK_LINEAR_PATHS:
-            parent, attr = _resolve(block, path)
-            targets.append((parent, attr, layer))
+            targets.append((surgery.resolve(block, path), layer))
 
-    linears = [getattr(parent, attr) for parent, attr, _ in targets]
+    linears = [site.module for site, _ in targets]
     captured = capture_linear_inputs(model, linears, calib_ids)
 
     undo: List[Tuple[object, str, object]] = []
-    for (parent, attr, layer), linear in zip(targets, linears):
+    for (site, layer), linear in zip(targets, linears):
         inputs = captured[id(linear)]
         mask = unstructured_mask(linear.weight.data, layer.prune_ratio)
         masked = linear.weight.data * mask
@@ -66,10 +66,11 @@ def gptq_compress_model(
             _, deq = gptq_quantize(
                 masked, inputs, QuantSpec(bits=layer.bits), damping=damping
             )
+            # Rebinding .data bumps the Tensor version, so any folded
+            # effective weight downstream is invalidated automatically.
             linear.weight.data = (deq * mask).astype(np.float32)
         else:
             linear.weight.data = masked
         wrapper = CompressedLinear(linear, bits=16, prune_ratio=0.0, mask=mask)
-        setattr(parent, attr, wrapper)
-        undo.append((parent, attr, linear))
+        undo.append(surgery.swap(site.parent, site.attr, wrapper))
     return undo

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..nn import surgery
 from ..nn.layers import Linear
 from ..nn.transformer import TransformerLM
 from ..obs import get_registry
@@ -48,11 +49,9 @@ BLOCK_LINEAR_PATHS: Tuple[str, ...] = (
 
 
 def _resolve(block, path: str):
-    parts = path.split(".")
-    parent = block
-    for part in parts[:-1]:
-        parent = getattr(parent, part)
-    return parent, parts[-1]
+    """Back-compat helper: (parent, attr) of a dotted path's site."""
+    site = surgery.resolve(block, path)
+    return site.parent, site.attr
 
 
 def compress_block(
@@ -60,12 +59,14 @@ def compress_block(
 ) -> List[Tuple[object, str, Linear]]:
     """Replace every Linear in ``block`` with a CompressedLinear.
 
-    Returns an undo list for :func:`restore_block`.
+    Returns an undo list for :func:`restore_block`.  An already-compressed
+    site is unwrapped first, and (as before the surgery refactor) its raw
+    inner Linear is what restore puts back.
     """
     undo = []
     for path in BLOCK_LINEAR_PATHS:
-        parent, attr = _resolve(block, path)
-        original = getattr(parent, attr)
+        site = surgery.resolve(block, path)
+        original = site.module
         if isinstance(original, CompressedLinear):
             original = original.inner
         wrapped = CompressedLinear(
@@ -74,14 +75,13 @@ def compress_block(
             prune_ratio=compression.prune_ratio,
             structured=structured,
         )
-        setattr(parent, attr, wrapped)
-        undo.append((parent, attr, original))
+        surgery.swap(site.parent, site.attr, wrapped)
+        undo.append((site.parent, site.attr, original))
     return undo
 
 
 def restore_block(undo: List[Tuple[object, str, Linear]]) -> None:
-    for parent, attr, original in undo:
-        setattr(parent, attr, original)
+    surgery.restore(undo)
 
 
 @contextlib.contextmanager

@@ -29,9 +29,23 @@ from .sampling import (
     sample_top_k,
     sample_top_p,
 )
+from .transforms import (
+    AdapterDelta,
+    FakeQuantSTE,
+    InputCapture,
+    InputQuant,
+    LoRADelta,
+    PruneMask,
+    Transform,
+    TransformedLinear,
+    fold_disabled,
+    fold_enabled,
+    set_fold_enabled,
+)
 from .linear_capture import capture_linear_inputs
 from .serialization import load_config, load_model, load_state, save_model
 from . import init
+from . import surgery
 
 __all__ = [
     "Module",
@@ -73,4 +87,16 @@ __all__ = [
     "load_config",
     "capture_linear_inputs",
     "init",
+    "surgery",
+    "Transform",
+    "TransformedLinear",
+    "PruneMask",
+    "FakeQuantSTE",
+    "InputQuant",
+    "LoRADelta",
+    "AdapterDelta",
+    "InputCapture",
+    "fold_enabled",
+    "fold_disabled",
+    "set_fold_enabled",
 ]

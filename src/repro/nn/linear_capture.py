@@ -1,33 +1,24 @@
 """Capture the inputs flowing into specific Linear layers.
 
 The module system has no forward hooks by design; this helper temporarily
-swaps targeted Linears for thin recorders, runs one forward pass, and
+attaches :class:`~repro.nn.transforms.InputCapture` stages to the targeted
+Linears (wrapping raw Linears in a :class:`TransformedLinear`, or slotting
+into an existing pipeline at position 0), runs one forward pass, and
 restores everything — the input-capture primitive PTQ algorithms (GPTQ)
 need.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..tensor import Tensor, no_grad
+from ..tensor import no_grad
+from . import surgery
 from .layers import Linear
 from .module import Module
-
-
-class _RecordingLinear(Module):
-    """Pass-through wrapper that stashes every input it sees."""
-
-    def __init__(self, inner: Linear):
-        super().__init__()
-        self.inner = inner
-        self.captured: List[np.ndarray] = []
-
-    def forward(self, x: Tensor) -> Tensor:
-        self.captured.append(x.data.reshape(-1, x.shape[-1]).copy())
-        return self.inner(x)
+from .transforms import InputCapture, TransformedLinear
 
 
 def capture_linear_inputs(
@@ -41,28 +32,38 @@ def capture_linear_inputs(
     you need.  The model is restored before returning, even on error.
     """
     wanted = {id(lin) for lin in linears}
-    swaps = []
-    for module in model.modules():
-        for name, child in list(module._modules.items()):
-            if id(child) in wanted:
-                recorder = _RecordingLinear(child)
-                setattr(module, name, recorder)
-                swaps.append((module, name, child, recorder))
-    if len({id(c) for _, _, c, _ in swaps}) != len(wanted):
-        for module, name, child, _ in swaps:
-            setattr(module, name, child)
+    sites = surgery.find_sites(
+        model, predicate=lambda path, child: id(child) in wanted
+    )
+    if len({id(s.module) for s in sites}) != len(wanted):
         raise ValueError("some target linears were not found in the model")
+    undo: List[surgery.UndoToken] = []
+    records: List[Tuple[Module, InputCapture]] = []
     try:
+        for site in sites:
+            cap = InputCapture()
+            if isinstance(site.module, TransformedLinear):
+                # Slot in ahead of any quantization so the captured inputs
+                # are the raw activations, as with a plain Linear.
+                undo.append(site.module.attach(cap, replace=False, index=0))
+            else:
+                undo.append(
+                    surgery.swap(
+                        site.parent,
+                        site.attr,
+                        TransformedLinear(site.module, [cap]),
+                    )
+                )
+            records.append((site.module, cap))
         with no_grad():
             model(ids)
     finally:
-        for module, name, child, _ in swaps:
-            setattr(module, name, child)
+        surgery.restore(undo)
     out: Dict[int, np.ndarray] = {}
-    for _, _, child, recorder in swaps:
-        if not recorder.captured:
+    for original, cap in records:
+        if not cap.captured:
             raise RuntimeError(
                 "a target linear was never called during the capture pass"
             )
-        out[id(child)] = np.concatenate(recorder.captured, axis=0)
+        out[id(original)] = cap.stacked()
     return out

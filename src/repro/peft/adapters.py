@@ -3,6 +3,12 @@
 Inserts a small residual bottleneck MLP after selected sublayer outputs
 (the attention and MLP output projections).  Zero-initialized up-projection
 makes the adapted model start exactly at the pretrained function.
+
+``BottleneckAdapter`` is a shim over
+:class:`repro.nn.transforms.TransformedLinear` carrying one
+:class:`~repro.nn.transforms.AdapterDelta` stage; ``apply_adapters``
+attaches in place on sites that already carry a transform pipeline, so
+re-application is idempotent and adapters compose with compression.
 """
 
 from __future__ import annotations
@@ -11,15 +17,16 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..nn import surgery
 from ..nn.layers import Linear
-from ..nn.module import Module, Parameter
+from ..nn.module import Parameter
 from ..nn.transformer import TransformerLM
-from ..tensor import Tensor, silu
+from ..nn.transforms import AdapterDelta, TransformedLinear
 
 DEFAULT_TARGETS = ("attn.o_proj", "mlp.down_proj")
 
 
-class BottleneckAdapter(Module):
+class BottleneckAdapter(TransformedLinear):
     """``y = inner(x); y + up(silu(down(y)))`` with a narrow bottleneck."""
 
     def __init__(
@@ -28,33 +35,25 @@ class BottleneckAdapter(Module):
         bottleneck: int = 8,
         rng=None,
     ):
-        super().__init__()
-        if bottleneck < 1:
-            raise ValueError("bottleneck must be >= 1")
-        rng = rng or np.random.default_rng(0)
-        dim = inner.out_features
-        self.inner = inner
+        delta = AdapterDelta(inner.out_features, bottleneck=bottleneck, rng=rng)
+        if isinstance(inner, TransformedLinear):
+            # Absorb an existing pipeline instead of nesting wrappers.
+            super().__init__(inner.inner, list(inner.transforms) + [delta])
+        else:
+            super().__init__(inner, [delta])
         self.bottleneck = bottleneck
-        self.down = Parameter(
-            (rng.standard_normal((dim, bottleneck)) / np.sqrt(dim)).astype(np.float32)
-        )
-        self.up = Parameter(np.zeros((bottleneck, dim), dtype=np.float32))
 
     @property
-    def weight(self):
-        return self.inner.weight
+    def _delta(self) -> AdapterDelta:
+        return self.find(AdapterDelta)
 
     @property
-    def in_features(self) -> int:
-        return self.inner.in_features
+    def down(self) -> Parameter:
+        return self._delta.down
 
     @property
-    def out_features(self) -> int:
-        return self.inner.out_features
-
-    def forward(self, x: Tensor) -> Tensor:
-        y = self.inner(x)
-        return y + (silu(y @ self.down) @ self.up)
+    def up(self) -> Parameter:
+        return self._delta.up
 
     def extra_repr(self) -> str:
         return f"bottleneck={self.bottleneck}"
@@ -65,30 +64,31 @@ def apply_adapters(
     bottleneck: int = 8,
     targets: Sequence[str] = DEFAULT_TARGETS,
     seed: int = 0,
-) -> Tuple[List[Tuple[object, str, object]], List[Parameter]]:
-    """Freeze the backbone and insert adapters; returns (undo, trainables)."""
+) -> Tuple[List[surgery.UndoToken], List[Parameter]]:
+    """Freeze the backbone and insert adapters; returns (undo, trainables).
+
+    Re-application is idempotent: a site that already carries an adapter
+    delta gets it replaced, not stacked."""
     model.requires_grad_(False)
     rng = np.random.default_rng(seed)
-    undo: List[Tuple[object, str, object]] = []
+    undo: List[surgery.UndoToken] = []
     trainable: List[Parameter] = []
     for block in model.blocks:
         for path in targets:
-            parts = path.split(".")
-            parent = block
-            for part in parts[:-1]:
-                parent = getattr(parent, part)
-            attr = parts[-1]
-            original = getattr(parent, attr)
-            inner = (
-                original.inner if isinstance(original, BottleneckAdapter) else original
-            )
-            adapter = BottleneckAdapter(inner, bottleneck=bottleneck, rng=rng)
-            setattr(parent, attr, adapter)
-            undo.append((parent, attr, original))
-            trainable.extend([adapter.down, adapter.up])
+            site = surgery.resolve(block, path)
+            module = site.module
+            if isinstance(module, TransformedLinear):
+                delta = AdapterDelta(
+                    module.out_features, bottleneck=bottleneck, rng=rng
+                )
+                undo.append(module.attach(delta, replace=True))
+                trainable.extend([delta.down, delta.up])
+            else:
+                adapter = BottleneckAdapter(module, bottleneck=bottleneck, rng=rng)
+                undo.append(surgery.swap(site.parent, site.attr, adapter))
+                trainable.extend([adapter.down, adapter.up])
     return undo, trainable
 
 
-def remove_adapters(undo: List[Tuple[object, str, object]]) -> None:
-    for parent, attr, original in undo:
-        setattr(parent, attr, original)
+def remove_adapters(undo: List[surgery.UndoToken]) -> None:
+    surgery.restore(undo)

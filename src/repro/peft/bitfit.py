@@ -3,6 +3,12 @@
 Freezes every matrix and tunes only the 1-D parameters (norm gains and
 biases).  Minimal trainable parameters, but like LoRA it backpropagates
 through the whole stack, so activation memory is unchanged.
+
+Composes with the transform layer for free: a ``TransformedLinear``
+registers its inner Linear as a submodule, so the inner bias shows up in
+``named_parameters`` and gets tuned, while transform parameters (LoRA /
+adapter factors) are 2-D and stay frozen.  Tuning a bias does not touch
+the master weight, so folded effective weights stay valid.
 """
 
 from __future__ import annotations

@@ -5,6 +5,14 @@ projection layers.  This is the standard parameter-efficient baseline
 Edge-LLM is compared against: it shrinks *optimizer/gradient* memory but —
 unlike adaptive layer tuning — still backpropagates through the full depth,
 so activation memory and backward compute stay at full-model scale.
+
+``LoRALinear`` is a shim over
+:class:`repro.nn.transforms.TransformedLinear` carrying a single
+:class:`~repro.nn.transforms.LoRADelta` stage.  ``apply_lora`` composes
+with other transform pipelines in place: on a site that is already a
+``TransformedLinear`` (e.g. a LUC-compressed layer) it *attaches* the
+delta instead of nesting a wrapper, so re-application is idempotent and
+LUC + LoRA combine correctly.
 """
 
 from __future__ import annotations
@@ -13,15 +21,16 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..nn import surgery
 from ..nn.layers import Linear
-from ..nn.module import Module, Parameter
+from ..nn.module import Parameter
 from ..nn.transformer import TransformerLM
-from ..tensor import Tensor
+from ..nn.transforms import LoRADelta, TransformedLinear
 
 DEFAULT_TARGETS = ("attn.q_proj", "attn.v_proj")
 
 
-class LoRALinear(Module):
+class LoRALinear(TransformedLinear):
     """Frozen Linear plus a trainable low-rank residual ``x @ A @ B``."""
 
     def __init__(
@@ -31,43 +40,32 @@ class LoRALinear(Module):
         alpha: float = 8.0,
         rng: Optional[np.random.Generator] = None,
     ):
-        super().__init__()
-        if rank < 1:
-            raise ValueError("rank must be >= 1")
-        rng = rng or np.random.default_rng(0)
-        self.inner = inner
-        self.rank = rank
-        self.scaling = alpha / rank
-        # A ~ N(0, 1/r), B = 0: the adapter starts as the identity update.
-        self.lora_a = Parameter(
-            (rng.standard_normal((inner.in_features, rank)) / np.sqrt(rank)).astype(
-                np.float32
-            )
+        delta = LoRADelta(
+            inner.in_features, inner.out_features, rank=rank, alpha=alpha, rng=rng
         )
-        self.lora_b = Parameter(np.zeros((rank, inner.out_features), dtype=np.float32))
+        if isinstance(inner, TransformedLinear):
+            # Absorb an existing pipeline instead of nesting wrappers.
+            super().__init__(inner.inner, list(inner.transforms) + [delta])
+        else:
+            super().__init__(inner, [delta])
+        self.rank = rank
+        self.scaling = delta.scaling
 
     @property
-    def weight(self):
-        return self.inner.weight
+    def _delta(self) -> LoRADelta:
+        return self.find(LoRADelta)
 
     @property
-    def in_features(self) -> int:
-        return self.inner.in_features
+    def lora_a(self) -> Parameter:
+        return self._delta.lora_a
 
     @property
-    def out_features(self) -> int:
-        return self.inner.out_features
-
-    def forward(self, x: Tensor) -> Tensor:
-        base = self.inner(x)
-        update = (x @ self.lora_a) @ self.lora_b
-        return base + update * self.scaling
+    def lora_b(self) -> Parameter:
+        return self._delta.lora_b
 
     def merged_weight(self) -> np.ndarray:
         """The dense weight the adapter is equivalent to (for export)."""
-        return self.inner.weight.data + self.scaling * (
-            self.lora_a.data @ self.lora_b.data
-        )
+        return self.inner.weight.data + self._delta.merged_delta()
 
     def extra_repr(self) -> str:
         return f"rank={self.rank}, scaling={self.scaling:g}"
@@ -79,29 +77,44 @@ def apply_lora(
     alpha: float = 8.0,
     targets: Sequence[str] = DEFAULT_TARGETS,
     seed: int = 0,
-) -> Tuple[List[Tuple[object, str, object]], List[Parameter]]:
+) -> Tuple[List[surgery.UndoToken], List[Parameter]]:
     """Freeze the model and attach LoRA adapters to ``targets`` in every
-    block.  Returns (undo list, trainable adapter parameters)."""
+    block.  Returns (undo list, trainable adapter parameters).
+
+    Re-application is idempotent: a site that already carries a LoRA
+    delta gets it replaced, not stacked."""
     model.requires_grad_(False)
     rng = np.random.default_rng(seed)
-    undo: List[Tuple[object, str, object]] = []
+    undo: List[surgery.UndoToken] = []
     trainable: List[Parameter] = []
     for block in model.blocks:
         for path in targets:
-            parts = path.split(".")
-            parent = block
-            for part in parts[:-1]:
-                parent = getattr(parent, part)
-            attr = parts[-1]
-            original = getattr(parent, attr)
-            inner = original.inner if isinstance(original, LoRALinear) else original
-            adapter = LoRALinear(inner, rank=rank, alpha=alpha, rng=rng)
-            setattr(parent, attr, adapter)
-            undo.append((parent, attr, original))
-            trainable.extend([adapter.lora_a, adapter.lora_b])
+            site = surgery.resolve(block, path)
+            module = site.module
+            if isinstance(module, TransformedLinear):
+                delta = LoRADelta(
+                    module.in_features,
+                    module.out_features,
+                    rank=rank,
+                    alpha=alpha,
+                    rng=rng,
+                )
+                undo.append(module.attach(delta, replace=True))
+                trainable.extend([delta.lora_a, delta.lora_b])
+            else:
+                adapter = LoRALinear(module, rank=rank, alpha=alpha, rng=rng)
+                undo.append(surgery.swap(site.parent, site.attr, adapter))
+                trainable.extend([adapter.lora_a, adapter.lora_b])
     return undo, trainable
 
 
-def remove_lora(undo: List[Tuple[object, str, object]]) -> None:
-    for parent, attr, original in undo:
-        setattr(parent, attr, original)
+def remove_lora(undo: List[surgery.UndoToken]) -> None:
+    surgery.restore(undo)
+
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "LoRALinear",
+    "apply_lora",
+    "remove_lora",
+]

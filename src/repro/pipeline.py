@@ -83,7 +83,13 @@ class EdgeLLM:
     def compress(
         self, calib_inputs: np.ndarray, calib_targets: np.ndarray
     ) -> LUCPolicy:
-        """Profile sensitivities, search a policy under budget, apply it."""
+        """Profile sensitivities, search a policy under budget, apply it.
+
+        The installed ``CompressedLinear`` wrappers fold mask + fake-quant
+        into a cached effective weight on frozen-weight forwards (eval,
+        voting calibration, the frozen prefix during adaptation), so the
+        compressed model pays recalibration only when weights change.
+        """
         cfg = self.config
         options = enumerate_layer_options(cfg.bit_options, cfg.prune_options)
         profile = measure_sensitivity(
@@ -114,6 +120,12 @@ class EdgeLLM:
             remove_luc(self._luc_undo)
             self._luc_undo = None
             self.policy = None
+
+    def compression_summary(self) -> List[dict]:
+        """Per-block (bits, sparsity) currently applied to the model."""
+        from .luc import model_compression_summary
+
+        return model_compression_summary(self.model)
 
     # ------------------------------------------------------------------
     # stage 2: adaptive layer tuning

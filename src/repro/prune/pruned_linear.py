@@ -3,6 +3,10 @@
 The mask multiplies the weight in the forward pass, so pruned weights
 contribute nothing and — because ``d(w*m)/dw = m`` — receive zero gradient,
 keeping them pruned through subsequent tuning without any optimizer hooks.
+
+Shim over :class:`repro.nn.transforms.TransformedLinear` with a single
+:class:`~repro.nn.transforms.PruneMask` stage; numerics are unchanged and
+frozen forwards get effective-weight folding.
 """
 
 from __future__ import annotations
@@ -11,22 +15,19 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn.layers import Linear
-from ..nn.module import Module
-from ..tensor import Tensor
-from .masks import sparsity, structured_mask, unstructured_mask
+from ..nn.transforms import PruneMask, TransformedLinear
+from .masks import structured_mask, unstructured_mask
 
 
-class PrunedLinear(Module):
+class PrunedLinear(TransformedLinear):
     """A Linear whose weight is elementwise-masked on every forward."""
 
     def __init__(self, inner: Linear, mask: np.ndarray):
-        super().__init__()
         if mask.shape != inner.weight.shape:
             raise ValueError(
                 f"mask shape {mask.shape} != weight shape {inner.weight.shape}"
             )
-        self.inner = inner
-        self.register_buffer("mask", mask.astype(np.float32))
+        super().__init__(inner, [PruneMask(mask)])
 
     @classmethod
     def magnitude(
@@ -40,33 +41,8 @@ class PrunedLinear(Module):
         return cls(inner, mask)
 
     @property
-    def weight(self):
-        return self.inner.weight
-
-    @property
-    def bias(self):
-        return self.inner.bias
-
-    @property
-    def in_features(self) -> int:
-        return self.inner.in_features
-
-    @property
-    def out_features(self) -> int:
-        return self.inner.out_features
-
-    @property
-    def sparsity(self) -> float:
-        return sparsity(self.mask)
-
-    def effective_weight(self) -> Tensor:
-        return self.inner.weight * Tensor(self.mask)
-
-    def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.effective_weight()
-        if self.inner.bias is not None:
-            out = out + self.inner.bias
-        return out
+    def mask(self) -> np.ndarray:
+        return self.prune_mask
 
     def extra_repr(self) -> str:
         return f"sparsity={self.sparsity:.2f}"

@@ -1,6 +1,11 @@
 """Autograd-aware quantized modules (fake-quant with straight-through
 estimator), used both for post-training compression and for tuning the
 compressed model.
+
+``fake_quant_ste`` / ``_requant_with_ste`` remain the primitive ops;
+``QuantLinear`` is now a shim over
+:class:`repro.nn.transforms.TransformedLinear` composing ``InputQuant``
+(when activations are quantized) with ``FakeQuantSTE`` on the weight.
 """
 
 from __future__ import annotations
@@ -10,7 +15,7 @@ from typing import Optional
 import numpy as np
 
 from ..nn.layers import Linear
-from ..nn.module import Module
+from ..nn.transforms import FakeQuantSTE, InputQuant, TransformedLinear
 from ..tensor import Tensor
 from .formats import QuantSpec
 from .quantizer import calibrate, dequantize, quantize
@@ -39,7 +44,7 @@ def fake_quant_ste(x: Tensor, spec: QuantSpec, method: str = "minmax") -> Tensor
     return Tensor._make(out_data, (x,), backward)
 
 
-class QuantLinear(Module):
+class QuantLinear(TransformedLinear):
     """A Linear layer whose weight (and optionally activations) are
     fake-quantized on every forward pass.
 
@@ -56,56 +61,35 @@ class QuantLinear(Module):
         act_spec: Optional[QuantSpec] = None,
         method: str = "minmax",
     ):
-        super().__init__()
-        self.inner = inner
+        pipeline = []
+        if act_spec is not None:
+            pipeline.append(InputQuant(act_spec, method=method))
+        pipeline.append(FakeQuantSTE(weight_spec, method=method))
+        super().__init__(inner, pipeline)
         self.weight_spec = weight_spec
         self.act_spec = act_spec
         self.method = method
-        # Frozen activation calibration (scale, zero); None = dynamic.
-        self._act_scale: Optional[np.ndarray] = None
-        self._act_zero: Optional[np.ndarray] = None
 
     @property
-    def weight(self):
-        return self.inner.weight
+    def _act_quant(self) -> Optional[InputQuant]:
+        return self.find(InputQuant)
 
     @property
-    def bias(self):
-        return self.inner.bias
+    def _act_scale(self) -> Optional[np.ndarray]:
+        t = self._act_quant
+        return None if t is None else t.scale
 
     @property
-    def in_features(self) -> int:
-        return self.inner.in_features
-
-    @property
-    def out_features(self) -> int:
-        return self.inner.out_features
+    def _act_zero(self) -> Optional[np.ndarray]:
+        t = self._act_quant
+        return None if t is None else t.zero
 
     def calibrate_activations(self, sample: np.ndarray) -> None:
         """Freeze activation quantization ranges from a calibration batch."""
-        if self.act_spec is None:
+        t = self._act_quant
+        if t is None:
             raise ValueError("layer has no activation quantization spec")
-        flat = sample.reshape(-1, sample.shape[-1])
-        spec = self.act_spec
-        self._act_scale, self._act_zero = calibrate(flat, spec, method=self.method)
-
-    def forward(self, x: Tensor) -> Tensor:
-        if self.act_spec is not None and self.act_spec.bits < 16:
-            if self._act_scale is not None:
-                q = quantize(x.data, self._act_scale, self._act_zero, self.act_spec)
-                if x.requires_grad:
-                    x = _requant_with_ste(
-                        x, self._act_scale, self._act_zero, self.act_spec
-                    )
-                else:
-                    x = Tensor(dequantize(q, self._act_scale, self._act_zero))
-            else:
-                x = fake_quant_ste(x, self.act_spec, method=self.method)
-        w = fake_quant_ste(self.inner.weight, self.weight_spec, method=self.method)
-        out = x @ w
-        if self.inner.bias is not None:
-            out = out + self.inner.bias
-        return out
+        t.calibrate(sample)
 
     def extra_repr(self) -> str:
         act = self.act_spec.bits if self.act_spec else "fp"

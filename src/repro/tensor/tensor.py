@@ -71,7 +71,15 @@ class Tensor:
         Whether gradients should be accumulated into this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+    __slots__ = (
+        "_data",
+        "grad",
+        "requires_grad",
+        "_parents",
+        "_backward_fn",
+        "name",
+        "_version",
+    )
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
         if isinstance(data, Tensor):
@@ -79,7 +87,8 @@ class Tensor:
         arr = np.asarray(data)
         if arr.dtype == np.float64:
             arr = arr.astype(np.float32)
-        self.data: np.ndarray = arr
+        self._version = 0
+        self.data = arr
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
         self._parents: Tuple[Tensor, ...] = ()
@@ -89,6 +98,36 @@ class Tensor:
             raise TypeError(
                 f"only floating tensors can require grad, got dtype {arr.dtype}"
             )
+
+    # ------------------------------------------------------------------
+    # payload + version counter
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        # Every rebind of the payload (optimizer steps, state-dict loads,
+        # GPTQ rewrites) bumps the version, which is what invalidates
+        # folded effective-weight caches (see repro.nn.transforms).
+        self._data = value
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter incremented on every ``.data`` rebind."""
+        return self._version
+
+    def bump_version(self) -> int:
+        """Manually advance the version after an *in-place* ``.data`` edit.
+
+        Assignments (``t.data = ...``) bump automatically; slicing edits
+        (``t.data[...] = ...``) bypass the setter and must call this to
+        invalidate any fold caches keyed on the tensor.
+        """
+        self._version += 1
+        return self._version
 
     # ------------------------------------------------------------------
     # basic protocol

@@ -1,0 +1,142 @@
+"""The model-surgery engine: resolve, find, swap, wrap, restore."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, TransformerConfig, TransformerLM, surgery
+from repro.nn.transforms import PruneMask, TransformedLinear
+
+
+def small_model(seed=0):
+    cfg = TransformerConfig(vocab_size=16, dim=16, num_layers=2, num_heads=2,
+                            max_len=16, seed=seed)
+    return TransformerLM(cfg)
+
+
+class TestResolve:
+    def test_dotted_path(self):
+        model = small_model()
+        site = surgery.resolve(model, "blocks.0.attn.q_proj")
+        assert site.module is model.blocks[0].attn.q_proj
+        assert site.attr == "q_proj"
+        assert site.path == "blocks.0.attn.q_proj"
+
+    def test_module_list_index(self):
+        model = small_model()
+        site = surgery.resolve(model, "blocks.1")
+        assert site.module is model.blocks[1]
+        # getattr(parent, "1") would fail; _modules access must not.
+        assert site.attr == "1"
+
+    def test_missing_path_raises(self):
+        model = small_model()
+        with pytest.raises(KeyError):
+            surgery.resolve(model, "blocks.0.attn.nope")
+
+    def test_get_module(self):
+        model = small_model()
+        assert surgery.get_module(model, "blocks.0.mlp.up_proj") is (
+            model.blocks[0].mlp.up_proj
+        )
+
+
+class TestFindSites:
+    def test_by_predicate(self):
+        model = small_model()
+        sites = surgery.find_sites(
+            model, predicate=lambda path, m: isinstance(m, Linear)
+        )
+        assert len(sites) >= 2 * 7  # 7 projections per block
+        assert all(isinstance(s.module, Linear) for s in sites)
+        assert all(surgery.get_module(model, s.path) is s.module for s in sites)
+
+    def test_exactly_one_selector(self):
+        model = small_model()
+        with pytest.raises(ValueError):
+            surgery.find_sites(model)
+        with pytest.raises(ValueError):
+            surgery.find_sites(
+                model, paths=["blocks.0"], predicate=lambda p, m: True
+            )
+
+
+class TestSwapRestore:
+    def test_swap_returns_identical_original(self):
+        model = small_model()
+        site = surgery.resolve(model, "blocks.0.attn.q_proj")
+        original = site.module
+        replacement = TransformedLinear(original)
+        undo = surgery.swap(site.parent, site.attr, replacement)
+        assert model.blocks[0].attn.q_proj is replacement
+        surgery.restore([undo])
+        # Identity, not equality: the exact original object comes back.
+        assert model.blocks[0].attn.q_proj is original
+
+    def test_restore_plays_backwards(self):
+        model = small_model()
+        site = surgery.resolve(model, "blocks.0.attn.q_proj")
+        original = site.module
+        first = TransformedLinear(original)
+        second = TransformedLinear(original)
+        u1 = surgery.swap(site.parent, site.attr, first)
+        u2 = surgery.swap(site.parent, site.attr, second)
+        surgery.restore([u1, u2])  # reversed internally: u2 then u1
+        assert model.blocks[0].attn.q_proj is original
+
+    def test_swap_module_list_slot(self):
+        model = small_model()
+        original = model.blocks[0]
+        undo = surgery.swap(model.blocks, "0", model.blocks[1])
+        assert model.blocks[0] is model.blocks[1]
+        assert model.blocks._modules["0"] is model.blocks._modules["1"]
+        surgery.restore([undo])
+        assert model.blocks[0] is original
+
+
+class TestWrap:
+    def test_wrap_and_unwrap_rule(self):
+        model = small_model()
+        paths = ["blocks.0.attn.q_proj", "blocks.1.attn.q_proj"]
+
+        def build(inner, site):
+            mask = np.ones_like(inner.weight.data)
+            return TransformedLinear(inner, [PruneMask(mask)])
+
+        undo = surgery.wrap(model, build, paths=paths)
+        wrapped = surgery.get_module(model, paths[0])
+        assert isinstance(wrapped, TransformedLinear)
+
+        # Re-wrapping with unwrap= extracts .inner instead of nesting.
+        undo2 = surgery.wrap(model, build, paths=paths,
+                             unwrap=(TransformedLinear,))
+        rewrapped = surgery.get_module(model, paths[0])
+        assert isinstance(rewrapped, TransformedLinear)
+        assert not isinstance(rewrapped.inner, TransformedLinear)
+        surgery.restore(undo2)
+        surgery.restore(undo)
+        assert isinstance(surgery.get_module(model, paths[0]), Linear)
+
+    def test_applied_context_restores_on_error(self):
+        model = small_model()
+        original = model.blocks[0].attn.q_proj
+
+        def build(inner, site):
+            return TransformedLinear(inner)
+
+        with pytest.raises(RuntimeError):
+            with surgery.applied(model, build,
+                                 paths=["blocks.0.attn.q_proj"]):
+                assert model.blocks[0].attn.q_proj is not original
+                raise RuntimeError("boom")
+        assert model.blocks[0].attn.q_proj is original
+
+    def test_mixed_undo_tokens(self):
+        model = small_model()
+        site = surgery.resolve(model, "blocks.0.attn.q_proj")
+        original = site.module
+        wrapper = TransformedLinear(original)
+        undo = [surgery.swap(site.parent, site.attr, wrapper)]
+        undo.append(wrapper.attach(PruneMask(np.ones_like(original.weight.data))))
+        surgery.restore(undo)
+        assert model.blocks[0].attn.q_proj is original
+        assert len(list(wrapper.transforms)) == 0

@@ -1,0 +1,128 @@
+"""Regression tests for wrapper composition: idempotent re-application,
+LUC + PEFT stacking, and exact-identity restoration."""
+
+import numpy as np
+
+from repro.luc import LUCPolicy, LayerCompression, apply_luc, remove_luc
+from repro.luc.compressed_linear import CompressedLinear
+from repro.nn.transforms import AdapterDelta, LoRADelta, TransformedLinear
+from repro.peft import apply_adapters, apply_lora, remove_adapters, remove_lora
+from repro.tensor import no_grad
+
+
+def uniform_policy(model, bits=4, ratio=0.3):
+    return LUCPolicy([LayerCompression(bits, ratio)] * model.num_layers)
+
+
+def lora_delta_count(model):
+    total = 0
+    for _, mod in model.named_modules():
+        if isinstance(mod, TransformedLinear):
+            total += sum(1 for t in mod.transforms if isinstance(t, LoRADelta))
+    return total
+
+
+class TestIdempotentReapply:
+    def test_apply_lora_twice_does_not_stack(self, pretrained_model):
+        undo1, t1 = apply_lora(pretrained_model, rank=2)
+        undo2, t2 = apply_lora(pretrained_model, rank=2)
+        n_sites = pretrained_model.num_layers * 2
+        assert lora_delta_count(pretrained_model) == n_sites
+        assert len(t1) == len(t2) == n_sites * 2
+        remove_lora(undo2)
+        assert lora_delta_count(pretrained_model) == n_sites
+        remove_lora(undo1)
+        assert lora_delta_count(pretrained_model) == 0
+        pretrained_model.requires_grad_(True)
+
+    def test_apply_adapters_twice_does_not_stack(self, pretrained_model):
+        undo1, _ = apply_adapters(pretrained_model, bottleneck=4)
+        undo2, _ = apply_adapters(pretrained_model, bottleneck=4)
+        deltas = 0
+        for _, mod in pretrained_model.named_modules():
+            if isinstance(mod, TransformedLinear):
+                deltas += sum(
+                    1 for t in mod.transforms if isinstance(t, AdapterDelta)
+                )
+        assert deltas == pretrained_model.num_layers * 2
+        remove_adapters(undo2)
+        remove_adapters(undo1)
+        pretrained_model.requires_grad_(True)
+
+
+class TestLucLoraOrdering:
+    def test_luc_lora_remove_roundtrip(self, pretrained_model):
+        ids = np.random.default_rng(0).integers(0, 32, (2, 8))
+        with no_grad():
+            base = pretrained_model(ids).data.copy()
+
+        luc_undo = apply_luc(pretrained_model, uniform_policy(pretrained_model))
+        with no_grad():
+            compressed = pretrained_model(ids).data.copy()
+
+        lora_undo, trainable = apply_lora(pretrained_model, rank=2)
+        # LoRA lands inside the existing compressed wrappers — no nesting.
+        q = pretrained_model.blocks[0].attn.q_proj
+        assert isinstance(q, CompressedLinear)
+        assert any(isinstance(t, LoRADelta) for t in q.transforms)
+
+        # lora_b starts at zero, so compression numerics are untouched.
+        with no_grad():
+            assert np.array_equal(
+                pretrained_model(ids).data, compressed
+            )
+
+        remove_lora(lora_undo)
+        assert not any(isinstance(t, LoRADelta) for t in q.transforms)
+        with no_grad():
+            assert np.array_equal(pretrained_model(ids).data, compressed)
+
+        remove_luc(luc_undo)
+        with no_grad():
+            assert np.array_equal(pretrained_model(ids).data, base)
+        pretrained_model.requires_grad_(True)
+
+    def test_lora_survives_luc_reapply(self, pretrained_model):
+        """Pre-refactor bug: apply_luc over a LoRA-wrapped site silently
+        dropped the LoRA contribution.  Now the delta must survive."""
+        lora_undo, trainable = apply_lora(pretrained_model, rank=2)
+        trainable[1].data = (  # make the delta non-zero so it is visible
+            np.random.default_rng(1)
+            .standard_normal(trainable[1].shape)
+            .astype(np.float32)
+        )
+        luc_undo = apply_luc(pretrained_model, uniform_policy(pretrained_model))
+        q = pretrained_model.blocks[0].attn.q_proj
+        assert any(isinstance(t, LoRADelta) for t in q.transforms)
+        assert q.sparsity > 0.0
+        remove_luc(luc_undo)
+        remove_lora(lora_undo)
+        pretrained_model.requires_grad_(True)
+
+
+class TestExactIdentityRestore:
+    def test_remove_luc_restores_original_objects(self, pretrained_model):
+        originals = [
+            (i, path, mod)
+            for i, block in enumerate(pretrained_model.blocks)
+            for path, mod in block.named_modules()
+            if hasattr(mod, "weight") and not isinstance(mod, TransformedLinear)
+        ]
+        undo = apply_luc(pretrained_model, uniform_policy(pretrained_model))
+        remove_luc(undo)
+        for i, path, mod in originals:
+            block = pretrained_model.blocks[i]
+            current = block
+            for part in path.split("."):
+                current = getattr(current, part)
+            assert current is mod  # identity, not equality
+
+    def test_remove_lora_restores_original_objects(self, pretrained_model):
+        q_before = [b.attn.q_proj for b in pretrained_model.blocks]
+        v_before = [b.attn.v_proj for b in pretrained_model.blocks]
+        undo, _ = apply_lora(pretrained_model, rank=2)
+        remove_lora(undo)
+        for block, q, v in zip(pretrained_model.blocks, q_before, v_before):
+            assert block.attn.q_proj is q
+            assert block.attn.v_proj is v
+        pretrained_model.requires_grad_(True)

@@ -1,0 +1,49 @@
+"""The Tensor parameter version counter (fold-cache invalidation hook)."""
+
+import pickle
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class TestVersionCounter:
+    def test_initial_version_positive(self):
+        t = Tensor(np.zeros(3))
+        assert t.version >= 1
+
+    def test_rebind_bumps(self):
+        t = Tensor(np.zeros(3))
+        v = t.version
+        t.data = np.ones(3, dtype=np.float32)
+        assert t.version == v + 1
+
+    def test_read_does_not_bump(self):
+        t = Tensor(np.zeros(3))
+        v = t.version
+        _ = t.data
+        _ = t.data.sum()
+        assert t.version == v
+
+    def test_inplace_edit_needs_manual_bump(self):
+        t = Tensor(np.zeros(3))
+        v = t.version
+        t.data[:] = 1.0  # bypasses the setter
+        assert t.version == v
+        t.bump_version()
+        assert t.version == v + 1
+
+    def test_optimizer_style_update_bumps(self):
+        from repro.nn import SGD, Parameter
+
+        p = Parameter(np.ones(4, dtype=np.float32))
+        v = p.version
+        p.grad = np.ones(4, dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        assert p.version > v
+
+    def test_pickle_roundtrip_keeps_payload(self):
+        t = Tensor(np.arange(4, dtype=np.float32))
+        t2 = pickle.loads(pickle.dumps(t))
+        assert np.array_equal(t2.data, t.data)
+        assert t2.version >= 1
