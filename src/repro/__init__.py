@@ -35,6 +35,7 @@ from . import (
     peft,
     prune,
     quant,
+    serve,
     tensor,
     utils,
 )
@@ -51,6 +52,7 @@ from .luc import LUCPolicy, apply_luc, measure_sensitivity, search_policy
 from .nn import TransformerConfig, TransformerLM
 from .parallel import EvalCache, WorkerPool
 from .pipeline import EdgeLLM, EdgeLLMConfig
+from .serve import GenerationEngine, Request, Result, serve_batch
 from .tensor import Tensor
 
 __version__ = "1.0.0"
@@ -83,6 +85,11 @@ __all__ = [
     "prune",
     "EvalCache",
     "WorkerPool",
+    "GenerationEngine",
+    "Request",
+    "Result",
+    "serve_batch",
+    "serve",
     "luc",
     "adaptive",
     "hw",

@@ -15,7 +15,7 @@ weighted mixture of per-exit probabilities.  Weight strategies:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -93,27 +93,83 @@ class VotingCombiner:
         Returned as a Tensor of log-probabilities, which behaves as
         logits for every downstream metric (softmax-invariant).
         """
-        if self.weights is None and self.strategy != "confidence":
-            raise RuntimeError("call calibrate() before combined_logits()")
         with no_grad():
             per_exit = self.exit_heads.all_logits(self.model, ids)
-        probs = {p: _softmax_np(t.data) for p, t in per_exit.items()}
+        return Tensor(self.combine_logits({p: t.data for p, t in per_exit.items()}))
 
+    def combine_logits(
+        self,
+        per_exit_logits: Dict[int, np.ndarray],
+        points: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Mixture log-probs from already-computed per-exit logits.
+
+        This is the logits-only fast path for per-step decoding: callers
+        that already hold per-exit logit arrays (e.g. last-position logits
+        ``(batch, vocab)`` produced incrementally against a KV cache) get
+        the voted distribution without re-running any exit over the full
+        context.  The mixing math is shared with :meth:`combined_logits`,
+        so full-sequence results are bit-identical.
+
+        ``points`` restricts the mixture to a subset of exit points with
+        weights renormalized over that subset — used by confidence-based
+        early exit, where deep exits were never computed.  With ``points``
+        omitted the full calibrated mixture is formed.
+        """
+        if self.weights is None and self.strategy != "confidence":
+            raise RuntimeError("call calibrate() before combining exits")
+        probs = {
+            p: _softmax_np(np.asarray(logits))
+            for p, logits in per_exit_logits.items()
+        }
         if self.strategy == "confidence":
-            mixture = self._confidence_mixture(probs)
-        else:
+            mixture = self._confidence_mixture(probs, points=points)
+        elif points is None:
             mixture = np.zeros_like(next(iter(probs.values())))
             for point in self.exit_points:
                 mixture += self.weights[point] * probs[point]
-        return Tensor(np.log(mixture + 1e-12))
+        else:
+            subset = [p for p in self.exit_points if p in set(points)]
+            if not subset:
+                raise ValueError(f"no known exit points in {points!r}")
+            mixture = np.zeros_like(probs[subset[0]])
+            for point, weight in self._subset_weights(subset).items():
+                mixture += weight * probs[point]
+        return np.log(mixture + 1e-12)
 
-    def _confidence_mixture(self, probs: Dict[int, np.ndarray]) -> np.ndarray:
+    def _subset_weights(self, subset: List[int]) -> Dict[int, float]:
+        """Voting weights renormalized over ``subset`` of the exit points.
+
+        If the subset carries no calibrated mass (e.g. the ``best``
+        strategy's winner sits deeper than every computed exit), fall back
+        to the subset's best validation loss, or uniform weights without
+        calibration data.
+        """
+        total = sum(self.weights[p] for p in subset)
+        if total > 0:
+            return {p: self.weights[p] / total for p in subset}
+        if self.validation_losses:
+            best = min(subset, key=lambda p: self.validation_losses[p])
+            return {p: (1.0 if p == best else 0.0) for p in subset}
+        return {p: 1.0 / len(subset) for p in subset}
+
+    def _confidence_mixture(
+        self,
+        probs: Dict[int, np.ndarray],
+        points: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
         """Per-token weights: exits that are confident (low entropy) on a
         token dominate that token's vote."""
-        stacked = np.stack([probs[p] for p in self.exit_points])  # (E,B,T,V)
-        entropy = -(stacked * np.log(stacked + 1e-12)).sum(axis=-1)  # (E,B,T)
+        if points is None:
+            included = self.exit_points
+        else:
+            included = [p for p in self.exit_points if p in set(points)]
+            if not included:
+                raise ValueError(f"no known exit points in {points!r}")
+        stacked = np.stack([probs[p] for p in included])  # (E,...,V)
+        entropy = -(stacked * np.log(stacked + 1e-12)).sum(axis=-1)  # (E,...)
         scores = -entropy / max(self.temperature, 1e-6)
-        w = _softmax_np(scores, axis=0)[..., None]  # (E,B,T,1)
+        w = _softmax_np(scores, axis=0)[..., None]  # (E,...,1)
         return (w * stacked).sum(axis=0)
 
     # ------------------------------------------------------------------

@@ -7,6 +7,8 @@ Subcommands cover the deployment workflow end to end on synthetic data:
 * ``compress``  profile + search a LUC policy for a checkpoint
 * ``adapt``     run the full Edge-LLM pipeline (compress -> adapt -> vote)
 * ``speedup``   modeled per-iteration cost vs vanilla tuning
+* ``generate``  serve one generation request through repro.serve
+* ``serve-sim`` drive the batched serving runtime with synthetic traffic
 * ``report``    pretty-print a telemetry run report saved by --telemetry-out
 
 Every workload subcommand accepts ``--telemetry-out PATH``: the run
@@ -241,6 +243,150 @@ def cmd_speedup(args) -> int:
     return 0
 
 
+def _serving_voting(model, args, rng):
+    """Optional voting combiner for the serving subcommands.
+
+    ``--exits`` attaches exit heads and calibrates a combiner on one
+    validation batch of the (model-vocab) corpus; ``--confidence`` is
+    only meaningful together with it.
+    """
+    exits = getattr(args, "exits", None)
+    if not exits:
+        if getattr(args, "confidence", None) is not None:
+            raise SystemExit("--confidence requires --exits")
+        return None
+    from .adaptive import ExitHeadSet, VotingCombiner
+    from .data import MarkovChainCorpus, lm_batches
+
+    corpus = MarkovChainCorpus(
+        vocab_size=model.config.vocab_size, order=args.order,
+        seed=args.language_seed,
+    )
+    heads = ExitHeadSet(model, exit_points=exits, seed=args.seed)
+    voting = VotingCombiner(model, heads)
+    inputs, targets = next(lm_batches(corpus, 4, args.seq, 1, rng))
+    voting.calibrate(inputs, targets)
+    return voting
+
+
+def cmd_generate(args) -> int:
+    from .data import MarkovChainCorpus, lm_batches
+    from .nn import load_model
+    from .serve import Request, serve_batch
+
+    model = load_model(args.model)
+    rng = np.random.default_rng(args.seed)
+    if args.prompt:
+        prompt = args.prompt
+    else:
+        corpus = MarkovChainCorpus(
+            vocab_size=model.config.vocab_size, order=args.order,
+            seed=args.language_seed,
+        )
+        inputs, _ = next(lm_batches(corpus, 1, args.prompt_len, 1, rng))
+        prompt = [int(t) for t in inputs[0]]
+    voting = _serving_voting(model, args, rng)
+    request = Request(
+        "cli", prompt=prompt, max_new_tokens=args.max_new_tokens,
+        greedy=not args.sample, temperature=args.temperature,
+        top_k=args.top_k, top_p=args.top_p, seed=args.seed,
+        eos_token=args.eos_token,
+    )
+    result = serve_batch(
+        model, [request], voting=voting,
+        confidence_threshold=args.confidence,
+    )[0]
+    print(json.dumps({
+        "prompt": prompt,
+        "tokens": result.tokens,
+        "finish_reason": result.finish_reason,
+        "early_exit_tokens": result.early_exit_tokens,
+        "greedy": request.greedy,
+    }, indent=2))
+    return 0
+
+
+def cmd_serve_sim(args) -> int:
+    import time
+
+    from .data import MarkovChainCorpus, lm_batches
+    from .nn import load_model
+    from .serve import (
+        CachePool,
+        GenerationEngine,
+        Request,
+        Scheduler,
+        SchedulerConfig,
+    )
+
+    model = load_model(args.model)
+    rng = np.random.default_rng(args.seed)
+    corpus = MarkovChainCorpus(
+        vocab_size=model.config.vocab_size, order=args.order,
+        seed=args.language_seed,
+    )
+    inputs, _ = next(
+        lm_batches(corpus, args.requests, args.prompt_len, 1, rng)
+    )
+    requests = [
+        Request(
+            f"req-{i:03d}", prompt=[int(t) for t in row],
+            max_new_tokens=args.max_new_tokens, seed=args.seed + i,
+            deadline_steps=args.deadline,
+        )
+        for i, row in enumerate(inputs)
+    ]
+    voting = _serving_voting(model, args, rng)
+    engine = GenerationEngine(
+        model, voting=voting, confidence_threshold=args.confidence
+    )
+    budget = args.max_resident_tokens or max(
+        sum(r.reserved_tokens for r in requests), 1
+    )
+    pool = CachePool(model.num_layers, budget)
+    scheduler = Scheduler(
+        engine, pool,
+        SchedulerConfig(max_batch_size=args.max_batch, max_steps=10_000),
+    )
+
+    start = time.perf_counter()
+    pending = list(requests)
+    if not args.arrival_per_step:
+        for request in pending:
+            scheduler.submit(request)
+        pending = []
+    while pending or not scheduler.idle:
+        for request in pending[: args.arrival_per_step or 0]:
+            scheduler.submit(request)
+        pending = pending[args.arrival_per_step or 0:]
+        scheduler.step()
+    wall = time.perf_counter() - start
+
+    results = scheduler.run()
+    served = [r for r in results if r.finish_reason != "rejected"]
+    new_tokens = sum(len(r.tokens) for r in results)
+    ttfts = [r.ttft_steps for r in served if r.ttft_steps >= 0]
+    summary = {
+        "requests": len(requests),
+        "completed": sum(
+            r.finish_reason in ("length", "eos") for r in results
+        ),
+        "rejected": sum(r.finish_reason == "rejected" for r in results),
+        "deadline_evictions": sum(
+            r.finish_reason == "deadline" for r in results
+        ),
+        "steps": scheduler.current_step,
+        "new_tokens": new_tokens,
+        "tokens_per_s": round(new_tokens / wall, 2) if wall > 0 else 0.0,
+        "mean_ttft_steps": round(float(np.mean(ttfts)), 3) if ttfts else -1,
+        "early_exit_rate": round(
+            sum(r.early_exit_tokens for r in results) / max(new_tokens, 1), 4
+        ),
+    }
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
 def cmd_report(args) -> int:
     from .obs import format_report, load_report
 
@@ -319,6 +465,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--avg-sparsity", type=float, default=0.3)
     p.add_argument("--window", type=int, default=2)
     p.set_defaults(fn=cmd_speedup)
+
+    p = sub.add_parser(
+        "generate", help="serve one generation request from a checkpoint"
+    )
+    _add_data_args(p)
+    _add_telemetry_args(p)
+    p.add_argument("--model", required=True)
+    p.add_argument("--prompt", type=int, nargs="+", default=None,
+                   help="prompt token ids (default: sample from the corpus)")
+    p.add_argument("--prompt-len", type=int, default=8,
+                   help="sampled-prompt length when --prompt is omitted")
+    p.add_argument("--max-new-tokens", type=int, default=16)
+    p.add_argument("--sample", action="store_true",
+                   help="sample instead of greedy decoding")
+    p.add_argument("--temperature", type=float, default=1.0)
+    p.add_argument("--top-k", type=int, default=None)
+    p.add_argument("--top-p", type=float, default=None)
+    p.add_argument("--eos-token", type=int, default=None)
+    p.add_argument("--exits", type=int, nargs="*", default=None,
+                   help="decode through a voted mixture of these exit layers")
+    p.add_argument("--confidence", type=float, default=None,
+                   help="early-exit confidence threshold (needs --exits)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser(
+        "serve-sim",
+        help="drive the batched serving runtime with synthetic traffic",
+    )
+    _add_data_args(p)
+    _add_telemetry_args(p)
+    p.add_argument("--model", required=True)
+    p.add_argument("--requests", type=int, default=16)
+    p.add_argument("--prompt-len", type=int, default=8)
+    p.add_argument("--max-new-tokens", type=int, default=12)
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--max-resident-tokens", type=int, default=None,
+                   help="KV-pool token budget (default: admit everything)")
+    p.add_argument("--deadline", type=int, default=None,
+                   help="per-request deadline in scheduler steps")
+    p.add_argument("--arrival-per-step", type=int, default=None,
+                   help="stagger arrivals: submit N requests per step "
+                        "(default: all up front)")
+    p.add_argument("--exits", type=int, nargs="*", default=None,
+                   help="decode through a voted mixture of these exit layers")
+    p.add_argument("--confidence", type=float, default=None,
+                   help="early-exit confidence threshold (needs --exits)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_serve_sim)
 
     p = sub.add_parser("report", help="pretty-print a telemetry run report")
     p.add_argument("path", help="report JSON written via --telemetry-out")

@@ -21,14 +21,29 @@ def rope_tables(head_dim: int, max_len: int, base: float = 10000.0):
     return np.cos(angles).astype(np.float32), np.sin(angles).astype(np.float32)
 
 
-def apply_rope(x: Tensor, cos: np.ndarray, sin: np.ndarray, offset: int = 0) -> Tensor:
+def apply_rope(x: Tensor, cos: np.ndarray, sin: np.ndarray, offset=0) -> Tensor:
     """Rotate pairs of channels of ``x`` (..., T, head_dim) by position.
 
-    ``offset`` shifts the position index, used during cached decoding.
+    ``offset`` shifts the position index, used during cached decoding.  It
+    is either a scalar (one offset for the whole batch) or a ``(batch,)``
+    integer array giving each row its own base position — the latter is
+    what pooled-cache batched decoding needs, where resident requests sit
+    at different depths of their own sequences.
     """
     seq_len = x.shape[-2]
-    cos_t = cos[offset : offset + seq_len]
-    sin_t = sin[offset : offset + seq_len]
+    if np.ndim(offset) == 0:
+        cos_t = cos[offset : offset + seq_len]
+        sin_t = sin[offset : offset + seq_len]
+    else:
+        offsets = np.asarray(offset, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.shape[0] != x.shape[0]:
+            raise ValueError(
+                f"per-row offsets must be ({x.shape[0]},), got {offsets.shape}"
+            )
+        pos = offsets[:, None] + np.arange(seq_len)  # (batch, seq)
+        # (batch, 1, seq, head_dim//2): broadcasts over the heads axis.
+        cos_t = cos[pos][:, None, :, :]
+        sin_t = sin[pos][:, None, :, :]
     x1 = x[..., 0::2]
     x2 = x[..., 1::2]
     rot1 = x1 * cos_t - x2 * sin_t
@@ -41,7 +56,13 @@ def apply_rope(x: Tensor, cos: np.ndarray, sin: np.ndarray, offset: int = 0) -> 
 
 
 class KVCache:
-    """Per-layer key/value cache for incremental decoding."""
+    """Per-layer key/value cache for incremental decoding.
+
+    Entries are ``(batch, kv_heads, seq, head_dim)`` arrays.  Besides
+    ``append`` (used by attention itself), the cache exposes ``truncate``
+    and ``reset`` so a serving-side pool can recycle cache blocks between
+    requests without reallocating them (see :mod:`repro.serve.cache_pool`).
+    """
 
     def __init__(self):
         self.k: Optional[np.ndarray] = None
@@ -52,12 +73,43 @@ class KVCache:
         return 0 if self.k is None else self.k.shape[2]
 
     def append(self, k: np.ndarray, v: np.ndarray):
+        k = np.asarray(k)
+        v = np.asarray(v)
+        if k.ndim != 4 or v.ndim != 4:
+            raise ValueError(
+                f"cache entries must be 4-D (batch, heads, seq, head_dim); "
+                f"got k{k.shape}, v{v.shape}"
+            )
+        if k.shape != v.shape:
+            raise ValueError(f"k/v shape mismatch: {k.shape} vs {v.shape}")
         if self.k is None:
             self.k, self.v = k, v
         else:
+            expected = (self.k.shape[0], self.k.shape[1], self.k.shape[3])
+            got = (k.shape[0], k.shape[1], k.shape[3])
+            if expected != got:
+                raise ValueError(
+                    f"appended entry (batch, heads, head_dim)={got} does not "
+                    f"match cached {expected}"
+                )
             self.k = np.concatenate([self.k, k], axis=2)
             self.v = np.concatenate([self.v, v], axis=2)
         return self.k, self.v
+
+    def truncate(self, n: int) -> None:
+        """Drop cached entries beyond the first ``n`` positions."""
+        n = int(n)
+        if n < 0 or n > self.length:
+            raise ValueError(f"truncate({n}) out of range for length {self.length}")
+        if n == 0:
+            self.k = self.v = None
+        elif n < self.length:
+            self.k = self.k[:, :, :n, :]
+            self.v = self.v[:, :, :n, :]
+
+    def reset(self) -> None:
+        """Empty the cache (equivalent to ``truncate(0)``)."""
+        self.k = self.v = None
 
     def clone(self) -> "KVCache":
         """Independent copy (used to fork decoding hypotheses)."""
@@ -135,6 +187,7 @@ class MultiHeadAttention(Module):
         x: Tensor,
         cache: Optional[KVCache] = None,
         key_padding_mask: Optional[np.ndarray] = None,
+        positions: Optional[np.ndarray] = None,
     ) -> Tensor:
         """Attend over ``x`` (batch, seq, dim); causal within the sequence.
 
@@ -142,48 +195,63 @@ class MultiHeadAttention(Module):
         cached prefix (incremental decoding); gradients are not tracked
         through cached state.
 
-        ``key_padding_mask`` is a boolean ``(batch, seq)`` array, True at
-        PAD positions; those keys are excluded from every query's
-        attention.  Not supported together with a cache.
+        ``key_padding_mask`` is a boolean array, True at PAD positions;
+        those keys are excluded from every query's attention.  Without a
+        cache it is ``(batch, seq)``; with a cache it covers the whole key
+        axis, ``(batch, cache.length + seq)`` — used by pooled-cache
+        batched decoding, where rows of a shared cache block hold
+        sequences of different lengths.
+
+        ``positions`` (cache only) gives each batch row its own RoPE base
+        position for the suffix, overriding the array-derived offset.
+        Rows whose cached length is shorter than the shared cache array
+        must mask their tail via ``key_padding_mask``.
         """
         batch, seq, _ = x.shape
-        if key_padding_mask is not None and cache is not None:
-            raise ValueError("key_padding_mask is not supported with a KV cache")
-        if key_padding_mask is not None and key_padding_mask.shape != (batch, seq):
-            raise ValueError(
-                f"key_padding_mask shape {key_padding_mask.shape} != {(batch, seq)}"
-            )
+        if positions is not None and cache is None:
+            raise ValueError("per-row positions require a KV cache")
         offset = cache.length if cache is not None else 0
-        if offset + seq > self.max_len:
+        total = offset + seq
+        if key_padding_mask is not None and key_padding_mask.shape != (batch, total):
             raise ValueError(
-                f"sequence length {offset + seq} exceeds max_len {self.max_len}"
+                f"key_padding_mask shape {key_padding_mask.shape} != {(batch, total)}"
+            )
+        if positions is not None:
+            rope_offset = np.asarray(positions, dtype=np.int64)
+            max_pos = int(rope_offset.max()) + seq if rope_offset.size else seq
+        else:
+            rope_offset = offset
+            max_pos = total
+        if max(max_pos, total) > self.max_len:
+            raise ValueError(
+                f"sequence length {max(max_pos, total)} exceeds max_len {self.max_len}"
             )
 
         q = self._split_heads(self.q_proj(x))
         k = self._split_heads(self.k_proj(x), self.num_kv_heads)
         v = self._split_heads(self.v_proj(x), self.num_kv_heads)
-        q = apply_rope(q, self.rope_cos, self.rope_sin, offset=offset)
-        k = apply_rope(k, self.rope_cos, self.rope_sin, offset=offset)
+        q = apply_rope(q, self.rope_cos, self.rope_sin, offset=rope_offset)
+        k = apply_rope(k, self.rope_cos, self.rope_sin, offset=rope_offset)
 
         if cache is not None:
             # Cached in kv-head layout: GQA shrinks the cache itself.
             k_full, v_full = cache.append(k.data, v.data)
             k = Tensor(k_full)
             v = Tensor(v_full)
-            total = offset + seq
-        else:
-            total = seq
         k = self._expand_kv(k)
         v = self._expand_kv(v)
 
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
-        # Causal mask: query at absolute position offset+i may attend to
-        # keys at absolute positions <= offset+i.
+        # Causal mask over key-array order: the query at array position
+        # offset+i may attend to keys at array positions <= offset+i.
+        # Pooled-cache decoding keeps its key arrays in [valid prefix |
+        # pad | suffix] order, so array order respects causality there
+        # too, with the pad slice removed by key_padding_mask.
         q_pos = np.arange(offset, offset + seq)[:, None]
         k_pos = np.arange(total)[None, :]
         mask = k_pos > q_pos
         if key_padding_mask is not None:
-            # (B, 1, 1, T) broadcast over heads and query positions.
+            # (B, 1, 1, total) broadcast over heads and query positions.
             pad = key_padding_mask.astype(bool)[:, None, None, :]
             mask = mask | pad
         if mask.any():

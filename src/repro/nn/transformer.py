@@ -86,10 +86,12 @@ class TransformerBlock(Module):
         x: Tensor,
         cache: Optional[KVCache] = None,
         key_padding_mask=None,
+        positions=None,
     ) -> Tensor:
         x = x + self.dropout(
             self.attn(
-                self.attn_norm(x), cache=cache, key_padding_mask=key_padding_mask
+                self.attn_norm(x), cache=cache,
+                key_padding_mask=key_padding_mask, positions=positions,
             )
         )
         x = x + self.dropout(self.mlp(self.mlp_norm(x)))
@@ -165,21 +167,25 @@ class TransformerLM(Module):
         caches: Optional[List[KVCache]] = None,
         return_hidden_states: bool = False,
         key_padding_mask: Optional[np.ndarray] = None,
+        positions: Optional[np.ndarray] = None,
     ):
         """Compute logits ``(batch, seq, vocab)`` for token ids.
 
         With ``return_hidden_states=True`` also returns the list of hidden
         states *after* each block (length ``num_layers``) — the tap points
-        for early-exit heads.  ``key_padding_mask`` (batch, seq; True=PAD)
-        excludes padded keys from attention for batched variable-length
-        inputs.
+        for early-exit heads.  ``key_padding_mask`` (True=PAD; ``(batch,
+        seq)``, or ``(batch, cache_len + seq)`` with caches) excludes
+        padded keys from attention for batched variable-length inputs.
+        ``positions`` gives each batch row its own RoPE base position
+        during pooled-cache batched decoding (see ``repro.serve``).
         """
         hidden = self.embed_tokens(ids)
         hidden_states: List[Tensor] = []
         for i, block in enumerate(self.blocks):
             cache = caches[i] if caches is not None else None
             hidden = block(
-                hidden, cache=cache, key_padding_mask=key_padding_mask
+                hidden, cache=cache, key_padding_mask=key_padding_mask,
+                positions=positions,
             )
             if return_hidden_states:
                 hidden_states.append(hidden)

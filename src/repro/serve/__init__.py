@@ -1,0 +1,42 @@
+"""Batched generation-serving runtime.
+
+The serving layer turns the reproduction's scoring stack into a
+request-level runtime (see ``docs/serving.md``):
+
+* :class:`GenerationEngine` — prefill + batched incremental decode over
+  per-request KV-cache blocks; plain-head or voting-combiner decode with
+  optional confidence-based early exit,
+* :class:`Scheduler` — continuous batching: FIFO admission under a
+  resident-token budget, step-granular join/evict, per-request deadlines
+  and graceful rejection,
+* :class:`CachePool` — allocates and recycles per-request cache blocks,
+* :func:`serve_batch` — synchronous one-call entry point.
+
+Quick tour::
+
+    from repro.serve import Request, serve_batch
+
+    results = serve_batch(model, [
+        Request("r0", prompt=[1, 2, 3], max_new_tokens=16),
+        Request("r1", prompt=[4, 5], max_new_tokens=8, seed=1),
+    ], max_batch_size=8)
+
+Batching never changes results: each request's tokens depend only on its
+own prompt, settings and seed, so any ``max_batch_size`` (including 1)
+returns identical per-request outputs.
+"""
+
+from .api import Request, Result, serve_batch
+from .cache_pool import CachePool
+from .engine import GenerationEngine
+from .scheduler import Scheduler, SchedulerConfig
+
+__all__ = [
+    "Request",
+    "Result",
+    "serve_batch",
+    "CachePool",
+    "GenerationEngine",
+    "Scheduler",
+    "SchedulerConfig",
+]

@@ -1,0 +1,132 @@
+"""Request/Result surface of the serving runtime, plus ``serve_batch``.
+
+The synchronous entry point wires the three serving pieces together —
+:class:`~repro.serve.engine.GenerationEngine` (prefill + batched decode),
+:class:`~repro.serve.cache_pool.CachePool` (per-request KV blocks under a
+token budget) and :class:`~repro.serve.scheduler.Scheduler` (continuous
+batching) — submits every request, drains the step loop, and hands back
+one :class:`Result` per request in submission order.
+
+Determinism contract: a request's generated tokens depend only on the
+model, its own prompt and sampling settings (each request carries its own
+RNG seed), never on which other requests happened to share its decode
+batches.  ``serve_batch`` at any ``max_batch_size`` therefore returns
+identical per-request tokens; batching changes throughput, not results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+
+@dataclasses.dataclass
+class Request:
+    """One generation request submitted to the scheduler.
+
+    ``deadline_steps`` bounds end-to-end latency in scheduler steps from
+    submission: a request still unfinished when the deadline passes is
+    evicted with its partial output (reason ``"deadline"``), whether it
+    was queued or actively decoding.  ``seed`` drives this request's own
+    sampling RNG, making results independent of co-scheduled traffic.
+    """
+
+    request_id: str
+    prompt: Sequence[int]
+    max_new_tokens: int
+    greedy: bool = True
+    temperature: float = 1.0
+    top_k: Optional[int] = None
+    top_p: Optional[float] = None
+    seed: int = 0
+    eos_token: Optional[int] = None
+    deadline_steps: Optional[int] = None
+
+    def __post_init__(self):
+        self.prompt = [int(t) for t in self.prompt]
+        if not self.prompt:
+            raise ValueError(f"request {self.request_id!r} has an empty prompt")
+        if self.max_new_tokens < 1:
+            raise ValueError(
+                f"request {self.request_id!r} needs max_new_tokens >= 1"
+            )
+        if self.top_k is not None and self.top_p is not None:
+            raise ValueError("choose at most one of top_k / top_p")
+        if self.deadline_steps is not None and self.deadline_steps < 1:
+            raise ValueError("deadline_steps must be >= 1")
+
+    @property
+    def reserved_tokens(self) -> int:
+        """Worst-case KV footprint: full prompt plus every new token."""
+        return len(self.prompt) + self.max_new_tokens
+
+
+@dataclasses.dataclass
+class Result:
+    """Terminal state of one request.
+
+    ``finish_reason`` is one of ``"length"`` (hit ``max_new_tokens``),
+    ``"eos"`` (sampled the stop token), ``"deadline"`` (evicted at its
+    deadline with partial output) or ``"rejected"`` (could never be
+    admitted — the request exceeds the pool budget or the model context).
+    Step indices are scheduler-step timestamps (``-1`` when the phase was
+    never reached); ``ttft_steps`` counts submission → first token.
+    """
+
+    request_id: str
+    tokens: List[int]
+    finish_reason: str
+    prompt_len: int = 0
+    submitted_step: int = -1
+    admitted_step: int = -1
+    first_token_step: int = -1
+    finished_step: int = -1
+    early_exit_tokens: int = 0
+
+    @property
+    def ttft_steps(self) -> int:
+        """Steps from submission to first generated token (-1 if none)."""
+        if self.first_token_step < 0 or self.submitted_step < 0:
+            return -1
+        return self.first_token_step - self.submitted_step
+
+
+def serve_batch(
+    model,
+    requests: Sequence[Request],
+    *,
+    voting=None,
+    confidence_threshold: Optional[float] = None,
+    max_batch_size: int = 8,
+    max_resident_tokens: Optional[int] = None,
+) -> List[Result]:
+    """Serve ``requests`` to completion; results in submission order.
+
+    ``voting`` (a calibrated :class:`~repro.adaptive.VotingCombiner`)
+    switches decoding from the plain final head to the voted mixture of
+    exit heads; adding ``confidence_threshold`` enables early exit —
+    decode steps stop at the shallowest exit whose own confidence clears
+    the threshold.  ``max_resident_tokens`` defaults to a budget that
+    admits everything at once.
+    """
+    # Imported here: scheduler.py imports the request/result dataclasses
+    # from this module at import time.
+    from .cache_pool import CachePool
+    from .engine import GenerationEngine
+    from .scheduler import Scheduler, SchedulerConfig
+
+    if max_resident_tokens is None:
+        max_resident_tokens = max(
+            sum(r.reserved_tokens for r in requests), 1
+        )
+    engine = GenerationEngine(
+        model, voting=voting, confidence_threshold=confidence_threshold
+    )
+    pool = CachePool(model.num_layers, max_resident_tokens)
+    scheduler = Scheduler(
+        engine, pool, SchedulerConfig(max_batch_size=max_batch_size)
+    )
+    for request in requests:
+        scheduler.submit(request)
+    by_id = {r.request_id: r for r in scheduler.run()}
+    return [by_id[r.request_id] for r in requests]

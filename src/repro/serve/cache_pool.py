@@ -1,0 +1,104 @@
+"""KV-cache pooling: per-request cache blocks with a resident-token budget.
+
+A *block* is one request's decoding state — a list of per-layer
+:class:`~repro.nn.attention.KVCache` objects.  The pool hands blocks out
+at admission, takes them back at retirement, and recycles the reset
+objects for the next request, so a long serving run allocates a bounded
+set of cache containers no matter how many requests flow through.
+
+Budget accounting is by *reserved* tokens: a request reserves its
+worst-case footprint (``prompt_len + max_new_tokens``) up front, which
+guarantees an admitted request can always run to completion — there is no
+mid-flight eviction for memory.  ``resident_tokens`` reports the tokens
+actually cached right now (always <= reserved).
+
+Pool state is visible through ``repro.obs``:
+
+* counter ``serve/pool/allocs`` — blocks created from scratch,
+* counter ``serve/pool/recycles`` — blocks reused from the free list,
+* gauge ``serve/pool/occupancy`` — reserved / budget, in [0, 1].
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ..nn.attention import KVCache
+from ..obs import get_registry
+
+
+@dataclasses.dataclass
+class _Lease:
+    block: List[KVCache]
+    reserved_tokens: int
+
+
+class CachePool:
+    """Allocates and recycles per-request KV-cache blocks under a budget."""
+
+    def __init__(self, num_layers: int, max_resident_tokens: int):
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if max_resident_tokens < 1:
+            raise ValueError("max_resident_tokens must be >= 1")
+        self.num_layers = num_layers
+        self.max_resident_tokens = max_resident_tokens
+        self._free: List[List[KVCache]] = []
+        self._leases: Dict[str, _Lease] = {}
+
+    # -- accounting ----------------------------------------------------
+    @property
+    def reserved_tokens(self) -> int:
+        """Worst-case tokens promised to active requests."""
+        return sum(lease.reserved_tokens for lease in self._leases.values())
+
+    def resident_tokens(self) -> int:
+        """Tokens actually cached right now across active blocks."""
+        return sum(
+            lease.block[0].length for lease in self._leases.values()
+        )
+
+    def occupancy(self) -> float:
+        """Reserved fraction of the budget, in [0, 1]."""
+        return self.reserved_tokens / self.max_resident_tokens
+
+    def can_reserve(self, tokens: int) -> bool:
+        """Whether a request needing ``tokens`` fits the remaining budget."""
+        return self.reserved_tokens + tokens <= self.max_resident_tokens
+
+    def active_requests(self) -> List[str]:
+        return list(self._leases)
+
+    # -- lifecycle -----------------------------------------------------
+    def allocate(self, request_id: str, tokens: int) -> List[KVCache]:
+        """Lease a cache block to ``request_id`` reserving ``tokens``."""
+        if request_id in self._leases:
+            raise ValueError(f"request {request_id!r} already holds a block")
+        if tokens < 1:
+            raise ValueError(f"reservation must be >= 1 token, got {tokens}")
+        if not self.can_reserve(tokens):
+            raise ValueError(
+                f"reserving {tokens} tokens exceeds budget "
+                f"({self.reserved_tokens}/{self.max_resident_tokens} reserved)"
+            )
+        reg = get_registry()
+        if self._free:
+            block = self._free.pop()
+            reg.counter("serve/pool/recycles").inc()
+        else:
+            block = [KVCache() for _ in range(self.num_layers)]
+            reg.counter("serve/pool/allocs").inc()
+        self._leases[request_id] = _Lease(block, tokens)
+        reg.gauge("serve/pool/occupancy").set(self.occupancy())
+        return block
+
+    def release(self, request_id: str) -> None:
+        """Take the block back, reset it, and return it to the free list."""
+        lease = self._leases.pop(request_id, None)
+        if lease is None:
+            raise KeyError(f"request {request_id!r} holds no block")
+        for cache in lease.block:
+            cache.reset()
+        self._free.append(lease.block)
+        get_registry().gauge("serve/pool/occupancy").set(self.occupancy())

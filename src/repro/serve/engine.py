@@ -1,0 +1,313 @@
+"""Generation engine: prefill + batched incremental decode over KV caches.
+
+The engine turns the repo's scoring-only model stack into a
+request-level generation runtime:
+
+* **Prefill** runs a request's prompt through the model once (batch 1),
+  filling that request's per-layer cache block and returning last-position
+  logits for the first sampled token.
+* **Batched decode** advances many resident requests one token in a
+  single model forward.  Each request keeps its own per-layer
+  :class:`~repro.nn.attention.KVCache` block (leased from the cache
+  pool); per step the engine stacks those blocks into a shared padded
+  cache, masks each row's padding tail via ``key_padding_mask``, gives
+  each row its true RoPE position via ``positions``, then scatters the
+  newly appended key/value entries back to the per-request blocks.
+* **Voting decode** replaces the final head with the calibrated mixture
+  of exit heads (:class:`~repro.adaptive.VotingCombiner`), computed
+  through the combiner's logits-only fast path on last-position logits.
+  With a ``confidence_threshold``, decoding exits early: the shallowest
+  exit whose own max-probability clears the threshold ends that row's
+  forward, and the mixture is renormalized over the exits actually
+  computed.  Skipped layers still receive a cache entry for the token —
+  key/value projections of the exit hidden state (CALM-style state
+  propagation) — so any later token may run the full depth.
+
+Determinism: a request's logits depend only on its own cache rows, so
+decode results are identical whether requests are batched or served one
+at a time, and identical between the stacked and direct (batch-1) paths.
+
+Compressed models fold automatically: serving runs frozen and under
+``no_grad``, so ``TransformedLinear`` layers hit their effective-weight
+fold cache — the mask/quant composition is folded once, then every
+prefill and decode step reuses it (see ``docs/architecture.md``).
+
+Counters (active ``repro.obs`` registry): ``serve/prefills``,
+``serve/prefill_tokens``, ``serve/decode_steps``, ``serve/decode_tokens``
+and ``serve/early_exit_tokens``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.attention import KVCache, apply_rope
+from ..obs import get_registry
+from ..tensor import Tensor, no_grad
+
+
+def _softmax_np(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+class GenerationEngine:
+    """Prefill/decode runtime over per-request KV-cache blocks.
+
+    Decode entries are any objects exposing ``caches`` (the request's
+    per-layer ``KVCache`` list) and ``last_token`` (the most recent token
+    id, prompt tail or last generated) — the scheduler's active-request
+    records satisfy this.  The engine puts the model in eval mode at
+    construction and runs everything under ``no_grad``.
+    """
+
+    def __init__(
+        self,
+        model,
+        voting=None,
+        confidence_threshold: Optional[float] = None,
+    ):
+        if confidence_threshold is not None:
+            if voting is None:
+                raise ValueError("confidence_threshold requires a voting combiner")
+            if not 0.0 < confidence_threshold <= 1.0:
+                raise ValueError("confidence_threshold must be in (0, 1]")
+        if voting is not None:
+            if voting.model is not model:
+                raise ValueError("voting combiner was built for a different model")
+            if voting.weights is None and voting.strategy != "confidence":
+                raise ValueError("calibrate the voting combiner before serving")
+        self.model = model
+        self.voting = voting
+        self.confidence_threshold = confidence_threshold
+        model.eval()
+
+    @property
+    def num_layers(self) -> int:
+        return self.model.num_layers
+
+    # ------------------------------------------------------------------
+    # prefill
+    # ------------------------------------------------------------------
+    def prefill(self, prompt: Sequence[int], caches: List[KVCache]) -> np.ndarray:
+        """Run the prompt into ``caches``; return last-position logits.
+
+        Every layer runs (the prompt's cache entries must be exact), so
+        early exit here affects only which exits vote on the returned
+        logits, not the cached state.
+        """
+        ids = np.asarray(list(prompt), dtype=np.int64)[None, :]
+        reg = get_registry()
+        reg.counter("serve/prefills").inc()
+        reg.counter("serve/prefill_tokens").inc(ids.shape[1])
+        with no_grad():
+            if self.voting is None:
+                logits = self.model(ids, caches=caches)
+                return logits.data[0, -1]
+            per_exit: Dict[int, np.ndarray] = {}
+            hidden = self.model.embed_tokens(ids)
+            for i, block in enumerate(self.model.blocks):
+                hidden = block(hidden, cache=caches[i])
+                point = i + 1
+                if point in self.voting.exit_points:
+                    per_exit[point] = self._exit_logits(point, hidden)
+            exit_depth = self._exit_depths(per_exit, batch=1)
+            return self._combine_rows(per_exit, exit_depth)[0]
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+    def decode_step(self, entries: Sequence) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance every entry one token in a single batched forward.
+
+        Returns ``(logits, early_exited)``: last-position logits
+        ``(batch, vocab)`` and a boolean flag per row marking tokens
+        decided by a confident shallow exit.
+        """
+        if not entries:
+            raise ValueError("decode_step needs at least one entry")
+        reg = get_registry()
+        reg.counter("serve/decode_steps").inc()
+        reg.counter("serve/decode_tokens").inc(len(entries))
+        with no_grad():
+            if len(entries) == 1:
+                return self._decode_direct(entries[0])
+            return self._decode_stacked(entries)
+
+    # -- direct (batch-1) path -----------------------------------------
+    def _decode_direct(self, entry) -> Tuple[np.ndarray, np.ndarray]:
+        ids = np.array([[entry.last_token]], dtype=np.int64)
+        caches = entry.caches
+        if self.voting is None:
+            logits = self.model(ids, caches=caches)
+            return logits.data[:, -1, :], np.zeros(1, dtype=bool)
+
+        position = caches[0].length
+        per_exit: Dict[int, np.ndarray] = {}
+        hidden = self.model.embed_tokens(ids)
+        exit_depth = np.array([self.num_layers])
+        for i, block in enumerate(self.model.blocks):
+            hidden = block(hidden, cache=caches[i])
+            point = i + 1
+            if point in self.voting.exit_points:
+                per_exit[point] = self._exit_logits(point, hidden)
+                if self._confident(per_exit[point])[0] and point < self.num_layers:
+                    exit_depth[0] = point
+                    break
+        depth = int(exit_depth[0])
+        if depth < self.num_layers:
+            # Skipped layers still get this token's cache entry, projected
+            # from the exit hidden state.
+            frozen = hidden.data[0, -1]
+            for layer in range(depth, self.num_layers):
+                k, v = self._propagate_kv(layer, frozen, position)
+                caches[layer].append(k, v)
+            get_registry().counter("serve/early_exit_tokens").inc()
+        logits = self._combine_rows(per_exit, exit_depth)
+        return logits, exit_depth < self.num_layers
+
+    # -- stacked (batched) path ----------------------------------------
+    def _decode_stacked(self, entries: Sequence) -> Tuple[np.ndarray, np.ndarray]:
+        model = self.model
+        batch = len(entries)
+        ids = np.array([[e.last_token] for e in entries], dtype=np.int64)
+        lengths = np.array([e.caches[0].length for e in entries], dtype=np.int64)
+        max_len = int(lengths.max())
+
+        attn0 = model.blocks[0].attn
+        kv_heads, head_dim = attn0.num_kv_heads, attn0.head_dim
+        stacked: List[KVCache] = []
+        for layer in range(self.num_layers):
+            cache = KVCache()
+            k = np.zeros((batch, kv_heads, max_len, head_dim), dtype=np.float32)
+            v = np.zeros_like(k)
+            for b, entry in enumerate(entries):
+                src = entry.caches[layer]
+                k[b, :, : src.length] = src.k[0]
+                v[b, :, : src.length] = src.v[0]
+            cache.k, cache.v = k, v
+            stacked.append(cache)
+        # True at each row's padding tail; the appended token (last
+        # column) is always valid.
+        pad = np.arange(max_len + 1)[None, :] >= lengths[:, None]
+        pad[:, max_len] = False
+
+        if self.voting is None:
+            logits = model(
+                ids, caches=stacked, key_padding_mask=pad, positions=lengths
+            )
+            self._scatter_back(entries, stacked, max_len)
+            return logits.data[:, -1, :], np.zeros(batch, dtype=bool)
+
+        per_exit: Dict[int, np.ndarray] = {}
+        exit_depth = np.full(batch, self.num_layers, dtype=np.int64)
+        exited = np.zeros(batch, dtype=bool)
+        frozen = [None] * batch
+        ran_blocks = 0
+        hidden = model.embed_tokens(ids)
+        for i, block in enumerate(model.blocks):
+            if exited.all():
+                break
+            hidden = block(
+                hidden, cache=stacked[i], key_padding_mask=pad, positions=lengths
+            )
+            ran_blocks = i + 1
+            point = i + 1
+            if point in self.voting.exit_points:
+                per_exit[point] = self._exit_logits(point, hidden)
+                if point < self.num_layers:
+                    newly = ~exited & self._confident(per_exit[point])
+                    for b in np.flatnonzero(newly):
+                        exit_depth[b] = point
+                        frozen[b] = hidden.data[b, -1].copy()
+                    exited |= newly
+
+        for layer in range(self.num_layers):
+            ran = layer < ran_blocks
+            if ran:
+                k_new = stacked[layer].k[:, :, max_len:, :]
+                v_new = stacked[layer].v[:, :, max_len:, :]
+            for b, entry in enumerate(entries):
+                if ran and layer < exit_depth[b]:
+                    entry.caches[layer].append(k_new[b : b + 1], v_new[b : b + 1])
+                else:
+                    k, v = self._propagate_kv(layer, frozen[b], int(lengths[b]))
+                    entry.caches[layer].append(k, v)
+        early = exit_depth < self.num_layers
+        if early.any():
+            get_registry().counter("serve/early_exit_tokens").inc(
+                int(early.sum())
+            )
+        return self._combine_rows(per_exit, exit_depth), early
+
+    @staticmethod
+    def _scatter_back(entries, stacked: List[KVCache], max_len: int) -> None:
+        """Append each row's newly written k/v back to its own block."""
+        for layer, cache in enumerate(stacked):
+            k_new = cache.k[:, :, max_len:, :]
+            v_new = cache.v[:, :, max_len:, :]
+            for b, entry in enumerate(entries):
+                entry.caches[layer].append(k_new[b : b + 1], v_new[b : b + 1])
+
+    # -- voting helpers ------------------------------------------------
+    def _exit_logits(self, point: int, hidden: Tensor) -> np.ndarray:
+        """Last-position logits ``(batch, vocab)`` for one exit point."""
+        last = hidden[:, -1:, :]
+        if point == self.num_layers:
+            logits = self.model.head(last)
+        else:
+            logits = self.voting.exit_heads.logits_at(point, last)
+        return logits.data[:, -1, :]
+
+    def _confident(self, logits: np.ndarray) -> np.ndarray:
+        """Rows whose max softmax probability clears the threshold."""
+        if self.confidence_threshold is None:
+            return np.zeros(logits.shape[0], dtype=bool)
+        probs = _softmax_np(logits)
+        return probs.max(axis=-1) >= self.confidence_threshold
+
+    def _exit_depths(self, per_exit: Dict[int, np.ndarray], batch: int) -> np.ndarray:
+        """First confident exit per row (prefill: all exits available)."""
+        depth = np.full(batch, self.num_layers, dtype=np.int64)
+        if self.confidence_threshold is None:
+            return depth
+        undecided = np.ones(batch, dtype=bool)
+        for point in self.voting.exit_points:
+            if point >= self.num_layers:
+                break
+            newly = undecided & self._confident(per_exit[point])
+            depth[newly] = point
+            undecided &= ~newly
+        return depth
+
+    def _combine_rows(
+        self, per_exit: Dict[int, np.ndarray], exit_depth: np.ndarray
+    ) -> np.ndarray:
+        """Voted log-prob mixture per row, renormalized to each row's depth."""
+        all_points = self.voting.exit_points
+        vocab = next(iter(per_exit.values())).shape[-1]
+        out = np.empty((exit_depth.shape[0], vocab), dtype=np.float64)
+        for depth in np.unique(exit_depth):
+            rows = np.flatnonzero(exit_depth == depth)
+            subset = [p for p in all_points if p <= depth]
+            sub_logits = {p: per_exit[p][rows] for p in subset}
+            points = None if len(subset) == len(all_points) else subset
+            out[rows] = self.voting.combine_logits(sub_logits, points=points)
+        return out
+
+    def _propagate_kv(
+        self, layer: int, hidden_last: np.ndarray, position: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Cache entry for a skipped layer: k/v projected from the exit
+        hidden state, exactly as the layer's attention would project its
+        input (norm → projection → RoPE for k)."""
+        block = self.model.blocks[layer]
+        attn = block.attn
+        h = block.attn_norm(Tensor(hidden_last.reshape(1, 1, -1)))
+        k = attn._split_heads(attn.k_proj(h), attn.num_kv_heads)
+        v = attn._split_heads(attn.v_proj(h), attn.num_kv_heads)
+        k = apply_rope(k, attn.rope_cos, attn.rope_sin, offset=position)
+        return k.data, v.data

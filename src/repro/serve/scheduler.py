@@ -1,0 +1,334 @@
+"""Continuous-batching request scheduler.
+
+The scheduler owns the serving loop at *step* granularity: every call to
+:meth:`Scheduler.step` expires deadlines, admits queued requests while
+the cache pool's token budget and the batch-size cap allow, runs one
+batched decode over every resident request, samples each request's next
+token with that request's own seeded RNG, and retires whatever finished.
+Requests join and leave between steps (continuous batching) — a long
+request never blocks the batch from draining and refilling around it.
+
+Admission is strict FIFO with worst-case reservation: a request is
+admitted only when ``prompt_len + max_new_tokens`` fits the pool's
+remaining budget, so admitted requests always run to completion without
+memory eviction.  Requests that could *never* fit (bigger than the whole
+budget, or than the model context) are rejected gracefully at submit
+time.  Per-request deadlines bound end-to-end latency in steps; an
+expired request is evicted with its partial output.
+
+Everything is deterministic: FIFO order, step-granular admission, and
+per-request RNGs mean a run's per-request outputs depend only on the
+submitted requests — not on batch composition or wall-clock timing.
+
+Telemetry (active ``repro.obs`` registry): counters
+``serve/{submitted,admitted,completed,rejected,deadline_evictions,
+tokens_generated}``, gauges ``serve/{queue_depth,active_requests}``,
+timer ``serve/ttft`` (wall seconds, submission → first token), span
+``serve/step`` around every scheduler round, and row tables
+``serve/steps`` / ``serve/requests``.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import time
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from ..nn.attention import KVCache
+from ..nn.sampling import sample_token
+from ..obs import get_registry, span
+from .api import Request, Result
+from .cache_pool import CachePool
+from .engine import GenerationEngine
+
+
+@dataclasses.dataclass
+class SchedulerConfig:
+    """Knobs of the serving loop."""
+
+    max_batch_size: int = 8
+    max_steps: Optional[int] = None  # safety bound for run()
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+
+
+@dataclasses.dataclass
+class _Queued:
+    request: Request
+    submitted_step: int
+    submitted_at: float
+
+
+@dataclasses.dataclass
+class _Active:
+    request: Request
+    caches: List[KVCache]
+    rng: np.random.Generator
+    tokens: List[int]
+    submitted_step: int
+    submitted_at: float
+    admitted_step: int
+    first_token_step: int = -1
+    early_exit_tokens: int = 0
+
+    @property
+    def last_token(self) -> int:
+        return self.tokens[-1] if self.tokens else self.request.prompt[-1]
+
+    @property
+    def done(self) -> bool:
+        r = self.request
+        if len(self.tokens) >= r.max_new_tokens:
+            return True
+        return r.eos_token is not None and self.tokens \
+            and self.tokens[-1] == r.eos_token
+
+
+class Scheduler:
+    """Drives a :class:`GenerationEngine` under continuous batching."""
+
+    def __init__(
+        self,
+        engine: GenerationEngine,
+        pool: CachePool,
+        config: Optional[SchedulerConfig] = None,
+    ):
+        self.engine = engine
+        self.pool = pool
+        self.config = config or SchedulerConfig()
+        self._queue: Deque[_Queued] = collections.deque()
+        self._active: List[_Active] = []
+        self._results: List[Result] = []
+        self._step_index = 0
+
+    # -- introspection -------------------------------------------------
+    @property
+    def current_step(self) -> int:
+        return self._step_index
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue and not self._active
+
+    # -- submission ----------------------------------------------------
+    def submit(self, request: Request) -> Optional[Result]:
+        """Queue ``request``; returns a Result immediately iff rejected."""
+        reg = get_registry()
+        reg.counter("serve/submitted").inc()
+        max_len = self.engine.model.config.max_len
+        too_big = request.reserved_tokens > self.pool.max_resident_tokens
+        too_long = request.reserved_tokens > max_len
+        if too_big or too_long:
+            reg.counter("serve/rejected").inc()
+            result = Result(
+                request_id=request.request_id,
+                tokens=[],
+                finish_reason="rejected",
+                prompt_len=len(request.prompt),
+                submitted_step=self._step_index,
+            )
+            self._finish(result)
+            return result
+        self._queue.append(
+            _Queued(request, self._step_index, time.perf_counter())
+        )
+        reg.gauge("serve/queue_depth").set(len(self._queue))
+        return None
+
+    # -- the serving loop ----------------------------------------------
+    def step(self) -> List[Result]:
+        """One scheduler round; returns the requests that finished in it."""
+        self._step_index += 1
+        finished: List[Result] = []
+        with span("serve/step"):
+            self._expire_deadlines(finished)
+            self._admit(finished)
+            self._decode(finished)
+        reg = get_registry()
+        reg.gauge("serve/queue_depth").set(len(self._queue))
+        reg.gauge("serve/active_requests").set(len(self._active))
+        reg.record_row(
+            "serve/steps",
+            step=self._step_index,
+            queue_depth=len(self._queue),
+            active=len(self._active),
+            resident_tokens=self.pool.resident_tokens(),
+            occupancy=round(self.pool.occupancy(), 4),
+            finished=len(finished),
+        )
+        return finished
+
+    def run(self) -> List[Result]:
+        """Step until every submitted request reached a terminal state."""
+        while not self.idle:
+            if (
+                self.config.max_steps is not None
+                and self._step_index >= self.config.max_steps
+            ):
+                raise RuntimeError(
+                    f"scheduler exceeded max_steps={self.config.max_steps} "
+                    f"with {len(self._queue)} queued / {len(self._active)} active"
+                )
+            self.step()
+        return list(self._results)
+
+    # -- phases --------------------------------------------------------
+    def _expire_deadlines(self, finished: List[Result]) -> None:
+        reg = get_registry()
+        kept: Deque[_Queued] = collections.deque()
+        while self._queue:
+            item = self._queue.popleft()
+            deadline = item.request.deadline_steps
+            if (
+                deadline is not None
+                and self._step_index - item.submitted_step >= deadline
+            ):
+                reg.counter("serve/deadline_evictions").inc()
+                result = Result(
+                    request_id=item.request.request_id,
+                    tokens=[],
+                    finish_reason="deadline",
+                    prompt_len=len(item.request.prompt),
+                    submitted_step=item.submitted_step,
+                    finished_step=self._step_index,
+                )
+                self._finish(result)
+                finished.append(result)
+            else:
+                kept.append(item)
+        self._queue = kept
+
+        still_active: List[_Active] = []
+        for active in self._active:
+            deadline = active.request.deadline_steps
+            if (
+                deadline is not None
+                and self._step_index - active.submitted_step >= deadline
+            ):
+                reg.counter("serve/deadline_evictions").inc()
+                result = self._retire(active, "deadline")
+                finished.append(result)
+            else:
+                still_active.append(active)
+        self._active = still_active
+
+    def _admit(self, finished: List[Result]) -> None:
+        reg = get_registry()
+        while (
+            self._queue
+            and len(self._active) < self.config.max_batch_size
+            and self.pool.can_reserve(self._queue[0].request.reserved_tokens)
+        ):
+            item = self._queue.popleft()
+            request = item.request
+            caches = self.pool.allocate(
+                request.request_id, request.reserved_tokens
+            )
+            reg.counter("serve/admitted").inc()
+            active = _Active(
+                request=request,
+                caches=caches,
+                rng=np.random.default_rng(request.seed),
+                tokens=[],
+                submitted_step=item.submitted_step,
+                submitted_at=item.submitted_at,
+                admitted_step=self._step_index,
+            )
+            logits = self.engine.prefill(request.prompt, caches)
+            self._emit_token(active, logits, early_exit=False)
+            if active.done:
+                finished.append(self._retire(active, self._reason(active)))
+            else:
+                self._active.append(active)
+
+    def _decode(self, finished: List[Result]) -> None:
+        if not self._active:
+            return
+        logits, early = self.engine.decode_step(self._active)
+        still_active: List[_Active] = []
+        for row, active in enumerate(self._active):
+            self._emit_token(active, logits[row], early_exit=bool(early[row]))
+            if active.done:
+                finished.append(self._retire(active, self._reason(active)))
+            else:
+                still_active.append(active)
+        self._active = still_active
+
+    # -- token + retirement helpers ------------------------------------
+    def _emit_token(
+        self, active: _Active, logits: np.ndarray, early_exit: bool
+    ) -> None:
+        request = active.request
+        if request.greedy:
+            token = int(np.asarray(logits).argmax())
+        else:
+            token = sample_token(
+                logits, active.rng,
+                temperature=request.temperature,
+                top_k=request.top_k, top_p=request.top_p,
+            )
+        active.tokens.append(token)
+        if early_exit:
+            active.early_exit_tokens += 1
+        reg = get_registry()
+        reg.counter("serve/tokens_generated").inc()
+        if active.first_token_step < 0:
+            active.first_token_step = self._step_index
+            reg.timer("serve/ttft").record(
+                time.perf_counter() - active.submitted_at
+            )
+
+    @staticmethod
+    def _reason(active: _Active) -> str:
+        request = active.request
+        if (
+            request.eos_token is not None
+            and active.tokens
+            and active.tokens[-1] == request.eos_token
+        ):
+            return "eos"
+        return "length"
+
+    def _retire(self, active: _Active, reason: str) -> Result:
+        self.pool.release(active.request.request_id)
+        reg = get_registry()
+        if reason != "deadline":
+            reg.counter("serve/completed").inc()
+        result = Result(
+            request_id=active.request.request_id,
+            tokens=list(active.tokens),
+            finish_reason=reason,
+            prompt_len=len(active.request.prompt),
+            submitted_step=active.submitted_step,
+            admitted_step=active.admitted_step,
+            first_token_step=active.first_token_step,
+            finished_step=self._step_index,
+            early_exit_tokens=active.early_exit_tokens,
+        )
+        self._finish(result)
+        return result
+
+    def _finish(self, result: Result) -> None:
+        self._results.append(result)
+        get_registry().record_row(
+            "serve/requests",
+            request_id=result.request_id,
+            finish_reason=result.finish_reason,
+            prompt_len=result.prompt_len,
+            new_tokens=len(result.tokens),
+            ttft_steps=result.ttft_steps,
+            early_exit_tokens=result.early_exit_tokens,
+        )

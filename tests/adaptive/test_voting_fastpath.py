@@ -1,0 +1,120 @@
+"""Equivalence tests for the VotingCombiner logits-only fast path.
+
+``combine_logits`` must be *bit-identical* to the full ``combined_logits``
+path when given the same per-exit logits — the serving engine relies on
+this to decode per-step without re-running exits over the full context.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import ExitHeadSet, VotingCombiner
+from repro.data import lm_batches
+from repro.tensor import no_grad
+
+
+@pytest.fixture
+def calibrated(pretrained_model, pretrain_corpus):
+    heads = ExitHeadSet(pretrained_model, exit_points=[2, 4])
+    combiner = VotingCombiner(pretrained_model, heads)
+    rng = np.random.default_rng(0)
+    inputs, targets = next(lm_batches(pretrain_corpus, 4, 16, 1, rng))
+    combiner.calibrate(inputs, targets)
+    return combiner
+
+
+def per_exit_arrays(combiner, ids):
+    with no_grad():
+        per_exit = combiner.exit_heads.all_logits(combiner.model, ids)
+    return {p: t.data for p, t in per_exit.items()}
+
+
+IDS = np.array([[1, 2, 3, 4, 5], [9, 8, 7, 6, 5]], dtype=np.int64)
+
+
+class TestBitIdentity:
+    def test_full_sequence(self, calibrated):
+        reference = calibrated.combined_logits(IDS).data
+        fast = calibrated.combine_logits(per_exit_arrays(calibrated, IDS))
+        np.testing.assert_array_equal(fast, reference)
+
+    def test_last_position_slice(self, calibrated):
+        # Mixing commutes with slicing: combining last-position logits
+        # gives exactly the last position of the full combination.
+        reference = calibrated.combined_logits(IDS).data[:, -1, :]
+        last = {
+            p: arr[:, -1, :]
+            for p, arr in per_exit_arrays(calibrated, IDS).items()
+        }
+        np.testing.assert_array_equal(
+            calibrated.combine_logits(last), reference
+        )
+
+    def test_confidence_strategy(self, pretrained_model, pretrain_corpus):
+        heads = ExitHeadSet(pretrained_model, exit_points=[2, 4])
+        combiner = VotingCombiner(
+            pretrained_model, heads, strategy="confidence"
+        )
+        reference = combiner.combined_logits(IDS).data
+        fast = combiner.combine_logits(per_exit_arrays(combiner, IDS))
+        np.testing.assert_array_equal(fast, reference)
+
+
+class TestSubsets:
+    def test_subset_weights_renormalize(self, calibrated):
+        arrays = per_exit_arrays(calibrated, IDS)
+        subset = [2, 4]
+        mixed = calibrated.combine_logits(arrays, points=subset)
+        w = {p: calibrated.weights[p] for p in subset}
+        total = sum(w.values())
+        expect = np.zeros_like(arrays[2], dtype=np.float64)
+        for p in subset:
+            probs = np.exp(arrays[p] - arrays[p].max(-1, keepdims=True))
+            probs /= probs.sum(-1, keepdims=True)
+            expect += (w[p] / total) * probs
+        np.testing.assert_allclose(
+            mixed, np.log(expect + 1e-12), rtol=1e-6, atol=1e-7
+        )
+
+    def test_full_subset_equals_default(self, calibrated):
+        arrays = per_exit_arrays(calibrated, IDS)
+        all_points = calibrated.exit_points
+        by_subset = calibrated.combine_logits(arrays, points=all_points)
+        by_default = calibrated.combine_logits(arrays)
+        # Same mixture; the subset path renormalizes (total weight is 1).
+        np.testing.assert_allclose(by_subset, by_default, atol=1e-9)
+
+    def test_unknown_points_raise(self, calibrated):
+        arrays = per_exit_arrays(calibrated, IDS)
+        with pytest.raises(ValueError, match="no known exit points"):
+            calibrated.combine_logits(arrays, points=[99])
+
+    def test_best_strategy_zero_mass_falls_back(
+        self, pretrained_model, pretrain_corpus
+    ):
+        # With winner-take-all weights, a shallow subset that excludes
+        # the winner has zero calibrated mass; the fallback picks the
+        # subset's best validation loss instead of dividing by zero.
+        heads = ExitHeadSet(pretrained_model, exit_points=[2, 4])
+        combiner = VotingCombiner(pretrained_model, heads, strategy="best")
+        rng = np.random.default_rng(0)
+        inputs, targets = next(lm_batches(pretrain_corpus, 4, 16, 1, rng))
+        combiner.calibrate(inputs, targets)
+        winner = max(combiner.weights, key=combiner.weights.get)
+        subset = [p for p in [2, 4] if p != winner] or [2]
+        if combiner.weights[subset[0]] > 0:
+            pytest.skip("winner landed inside the shallow subset")
+        arrays = per_exit_arrays(combiner, IDS)
+        mixed = combiner.combine_logits(arrays, points=subset)
+        best = min(subset, key=lambda p: combiner.validation_losses[p])
+        probs = np.exp(arrays[best] - arrays[best].max(-1, keepdims=True))
+        probs /= probs.sum(-1, keepdims=True)
+        np.testing.assert_allclose(mixed, np.log(probs + 1e-12), atol=1e-12)
+
+
+class TestErrors:
+    def test_uncalibrated_raises(self, pretrained_model):
+        heads = ExitHeadSet(pretrained_model, exit_points=[2])
+        combiner = VotingCombiner(pretrained_model, heads)
+        with pytest.raises(RuntimeError, match="calibrate"):
+            combiner.combine_logits({2: np.zeros((1, 4))})

@@ -89,3 +89,99 @@ class TestSpeedup:
         out = json.loads(capsys.readouterr().out)
         assert out["speedup"] > 1.0
         assert 0.0 < out["edge_utilization"] <= 1.0
+
+
+class TestGenerate:
+    def test_explicit_prompt(self, checkpoint, capsys):
+        rc = main([
+            "generate", "--model", checkpoint, "--prompt", "1", "2", "3",
+            "--max-new-tokens", "5",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["prompt"] == [1, 2, 3]
+        assert len(out["tokens"]) == 5
+        assert out["finish_reason"] == "length"
+        assert out["greedy"] is True
+
+    def test_greedy_is_deterministic(self, checkpoint, capsys):
+        argv = ["generate", "--model", checkpoint, "--max-new-tokens", "6"]
+        main(argv)
+        first = json.loads(capsys.readouterr().out)
+        main(argv)
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+
+    def test_voting_decode(self, checkpoint, capsys):
+        rc = main([
+            "generate", "--model", checkpoint, "--prompt", "1", "2",
+            "--max-new-tokens", "4", "--exits", "1", "2",
+            "--confidence", "0.2",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert len(out["tokens"]) == 4
+        assert 0 <= out["early_exit_tokens"] <= 4
+
+    def test_confidence_without_exits_fails(self, checkpoint):
+        with pytest.raises(SystemExit):
+            main([
+                "generate", "--model", checkpoint, "--prompt", "1",
+                "--confidence", "0.5",
+            ])
+
+
+class TestServeSim:
+    def test_summary_accounts_for_every_request(self, checkpoint, capsys):
+        rc = main([
+            "serve-sim", "--model", checkpoint, "--requests", "5",
+            "--prompt-len", "6", "--max-new-tokens", "4",
+            "--max-batch", "3",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["requests"] == 5
+        assert out["completed"] == 5
+        assert out["rejected"] == 0
+        assert out["new_tokens"] == 20
+        assert out["tokens_per_s"] > 0
+
+    def test_staggered_arrivals_and_deadlines(self, checkpoint, capsys):
+        rc = main([
+            "serve-sim", "--model", checkpoint, "--requests", "6",
+            "--max-new-tokens", "4", "--max-batch", "2",
+            "--arrival-per-step", "2", "--deadline", "60",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["completed"] + out["deadline_evictions"] == 6
+
+    def test_tight_budget_rejects(self, checkpoint, capsys):
+        # Every request reserves 6 + 4 = 10 tokens > the 8-token budget.
+        rc = main([
+            "serve-sim", "--model", checkpoint, "--requests", "3",
+            "--prompt-len", "6", "--max-new-tokens", "4",
+            "--max-resident-tokens", "8",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["requests"] == 3
+        assert out["rejected"] == 3
+        assert out["completed"] == 0
+
+    def test_telemetry_report_covers_serving(
+        self, checkpoint, capsys, tmp_path
+    ):
+        report = str(tmp_path / "serve.json")
+        rc = main([
+            "serve-sim", "--model", checkpoint, "--requests", "3",
+            "--max-new-tokens", "3", "--telemetry-out", report,
+        ])
+        assert rc == 0
+        assert os.path.exists(report)
+        capsys.readouterr()
+        assert main(["report", report]) == 0
+        text = capsys.readouterr().out
+        for metric in ("serve/tokens_generated", "serve/admitted",
+                       "serve/ttft", "serve/requests"):
+            assert metric in text

@@ -50,7 +50,7 @@ class TestReadmeClaims:
 
         readme = read("README.md")
         parser = build_parser()
-        commands = re.findall(r"python -m repro ([a-z]+)([^\n]*)", readme)
+        commands = re.findall(r"python -m repro ([a-z][a-z-]*)([^\n]*)", readme)
         assert commands, "README must show CLI usage"
         for sub, rest in commands:
             rest = rest.split("#")[0]  # strip trailing comments
@@ -58,7 +58,9 @@ class TestReadmeClaims:
             # Fill required arguments with placeholders.
             if "--out" not in argv and sub == "pretrain":
                 argv += ["--out", "x.npz"]
-            if "--model" not in argv and sub in ("evaluate", "compress", "adapt"):
+            if "--model" not in argv and sub in (
+                "evaluate", "compress", "adapt", "generate", "serve-sim"
+            ):
                 argv += ["--model", "x.npz"]
             args = parser.parse_args(argv)
             assert callable(args.fn)

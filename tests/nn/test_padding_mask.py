@@ -41,13 +41,41 @@ class TestAttentionPadding:
             layer(Tensor(np.zeros((2, 6, 32))),
                   key_padding_mask=np.zeros((2, 5), dtype=bool))
 
-    def test_mask_with_cache_raises(self):
+    def test_mask_with_cache_must_cover_total_length(self):
         from repro.nn import KVCache
 
         layer = attn()
+        cache = KVCache()
+        with no_grad():
+            layer(Tensor(np.zeros((1, 4, 32))), cache=cache)
+        # Suffix-only masks are rejected: with a cache the mask spans the
+        # whole key axis (cache.length + seq).
         with pytest.raises(ValueError):
-            layer(Tensor(np.zeros((1, 4, 32))), cache=KVCache(),
-                  key_padding_mask=np.zeros((1, 4), dtype=bool))
+            layer(Tensor(np.zeros((1, 1, 32))), cache=cache,
+                  key_padding_mask=np.zeros((1, 1), dtype=bool))
+        with no_grad():
+            layer(Tensor(np.zeros((1, 1, 32))), cache=cache,
+                  key_padding_mask=np.zeros((1, 5), dtype=bool))
+        assert cache.length == 5
+
+    def test_all_false_mask_with_cache_matches_unmasked(self):
+        from repro.nn import KVCache
+
+        layer = attn()
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((1, 6, 32)).astype(np.float32)
+        step = rng.standard_normal((1, 1, 32)).astype(np.float32)
+        with no_grad():
+            plain_cache = KVCache()
+            layer(Tensor(x), cache=plain_cache)
+            plain = layer(Tensor(step), cache=plain_cache).data
+            masked_cache = KVCache()
+            layer(Tensor(x), cache=masked_cache)
+            masked = layer(
+                Tensor(step), cache=masked_cache,
+                key_padding_mask=np.zeros((1, 7), dtype=bool),
+            ).data
+        assert np.allclose(plain, masked, atol=1e-6)
 
     def test_causality_still_holds_with_mask(self):
         layer = attn()

@@ -1,0 +1,141 @@
+"""Property-style tests of the sampling strategies and beam search.
+
+Complements tests/nn/test_sampling.py (behavioural spot checks) with
+invariants over many random logit vectors: seeded determinism, nucleus
+mass bounds, top-k/greedy consistency, and beam-search degeneration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    beam_search,
+    greedy,
+    sample_token,
+    sample_top_k,
+    sample_top_p,
+)
+
+VOCAB = 12
+
+
+def random_logits(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(scale=3.0, size=VOCAB).astype(np.float32)
+
+
+def softmax(x):
+    e = np.exp(x - x.max())
+    return e / e.sum()
+
+
+class TestSeededDeterminism:
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"temperature": 0.7},
+        {"top_k": 4},
+        {"top_p": 0.8},
+    ])
+    def test_same_seed_same_draws(self, kwargs):
+        for trial in range(10):
+            logits = random_logits(trial)
+            a = [sample_token(logits, np.random.default_rng(7), **kwargs)
+                 for _ in range(5)]
+            b = [sample_token(logits, np.random.default_rng(7), **kwargs)
+                 for _ in range(5)]
+            assert a == b
+
+    def test_rng_state_advances(self):
+        logits = random_logits(0)
+        rng = np.random.default_rng(0)
+        draws = {sample_token(logits, rng, temperature=5.0)
+                 for _ in range(100)}
+        assert len(draws) > 1, "a shared generator must not repeat one draw"
+
+
+class TestTopPMassInvariant:
+    def test_samples_stay_inside_nucleus(self):
+        # Every draw must come from the smallest prefix (by descending
+        # probability) whose cumulative mass reaches p.
+        p = 0.7
+        for trial in range(20):
+            logits = random_logits(trial)
+            probs = softmax(logits.astype(np.float64))
+            order = np.argsort(probs)[::-1]
+            cutoff = int(np.searchsorted(np.cumsum(probs[order]), p)) + 1
+            nucleus = set(order[:cutoff].tolist())
+            for seed in range(25):
+                tok = sample_top_p(logits, np.random.default_rng(seed), p=p)
+                assert tok in nucleus
+
+    def test_nucleus_mass_reaches_p(self):
+        for trial in range(20):
+            logits = random_logits(trial)
+            probs = softmax(logits.astype(np.float64))
+            order = np.argsort(probs)[::-1]
+            cumulative = np.cumsum(probs[order])
+            cutoff = int(np.searchsorted(cumulative, 0.7)) + 1
+            assert cumulative[cutoff - 1] >= 0.7
+            # Minimality: dropping the last kept token dips below p.
+            if cutoff > 1:
+                assert cumulative[cutoff - 2] < 0.7
+
+
+class TestGreedyTopKConsistency:
+    def test_near_zero_temperature_matches_greedy_for_any_k(self):
+        for trial in range(10):
+            logits = random_logits(trial)
+            want = greedy(logits)
+            for k in range(1, VOCAB + 1):
+                got = sample_top_k(logits, np.random.default_rng(trial),
+                                   k=k, temperature=1e-6)
+                assert got == want
+
+    def test_greedy_always_in_topk_support(self):
+        for trial in range(10):
+            logits = random_logits(trial)
+            support = {
+                sample_top_k(logits, np.random.default_rng(s), k=3,
+                             temperature=10.0)
+                for s in range(200)
+            }
+            assert greedy(logits) in support
+
+
+class TestBeamSearch:
+    def test_beam_one_equals_greedy_generate(self, pretrained_model):
+        prompt = [1, 2, 3]
+        reference = pretrained_model.generate(prompt, 6, greedy=True)
+        beam = beam_search(pretrained_model, prompt, 6, beam_width=1)
+        assert beam == reference
+
+    def test_deterministic(self, pretrained_model):
+        a = beam_search(pretrained_model, [4, 5], 5, beam_width=3)
+        b = beam_search(pretrained_model, [4, 5], 5, beam_width=3)
+        assert a == b
+        assert len(a) == 5
+
+    def test_wider_beam_no_worse_log_prob(self, pretrained_model):
+        # Beam search maximizes total log-prob; a wider beam must find a
+        # hypothesis at least as good as the greedy path.
+        prompt = [1, 2, 3]
+
+        def score(tokens):
+            total = 0.0
+            context = list(prompt)
+            for tok in tokens:
+                ids = np.asarray(context, dtype=np.int64)[None, :]
+                logits = pretrained_model(ids).data[0, -1].astype(np.float64)
+                logp = logits - logits.max()
+                logp -= np.log(np.exp(logp).sum())
+                total += float(logp[tok])
+                context.append(tok)
+            return total
+
+        narrow = beam_search(pretrained_model, prompt, 4, beam_width=1)
+        wide = beam_search(pretrained_model, prompt, 4, beam_width=4)
+        assert score(wide) >= score(narrow) - 1e-6
+
+    def test_invalid_width(self, pretrained_model):
+        with pytest.raises(ValueError):
+            beam_search(pretrained_model, [1], 3, beam_width=0)

@@ -1,0 +1,116 @@
+"""Tests for the KV-cache pool: budgets, lifecycle, recycling."""
+
+import numpy as np
+import pytest
+
+from repro.obs import use_registry
+from repro.serve import CachePool
+
+
+def entry(batch=1, heads=2, seq=1, head_dim=4, fill=1.0):
+    k = np.full((batch, heads, seq, head_dim), fill, dtype=np.float32)
+    return k, k.copy()
+
+
+class TestConstruction:
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            CachePool(0, 100)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            CachePool(4, 0)
+
+
+class TestAllocation:
+    def test_block_has_one_cache_per_layer(self):
+        pool = CachePool(6, 100)
+        block = pool.allocate("r0", 10)
+        assert len(block) == 6
+        assert all(c.length == 0 for c in block)
+
+    def test_double_allocate_raises(self):
+        pool = CachePool(2, 100)
+        pool.allocate("r0", 10)
+        with pytest.raises(ValueError, match="already holds"):
+            pool.allocate("r0", 10)
+
+    def test_over_budget_raises(self):
+        pool = CachePool(2, 16)
+        pool.allocate("r0", 10)
+        with pytest.raises(ValueError, match="exceeds budget"):
+            pool.allocate("r1", 7)
+
+    def test_zero_token_reservation_raises(self):
+        pool = CachePool(2, 16)
+        with pytest.raises(ValueError, match=">= 1 token"):
+            pool.allocate("r0", 0)
+
+    def test_can_reserve_tracks_budget(self):
+        pool = CachePool(2, 16)
+        assert pool.can_reserve(16)
+        pool.allocate("r0", 10)
+        assert pool.can_reserve(6)
+        assert not pool.can_reserve(7)
+
+
+class TestRelease:
+    def test_release_frees_budget(self):
+        pool = CachePool(2, 16)
+        pool.allocate("r0", 16)
+        assert not pool.can_reserve(1)
+        pool.release("r0")
+        assert pool.can_reserve(16)
+        assert pool.active_requests() == []
+
+    def test_release_unknown_raises(self):
+        pool = CachePool(2, 16)
+        with pytest.raises(KeyError):
+            pool.release("ghost")
+
+    def test_released_blocks_are_recycled_reset(self):
+        pool = CachePool(3, 100)
+        block = pool.allocate("r0", 10)
+        for cache in block:
+            cache.append(*entry(seq=5))
+        pool.release("r0")
+        reused = pool.allocate("r1", 10)
+        # Same containers, emptied.
+        assert all(a is b for a, b in zip(block, reused))
+        assert all(c.length == 0 for c in reused)
+
+    def test_recycle_counter(self):
+        with use_registry() as reg:
+            pool = CachePool(2, 100)
+            pool.allocate("r0", 10)
+            pool.release("r0")
+            pool.allocate("r1", 10)
+            assert reg.counter("serve/pool/allocs").value == 1
+            assert reg.counter("serve/pool/recycles").value == 1
+
+
+class TestAccounting:
+    def test_occupancy_is_reserved_fraction(self):
+        pool = CachePool(2, 20)
+        assert pool.occupancy() == 0.0
+        pool.allocate("r0", 5)
+        assert pool.occupancy() == pytest.approx(0.25)
+        pool.allocate("r1", 15)
+        assert pool.occupancy() == pytest.approx(1.0)
+        pool.release("r0")
+        assert pool.occupancy() == pytest.approx(0.75)
+
+    def test_resident_vs_reserved(self):
+        pool = CachePool(2, 20)
+        block = pool.allocate("r0", 10)
+        assert pool.reserved_tokens == 10
+        assert pool.resident_tokens() == 0
+        for cache in block:
+            cache.append(*entry(seq=3))
+        assert pool.resident_tokens() == 3
+
+    def test_active_requests(self):
+        pool = CachePool(2, 20)
+        pool.allocate("a", 5)
+        pool.allocate("b", 5)
+        assert sorted(pool.active_requests()) == ["a", "b"]

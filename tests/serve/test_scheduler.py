@@ -1,0 +1,209 @@
+"""Tests for the continuous-batching scheduler.
+
+Covers admission control under the token budget, FIFO ordering,
+graceful rejection, deadlines (queued and active), eos termination,
+and the run() safety bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import use_registry
+from repro.serve import (
+    CachePool,
+    GenerationEngine,
+    Request,
+    Scheduler,
+    SchedulerConfig,
+    serve_batch,
+)
+
+
+def make_scheduler(model, budget, max_batch_size=8, max_steps=500):
+    engine = GenerationEngine(model)
+    pool = CachePool(model.num_layers, budget)
+    config = SchedulerConfig(max_batch_size=max_batch_size,
+                             max_steps=max_steps)
+    return Scheduler(engine, pool, config), pool
+
+
+class TestAdmission:
+    def test_budget_limits_concurrency(self, pretrained_model):
+        # Each request reserves 8 tokens; budget 16 admits two at a time.
+        scheduler, pool = make_scheduler(pretrained_model, budget=16)
+        reqs = [Request(f"r{i}", prompt=[1, 2, 3, 4], max_new_tokens=4)
+                for i in range(5)]
+        for r in reqs:
+            assert scheduler.submit(r) is None
+        peak = 0
+        while not scheduler.idle:
+            scheduler.step()
+            peak = max(peak, scheduler.active_count)
+            assert pool.reserved_tokens <= 16
+        assert peak == 2
+        results = scheduler.run()
+        assert len(results) == 5
+        assert all(r.finish_reason == "length" for r in results)
+
+    def test_fifo_admission_order(self, pretrained_model):
+        scheduler, _ = make_scheduler(pretrained_model, budget=8,
+                                      max_batch_size=1)
+        reqs = [Request(f"r{i}", prompt=[1, 2], max_new_tokens=2)
+                for i in range(4)]
+        for r in reqs:
+            scheduler.submit(r)
+        results = {r.request_id: r for r in scheduler.run()}
+        admitted = [results[f"r{i}"].admitted_step for i in range(4)]
+        assert admitted == sorted(admitted)
+
+    def test_batch_size_cap(self, pretrained_model):
+        scheduler, _ = make_scheduler(pretrained_model, budget=10_000,
+                                      max_batch_size=3)
+        for i in range(6):
+            scheduler.submit(Request(f"r{i}", prompt=[1], max_new_tokens=5))
+        peak = 0
+        while not scheduler.idle:
+            scheduler.step()
+            peak = max(peak, scheduler.active_count)
+        assert peak == 3
+
+
+class TestRejection:
+    def test_request_bigger_than_budget(self, pretrained_model):
+        scheduler, _ = make_scheduler(pretrained_model, budget=8)
+        result = scheduler.submit(
+            Request("big", prompt=[1] * 6, max_new_tokens=6)
+        )
+        assert result is not None
+        assert result.finish_reason == "rejected"
+        assert result.tokens == []
+        assert scheduler.idle
+
+    def test_request_bigger_than_context(self, pretrained_model):
+        max_len = pretrained_model.config.max_len
+        scheduler, _ = make_scheduler(pretrained_model, budget=10_000)
+        result = scheduler.submit(
+            Request("long", prompt=[1] * max_len, max_new_tokens=8)
+        )
+        assert result is not None and result.finish_reason == "rejected"
+
+    def test_rejected_results_come_back_from_serve_batch(
+        self, pretrained_model
+    ):
+        results = serve_batch(
+            pretrained_model,
+            [
+                Request("ok", prompt=[1, 2], max_new_tokens=2),
+                Request("big", prompt=[1, 2], max_new_tokens=20),
+            ],
+            max_resident_tokens=10,
+        )
+        assert [r.finish_reason for r in results] == ["length", "rejected"]
+
+
+class TestDeadlines:
+    def test_starved_queued_request_expires(self, pretrained_model):
+        # Budget fits only the first request; the second has a deadline
+        # shorter than the first's run and must expire while queued.
+        scheduler, _ = make_scheduler(pretrained_model, budget=12)
+        scheduler.submit(Request("slow", prompt=[1, 2], max_new_tokens=10))
+        scheduler.submit(Request("urgent", prompt=[1, 2], max_new_tokens=10,
+                                 deadline_steps=3))
+        results = {r.request_id: r for r in scheduler.run()}
+        assert results["urgent"].finish_reason == "deadline"
+        assert results["urgent"].tokens == []
+        assert results["slow"].finish_reason == "length"
+
+    def test_active_request_evicted_with_partial_output(
+        self, pretrained_model
+    ):
+        scheduler, pool = make_scheduler(pretrained_model, budget=100)
+        scheduler.submit(Request("r", prompt=[1, 2], max_new_tokens=50,
+                                 deadline_steps=4))
+        results = scheduler.run()
+        assert results[0].finish_reason == "deadline"
+        assert 0 < len(results[0].tokens) < 50
+        assert pool.active_requests() == []
+
+    def test_deadline_counter(self, pretrained_model):
+        with use_registry() as reg:
+            scheduler, _ = make_scheduler(pretrained_model, budget=100)
+            scheduler.submit(Request("r", prompt=[1], max_new_tokens=50,
+                                     deadline_steps=2))
+            scheduler.run()
+            assert reg.counter("serve/deadline_evictions").value == 1
+
+
+class TestTermination:
+    def test_eos_stops_generation(self, pretrained_model):
+        first = pretrained_model.generate([1, 2, 3], 1, greedy=True)[0]
+        results = serve_batch(
+            pretrained_model,
+            [Request("r", prompt=[1, 2, 3], max_new_tokens=10,
+                     eos_token=first)],
+        )
+        assert results[0].finish_reason == "eos"
+        assert results[0].tokens == [first]
+
+    def test_max_steps_guard(self, pretrained_model):
+        scheduler, _ = make_scheduler(pretrained_model, budget=100,
+                                      max_steps=2)
+        scheduler.submit(Request("r", prompt=[1], max_new_tokens=50))
+        with pytest.raises(RuntimeError, match="max_steps"):
+            scheduler.run()
+
+
+class TestTelemetry:
+    def test_lifecycle_counters_and_rows(self, pretrained_model):
+        with use_registry() as reg:
+            serve_batch(
+                pretrained_model,
+                [Request(f"r{i}", prompt=[1, 2], max_new_tokens=3)
+                 for i in range(3)],
+            )
+            assert reg.counter("serve/submitted").value == 3
+            assert reg.counter("serve/admitted").value == 3
+            assert reg.counter("serve/completed").value == 3
+            assert reg.counter("serve/tokens_generated").value == 9
+            snapshot = reg.snapshot()
+            assert len(snapshot["tables"]["serve/requests"]) == 3
+            assert snapshot["tables"]["serve/steps"], "step rows recorded"
+
+    def test_ttft_recorded(self, pretrained_model):
+        results = serve_batch(
+            pretrained_model,
+            [Request("r", prompt=[1, 2], max_new_tokens=2)],
+        )
+        assert results[0].ttft_steps >= 0
+        assert results[0].first_token_step == results[0].admitted_step
+
+
+class TestResultBookkeeping:
+    def test_results_in_submission_order(self, pretrained_model):
+        reqs = [Request(f"r{i}", prompt=[1] * (1 + i % 3),
+                        max_new_tokens=2 + i % 4) for i in range(6)]
+        results = serve_batch(pretrained_model, reqs, max_batch_size=2,
+                              max_resident_tokens=30)
+        assert [r.request_id for r in results] == [r.request_id for r in reqs]
+
+    def test_prompt_len_and_steps_recorded(self, pretrained_model):
+        res = serve_batch(
+            pretrained_model,
+            [Request("r", prompt=[5, 6, 7], max_new_tokens=2)],
+        )[0]
+        assert res.prompt_len == 3
+        assert res.submitted_step >= 0
+        assert res.finished_step >= res.admitted_step >= res.submitted_step
+
+
+def test_request_validation():
+    with pytest.raises(ValueError, match="empty prompt"):
+        Request("r", prompt=[], max_new_tokens=1)
+    with pytest.raises(ValueError, match="max_new_tokens"):
+        Request("r", prompt=[1], max_new_tokens=0)
+    with pytest.raises(ValueError, match="top_k / top_p"):
+        Request("r", prompt=[1], max_new_tokens=1, top_k=2, top_p=0.5)
+    with pytest.raises(ValueError, match="deadline_steps"):
+        Request("r", prompt=[1], max_new_tokens=1, deadline_steps=0)
+    assert Request("r", prompt=np.array([1, 2]), max_new_tokens=3)\
+        .reserved_tokens == 5
