@@ -16,6 +16,7 @@ mechanism behind the paper's speedup and memory claims.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -26,7 +27,7 @@ from ..eval.memory import MemoryReport, block_param_count, training_memory_repor
 from ..nn.optim import Adafactor, Adam, AdamW, Optimizer, SGD, clip_grad_norm
 from ..nn.transformer import TransformerLM
 from ..obs import get_registry, span
-from ..tensor import Tensor, cross_entropy, no_grad, profile_tape
+from ..tensor import Tensor, cross_entropy, fused_kernels, no_grad, profile_tape
 from .exit_heads import ExitHeadSet
 from .schedules import LayerSchedule, TuningWindow, make_schedule
 
@@ -44,7 +45,13 @@ def default_exit_points(num_layers: int, n_exits: int = 3) -> List[int]:
 
 @dataclasses.dataclass
 class AdaptiveTuningConfig:
-    """Hyper-parameters of the adaptive tuning loop."""
+    """Hyper-parameters of the adaptive tuning loop.
+
+    The last block of flags controls the train-step fast path.  Defaults
+    reproduce the paper's mechanism (truncated backprop, eager memory
+    reclamation, vectorized optimizer); ``fast_path=False`` gives the
+    full-tape baseline the speedup benchmarks compare against.
+    """
 
     window: int = 2
     exit_points: Optional[Sequence[int]] = None  # default: 3 even exits
@@ -56,6 +63,27 @@ class AdaptiveTuningConfig:
     tie_exit_heads: bool = True
     checkpoint_blocks: bool = False  # gradient-checkpoint the window blocks
     seed: int = 0
+    # --- train-step fast path ---------------------------------------
+    # Grad-free frozen-block forward: blocks below the window run under
+    # no_grad with a stop-gradient at the window edge.  False tapes the
+    # whole prefix (seed-era behavior, the benchmark baseline).
+    fast_path: bool = True
+    # Explicitly freeze out-of-window block parameters for the step
+    # (restored afterwards) so optimizers and grad clipping skip them.
+    freeze_out_of_window: bool = True
+    # Free each tape buffer as its last backward contribution lands.
+    eager_reclaim: bool = True
+    # Vectorized optimizer step over one flat parameter slab.
+    flat_optimizer: bool = True
+    # "all" optimizes every model/head parameter that receives gradients;
+    # "window" restricts the optimizer to parameters a scheduled window
+    # can ever train (blocks in any window, their exit heads, the final
+    # norm/unembedding) — the scope under which full-tape and fast-path
+    # training follow bit-identical trajectories.
+    optimizer_scope: str = "all"
+    # None inherits the process-wide fused-kernel toggle; True/False pins
+    # it for the duration of each train step.
+    fused_kernels: Optional[bool] = None
 
 
 @dataclasses.dataclass
@@ -75,6 +103,13 @@ class StepStats:
     # all hits after the first iteration; misses flag cache churn.
     fold_hits: int = 0
     fold_misses: int = 0
+    # High-water mark of live tape + gradient bytes during the step —
+    # what eager reclamation lowers (see repro.tensor.profiler).
+    peak_tape_bytes: int = 0
+    # Tape buffers freed early by backward(reclaim=True).
+    reclaimed_bytes: int = 0
+    # Block parameters frozen for this step (out-of-window blocks).
+    frozen_params: int = 0
 
 
 class AdaptiveLayerTrainer:
@@ -108,9 +143,17 @@ class AdaptiveLayerTrainer:
             num_layers=model.num_layers,
         )
         self._rng = np.random.default_rng(self.config.seed)
-        params = list(model.parameters()) + [
-            p for p in exit_heads.parameters()
-        ]
+        if self.config.optimizer_scope == "window":
+            params = self._window_scope_params()
+        elif self.config.optimizer_scope == "all":
+            params = list(model.parameters()) + [
+                p for p in exit_heads.parameters()
+            ]
+        else:
+            raise ValueError(
+                f"optimizer_scope must be 'all' or 'window', "
+                f"got {self.config.optimizer_scope!r}"
+            )
         # Dedupe tied parameters (exit heads may share the embedding).
         seen, unique = set(), []
         for p in params:
@@ -124,16 +167,52 @@ class AdaptiveLayerTrainer:
         if self.config.optimizer in ("adamw",):
             kwargs["weight_decay"] = self.config.weight_decay
         self.optimizer: Optimizer = opt_cls(unique, **kwargs)
+        self.optimizer.flat = bool(self.config.flat_optimizer)
+        self._block_params: List[List] = [
+            [p for _, p in block.named_parameters()] for block in model.blocks
+        ]
         self.iteration = 0
         self.history: List[StepStats] = []
+
+    def _window_scope_params(self) -> List:
+        """Parameters any scheduled window can train: blocks reachable by
+        some window, the exit heads at scheduled exits, and the final
+        norm + unembedding when the final exit is scheduled."""
+        model = self.model
+        scoped: List = []
+        final_exit = False
+        for point in self.schedule.exit_points:
+            w = self.schedule._window_for_exit(point)
+            for i in range(w.start, w.stop):
+                scoped.extend(p for _, p in model.blocks[i].named_parameters())
+            if w.exit_point >= model.num_layers:
+                final_exit = True
+            else:
+                head = self.exit_heads.head_for(w.exit_point)
+                scoped.extend(head.parameters())
+                if getattr(head, "_tied_embedding", None) is not None:
+                    scoped.append(head._tied_embedding.weight)
+        if final_exit:
+            scoped.extend(model.norm.parameters())
+            if model.lm_head is not None:
+                scoped.extend(model.lm_head.parameters())
+            else:
+                scoped.append(model.embed.weight)
+        return scoped
 
     # ------------------------------------------------------------------
     def _logits_for_window(self, inputs: np.ndarray, window: TuningWindow) -> Tensor:
         model = self.model
-        with no_grad():
+        if self.config.fast_path:
+            with no_grad():
+                hidden = model.embed_tokens(inputs)
+                hidden = model.run_blocks(hidden, 0, window.start)
+            hidden = Tensor(hidden.data)  # cut the (empty) tape explicitly
+        else:
+            # Seed-era full-tape baseline: the frozen prefix records tape
+            # nodes and backward walks the entire depth.
             hidden = model.embed_tokens(inputs)
             hidden = model.run_blocks(hidden, 0, window.start)
-        hidden = Tensor(hidden.data)  # cut the (empty) tape explicitly
         hidden = model.run_blocks(
             hidden,
             window.start,
@@ -144,21 +223,50 @@ class AdaptiveLayerTrainer:
             return model.head(hidden)
         return self.exit_heads.logits_at(window.exit_point, hidden)
 
+    def _freeze_out_of_window(self, window: TuningWindow) -> List:
+        """Flip ``requires_grad`` off for out-of-window block parameters;
+        returns the list to restore.  Embedding and heads stay trainable
+        (tied heads train the embedding through the unembedding)."""
+        frozen = []
+        for i, block_params in enumerate(self._block_params):
+            if window.start <= i < window.stop:
+                continue
+            for p in block_params:
+                if p.requires_grad:
+                    p.requires_grad = False
+                    frozen.append(p)
+        return frozen
+
     def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> StepStats:
         """One adaptive tuning iteration on a single batch."""
         start = time.perf_counter()
+        config = self.config
         reg = get_registry()
         fold_hits_before = reg.counter("nn/fold/hits").value
         fold_misses_before = reg.counter("nn/fold/misses").value
-        with span("adapt/iter"), profile_tape() as tape:
+        fused_ctx = (
+            contextlib.nullcontext()
+            if config.fused_kernels is None
+            else fused_kernels(config.fused_kernels)
+        )
+        with span("adapt/iter"), profile_tape() as tape, fused_ctx:
             window = self.schedule.select(self.iteration, self._rng)
-            logits = self._logits_for_window(inputs, window)
-            loss = cross_entropy(logits, targets)
-            self.optimizer.zero_grad()
-            loss.backward()
-            if self.config.grad_clip:
-                clip_grad_norm(self.optimizer.params, self.config.grad_clip)
-            self.optimizer.step()
+            frozen = (
+                self._freeze_out_of_window(window)
+                if config.fast_path and config.freeze_out_of_window
+                else []
+            )
+            try:
+                logits = self._logits_for_window(inputs, window)
+                loss = cross_entropy(logits, targets)
+                self.optimizer.zero_grad()
+                loss.backward(reclaim=config.eager_reclaim)
+                if config.grad_clip:
+                    clip_grad_norm(self.optimizer.params, config.grad_clip)
+                self.optimizer.step()
+            finally:
+                for p in frozen:
+                    p.requires_grad = True
         wall_time = time.perf_counter() - start
 
         if hasattr(self.schedule, "update"):
@@ -175,6 +283,9 @@ class AdaptiveLayerTrainer:
             activation_bytes=tape.recorded_bytes,
             fold_hits=reg.counter("nn/fold/hits").value - fold_hits_before,
             fold_misses=reg.counter("nn/fold/misses").value - fold_misses_before,
+            peak_tape_bytes=tape.peak_bytes,
+            reclaimed_bytes=tape.freed_bytes,
+            frozen_params=sum(p.size for p in frozen),
         )
         self._record_telemetry(stats)
         self.iteration += 1
@@ -186,6 +297,10 @@ class AdaptiveLayerTrainer:
         reg = get_registry()
         reg.counter("adapt/iterations").inc()
         reg.gauge("adapt/last_loss").set(stats.loss)
+        reg.counter("train/steps").inc()
+        reg.counter("train/reclaimed_bytes").inc(stats.reclaimed_bytes)
+        reg.gauge("train/peak_tape_bytes").set(stats.peak_tape_bytes)
+        reg.gauge("train/frozen_params").set(stats.frozen_params)
         reg.record_row(
             "adapt/iter",
             iteration=stats.iteration,
@@ -198,6 +313,8 @@ class AdaptiveLayerTrainer:
             trainable_params=stats.trainable_params,
             fold_hits=stats.fold_hits,
             fold_misses=stats.fold_misses,
+            peak_tape_bytes=stats.peak_tape_bytes,
+            reclaimed_bytes=stats.reclaimed_bytes,
         )
 
     def train(
@@ -290,8 +407,15 @@ def vanilla_trainer(
     grad_clip: float = 1.0,
     seed: int = 0,
     checkpoint_blocks: bool = False,
+    **fast_path_overrides,
 ) -> AdaptiveLayerTrainer:
-    """Full-depth tuning baseline expressed as a degenerate schedule."""
+    """Full-depth tuning baseline expressed as a degenerate schedule.
+
+    ``fast_path_overrides`` forwards any fast-path knob of
+    :class:`AdaptiveTuningConfig` (``eager_reclaim``, ``flat_optimizer``,
+    ``fast_path``, ``fused_kernels``, ...): full-depth training still
+    benefits from reclamation and the flat optimizer step.
+    """
     config = AdaptiveTuningConfig(
         window=model.num_layers,
         exit_points=[model.num_layers],
@@ -301,6 +425,7 @@ def vanilla_trainer(
         grad_clip=grad_clip,
         seed=seed,
         checkpoint_blocks=checkpoint_blocks,
+        **fast_path_overrides,
     )
     return AdaptiveLayerTrainer(model, config)
 

@@ -185,6 +185,10 @@ def cmd_adapt(args) -> int:
             window=args.window,
             exit_points=args.exits or None,
             lr=args.lr,
+            fast_path=not args.no_fast_path,
+            eager_reclaim=not args.no_eager_reclaim,
+            flat_optimizer=not args.no_flat_optimizer,
+            optimizer_scope=args.optimizer_scope,
         ),
         workers=args.workers,
         cache_dir=args.cache_dir,
@@ -454,6 +458,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=60)
     p.add_argument("--lr", type=float, default=2e-3)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-fast-path", action="store_true",
+                   help="tape the frozen prefix (seed-era full-tape baseline)")
+    p.add_argument("--no-eager-reclaim", action="store_true",
+                   help="keep tape buffers until backward finishes")
+    p.add_argument("--no-flat-optimizer", action="store_true",
+                   help="per-parameter optimizer loop instead of flat slab")
+    p.add_argument("--optimizer-scope", default="all",
+                   choices=["all", "window"],
+                   help="which parameters the optimizer tracks")
     p.set_defaults(fn=cmd_adapt)
 
     p = sub.add_parser("speedup", help="modeled iteration speedup")

@@ -6,7 +6,14 @@ from typing import Optional
 
 import numpy as np
 
-from ..tensor import Tensor, dropout as dropout_fn, embedding as embedding_fn
+from ..tensor import (
+    Tensor,
+    dropout as dropout_fn,
+    embedding as embedding_fn,
+    fused_kernels_enabled,
+    layer_norm as layer_norm_fn,
+    rms_norm as rms_norm_fn,
+)
 from . import init
 from .module import Module, Parameter
 
@@ -76,6 +83,8 @@ class LayerNorm(Module):
         self.bias = Parameter(init.zeros((dim,)))
 
     def forward(self, x: Tensor) -> Tensor:
+        if fused_kernels_enabled():
+            return layer_norm_fn(x, self.weight, self.bias, self.eps)
         mu = x.mean(axis=-1, keepdims=True)
         centered = x - mu
         var = (centered * centered).mean(axis=-1, keepdims=True)
@@ -96,6 +105,8 @@ class RMSNorm(Module):
         self.weight = Parameter(init.ones((dim,)))
 
     def forward(self, x: Tensor) -> Tensor:
+        if fused_kernels_enabled():
+            return rms_norm_fn(x, self.weight, self.eps)
         ms = (x * x).mean(axis=-1, keepdims=True)
         return x * ((ms + self.eps) ** -0.5) * self.weight
 

@@ -14,12 +14,60 @@ import numpy as np
 from .module import Parameter
 
 
+class _FlatBuffers:
+    """Persistent contiguous slabs backing the vectorized optimizer step.
+
+    Allocated once per active-parameter set: gradients and data are
+    gathered into reusable scratch slabs and every state moment lives in
+    one flat slab (the per-parameter ``state`` entries become views into
+    it).  The steady-state step then runs pure ``out=`` ufuncs — no
+    slab-sized temporaries, which matters because slab-sized allocations
+    fall through the small-object allocator and pay mmap/page-fault cost
+    on every op.
+    """
+
+    def __init__(self, active: List[Parameter], states, keys):
+        self.key = tuple(id(p) for p in active)
+        bounds = np.cumsum([0] + [p.size for p in active])
+        self.segments = [
+            slice(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])
+        ]
+        n = int(bounds[-1])
+        dtype = active[0].data.dtype
+        self.grad = np.empty(n, dtype=dtype)
+        self.data = np.empty(n, dtype=dtype)
+        self.tmp = np.empty(n, dtype=dtype)
+        self.tmp2 = np.empty(n, dtype=dtype)
+        self.keys = tuple(keys)
+        self.slabs = {}
+        for key in self.keys:
+            slab = self.slabs[key] = np.empty(n, dtype=dtype)
+            for st, p, seg in zip(states, active, self.segments):
+                slab[seg] = st[key].ravel()
+                st[key] = slab[seg].reshape(p.data.shape)
+
+    def valid(self, states) -> bool:
+        """True while the state entries are still views into our slabs
+        (a per-parameter fallback step replaces them with new arrays)."""
+        return all(
+            st[key].base is self.slabs[key]
+            for key in self.keys
+            for st in states
+        )
+
+    def gather(self, arrays, out: np.ndarray) -> np.ndarray:
+        return np.concatenate([a.ravel() for a in arrays], out=out)
+
+
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     """Scale gradients in-place so their global L2 norm is <= max_norm.
 
-    Returns the pre-clip norm.
+    Frozen parameters (``requires_grad=False``, possibly carrying a stale
+    gradient) and parameters with no gradient at all — e.g. everything
+    outside the adaptive tuning window — are ignored.  Returns the
+    pre-clip norm, 0.0 for an all-frozen/gradient-free group.
     """
-    params = [p for p in params if p.grad is not None]
+    params = [p for p in params if p.requires_grad and p.grad is not None]
     total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
     if total > max_norm and total > 0:
         scale = max_norm / total
@@ -29,9 +77,17 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
 
 
 class Optimizer:
-    """Base class: tracks parameters and per-parameter state."""
+    """Base class: tracks parameters and per-parameter state.
+
+    Subclasses that implement ``_flat_update`` (and set
+    ``supports_flat=True``) get a vectorized step over one contiguous
+    flattened slab of all active parameters when ``self.flat`` is True —
+    numerically identical to the per-parameter loop, but paying numpy
+    dispatch overhead once per step instead of once per parameter.
+    """
 
     state_floats_per_param: float = 0.0
+    supports_flat: bool = False
 
     def __init__(self, params: Iterable[Parameter], lr: float):
         self.params: List[Parameter] = list(params)
@@ -40,6 +96,8 @@ class Optimizer:
         self.lr = lr
         self.state: Dict[int, Dict[str, np.ndarray]] = {}
         self.step_count = 0
+        self.flat = self.supports_flat
+        self._buffers: "_FlatBuffers | None" = None
 
     def zero_grad(self) -> None:
         for p in self.params:
@@ -47,22 +105,84 @@ class Optimizer:
 
     def step(self) -> None:
         self.step_count += 1
-        for p in self.params:
-            if p.grad is None or not p.requires_grad:
-                continue
+        active = [p for p in self.params if p.grad is not None and p.requires_grad]
+        if self.flat and self.supports_flat and len(active) > 1 and self._flat_ok(active):
+            self._flat_update(active)
+            return
+        for p in active:
             self._update(p)
+
+    @staticmethod
+    def _flat_ok(active: List[Parameter]) -> bool:
+        """Flat slabs need one common floating dtype across the group."""
+        dtype = active[0].data.dtype
+        return np.issubdtype(dtype, np.floating) and all(
+            p.data.dtype == dtype for p in active[1:]
+        )
 
     def _update(self, p: Parameter) -> None:
         raise NotImplementedError
 
+    def _flat_update(self, active: List[Parameter]) -> None:
+        raise NotImplementedError
+
+    def _init_state(self, p: Parameter) -> Dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    def _state_for(self, p: Parameter) -> Dict[str, np.ndarray]:
+        # Not setdefault: that would build (and discard) the zero-filled
+        # default arrays on every step, not just the first.
+        st = self.state.get(id(p))
+        if st is None:
+            st = self.state[id(p)] = self._init_state(p)
+        return st
+
+    def _flat_buffers(
+        self, active: List[Parameter], states, keys
+    ) -> _FlatBuffers:
+        """Persistent slabs for this active set (rebuilt when the set or
+        the state arrays changed under us, e.g. after a loop-path step)."""
+        buf = self._buffers
+        if (
+            buf is None
+            or buf.key != tuple(id(p) for p in active)
+            or buf.keys != tuple(keys)
+            or not buf.valid(states)
+        ):
+            buf = self._buffers = _FlatBuffers(active, states, keys)
+        return buf
+
+    @staticmethod
+    def _scatter_data(buf: _FlatBuffers, active: List[Parameter]) -> None:
+        """Write the updated data slab back into the parameters.  Copies:
+        the scratch slab is overwritten next step, so parameters must not
+        alias it."""
+        for p, seg in zip(active, buf.segments):
+            p.data = buf.data[seg].reshape(p.data.shape).copy()
+
     def state_bytes(self, bytes_per_float: int = 4) -> int:
-        """Total optimizer-state footprint for the tracked parameters."""
+        """Total optimizer-state footprint for the tracked parameters.
+
+        Once state has materialized this counts the actually allocated
+        arrays (Adafactor's factored vectors, lazily created momenta);
+        before the first step it projects ``state_floats_per_param`` over
+        the trainable parameters.
+        """
+        if self.state:
+            total = 0
+            for st in self.state.values():
+                for value in st.values():
+                    if isinstance(value, np.ndarray):
+                        total += value.size * bytes_per_float
+            return total
         n = sum(p.size for p in self.params if p.requires_grad)
         return int(n * self.state_floats_per_param * bytes_per_float)
 
 
 class SGD(Optimizer):
     """SGD with optional momentum and weight decay."""
+
+    supports_flat = True
 
     def __init__(
         self,
@@ -76,21 +196,49 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self.state_floats_per_param = 1.0 if momentum > 0 else 0.0
 
+    def _init_state(self, p: Parameter) -> Dict[str, np.ndarray]:
+        return {"v": np.zeros_like(p.data)}
+
     def _update(self, p: Parameter) -> None:
         grad = p.grad
         if self.weight_decay:
             grad = grad + self.weight_decay * p.data
         if self.momentum > 0:
-            st = self.state.setdefault(id(p), {"v": np.zeros_like(p.data)})
+            st = self._state_for(p)
             st["v"] = self.momentum * st["v"] + grad
             grad = st["v"]
         p.data = p.data - self.lr * grad
+
+    def _flat_update(self, active: List[Parameter]) -> None:
+        # In-place ufunc mirror of _update over one contiguous slab: the
+        # same ops on the same values (python scalars promote weakly
+        # under NEP 50), so the result is bitwise identical to the
+        # per-parameter loop.
+        states = (
+            [self._state_for(p) for p in active] if self.momentum > 0 else []
+        )
+        keys = ("v",) if self.momentum > 0 else ()
+        buf = self._flat_buffers(active, states, keys)
+        grad = buf.gather([p.grad for p in active], buf.grad)
+        data = buf.gather([p.data for p in active], buf.data)
+        if self.weight_decay:
+            np.multiply(data, self.weight_decay, out=buf.tmp)
+            np.add(grad, buf.tmp, out=grad)
+        if self.momentum > 0:
+            v = buf.slabs["v"]
+            np.multiply(v, self.momentum, out=v)
+            np.add(v, grad, out=v)
+            grad = v
+        np.multiply(grad, self.lr, out=buf.tmp)
+        np.subtract(data, buf.tmp, out=data)
+        self._scatter_data(buf, active)
 
 
 class Adam(Optimizer):
     """Adam with bias correction."""
 
     state_floats_per_param = 2.0
+    supports_flat = True
 
     def __init__(
         self,
@@ -103,10 +251,11 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = betas
         self.eps = eps
 
+    def _init_state(self, p: Parameter) -> Dict[str, np.ndarray]:
+        return {"m": np.zeros_like(p.data), "v": np.zeros_like(p.data), "t": 0}
+
     def _update(self, p: Parameter) -> None:
-        st = self.state.setdefault(
-            id(p), {"m": np.zeros_like(p.data), "v": np.zeros_like(p.data), "t": 0}
-        )
+        st = self._state_for(p)
         st["t"] += 1
         grad = self._effective_grad(p)
         st["m"] = self.beta1 * st["m"] + (1 - self.beta1) * grad
@@ -117,6 +266,52 @@ class Adam(Optimizer):
 
     def _effective_grad(self, p: Parameter) -> np.ndarray:
         return p.grad
+
+    def _fill_bias_correction(
+        self, out: np.ndarray, buf: _FlatBuffers, states, beta: float
+    ) -> np.ndarray:
+        """Fill ``out`` with the segment-constant ``1 - beta**t`` slab.
+
+        Each parameter keeps its own step counter ``t`` (a window-rotated
+        parameter may have seen fewer updates than the global step), so
+        the correction is per-segment, not a scalar.  Each segment holds
+        the dtype-rounded factor — the same value the loop divides by.
+        """
+        cast = out.dtype.type
+        for st, seg in zip(states, buf.segments):
+            out[seg] = cast(1 - beta ** st["t"])
+        return out
+
+    def _flat_update(self, active: List[Parameter]) -> None:
+        # In-place ufunc mirror of _update over persistent slabs (see
+        # SGD._flat_update): the same ops on the same values, so bitwise
+        # identical to the loop.  m/v live in the slabs; the state
+        # entries are views into them and need no write-back.
+        states = [self._state_for(p) for p in active]
+        for st in states:
+            st["t"] += 1
+        buf = self._flat_buffers(active, states, ("m", "v"))
+        grad = buf.gather([p.grad for p in active], buf.grad)
+        data = buf.gather([p.data for p in active], buf.data)
+        m, v = buf.slabs["m"], buf.slabs["v"]
+        np.multiply(m, self.beta1, out=m)
+        np.multiply(grad, 1 - self.beta1, out=buf.tmp)
+        np.add(m, buf.tmp, out=m)
+        np.multiply(v, self.beta2, out=v)
+        np.power(grad, 2, out=buf.tmp)
+        np.multiply(buf.tmp, 1 - self.beta2, out=buf.tmp)
+        np.add(v, buf.tmp, out=v)
+        # grad scratch is free from here on.
+        c1 = self._fill_bias_correction(buf.tmp, buf, states, self.beta1)
+        np.divide(m, c1, out=buf.tmp)  # m_hat
+        c2 = self._fill_bias_correction(buf.tmp2, buf, states, self.beta2)
+        np.divide(v, c2, out=buf.tmp2)  # v_hat
+        np.sqrt(buf.tmp2, out=buf.tmp2)
+        np.add(buf.tmp2, self.eps, out=buf.tmp2)
+        np.multiply(buf.tmp, self.lr, out=buf.tmp)
+        np.divide(buf.tmp, buf.tmp2, out=buf.tmp)
+        np.subtract(data, buf.tmp, out=data)
+        self._scatter_data(buf, active)
 
 
 class AdamW(Adam):
@@ -137,6 +332,13 @@ class AdamW(Adam):
         if self.weight_decay:
             p.data = p.data * (1 - self.lr * self.weight_decay)
         super()._update(p)
+
+    def _flat_update(self, active: List[Parameter]) -> None:
+        if self.weight_decay:
+            decay = 1 - self.lr * self.weight_decay
+            for p in active:
+                p.data = p.data * decay
+        super()._flat_update(active)
 
 
 class Adafactor(Optimizer):
@@ -162,31 +364,36 @@ class Adafactor(Optimizer):
         self.beta2 = beta2
         self.eps = eps
         self.clip_threshold = clip_threshold
-        # Factored state: one row + one column vector per matrix.
-        n = sum(p.size for p in self.params)
+        # Factored state: one row + one column vector per matrix.  Only
+        # trainable parameters ever materialize state, and state_bytes
+        # projects over trainable parameters, so frozen ones must not
+        # dilute the ratio.
+        trainable = [p for p in self.params if p.requires_grad]
+        n = sum(p.size for p in trainable)
         factored = sum(
             (p.data.shape[0] + p.data.shape[1]) if p.data.ndim == 2 else p.size
-            for p in self.params
+            for p in trainable
         )
         self.state_floats_per_param = factored / max(n, 1)
+
+    def _init_state(self, p: Parameter) -> Dict[str, np.ndarray]:
+        if p.data.ndim == 2:
+            return {
+                "row": np.zeros(p.data.shape[0], dtype=np.float32),
+                "col": np.zeros(p.data.shape[1], dtype=np.float32),
+            }
+        return {"v": np.zeros_like(p.data)}
 
     def _update(self, p: Parameter) -> None:
         grad = p.grad
         sq = grad**2 + self.eps
+        st = self._state_for(p)
         if p.data.ndim == 2:
-            st = self.state.setdefault(
-                id(p),
-                {
-                    "row": np.zeros(p.data.shape[0], dtype=np.float32),
-                    "col": np.zeros(p.data.shape[1], dtype=np.float32),
-                },
-            )
             st["row"] = self.beta2 * st["row"] + (1 - self.beta2) * sq.mean(axis=1)
             st["col"] = self.beta2 * st["col"] + (1 - self.beta2) * sq.mean(axis=0)
             # Rank-1 reconstruction of the second moment.
             v = np.outer(st["row"], st["col"]) / max(st["row"].mean(), self.eps)
         else:
-            st = self.state.setdefault(id(p), {"v": np.zeros_like(p.data)})
             st["v"] = self.beta2 * st["v"] + (1 - self.beta2) * sq
             v = st["v"]
         update = grad / np.sqrt(v + self.eps)

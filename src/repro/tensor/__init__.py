@@ -2,14 +2,21 @@
 
 from .tensor import Tensor, concat, is_grad_enabled, no_grad, stack, where
 from .functional import (
+    bias_act,
     cross_entropy,
     dropout,
     embedding,
+    fused_kernels,
+    fused_kernels_enabled,
     gelu,
+    layer_norm,
     log_softmax,
     masked_fill,
     nll_from_logits,
+    rms_norm,
+    set_fused_kernels,
     silu,
+    silu_mul,
     softmax,
 )
 from .checkpoint import checkpoint
@@ -29,6 +36,13 @@ __all__ = [
     "nll_from_logits",
     "gelu",
     "silu",
+    "silu_mul",
+    "rms_norm",
+    "layer_norm",
+    "bias_act",
+    "fused_kernels",
+    "fused_kernels_enabled",
+    "set_fused_kernels",
     "embedding",
     "dropout",
     "masked_fill",

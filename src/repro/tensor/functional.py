@@ -7,13 +7,43 @@ in LM training), GELU/SiLU activations, embedding gather, and dropout.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor, _ensure_tensor
+from .tensor import Tensor, _ensure_tensor, _unbroadcast
 
 _SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+# Global toggle for the fused normalization / activation kernels below.
+# The fused forwards replay the exact numpy op sequence of the composed
+# implementations, so flipping this never changes forward values — it only
+# trades many small tape nodes for one fused node per call.
+_FUSED_ENABLED = True
+
+
+def fused_kernels_enabled() -> bool:
+    """Whether layers should route through the fused kernels."""
+    return _FUSED_ENABLED
+
+
+def set_fused_kernels(enabled: bool) -> bool:
+    """Enable/disable fused kernels globally; returns the previous value."""
+    global _FUSED_ENABLED
+    previous = _FUSED_ENABLED
+    _FUSED_ENABLED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def fused_kernels(enabled: bool = True):
+    """Context manager scoping the fused-kernel toggle."""
+    previous = set_fused_kernels(enabled)
+    try:
+        yield
+    finally:
+        set_fused_kernels(previous)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -136,6 +166,150 @@ def silu(x: Tensor) -> Tensor:
             x._accumulate(grad * (sig * (1.0 + x.data * (1.0 - sig))))
 
     return Tensor._make(out_data, (x,), backward)
+
+
+def silu_mul(a: Tensor, b: Tensor) -> Tensor:
+    """Fused ``silu(a) * b`` — the SwiGLU gate — as one tape node.
+
+    Bit-equivalent to the composed ``silu(a) * b``: the forward replays the
+    identical numpy op sequence, and each input's gradient mirrors the
+    composed accumulation order exactly.
+    """
+    a = _ensure_tensor(a)
+    b = _ensure_tensor(b)
+    ad, bd = a.data, b.data
+    sig = 0.5 * (1.0 + np.tanh(0.5 * ad))
+    sa = ad * sig
+    out_data = sa * bd
+
+    def backward(grad: np.ndarray) -> None:
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * sa, b.shape))
+        if a.requires_grad:
+            ga = (grad * bd) * (sig * (1.0 + ad * (1.0 - sig)))
+            a._accumulate(_unbroadcast(ga, a.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def rms_norm(x: Tensor, weight: Tensor, eps: float = 1e-5) -> Tensor:
+    """Fused RMSNorm ``x * (mean(x²) + eps)^-½ * weight`` as one tape node.
+
+    Bit-equivalent to the composed layer implementation: forward mirrors
+    its exact numpy op order (including the float32 conversion of scalar
+    constants done by ``Tensor.__init__``), backward mirrors the composed
+    per-tensor gradient accumulation order.
+    """
+    x = _ensure_tensor(x)
+    weight = _ensure_tensor(weight)
+    xd, wd = x.data, weight.data
+    inv_n = np.float32(1.0 / xd.shape[-1])
+    epsf = np.float32(eps)
+    sq = xd * xd
+    s = sq.sum(axis=-1, keepdims=True)
+    t = s * inv_n + epsf
+    r = t**-0.5
+    xr = xd * r
+    out_data = xr * wd
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate(_unbroadcast(grad * xr, weight.shape))
+        if x.requires_grad:
+            gxr = grad * wd
+            g1 = gxr * r
+            gr = (gxr * xd).sum(axis=-1, keepdims=True)
+            gs = (gr * -0.5 * t**-1.5) * inv_n
+            gsq = np.broadcast_to(gs, xd.shape).astype(xd.dtype)
+            g2 = gsq * xd
+            x._accumulate((g1 + g2) + g2)
+
+    return Tensor._make(out_data, (x, weight), backward)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Fused LayerNorm over the last axis as one tape node.
+
+    Bit-equivalent to the composed layer implementation (see
+    :func:`rms_norm` for the equivalence discipline).
+    """
+    x = _ensure_tensor(x)
+    weight = _ensure_tensor(weight)
+    bias = _ensure_tensor(bias)
+    xd, wd = x.data, weight.data
+    inv_n = np.float32(1.0 / xd.shape[-1])
+    epsf = np.float32(eps)
+    mu = xd.sum(axis=-1, keepdims=True) * inv_n
+    ct = xd - mu
+    sq = ct * ct
+    t = sq.sum(axis=-1, keepdims=True) * inv_n + epsf
+    r = t**-0.5
+    nm = ct * r
+    out_data = nm * wd + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        if bias.requires_grad:
+            bias._accumulate(_unbroadcast(grad, bias.shape))
+        if weight.requires_grad:
+            weight._accumulate(_unbroadcast(grad * nm, weight.shape))
+        if x.requires_grad:
+            gnm = grad * wd
+            g1 = gnm * r
+            gr = (gnm * ct).sum(axis=-1, keepdims=True)
+            gs = (gr * -0.5 * t**-1.5) * inv_n
+            gsq = np.broadcast_to(gs, xd.shape).astype(xd.dtype)
+            g2 = gsq * ct
+            gct = (g1 + g2) + g2
+            gs1 = (-gct).sum(axis=-1, keepdims=True) * inv_n
+            gx2 = np.broadcast_to(gs1, xd.shape).astype(xd.dtype)
+            x._accumulate(gct + gx2)
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+_BIAS_ACTS = ("gelu", "silu", "relu")
+
+
+def bias_act(x: Tensor, bias: Optional[Tensor], act: str = "gelu") -> Tensor:
+    """Fused ``act(x + bias)`` as one tape node (``bias=None`` → ``act(x)``).
+
+    Bit-equivalent to composing the broadcast add with the matching
+    activation from this module.  Supported: ``gelu``, ``silu``, ``relu``.
+    """
+    if act not in _BIAS_ACTS:
+        raise ValueError(f"bias_act supports {_BIAS_ACTS}, got {act!r}")
+    x = _ensure_tensor(x)
+    bias = _ensure_tensor(bias) if bias is not None else None
+    d = x.data if bias is None else x.data + bias.data
+    if act == "gelu":
+        inner = _SQRT_2_OVER_PI * (d + 0.044715 * d**3)
+        tnh = np.tanh(inner)
+        out_data = 0.5 * d * (1.0 + tnh)
+    elif act == "silu":
+        sig = 0.5 * (1.0 + np.tanh(0.5 * d))
+        out_data = d * sig
+    else:  # relu
+        mask = d > 0
+        out_data = d * mask
+
+    def backward(grad: np.ndarray) -> None:
+        if not (x.requires_grad or (bias is not None and bias.requires_grad)):
+            return
+        if act == "gelu":
+            dinner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * d**2)
+            dt = (1.0 - tnh**2) * dinner
+            gt = grad * (0.5 * (1.0 + tnh) + 0.5 * d * dt)
+        elif act == "silu":
+            gt = grad * (sig * (1.0 + d * (1.0 - sig)))
+        else:
+            gt = grad * mask
+        if x.requires_grad:
+            x._accumulate(_unbroadcast(gt, x.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(_unbroadcast(gt, bias.shape))
+
+    parents = (x,) if bias is None else (x, bias)
+    return Tensor._make(out_data, parents, backward)
 
 
 def embedding(weight: Tensor, ids: np.ndarray) -> Tensor:

@@ -2,10 +2,15 @@
 retains.
 
 The analytical memory model (`repro.eval.memory`) *predicts* activation
-footprints; this profiler *measures* them by intercepting tape-node
-creation and summing the bytes of recorded outputs.  The R-F2 claim
-("activation memory scales with the tuning window") is validated against
-these measurements, not just the model.
+footprints; this profiler *measures* them by observing tape-node creation
+and summing the bytes of recorded outputs.  The R-F2 claim ("activation
+memory scales with the tuning window") is validated against these
+measurements, not just the model.
+
+Since the eager-reclamation fast path (``Tensor.backward(reclaim=True)``)
+the profiler also sees buffer frees, so it can report the *peak* number of
+tape bytes simultaneously live — the quantity that actually bounds
+on-device memory — alongside the total recorded.
 """
 
 from __future__ import annotations
@@ -13,19 +18,77 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator
 
-from .tensor import Tensor
+from .tensor import _set_tape_observer
 
 
 class TapeStats:
-    """Bytes and node counts recorded while a profiler was active."""
+    """Bytes and node counts recorded while a profiler was active.
+
+    Attributes
+    ----------
+    recorded_bytes / recorded_nodes:
+        Total forward buffers (bytes / count) that joined the tape.
+    freed_bytes / freed_nodes:
+        Buffers eagerly reclaimed during ``backward(reclaim=True)``.  May
+        exceed ``recorded_bytes`` because checkpoint-replay nodes are
+        reclaimed without ever being recorded.
+    grad_bytes:
+        Gradient buffers currently live (allocated during backward, freed
+        as interior closures complete).
+    peak_bytes:
+        High-water mark of (live tape buffers + live gradient buffers) —
+        the quantity eager reclamation lowers: without it the whole tape
+        stays resident while backward's gradients stack on top.  For a
+        forward-only region this equals ``recorded_bytes``.
+    """
 
     def __init__(self):
-        self.recorded_bytes = 0
-        self.recorded_nodes = 0
+        self._parent = None
+        self.reset()
 
     def reset(self) -> None:
         self.recorded_bytes = 0
         self.recorded_nodes = 0
+        self.freed_bytes = 0
+        self.freed_nodes = 0
+        self.grad_bytes = 0
+        self.peak_bytes = 0
+
+    @property
+    def live_bytes(self) -> int:
+        """Tape bytes currently held (clamped at zero: checkpoint nodes
+        can be freed without having been recorded)."""
+        return max(0, self.recorded_bytes - self.freed_bytes)
+
+    def _update_peak(self) -> None:
+        live = self.live_bytes + self.grad_bytes
+        if live > self.peak_bytes:
+            self.peak_bytes = live
+
+    # -- observer protocol (called from repro.tensor.tensor) -----------
+    def on_record(self, nbytes: int) -> None:
+        self.recorded_bytes += nbytes
+        self.recorded_nodes += 1
+        self._update_peak()
+        if self._parent is not None:
+            self._parent.on_record(nbytes)
+
+    def on_free(self, nbytes: int) -> None:
+        self.freed_bytes += nbytes
+        self.freed_nodes += 1
+        if self._parent is not None:
+            self._parent.on_free(nbytes)
+
+    def on_grad_alloc(self, nbytes: int) -> None:
+        self.grad_bytes += nbytes
+        self._update_peak()
+        if self._parent is not None:
+            self._parent.on_grad_alloc(nbytes)
+
+    def on_grad_free(self, nbytes: int) -> None:
+        self.grad_bytes = max(0, self.grad_bytes - nbytes)
+        if self._parent is not None:
+            self._parent.on_grad_free(nbytes)
 
 
 @contextlib.contextmanager
@@ -34,21 +97,13 @@ def profile_tape() -> Iterator[TapeStats]:
 
     Only nodes that actually join the tape (requires_grad outputs with a
     backward closure) are counted — exactly the tensors kept alive for
-    the backward pass.
+    the backward pass.  Nested profilers both observe: events forward to
+    the previously installed observer.
     """
     stats = TapeStats()
-    # Accessing a staticmethod on the class yields the plain function.
-    original = Tensor._make
-
-    def counting_make(data, parents, backward_fn):
-        out = original(data, parents, backward_fn)
-        if out.requires_grad and out._backward_fn is not None:
-            stats.recorded_bytes += out.data.nbytes
-            stats.recorded_nodes += 1
-        return out
-
-    Tensor._make = staticmethod(counting_make)
+    stats._parent = _set_tape_observer(stats)
     try:
         yield stats
     finally:
-        Tensor._make = staticmethod(original)
+        _set_tape_observer(stats._parent)
+        stats._parent = None

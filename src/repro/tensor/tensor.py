@@ -23,6 +23,23 @@ ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
 
+# Sentinel payload installed in place of a reclaimed activation buffer so
+# stale reads fail loudly instead of returning garbage (see
+# ``Tensor.backward(reclaim=True)``).
+_RECLAIMED = np.empty(0, dtype=np.float32)
+
+# Active tape observer (``repro.tensor.profiler``): notified when a node
+# joins the tape and when its buffer is eagerly reclaimed during backward.
+_TAPE_OBSERVER = None
+
+
+def _set_tape_observer(observer):
+    """Install ``observer`` (or None); returns the previous observer."""
+    global _TAPE_OBSERVER
+    previous = _TAPE_OBSERVER
+    _TAPE_OBSERVER = observer
+    return previous
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -73,7 +90,8 @@ class Tensor:
 
     __slots__ = (
         "_data",
-        "grad",
+        "_grad",
+        "_grad_owned",
         "requires_grad",
         "_parents",
         "_backward_fn",
@@ -104,6 +122,11 @@ class Tensor:
     # ------------------------------------------------------------------
     @property
     def data(self) -> np.ndarray:
+        if self._data is _RECLAIMED:
+            raise RuntimeError(
+                "tensor buffer was reclaimed by backward(reclaim=True); "
+                "read the value before backward or keep eager reclamation off"
+            )
         return self._data
 
     @data.setter
@@ -113,6 +136,17 @@ class Tensor:
         # folded effective-weight caches (see repro.nn.transforms).
         self._data = value
         self._version += 1
+
+    @property
+    def grad(self) -> Optional[np.ndarray]:
+        return self._grad
+
+    @grad.setter
+    def grad(self, value: Optional[np.ndarray]) -> None:
+        # Externally assigned buffers have unknown aliasing, so the next
+        # accumulation must not mutate them in place.
+        self._grad = value
+        self._grad_owned = False
 
     @property
     def version(self) -> int:
@@ -192,20 +226,41 @@ class Tensor:
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward_fn = backward_fn
+            if _TAPE_OBSERVER is not None:
+                _TAPE_OBSERVER.on_record(out._data.nbytes)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=self.data.dtype)
-        if self.grad is None:
-            self.grad = grad.copy() if grad.base is not None else grad
+        grad = np.asarray(grad, dtype=self._data.dtype)
+        if self._grad is None:
+            if grad.base is not None:
+                self._grad = grad.copy()
+                self._grad_owned = True
+            else:
+                # Steal the buffer.  A sibling parent may have stolen the
+                # very same array (e.g. ``z = x + y`` hands both parents the
+                # identical grad), so it must never be mutated in place.
+                self._grad = grad
+                self._grad_owned = False
+            if _TAPE_OBSERVER is not None:
+                _TAPE_OBSERVER.on_grad_alloc(self._grad.nbytes)
+        elif self._grad_owned:
+            self._grad += grad
         else:
-            self.grad = self.grad + grad
+            self._grad = self._grad + grad
+            self._grad_owned = True
 
-    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+    def backward(self, grad: Optional[np.ndarray] = None, reclaim: bool = False) -> None:
         """Run reverse-mode autodiff from this tensor.
 
         ``grad`` defaults to ones (and must be supplied for non-scalar
         outputs only if a non-trivial seed is wanted).
+
+        With ``reclaim=True`` every interior node's forward buffer is
+        dropped as soon as its backward closure has consumed it, so peak
+        memory during backward stays near the deepest live frontier rather
+        than the whole tape.  Reading ``.data`` of a reclaimed node
+        afterwards raises; leaves and the root are never reclaimed.
         """
         if not self.requires_grad:
             raise RuntimeError("called backward() on a tensor without grad")
@@ -235,12 +290,22 @@ class Tensor:
                     stack.append((parent, False))
 
         self._accumulate(grad)
+        observer = _TAPE_OBSERVER
         for node in reversed(topo):
-            if node._backward_fn is not None and node.grad is not None:
-                node._backward_fn(node.grad)
+            if node._backward_fn is not None and node._grad is not None:
+                node._backward_fn(node._grad)
                 # Free interior gradients and the closure to bound memory.
                 if node is not self:
+                    if observer is not None:
+                        observer.on_grad_free(node._grad.nbytes)
                     node.grad = None
+                    if reclaim:
+                        # The closure (dropped below) held the last use of
+                        # this node's forward output; parents still pending
+                        # only ever read their *own* parents' buffers.
+                        if observer is not None:
+                            observer.on_free(node._data.nbytes)
+                        node._data = _RECLAIMED
                 node._backward_fn = None
                 node._parents = ()
 

@@ -1,0 +1,248 @@
+"""Tests for the train-step fast path: grad-free frozen prefix, eager
+reclamation, window-scoped optimization, and the train/* telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import AdaptiveLayerTrainer, AdaptiveTuningConfig
+from repro.data import lm_batches
+from repro.nn import TransformerLM
+from repro.obs import MetricsRegistry, use_registry
+
+from ..conftest import small_config
+
+
+def untied_model(state=None, **overrides):
+    cfg = small_config(num_layers=4, tie_embeddings=False, **overrides)
+    model = TransformerLM(cfg)
+    if state is not None:
+        model.load_state_dict(state)
+    return model
+
+
+def window_config(**overrides):
+    defaults = dict(
+        window=2, exit_points=[4], schedule="round_robin", lr=1e-3,
+        optimizer_scope="window",
+    )
+    defaults.update(overrides)
+    return AdaptiveTuningConfig(**defaults)
+
+
+def train_batches(corpus, n, seed=0):
+    return list(lm_batches(corpus, 4, 16, n, np.random.default_rng(seed)))
+
+
+class TestTrajectoryIdentity:
+    def test_fast_path_is_bit_identical_to_full_tape(self, adapt_corpus):
+        """The fast path is an optimization, not an approximation: with a
+        window-scoped optimizer the loss sequence matches the full-tape
+        baseline bit for bit."""
+        state = untied_model().state_dict()
+        batches = train_batches(adapt_corpus, 6)
+
+        def losses(**overrides):
+            trainer = AdaptiveLayerTrainer(
+                untied_model(state), window_config(**overrides)
+            )
+            return [
+                trainer.train_step(i, t).loss for i, t in batches
+            ]
+
+        fast = losses()  # fast_path, reclaim, flat all default-on
+        full = losses(
+            fast_path=False, eager_reclaim=False, flat_optimizer=False
+        )
+        assert fast == full
+
+    def test_frozen_prefix_weights_identical_across_paths(self, adapt_corpus):
+        state = untied_model().state_dict()
+        batches = train_batches(adapt_corpus, 3)
+
+        def prefix_weights(**overrides):
+            model = untied_model(state)
+            trainer = AdaptiveLayerTrainer(model, window_config(**overrides))
+            for i, t in batches:
+                trainer.train_step(i, t)
+            return model.blocks[0].attn.q_proj.weight.data.copy()
+
+        assert np.array_equal(
+            prefix_weights(), prefix_weights(fast_path=False)
+        )
+
+
+class TestFreezing:
+    def test_requires_grad_restored_after_step(
+        self, pretrained_model, adapt_corpus
+    ):
+        trainer = AdaptiveLayerTrainer(
+            pretrained_model,
+            AdaptiveTuningConfig(window=2, exit_points=[4],
+                                 schedule="fixed_shallow"),
+        )
+        inputs, targets = train_batches(adapt_corpus, 1)[0]
+        trainer.train_step(inputs, targets)
+        assert all(
+            p.requires_grad for p in pretrained_model.parameters()
+        )
+
+    def test_restored_even_when_step_raises(self, pretrained_model):
+        trainer = AdaptiveLayerTrainer(
+            pretrained_model,
+            AdaptiveTuningConfig(window=2, exit_points=[4],
+                                 schedule="fixed_shallow"),
+        )
+        bad_inputs = np.zeros((2, 8), dtype=np.int64)
+        bad_targets = np.zeros((3, 9), dtype=np.int64)  # shape mismatch
+        with pytest.raises(Exception):
+            trainer.train_step(bad_inputs, bad_targets)
+        assert all(
+            p.requires_grad for p in pretrained_model.parameters()
+        )
+
+    def test_frozen_params_counted_in_stats(
+        self, pretrained_model, adapt_corpus
+    ):
+        trainer = AdaptiveLayerTrainer(
+            pretrained_model,
+            AdaptiveTuningConfig(window=2, exit_points=[4],
+                                 schedule="fixed_shallow"),
+        )
+        inputs, targets = train_batches(adapt_corpus, 1)[0]
+        stats = trainer.train_step(inputs, targets)
+        out_of_window = sum(
+            p.size
+            for i, block in enumerate(pretrained_model.blocks)
+            if not (2 <= i < 4)
+            for _, p in block.named_parameters()
+        )
+        assert stats.frozen_params == out_of_window
+
+    def test_no_freeze_flag(self, pretrained_model, adapt_corpus):
+        trainer = AdaptiveLayerTrainer(
+            pretrained_model,
+            AdaptiveTuningConfig(window=2, exit_points=[4],
+                                 schedule="fixed_shallow",
+                                 freeze_out_of_window=False),
+        )
+        inputs, targets = train_batches(adapt_corpus, 1)[0]
+        stats = trainer.train_step(inputs, targets)
+        assert stats.frozen_params == 0
+
+
+class TestReclaimAndPeak:
+    def test_reclaim_lowers_peak(self, adapt_corpus):
+        state = untied_model().state_dict()
+        inputs, targets = train_batches(adapt_corpus, 1)[0]
+
+        def peak(reclaim):
+            trainer = AdaptiveLayerTrainer(
+                untied_model(state), window_config(eager_reclaim=reclaim)
+            )
+            return trainer.train_step(inputs, targets).peak_tape_bytes
+
+        assert peak(True) < peak(False)
+
+    def test_fast_path_peak_below_full_tape(self, adapt_corpus):
+        state = untied_model().state_dict()
+        inputs, targets = train_batches(adapt_corpus, 1)[0]
+
+        def peak(**overrides):
+            trainer = AdaptiveLayerTrainer(
+                untied_model(state), window_config(**overrides)
+            )
+            return trainer.train_step(inputs, targets).peak_tape_bytes
+
+        assert peak() < peak(fast_path=False, eager_reclaim=False) / 1.5
+
+    def test_reclaimed_bytes_reported(self, pretrained_model, adapt_corpus):
+        trainer = AdaptiveLayerTrainer(
+            pretrained_model,
+            AdaptiveTuningConfig(window=2, exit_points=[4],
+                                 schedule="fixed_shallow"),
+        )
+        inputs, targets = train_batches(adapt_corpus, 1)[0]
+        stats = trainer.train_step(inputs, targets)
+        assert stats.reclaimed_bytes > 0
+        assert stats.peak_tape_bytes > 0
+
+    def test_no_reclaim_reports_zero(self, pretrained_model, adapt_corpus):
+        trainer = AdaptiveLayerTrainer(
+            pretrained_model,
+            AdaptiveTuningConfig(window=2, exit_points=[4],
+                                 schedule="fixed_shallow",
+                                 eager_reclaim=False),
+        )
+        inputs, targets = train_batches(adapt_corpus, 1)[0]
+        assert trainer.train_step(inputs, targets).reclaimed_bytes == 0
+
+
+class TestOptimizerScope:
+    def test_window_scope_excludes_untied_embedding(self):
+        model = untied_model()
+        trainer = AdaptiveLayerTrainer(model, window_config())
+        scoped = {id(p) for p in trainer.optimizer.params}
+        assert id(model.embed.weight) not in scoped
+        assert id(model.lm_head.weight) in scoped
+
+    def test_window_scope_covers_all_scheduled_windows(
+        self, pretrained_model
+    ):
+        trainer = AdaptiveLayerTrainer(
+            pretrained_model,
+            AdaptiveTuningConfig(window=2, exit_points=[2, 4, 6],
+                                 optimizer_scope="window"),
+        )
+        scoped = {id(p) for p in trainer.optimizer.params}
+        # Every block some window can train is in scope (windows 0..2,
+        # 2..4, 4..6 cover all six blocks here).
+        for block in pretrained_model.blocks:
+            for _, p in block.named_parameters():
+                assert id(p) in scoped
+
+    def test_invalid_scope_raises(self, pretrained_model):
+        with pytest.raises(ValueError):
+            AdaptiveLayerTrainer(
+                pretrained_model,
+                AdaptiveTuningConfig(optimizer_scope="bogus"),
+            )
+
+
+class TestTelemetry:
+    def test_train_metrics_published(self, pretrained_model, adapt_corpus):
+        trainer = AdaptiveLayerTrainer(
+            pretrained_model,
+            AdaptiveTuningConfig(window=2, exit_points=[4],
+                                 schedule="fixed_shallow"),
+        )
+        inputs, targets = train_batches(adapt_corpus, 1)[0]
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            stats = trainer.train_step(inputs, targets)
+        assert reg.counter("train/steps").value == 1
+        assert reg.counter("train/reclaimed_bytes").value == (
+            stats.reclaimed_bytes
+        )
+        assert reg.gauge("train/peak_tape_bytes").value == (
+            stats.peak_tape_bytes
+        )
+        assert reg.gauge("train/frozen_params").value == stats.frozen_params
+        rows = reg.tables()["adapt/iter"]
+        assert rows[0]["peak_tape_bytes"] == stats.peak_tape_bytes
+        assert rows[0]["reclaimed_bytes"] == stats.reclaimed_bytes
+
+
+class TestFusedKernelPin:
+    def test_config_pin_overrides_global(self, pretrained_model, adapt_corpus):
+        from repro.tensor import fused_kernels
+
+        trainer = AdaptiveLayerTrainer(
+            pretrained_model,
+            AdaptiveTuningConfig(window=2, exit_points=[4],
+                                 schedule="fixed_shallow",
+                                 fused_kernels=False),
+        )
+        inputs, targets = train_batches(adapt_corpus, 1)[0]
+        with fused_kernels(True):
+            stats = trainer.train_step(inputs, targets)
+        assert stats.loss > 0  # ran composed path without error

@@ -115,6 +115,35 @@ class TestClipGradNorm:
         p = Parameter(np.zeros(4))
         assert clip_grad_norm([p], max_norm=1.0) == 0.0
 
+    def test_all_frozen_group_returns_zero(self):
+        # A frozen group (the out-of-window blocks) may still carry stale
+        # grads from an earlier step; clipping must ignore them entirely.
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0, dtype=np.float32)
+        p.requires_grad = False
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+        assert np.array_equal(p.grad, np.full(4, 10.0, dtype=np.float32))
+
+    def test_frozen_stale_grads_excluded_from_norm(self):
+        live = Parameter(np.zeros(3))
+        live.grad = np.array([3.0, 0.0, 0.0], dtype=np.float32)
+        frozen = Parameter(np.zeros(3))
+        frozen.grad = np.full(3, 100.0, dtype=np.float32)
+        frozen.requires_grad = False
+        norm = clip_grad_norm([live, frozen], max_norm=1.0)
+        assert norm == pytest.approx(3.0)
+        # Live grad clipped to the threshold, frozen grad untouched.
+        assert np.isclose(float(np.linalg.norm(live.grad)), 1.0, rtol=1e-5)
+        assert np.array_equal(frozen.grad, np.full(3, 100.0, dtype=np.float32))
+
+    def test_mixed_none_and_live(self):
+        live = Parameter(np.zeros(2))
+        live.grad = np.array([0.5, 0.0], dtype=np.float32)
+        missing = Parameter(np.zeros(2))
+        assert clip_grad_norm([live, missing], max_norm=1.0) == pytest.approx(
+            0.5
+        )
+
 
 class TestSchedules:
     def test_constant(self):

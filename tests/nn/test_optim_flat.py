@@ -1,0 +1,199 @@
+"""Flat-buffer optimizer steps must be bitwise identical to the loop.
+
+The vectorized step gathers every active parameter into one contiguous
+slab and mirrors the per-parameter update with in-place ufuncs — same
+ops on the same values, so parameters AND state must match the loop
+bit-for-bit, including under window rotation (per-parameter Adam step
+counts diverge) and after falling back to the loop mid-run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adafactor, Adam, AdamW, SGD
+from repro.tensor import Tensor
+
+SHAPES = [(16, 16)] * 4 + [(16,)] * 6
+
+
+def make_params(seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        Tensor(rng.standard_normal(s).astype(np.float32), requires_grad=True)
+        for s in SHAPES
+    ]
+
+
+def run(opt_cls, kwargs, flat, steps=6, rotate=True):
+    params = make_params()
+    opt = opt_cls(params, **kwargs)
+    opt.flat = flat
+    for step in range(steps):
+        rng = np.random.default_rng(100 + step)
+        # Rotate the active set like the adaptive window does.
+        active = params if not rotate or step % 2 else params[: 4 + step]
+        for p in params:
+            p.grad = None
+        for p in active:
+            p.grad = rng.standard_normal(p.data.shape).astype(np.float32)
+        opt.step()
+    return params, opt
+
+
+def assert_bitwise_equal(flat_run, loop_run):
+    (pf, of), (pl, ol) = flat_run, loop_run
+    for i, (a, b) in enumerate(zip(pf, pl)):
+        assert np.array_equal(a.data, b.data), f"param {i} data diverged"
+        sa, sb = of.state.get(id(a)), ol.state.get(id(b))
+        assert (sa is None) == (sb is None), f"param {i} state presence"
+        if sa is None:
+            continue
+        assert set(sa) == set(sb)
+        for key in sa:
+            if isinstance(sa[key], np.ndarray):
+                assert np.array_equal(sa[key], sb[key]), f"param {i} {key}"
+            else:
+                assert sa[key] == sb[key], f"param {i} {key}"
+
+
+class TestBitwiseIdentity:
+    @pytest.mark.parametrize(
+        "opt_cls,kwargs",
+        [
+            (SGD, dict(lr=0.05)),
+            (SGD, dict(lr=0.05, momentum=0.9)),
+            (SGD, dict(lr=0.05, momentum=0.9, weight_decay=0.01)),
+            (Adam, dict(lr=1e-3)),
+            (AdamW, dict(lr=1e-3, weight_decay=0.01)),
+        ],
+    )
+    def test_flat_matches_loop(self, opt_cls, kwargs):
+        assert_bitwise_equal(
+            run(opt_cls, kwargs, flat=True), run(opt_cls, kwargs, flat=False)
+        )
+
+    def test_flat_then_loop_then_flat(self):
+        # A loop-path step replaces the slab-view state arrays; the flat
+        # path must detect that and rebuild its buffers, not corrupt.
+        def interleaved(pattern):
+            params = make_params()
+            opt = Adam(params, lr=1e-3)
+            for step, flat in enumerate(pattern):
+                opt.flat = flat
+                rng = np.random.default_rng(200 + step)
+                for p in params:
+                    p.grad = rng.standard_normal(p.data.shape).astype(
+                        np.float32
+                    )
+                opt.step()
+            return params, opt
+
+        assert_bitwise_equal(
+            interleaved([True, False, True, True]),
+            interleaved([False, False, False, False]),
+        )
+
+    def test_changing_active_set_rebuilds_buffers(self):
+        params, opt = run(Adam, dict(lr=1e-3), flat=True, steps=4, rotate=True)
+        # Rotation means at least two distinct active sets were seen.
+        assert opt._buffers is not None
+
+
+class TestFallbacks:
+    def test_single_param_uses_loop(self):
+        p = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        p.grad = np.ones(4, dtype=np.float32)
+        opt.step()  # len(active) == 1 -> loop path
+        assert opt._buffers is None
+
+    def test_mixed_dtypes_fall_back(self):
+        a = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        b._data = np.ones(4, dtype=np.float64)  # Tensor coerces, so force
+        opt = SGD([a, b], lr=0.1)
+        a.grad = np.ones(4, dtype=np.float32)
+        b.grad = np.ones(4, dtype=np.float64)
+        opt.step()
+        assert opt._buffers is None
+        assert np.allclose(a.data, 0.9)
+
+    def test_flat_disabled_by_default_when_unsupported(self):
+        params = make_params()
+        opt = Adafactor(params, lr=1e-2)
+        assert opt.flat is False
+        for p in params:
+            p.grad = np.ones(p.data.shape, dtype=np.float32)
+        opt.step()  # runs the loop, no flat machinery
+
+    def test_flag_off_uses_loop(self):
+        params = make_params()
+        opt = Adam(params, lr=1e-3)
+        opt.flat = False
+        for p in params:
+            p.grad = np.ones(p.data.shape, dtype=np.float32)
+        opt.step()
+        assert opt._buffers is None
+
+
+class TestStateBytes:
+    def test_adam_projection_counts_trainable_only(self):
+        params = make_params()
+        params[0].requires_grad = False
+        opt = Adam(params, lr=1e-3)
+        trainable = sum(p.size for p in params[1:])
+        assert opt.state_bytes() == trainable * 2 * 4
+
+    def test_adam_allocated_matches_projection_after_full_step(self):
+        params = make_params()
+        opt = Adam(params, lr=1e-3)
+        projected = opt.state_bytes()
+        for p in params:
+            p.grad = np.ones(p.data.shape, dtype=np.float32)
+        opt.step()
+        assert opt.state_bytes() == projected
+
+    def test_flat_state_counts_like_loop_state(self):
+        flat_params, flat_opt = run(Adam, dict(lr=1e-3), flat=True)
+        loop_params, loop_opt = run(Adam, dict(lr=1e-3), flat=False)
+        assert flat_opt.state_bytes() == loop_opt.state_bytes()
+
+    def test_partial_step_counts_allocated_only(self):
+        params = make_params()
+        opt = Adam(params, lr=1e-3)
+        for p in params[:3]:
+            p.grad = np.ones(p.data.shape, dtype=np.float32)
+        opt.step()
+        expected = sum(p.size for p in params[:3]) * 2 * 4
+        assert opt.state_bytes() == expected
+
+    def test_adafactor_factored_bytes(self):
+        params = make_params()
+        opt = Adafactor(params, lr=1e-2)
+        for p in params:
+            p.grad = np.ones(p.data.shape, dtype=np.float32)
+        opt.step()
+        expected = sum(
+            (s[0] + s[1]) if len(s) == 2 else int(np.prod(s)) for s in SHAPES
+        ) * 4
+        assert opt.state_bytes() == expected
+
+    def test_adafactor_ratio_ignores_frozen(self):
+        params = make_params()
+        frozen_ratio = Adafactor(params, lr=1e-2).state_floats_per_param
+        params[0].requires_grad = False  # a big frozen matrix
+        ratio = Adafactor(params, lr=1e-2).state_floats_per_param
+        trainable = [p for p in params if p.requires_grad]
+        n = sum(p.size for p in trainable)
+        factored = sum(
+            (p.data.shape[0] + p.data.shape[1]) if p.data.ndim == 2 else p.size
+            for p in trainable
+        )
+        assert ratio == pytest.approx(factored / n)
+        assert ratio != pytest.approx(frozen_ratio)
+
+    def test_sgd_momentum_projection(self):
+        params = make_params()
+        opt = SGD(params, lr=0.1, momentum=0.9)
+        n = sum(p.size for p in params)
+        assert opt.state_bytes() == n * 4

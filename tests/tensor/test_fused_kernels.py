@@ -1,0 +1,171 @@
+"""Fused kernels must be *bit-identical* to the op chains they replace.
+
+The fast path's contract is "same numbers, less dispatch": each fused
+forward mirrors the exact numpy op sequence of the composed trace, and
+each fused backward mirrors the per-input accumulation order, so toggling
+``fused_kernels`` cannot change a single bit of a kernel's outputs or its
+input gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import LayerNorm, RMSNorm
+from repro.tensor import (
+    Tensor,
+    bias_act,
+    check_gradients,
+    fused_kernels,
+    fused_kernels_enabled,
+    gelu,
+    set_fused_kernels,
+    silu,
+    silu_mul,
+)
+
+
+def randt(shape, seed, scale=1.0):
+    data = np.random.default_rng(seed).standard_normal(shape) * scale
+    return Tensor(data.astype(np.float32), requires_grad=True)
+
+
+def run_both(build, *shapes_and_seeds):
+    """Run ``build(*fresh_inputs)`` fused and composed; return both sides."""
+    results = {}
+    for enabled in (True, False):
+        inputs = [randt(s, seed) for s, seed in shapes_and_seeds]
+        with fused_kernels(enabled):
+            out = build(*inputs)
+            out.sum().backward()
+        results[enabled] = (out.data, [t.grad for t in inputs])
+    return results[True], results[False]
+
+
+class TestToggle:
+    def test_context_manager_restores(self):
+        before = fused_kernels_enabled()
+        with fused_kernels(not before):
+            assert fused_kernels_enabled() is (not before)
+        assert fused_kernels_enabled() is before
+
+    def test_setter_returns_previous(self):
+        before = set_fused_kernels(False)
+        try:
+            assert fused_kernels_enabled() is False
+            assert set_fused_kernels(before) is False
+        finally:
+            set_fused_kernels(before)
+
+    def test_default_is_enabled(self):
+        assert fused_kernels_enabled() is True
+
+
+class TestBitIdentity:
+    def test_rms_norm(self):
+        norm = RMSNorm(16)
+        norm.weight.data = (
+            np.random.default_rng(9).standard_normal(16).astype(np.float32)
+        )
+        (fused, fused_grads), (composed, composed_grads) = run_both(
+            lambda x: norm(x), ((4, 16), 0)
+        )
+        assert np.array_equal(fused, composed)
+        assert np.array_equal(fused_grads[0], composed_grads[0])
+
+    def test_rms_norm_weight_grad(self):
+        norm = RMSNorm(16)
+        grads = {}
+        for enabled in (True, False):
+            norm.zero_grad()
+            with fused_kernels(enabled):
+                norm(randt((4, 16), 0)).sum().backward()
+            grads[enabled] = norm.weight.grad.copy()
+        assert np.array_equal(grads[True], grads[False])
+
+    def test_layer_norm(self):
+        norm = LayerNorm(16)
+        norm.weight.data = (
+            np.random.default_rng(9).standard_normal(16).astype(np.float32)
+        )
+        (fused, fused_grads), (composed, composed_grads) = run_both(
+            lambda x: norm(x), ((4, 16), 1)
+        )
+        assert np.array_equal(fused, composed)
+        assert np.array_equal(fused_grads[0], composed_grads[0])
+
+    def test_layer_norm_param_grads(self):
+        norm = LayerNorm(16)
+        grads = {}
+        for enabled in (True, False):
+            norm.zero_grad()
+            with fused_kernels(enabled):
+                norm(randt((4, 16), 1)).sum().backward()
+            grads[enabled] = (
+                norm.weight.grad.copy(), norm.bias.grad.copy()
+            )
+        assert np.array_equal(grads[True][0], grads[False][0])
+        assert np.array_equal(grads[True][1], grads[False][1])
+
+    def test_silu_mul(self):
+        def composed(a, b):
+            return silu(a) * b
+
+        fused_in = [randt((4, 16), 2), randt((4, 16), 3)]
+        comp_in = [randt((4, 16), 2), randt((4, 16), 3)]
+        out_f = silu_mul(*fused_in)
+        out_c = composed(*comp_in)
+        assert np.array_equal(out_f.data, out_c.data)
+        out_f.sum().backward()
+        out_c.sum().backward()
+        for f, c in zip(fused_in, comp_in):
+            assert np.array_equal(f.grad, c.grad)
+
+    @pytest.mark.parametrize("act", ["gelu", "silu", "relu"])
+    def test_bias_act(self, act):
+        composed_act = {
+            "gelu": gelu, "silu": silu, "relu": lambda t: t.relu()
+        }[act]
+        fused_in = [randt((4, 16), 4), randt((16,), 5)]
+        comp_in = [randt((4, 16), 4), randt((16,), 5)]
+        out_f = bias_act(fused_in[0], fused_in[1], act=act)
+        out_c = composed_act(comp_in[0] + comp_in[1])
+        assert np.array_equal(out_f.data, out_c.data)
+        out_f.sum().backward()
+        out_c.sum().backward()
+        for f, c in zip(fused_in, comp_in):
+            assert np.array_equal(f.grad, c.grad)
+
+    def test_bias_act_without_bias(self):
+        x1, x2 = randt((3, 8), 6), randt((3, 8), 6)
+        out_f = bias_act(x1, None, act="gelu")
+        out_c = gelu(x2)
+        assert np.array_equal(out_f.data, out_c.data)
+
+    def test_bias_act_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            bias_act(randt((2, 4), 0), None, act="tanh")
+
+
+class TestGradcheck:
+    def test_rms_norm_gradcheck(self):
+        from repro.tensor import rms_norm
+
+        x = randt((3, 8), 0)
+        w = randt((8,), 1)
+        check_gradients(lambda x, w: rms_norm(x, w), [x, w])
+
+    def test_layer_norm_gradcheck(self):
+        from repro.tensor import layer_norm
+
+        x = randt((3, 8), 2)
+        w = randt((8,), 3)
+        b = randt((8,), 4)
+        check_gradients(lambda x, w, b: layer_norm(x, w, b), [x, w, b])
+
+    def test_silu_mul_gradcheck(self):
+        a, b = randt((3, 8), 5), randt((3, 8), 6)
+        check_gradients(silu_mul, [a, b])
+
+    def test_bias_act_gradcheck(self):
+        x, b = randt((3, 8), 7), randt((8,), 8)
+        check_gradients(lambda x, b: bias_act(x, b, act="silu"), [x, b])

@@ -1,0 +1,111 @@
+"""Tests for eager tape reclamation (``backward(reclaim=True)``)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear
+from repro.tensor import Tensor, profile_tape
+
+
+def chain(x):
+    h = (x * 2.0).relu()
+    h = h * h
+    return h.sum()
+
+
+class TestReclaimSemantics:
+    def test_interior_buffers_freed_and_guarded(self):
+        x = Tensor(np.ones((4, 4), dtype=np.float32), requires_grad=True)
+        h = x * 2.0
+        out = h.sum()
+        out.backward(reclaim=True)
+        with pytest.raises(RuntimeError, match="reclaimed"):
+            _ = h.data
+
+    def test_root_and_leaves_survive(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        out = (x * 2.0).sum()
+        out.backward(reclaim=True)
+        assert out.item() == 6.0  # root kept
+        assert np.array_equal(x.data, np.ones(3, dtype=np.float32))
+        assert x.grad is not None
+
+    def test_gradients_identical_with_and_without_reclaim(self):
+        data = np.random.default_rng(0).standard_normal((5, 3))
+        x1 = Tensor(data, requires_grad=True)
+        x2 = Tensor(data, requires_grad=True)
+        chain(x1).backward()
+        chain(x2).backward(reclaim=True)
+        assert np.array_equal(x1.grad, x2.grad)
+
+    def test_sibling_grad_aliasing_regression(self):
+        # z = x + y hands BOTH parents the same incoming grad array; the
+        # in-place accumulation fast path must not mutate a buffer a
+        # sibling also holds.
+        for reclaim in (False, True):
+            x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+            y = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+            z = x + y
+            t = x * 3.0  # x accumulates a second contribution
+            (z.sum() + t.sum()).backward(reclaim=reclaim)
+            assert np.array_equal(x.grad, np.full(4, 4.0, dtype=np.float32))
+            assert np.array_equal(y.grad, np.ones(4, dtype=np.float32))
+
+    def test_interior_grads_cleared_either_way(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        h = x * 2.0
+        h.sum().backward()
+        assert h.grad is None  # interior grads are freed once consumed
+
+    def test_reclaim_through_linear_layer(self):
+        layer = Linear(8, 8, rng=np.random.default_rng(0))
+        x1 = Tensor(np.ones((2, 8), dtype=np.float32), requires_grad=True)
+        (layer(x1) ** 2).sum().backward()
+        w_grad = layer.weight.grad.copy()
+        x_grad = x1.grad.copy()
+        layer.zero_grad()
+        x2 = Tensor(np.ones((2, 8), dtype=np.float32), requires_grad=True)
+        (layer(x2) ** 2).sum().backward(reclaim=True)
+        assert np.array_equal(layer.weight.grad, w_grad)
+        assert np.array_equal(x2.grad, x_grad)
+
+
+class TestReclaimMemory:
+    def test_freed_bytes_counted(self):
+        with profile_tape() as stats:
+            x = Tensor(np.ones((16, 16), dtype=np.float32),
+                       requires_grad=True)
+            h = x * 2.0
+            h = h.relu()
+            h.sum().backward(reclaim=True)
+        assert stats.freed_nodes >= 2
+        assert stats.freed_bytes >= 2 * 16 * 16 * 4
+
+    def test_peak_lower_with_reclaim(self):
+        # Leaf gradients stack up as backward walks the chain; without
+        # reclamation the whole tape stays live underneath them, with it
+        # the tape shrinks as the leaf grads grow.
+        rng = np.random.default_rng(0)
+        weights = [
+            Tensor(rng.standard_normal((32, 32)), requires_grad=True)
+            for _ in range(6)
+        ]
+
+        def run(reclaim):
+            for w in weights:
+                w.grad = None
+            with profile_tape() as stats:
+                h = Tensor(rng.standard_normal((32, 32)), requires_grad=True)
+                for w in weights:
+                    h = (h * w).relu()
+                h.sum().backward(reclaim=reclaim)
+            return stats.peak_bytes
+
+        assert run(True) < run(False)
+
+    def test_no_reclaim_frees_nothing(self):
+        with profile_tape() as stats:
+            x = Tensor(np.ones((4, 4), dtype=np.float32), requires_grad=True)
+            (x * 2.0).sum().backward()
+        assert stats.freed_nodes == 0
+        assert stats.freed_bytes == 0
