@@ -1,0 +1,164 @@
+"""EXT — structural rotate-and-slice: real FLOP and wall-clock wins.
+
+Unlike LUC's fake-quant + masking (which rescale the *cost model* but
+run full-shape matmuls), the rotate-and-slice pass (``repro.nn.slicing``)
+rewrites the network to genuinely smaller weight matrices: per-junction
+PCA rotations concentrate residual energy, the low-energy tail is cut,
+and shortcut rotations carry the residual path between bases.
+
+This bench pretrains a wider-than-default backbone (the shapes where
+GEMM work, not interpreter overhead, dominates a decode step), slices it
+to half residual width, and checks three bars that CI enforces through
+``validate_results --min-metric``:
+
+* ``flop_reduction``  >= 1.3x fewer modeled decode MACs
+  (``repro.hw.decode_step_workload`` on the sliced shapes),
+* ``decode_speedup``  >= 1.3x measured batched KV-cache decode
+  wall-clock,
+* ``ppl_within_bar``  sliced perplexity within 1% of the unsliced model
+  on the pretraining language.
+"""
+
+import time
+
+import numpy as np
+
+from repro.data import MarkovChainCorpus, lm_batches
+from repro.eval import model_perplexity
+from repro.hw import decode_step_workload, total_macs
+from repro.nn import (
+    AdamW,
+    TransformerConfig,
+    TransformerLM,
+    rotate_and_slice,
+)
+from repro.tensor import cross_entropy, no_grad
+
+from .common import BATCH, PRETRAIN_SEED, PRETRAIN_STEPS, SEQ, VOCAB, emit
+
+# Wider/shallower than the shared bench model: slicing's win is matmul
+# work, so the residual width must be large enough for GEMM time to
+# dominate the per-op interpreter overhead of a decode step.
+DIM = 384
+LAYERS = 6
+HEADS = 4
+SLICE_RATIO = 0.5
+CALIB_BATCH = 64  # 384-dim junction covariances need >> dim samples
+DECODE_BATCH = 16
+PROMPT_LEN = 16
+DECODE_TOKENS = 24
+REPEATS = 3
+PPL_BAR = 1.01  # sliced ppl must stay within 1% of the base model
+
+
+def _config() -> TransformerConfig:
+    return TransformerConfig(
+        vocab_size=VOCAB, dim=DIM, num_layers=LAYERS, num_heads=HEADS,
+        max_len=128, seed=0,
+    )
+
+
+def _pretrain(corpus) -> TransformerLM:
+    model = TransformerLM(_config())
+    rng = np.random.default_rng(0)
+    opt = AdamW(model.parameters(), lr=3e-3)
+    for inputs, targets in lm_batches(corpus, BATCH, SEQ, PRETRAIN_STEPS, rng):
+        loss = cross_entropy(model(inputs), targets)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return model
+
+
+def _time_decode(model, repeats: int = REPEATS) -> float:
+    """Best-of-N batched teacher-forced KV-cache decode wall-clock."""
+    rng = np.random.default_rng(0)
+    prompt = rng.integers(0, VOCAB, (DECODE_BATCH, PROMPT_LEN))
+    tokens = rng.integers(0, VOCAB, (DECODE_BATCH, DECODE_TOKENS))
+    best = np.inf
+    with no_grad():
+        for _ in range(repeats):
+            caches = model.new_caches()
+            model(prompt, caches=caches)  # prefill (not timed)
+            start = time.perf_counter()
+            for t in range(DECODE_TOKENS):
+                model(tokens[:, t : t + 1], caches=caches)
+            best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _decode_macs(config, slice_dims=None) -> int:
+    return total_macs(
+        decode_step_workload(
+            config, DECODE_BATCH, PROMPT_LEN + DECODE_TOKENS // 2,
+            slice_per_block=slice_dims,
+        )
+    )
+
+
+def test_ext_slicing(benchmark):
+    corpus = MarkovChainCorpus(vocab_size=VOCAB, order=1, seed=PRETRAIN_SEED)
+    base = _pretrain(corpus)
+    base.eval()
+    base_ppl = model_perplexity(base, corpus, batch_size=BATCH, seq_len=SEQ)
+
+    sliced = TransformerLM(_config())
+    sliced.load_state_dict(base.state_dict())
+    calib, _ = next(
+        lm_batches(corpus, CALIB_BATCH, SEQ, 1, np.random.default_rng(42))
+    )
+    spec = rotate_and_slice(sliced, calib, SLICE_RATIO)
+    sliced.eval()
+    sliced_ppl = model_perplexity(sliced, corpus, batch_size=BATCH, seq_len=SEQ)
+
+    # The slice must be structural: the projections really are smaller.
+    sliced_dim = sliced.blocks[0].attn.q_proj.in_features
+    assert sliced_dim < DIM
+
+    base_s = _time_decode(base)
+    sliced_s = _time_decode(sliced)
+    base_macs = _decode_macs(base.config)
+    sliced_macs = _decode_macs(sliced.config, spec.hw_dims())
+
+    decode_speedup = base_s / sliced_s
+    flop_reduction = base_macs / sliced_macs
+    ppl_ratio = sliced_ppl / base_ppl
+    metrics = {
+        "decode_speedup": decode_speedup,
+        "flop_reduction": flop_reduction,
+        "ppl_base": base_ppl,
+        "ppl_sliced": sliced_ppl,
+        "ppl_ratio": ppl_ratio,
+        "ppl_within_bar": int(ppl_ratio <= PPL_BAR),
+    }
+    rows = [
+        ["full", DIM, round(base_s * 1e3, 1), base_macs,
+         round(base_ppl, 4), 1.0],
+        ["sliced", sliced_dim, round(sliced_s * 1e3, 1), sliced_macs,
+         round(sliced_ppl, 4), round(ppl_ratio, 4)],
+    ]
+    emit(
+        "ext_slicing",
+        f"EXT: rotate-and-slice at {SLICE_RATIO:.0%} residual width "
+        f"(dim {DIM}, {LAYERS} layers, batch-{DECODE_BATCH} decode)",
+        ["model", "residual_dim", "decode_ms", "decode_macs", "ppl",
+         "ppl_ratio"],
+        rows,
+        metrics=metrics,
+        config={
+            "slice_dim": DIM, "slice_layers": LAYERS,
+            "slice_ratio": SLICE_RATIO, "calib_batch": CALIB_BATCH,
+            "decode_batch": DECODE_BATCH, "prompt_len": PROMPT_LEN,
+            "decode_tokens": DECODE_TOKENS, "repeats": REPEATS,
+            "ppl_bar": PPL_BAR,
+        },
+    )
+
+    # Acceptance bars (mirrored in CI by validate_results --min-metric).
+    assert flop_reduction >= 1.3
+    assert decode_speedup >= 1.3
+    assert metrics["ppl_within_bar"] == 1
+
+    benchmark.pedantic(
+        lambda: _time_decode(sliced, repeats=1), rounds=3, iterations=1
+    )

@@ -15,6 +15,8 @@ Checks, all of which must pass for a zero exit status:
   output format and crashed, or a stale file survived a rename),
 * every ``--expect NAME`` has a sidecar,
 * every ``--min-metric BENCH:METRIC:THRESHOLD`` bar holds (repeatable;
+  the bench must exist as ``benchmarks/bench_<BENCH>.py`` — a stale
+  sidecar left behind by a renamed bench must not satisfy a bar — and
   the metric must exist, be numeric, and be >= the threshold).
 """
 
@@ -46,6 +48,15 @@ def check_pairing(directory: str) -> List[str]:
     return errors
 
 
+def known_bench_names(bench_dir: Optional[str] = None) -> set:
+    """Bench names that actually exist as ``bench_<name>.py`` modules."""
+    bench_dir = bench_dir or os.path.dirname(os.path.abspath(__file__))
+    return {
+        os.path.splitext(os.path.basename(path))[0][len("bench_"):]
+        for path in glob.glob(os.path.join(bench_dir, "bench_*.py"))
+    }
+
+
 def parse_min_metric(spec: str) -> Tuple[str, str, float]:
     """Parse a ``BENCH:METRIC:THRESHOLD`` bar specification."""
     parts = spec.split(":")
@@ -62,8 +73,14 @@ def parse_min_metric(spec: str) -> Tuple[str, str, float]:
         ) from None
 
 
-def check_min_metrics(payloads, specs: List[str]) -> List[str]:
-    """Enforce ``--min-metric`` bars against the loaded sidecars."""
+def check_min_metrics(
+    payloads, specs: List[str], known: Optional[set] = None
+) -> List[str]:
+    """Enforce ``--min-metric`` bars against the loaded sidecars.
+
+    ``known`` is the set of bench names that exist as modules; a bar
+    naming anything else is an error even if a (stale) sidecar matches.
+    """
     errors = []
     by_bench = {p["bench"]: p for p in payloads}
     for spec in specs:
@@ -71,6 +88,13 @@ def check_min_metrics(payloads, specs: List[str]) -> List[str]:
             bench, metric, threshold = parse_min_metric(spec)
         except ValueError as exc:
             errors.append(str(exc))
+            continue
+        if known is not None and bench not in known:
+            errors.append(
+                f"--min-metric {spec}: unknown benchmark {bench!r} "
+                f"(no benchmarks/bench_{bench}.py; stale sidecars do not "
+                "satisfy bars)"
+            )
             continue
         payload = by_bench.get(bench)
         if payload is None:
@@ -130,7 +154,9 @@ def validate_directory(
     for name in expect or []:
         if name not in seen:
             errors.append(f"{directory}: expected bench {name!r} has no sidecar")
-    errors.extend(check_min_metrics(payloads, min_metrics or []))
+    errors.extend(
+        check_min_metrics(payloads, min_metrics or [], known=known_bench_names())
+    )
     if not paths:
         errors.append(f"{directory}: no sidecars found")
     return errors

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..nn.layers import Linear, RMSNorm
 from ..nn.module import Module, ModuleList
+from ..nn.slicing import is_sliced
 from ..nn.transformer import TransformerLM
 from ..tensor import Tensor
 
@@ -77,13 +78,29 @@ class ExitHeadSet(Module):
             )
         self.exit_points: List[int] = points
         rng = np.random.default_rng(seed)
-        tie = model.embed if tie_embeddings else None
+        # On a structurally sliced model (repro.nn.slicing) each tap sits
+        # in its own rotated-and-truncated basis, so the full-width token
+        # embedding cannot be tied — every head gets its own projection
+        # at the tap's actual residual width.
+        sliced = is_sliced(model)
+        tie = model.embed if (tie_embeddings and not sliced) else None
         self.heads = ModuleList(
             [
-                ExitHead(model.config.dim, model.config.vocab_size, tie_to=tie, rng=rng)
-                for _ in points
+                ExitHead(
+                    self._tap_dim(model, point),
+                    model.config.vocab_size,
+                    tie_to=tie,
+                    rng=rng,
+                )
+                for point in points
             ]
         )
+
+    @staticmethod
+    def _tap_dim(model: TransformerLM, exit_point: int) -> int:
+        """Residual width after block ``exit_point - 1`` (equals
+        ``config.dim`` on unsliced models)."""
+        return model.blocks[exit_point - 1].mlp.down_proj.out_features
 
     def head_for(self, exit_point: int) -> ExitHead:
         try:

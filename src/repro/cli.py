@@ -5,6 +5,7 @@ Subcommands cover the deployment workflow end to end on synthetic data:
 * ``pretrain``  train a base model and save an .npz checkpoint
 * ``evaluate``  perplexity / QA accuracy of a checkpoint on a language seed
 * ``compress``  profile + search a LUC policy for a checkpoint
+* ``slice``     structurally rotate-and-slice a checkpoint (smaller matmuls)
 * ``adapt``     run the full Edge-LLM pipeline (compress -> adapt -> vote)
 * ``speedup``   modeled per-iteration cost vs vanilla tuning
 * ``generate``  serve one generation request through repro.serve
@@ -164,6 +165,46 @@ def cmd_compress(args) -> int:
         with open(args.out, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"policy written to {args.out}")
+    return 0
+
+
+def cmd_slice(args) -> int:
+    """Rotate-and-slice a checkpoint to genuinely smaller matmuls.
+
+    Reports perplexity before/after and the modeled decode FLOP
+    reduction; the sliced checkpoint (SliceSpec embedded) reloads
+    directly via ``load_model``.
+    """
+    from .data import MarkovChainCorpus, lm_batches
+    from .eval import model_perplexity
+    from .hw import decode_step_workload, total_macs
+    from .nn import load_model, rotate_and_slice, save_model
+
+    model = load_model(args.model)
+    corpus = MarkovChainCorpus(
+        vocab_size=model.config.vocab_size, order=args.order,
+        seed=args.language_seed,
+    )
+    rng = np.random.default_rng(args.seed)
+    calib, _ = next(lm_batches(corpus, args.batch, args.seq, 1, rng))
+    before = model_perplexity(model, corpus, batch_size=args.batch,
+                              seq_len=args.seq)
+    ratios = args.ratios if args.ratios else args.ratio
+    spec = rotate_and_slice(model, calib, ratios, round_to=args.round_to)
+    after = model_perplexity(model, corpus, batch_size=args.batch,
+                             seq_len=args.seq)
+    base = total_macs(decode_step_workload(model.config, 1, args.seq))
+    sliced = total_macs(decode_step_workload(
+        model.config, 1, args.seq, slice_per_block=spec.hw_dims()
+    ))
+    save_model(model, args.out)
+    print(json.dumps({
+        "perplexity_before": round(before, 4),
+        "perplexity_after": round(after, 4),
+        "flop_reduction": round(base / sliced, 3),
+        "residual_dims": {str(i): list(d) for i, d in spec.hw_dims().items()},
+        "out": args.out,
+    }, indent=2))
     return 0
 
 
@@ -443,6 +484,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="write the policy as JSON")
     p.set_defaults(fn=cmd_compress)
+
+    p = sub.add_parser(
+        "slice", help="structurally rotate-and-slice a checkpoint"
+    )
+    _add_data_args(p)
+    _add_telemetry_args(p)
+    p.add_argument("--model", required=True)
+    p.add_argument("--out", required=True,
+                   help="write the sliced checkpoint here")
+    p.add_argument("--ratio", type=float, default=0.5,
+                   help="uniform residual-stream keep fraction")
+    p.add_argument("--ratios", type=float, nargs="*", default=None,
+                   help="per-block keep fractions (overrides --ratio)")
+    p.add_argument("--round-to", type=int, default=8,
+                   help="round sliced widths to a multiple of this")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_slice)
 
     p = sub.add_parser("adapt", help="full Edge-LLM pipeline")
     _add_model_args(p)

@@ -8,7 +8,7 @@ and cost model used for tuning iterations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..nn.transformer import TransformerConfig
 from .accelerator import AcceleratorSpec
@@ -22,10 +22,12 @@ def prefill_workload(
     prompt_len: int,
     bits_per_block: Optional[Dict[int, int]] = None,
     sparsity_per_block: Optional[Dict[int, float]] = None,
+    slice_per_block: Optional[Dict[int, Tuple[int, int, int]]] = None,
 ) -> List[GEMMWorkload]:
     """Forward pass over the whole prompt (cache build)."""
     bits_per_block = bits_per_block or {}
     sparsity_per_block = sparsity_per_block or {}
+    slice_per_block = slice_per_block or {}
     gemms: List[GEMMWorkload] = []
     for i in range(config.num_layers):
         gemms.extend(
@@ -33,10 +35,23 @@ def prefill_workload(
                 config, batch, prompt_len, i,
                 bits_per_block.get(i, FP_BITS),
                 sparsity_per_block.get(i, 0.0),
+                slice_per_block.get(i),
             )
         )
-    gemms.append(head_gemm(config, batch * prompt_len))
+    head_in = _head_in_dim(config, slice_per_block)
+    gemms.append(head_gemm(config, batch * prompt_len, in_dim=head_in))
     return gemms
+
+
+def _head_in_dim(
+    config: TransformerConfig,
+    slice_per_block: Dict[int, Tuple[int, int, int]],
+) -> Optional[int]:
+    """Width of the final residual junction the unembedding reads."""
+    last = config.num_layers - 1
+    if last in slice_per_block:
+        return slice_per_block[last][2]
+    return None
 
 
 def decode_step_workload(
@@ -45,13 +60,16 @@ def decode_step_workload(
     context_len: int,
     bits_per_block: Optional[Dict[int, int]] = None,
     sparsity_per_block: Optional[Dict[int, float]] = None,
+    slice_per_block: Optional[Dict[int, Tuple[int, int, int]]] = None,
 ) -> List[GEMMWorkload]:
     """One cached decoding step: single-token projections, attention over
-    the full context."""
+    the full context.  ``slice_per_block`` narrows the projection GEMMs
+    exactly as in :func:`repro.hw.workload.block_forward_gemms`."""
     if context_len < 1:
         raise ValueError("context_len must be >= 1")
     bits_per_block = bits_per_block or {}
     sparsity_per_block = sparsity_per_block or {}
+    slice_per_block = slice_per_block or {}
     d = config.dim
     f = config.resolved_mlp_hidden()
     kv = config.resolved_kv_dim()
@@ -59,19 +77,20 @@ def decode_step_workload(
     for i in range(config.num_layers):
         bits = bits_per_block.get(i, FP_BITS)
         sparsity = sparsity_per_block.get(i, 0.0)
+        d_in, d_mid, d_out = slice_per_block.get(i, (d, d, d))
         prefix = f"block{i}"
         gemms.extend([
-            GEMMWorkload(f"{prefix}.q", batch, d, d, bits, sparsity),
-            GEMMWorkload(f"{prefix}.k", batch, d, kv, bits, sparsity),
-            GEMMWorkload(f"{prefix}.v", batch, d, kv, bits, sparsity),
+            GEMMWorkload(f"{prefix}.q", batch, d_in, d, bits, sparsity),
+            GEMMWorkload(f"{prefix}.k", batch, d_in, kv, bits, sparsity),
+            GEMMWorkload(f"{prefix}.v", batch, d_in, kv, bits, sparsity),
             GEMMWorkload(f"{prefix}.scores", batch, d, context_len, FP_BITS, 0.0),
             GEMMWorkload(f"{prefix}.context", batch, context_len, d, FP_BITS, 0.0),
-            GEMMWorkload(f"{prefix}.o", batch, d, d, bits, sparsity),
-            GEMMWorkload(f"{prefix}.gate", batch, d, f, bits, sparsity),
-            GEMMWorkload(f"{prefix}.up", batch, d, f, bits, sparsity),
-            GEMMWorkload(f"{prefix}.down", batch, f, d, bits, sparsity),
+            GEMMWorkload(f"{prefix}.o", batch, d, d_mid, bits, sparsity),
+            GEMMWorkload(f"{prefix}.gate", batch, d_mid, f, bits, sparsity),
+            GEMMWorkload(f"{prefix}.up", batch, d_mid, f, bits, sparsity),
+            GEMMWorkload(f"{prefix}.down", batch, f, d_out, bits, sparsity),
         ])
-    gemms.append(head_gemm(config, batch))
+    gemms.append(head_gemm(config, batch, in_dim=_head_in_dim(config, slice_per_block)))
     return gemms
 
 
@@ -102,6 +121,7 @@ def generation_cost(
     sparsity_per_block: Optional[Dict[int, float]] = None,
     exit_points: Optional[Sequence[int]] = None,
     strategy: str = "exhaustive",
+    slice_per_block: Optional[Dict[int, Tuple[int, int, int]]] = None,
 ) -> Dict[str, float]:
     """Modeled cost of generating ``new_tokens`` after a prompt.
 
@@ -110,7 +130,7 @@ def generation_cost(
     """
     prefill = schedule_workloads(
         prefill_workload(config, batch, prompt_len, bits_per_block,
-                         sparsity_per_block),
+                         sparsity_per_block, slice_per_block),
         accel, strategy=strategy,
     ).cycles
     decode = 0.0
@@ -118,7 +138,7 @@ def generation_cost(
         decode += schedule_workloads(
             decode_step_workload(
                 config, batch, prompt_len + t + 1,
-                bits_per_block, sparsity_per_block,
+                bits_per_block, sparsity_per_block, slice_per_block,
             ),
             accel, strategy=strategy,
         ).cycles

@@ -11,12 +11,17 @@ tuning iteration decomposes into:
 * the head / exit-head projection.
 
 Compression enters through per-block ``bits`` and ``sparsity`` fields.
+Structural slicing (:mod:`repro.nn.slicing`) enters through per-block
+``slice_dims`` junction widths ``(d_in, d_mid, d_out)``: unlike bits and
+sparsity — which rescale the *cost* of a fixed-shape GEMM — slicing
+changes the GEMM shapes themselves, so the same descriptors feed the
+scheduler with genuinely smaller tiles.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..nn.transformer import TransformerConfig
 
@@ -61,28 +66,37 @@ def block_forward_gemms(
     block_index: int,
     bits: int = FP_BITS,
     sparsity: float = 0.0,
+    slice_dims: Optional[Tuple[int, int, int]] = None,
 ) -> List[GEMMWorkload]:
     """Forward GEMMs of one transformer block.
 
     The batched attention matmuls are folded into single GEMM descriptors
     with equivalent MAC counts: scores is ``(B*T x D) @ (D x T)`` and
     context ``(B*T x T) @ (T x D)`` — B*H*T*T*head_dim MACs each.
+
+    ``slice_dims`` gives the block's sliced junction widths ``(d_in,
+    d_mid, d_out)``: q/k/v read the ``d_in``-wide residual, o_proj writes
+    into the ``d_mid``-wide post-attention junction the MLP reads, and
+    down_proj writes ``d_out``.  Attention internals (scores/context) and
+    the MLP hidden keep their full width — slicing only narrows the
+    residual stream.
     """
     d = config.dim
     f = config.resolved_mlp_hidden()
     kv = config.resolved_kv_dim()
+    d_in, d_mid, d_out = slice_dims if slice_dims is not None else (d, d, d)
     tokens = batch * seq
     prefix = f"block{block_index}"
     return [
-        GEMMWorkload(f"{prefix}.q", tokens, d, d, bits, sparsity),
-        GEMMWorkload(f"{prefix}.k", tokens, d, kv, bits, sparsity),
-        GEMMWorkload(f"{prefix}.v", tokens, d, kv, bits, sparsity),
+        GEMMWorkload(f"{prefix}.q", tokens, d_in, d, bits, sparsity),
+        GEMMWorkload(f"{prefix}.k", tokens, d_in, kv, bits, sparsity),
+        GEMMWorkload(f"{prefix}.v", tokens, d_in, kv, bits, sparsity),
         GEMMWorkload(f"{prefix}.scores", tokens, d, seq, FP_BITS, 0.0),
         GEMMWorkload(f"{prefix}.context", tokens, seq, d, FP_BITS, 0.0),
-        GEMMWorkload(f"{prefix}.o", tokens, d, d, bits, sparsity),
-        GEMMWorkload(f"{prefix}.gate", tokens, d, f, bits, sparsity),
-        GEMMWorkload(f"{prefix}.up", tokens, d, f, bits, sparsity),
-        GEMMWorkload(f"{prefix}.down", tokens, f, d, bits, sparsity),
+        GEMMWorkload(f"{prefix}.o", tokens, d, d_mid, bits, sparsity),
+        GEMMWorkload(f"{prefix}.gate", tokens, d_mid, f, bits, sparsity),
+        GEMMWorkload(f"{prefix}.up", tokens, d_mid, f, bits, sparsity),
+        GEMMWorkload(f"{prefix}.down", tokens, f, d_out, bits, sparsity),
     ]
 
 
@@ -93,13 +107,16 @@ def block_backward_gemms(
     block_index: int,
     bits: int = FP_BITS,
     sparsity: float = 0.0,
+    slice_dims: Optional[Tuple[int, int, int]] = None,
 ) -> List[GEMMWorkload]:
     """Backward GEMMs: for each forward ``A@B`` both dA (grad @ B^T) and
     dB (A^T @ grad).  Gradient operands flow at full precision, but dA
     reuses the (compressed) weight operand, so it keeps the forward bits
-    and sparsity."""
+    and sparsity.  Sliced forward shapes propagate automatically."""
     backward: List[GEMMWorkload] = []
-    for g in block_forward_gemms(config, batch, seq, block_index, bits, sparsity):
+    for g in block_forward_gemms(
+        config, batch, seq, block_index, bits, sparsity, slice_dims
+    ):
         backward.append(
             dataclasses.replace(
                 g, name=g.name + ".dA", m=g.m, k=g.n, n=g.k, phase="bwd"
@@ -120,9 +137,17 @@ def block_backward_gemms(
     return backward
 
 
-def head_gemm(config: TransformerConfig, tokens: int, phase: str = "fwd") -> GEMMWorkload:
+def head_gemm(
+    config: TransformerConfig,
+    tokens: int,
+    phase: str = "fwd",
+    in_dim: Optional[int] = None,
+) -> GEMMWorkload:
+    """The unembedding GEMM.  ``in_dim`` overrides the hidden width when
+    the final residual junction is sliced."""
     return GEMMWorkload(
-        "head", tokens, config.dim, config.vocab_size, FP_BITS, 0.0, phase
+        "head", tokens, in_dim or config.dim, config.vocab_size,
+        FP_BITS, 0.0, phase,
     )
 
 
@@ -135,6 +160,7 @@ def tuning_iteration_workload(
     bits_per_block: Optional[Dict[int, int]] = None,
     sparsity_per_block: Optional[Dict[int, float]] = None,
     checkpoint_recompute: bool = False,
+    slice_per_block: Optional[Dict[int, Tuple[int, int, int]]] = None,
 ) -> List[GEMMWorkload]:
     """All GEMMs of one tuning iteration.
 
@@ -142,6 +168,9 @@ def tuning_iteration_workload(
     forward_blocks)`` additionally run backward; the (exit) head runs both.
     With ``checkpoint_recompute`` each gradient block also replays its
     forward pass (gradient checkpointing's compute overhead).
+    ``slice_per_block`` maps block index to sliced junction widths
+    (see :meth:`repro.nn.slicing.SliceSpec.hw_dims`); the head reads the
+    last executed block's output width.
     """
     if not 0 <= grad_start <= forward_blocks <= config.num_layers:
         raise ValueError(
@@ -150,20 +179,31 @@ def tuning_iteration_workload(
         )
     bits_per_block = bits_per_block or {}
     sparsity_per_block = sparsity_per_block or {}
+    slice_per_block = slice_per_block or {}
     tokens = batch * seq
     gemms: List[GEMMWorkload] = []
     for i in range(forward_blocks):
         bits = bits_per_block.get(i, FP_BITS)
         sparsity = sparsity_per_block.get(i, 0.0)
-        gemms.extend(block_forward_gemms(config, batch, seq, i, bits, sparsity))
+        dims = slice_per_block.get(i)
+        gemms.extend(
+            block_forward_gemms(config, batch, seq, i, bits, sparsity, dims)
+        )
         if i >= grad_start:
             if checkpoint_recompute:
                 gemms.extend(
-                    block_forward_gemms(config, batch, seq, i, bits, sparsity)
+                    block_forward_gemms(
+                        config, batch, seq, i, bits, sparsity, dims
+                    )
                 )
-            gemms.extend(block_backward_gemms(config, batch, seq, i, bits, sparsity))
-    gemms.append(head_gemm(config, tokens, "fwd"))
-    gemms.append(head_gemm(config, tokens, "bwd"))
+            gemms.extend(
+                block_backward_gemms(config, batch, seq, i, bits, sparsity, dims)
+            )
+    head_in = None
+    if forward_blocks > 0 and (forward_blocks - 1) in slice_per_block:
+        head_in = slice_per_block[forward_blocks - 1][2]
+    gemms.append(head_gemm(config, tokens, "fwd", in_dim=head_in))
+    gemms.append(head_gemm(config, tokens, "bwd", in_dim=head_in))
     return gemms
 
 

@@ -4,6 +4,7 @@ from .compressed_linear import CompressedLinear
 from .policy import (
     DEFAULT_BIT_OPTIONS,
     DEFAULT_PRUNE_OPTIONS,
+    DEFAULT_SLICE_OPTIONS,
     LayerCompression,
     LUCPolicy,
     enumerate_layer_options,
@@ -35,6 +36,7 @@ __all__ = [
     "enumerate_layer_options",
     "DEFAULT_BIT_OPTIONS",
     "DEFAULT_PRUNE_OPTIONS",
+    "DEFAULT_SLICE_OPTIONS",
     "SensitivityProfile",
     "measure_sensitivity",
     "compress_block",

@@ -1,10 +1,15 @@
-"""LUC policies: the per-layer (bit-width, pruning-ratio) assignment.
+"""LUC policies: the per-layer (bit-width, prune-ratio, slice-ratio)
+assignment.
 
 A policy's *compute cost* models edge-accelerator effort per block:
-``params x (bits / 16) x (1 - sparsity)`` — bit-serial/precision-scalable
-MACs are charged proportionally to operand width, and pruned weights cost
-nothing.  Budgets are expressed as a fraction of the uncompressed model's
-cost, which is how the paper frames "cost-effective layer-wise policies".
+``params x (bits / 16) x (1 - sparsity) x slice_ratio`` —
+bit-serial/precision-scalable MACs are charged proportionally to operand
+width, pruned weights cost nothing, and structural slicing
+(:mod:`repro.nn.slicing`) shrinks every block GEMM along exactly one
+residual-stream dimension, so its MACs scale linearly with the kept
+fraction.  Budgets are expressed as a fraction of the uncompressed
+model's cost, which is how the paper frames "cost-effective layer-wise
+policies".
 """
 
 from __future__ import annotations
@@ -19,14 +24,24 @@ BASELINE_BITS = 16
 
 @dataclasses.dataclass(frozen=True)
 class LayerCompression:
-    """Compression assigned to one transformer block."""
+    """Compression assigned to one transformer block.
+
+    ``slice_ratio`` is the *structural* residual-stream keep fraction
+    (1.0 = no slicing, the back-compatible default) — unlike
+    ``prune_ratio`` it genuinely shrinks the block's matmuls.
+    """
 
     bits: int
     prune_ratio: float
+    slice_ratio: float = 1.0
 
     def cost_factor(self) -> float:
         """Relative MAC cost vs an uncompressed (16-bit dense) layer."""
-        return (self.bits / BASELINE_BITS) * (1.0 - self.prune_ratio)
+        return (
+            (self.bits / BASELINE_BITS)
+            * (1.0 - self.prune_ratio)
+            * self.slice_ratio
+        )
 
 
 @dataclasses.dataclass
@@ -39,6 +54,8 @@ class LUCPolicy:
         for i, layer in enumerate(self.layers):
             if not 0.0 <= layer.prune_ratio < 1.0:
                 raise ValueError(f"layer {i}: prune ratio {layer.prune_ratio} invalid")
+            if not 0.0 < layer.slice_ratio <= 1.0:
+                raise ValueError(f"layer {i}: slice ratio {layer.slice_ratio} invalid")
 
     @property
     def num_layers(self) -> int:
@@ -60,6 +77,17 @@ class LUCPolicy:
     def sparsity_per_block(self) -> Dict[int, float]:
         return {i: blk.prune_ratio for i, blk in enumerate(self.layers)}
 
+    def slice_per_block(self) -> Dict[int, float]:
+        return {i: blk.slice_ratio for i, blk in enumerate(self.layers)}
+
+    def slice_ratios(self) -> List[float]:
+        """Per-block structural keep fractions, in block order — the
+        argument :func:`repro.nn.slicing.rotate_and_slice` takes."""
+        return [blk.slice_ratio for blk in self.layers]
+
+    def has_slicing(self) -> bool:
+        return any(blk.slice_ratio < 1.0 for blk in self.layers)
+
     @classmethod
     def uniform(cls, num_layers: int, bits: int, prune_ratio: float) -> "LUCPolicy":
         """The paper's uniform-compression baseline."""
@@ -72,6 +100,11 @@ class LUCPolicy:
     def describe(self) -> str:
         rows = [
             f"  block {i:2d}: {blk.bits:2d}-bit, {blk.prune_ratio:.0%} pruned"
+            + (
+                f", {blk.slice_ratio:.0%} sliced width"
+                if blk.slice_ratio < 1.0
+                else ""
+            )
             for i, blk in enumerate(self.layers)
         ]
         header = (
@@ -81,19 +114,23 @@ class LUCPolicy:
         return "\n".join([header] + rows)
 
 
-# The menus the policy search draws from (the paper's LUC search space:
-# a small set of per-layer bit-widths and pruning ratios).
+# The menus the policy search draws from (the paper's LUC search space —
+# per-layer bit-widths and pruning ratios — extended with structural
+# slice ratios; the default keeps slicing off).
 DEFAULT_BIT_OPTIONS: Tuple[int, ...] = (2, 4, 8)
 DEFAULT_PRUNE_OPTIONS: Tuple[float, ...] = (0.0, 0.3, 0.5)
+DEFAULT_SLICE_OPTIONS: Tuple[float, ...] = (1.0,)
 
 
 def enumerate_layer_options(
     bit_options: Sequence[int] = DEFAULT_BIT_OPTIONS,
     prune_options: Sequence[float] = DEFAULT_PRUNE_OPTIONS,
+    slice_options: Sequence[float] = DEFAULT_SLICE_OPTIONS,
 ) -> List[LayerCompression]:
-    """All (bits, ratio) combinations a single layer may receive."""
+    """All (bits, prune, slice) combinations a single layer may receive."""
     return [
-        LayerCompression(bits, ratio)
+        LayerCompression(bits, ratio, slice_ratio)
         for bits in bit_options
         for ratio in prune_options
+        for slice_ratio in slice_options
     ]

@@ -317,19 +317,29 @@ def _profile_fingerprint(profile: SensitivityProfile) -> str:
     return stable_key(
         profile.metric,
         sorted(
-            ((block, opt.bits, opt.prune_ratio, score)
+            ((block, opt.bits, opt.prune_ratio, opt.slice_ratio, score)
              for (block, opt), score in profile.scores.items())
         ),
     )
 
 
 def _encode_policy(policy: LUCPolicy) -> List[List[float]]:
-    return [[layer.bits, layer.prune_ratio] for layer in policy.layers]
+    return [
+        [layer.bits, layer.prune_ratio, layer.slice_ratio]
+        for layer in policy.layers
+    ]
 
 
 def _decode_policy(payload: Sequence[Sequence[float]]) -> LUCPolicy:
+    # Pre-slicing caches stored 2-element rows; treat them as unsliced.
     return LUCPolicy(
-        [LayerCompression(int(bits), float(ratio)) for bits, ratio in payload]
+        [
+            LayerCompression(
+                int(row[0]), float(row[1]),
+                float(row[2]) if len(row) > 2 else 1.0,
+            )
+            for row in payload
+        ]
     )
 
 

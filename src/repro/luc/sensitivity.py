@@ -26,6 +26,7 @@ import numpy as np
 
 from ..nn import surgery
 from ..nn.layers import Linear
+from ..nn.slicing import block_slice_trial
 from ..nn.transformer import TransformerLM
 from ..obs import get_registry
 from ..parallel import EvalCache, WorkerPool, stable_key
@@ -135,15 +136,27 @@ def _pair_score(
 ) -> float:
     """Measure one (block, option) pair — the pool's unit of work.
 
-    Pure given its arguments: the block is compressed, scored, and
-    restored, so pair order (and which process runs which pair) cannot
-    change any result.
+    Pure given its arguments: the block is compressed (sliced first when
+    the option carries a structural ratio, then mask/quant wrapped),
+    scored, and restored, so pair order (and which process runs which
+    pair) cannot change any result.
     """
     block_index, option = pair
     block = model.blocks[block_index]
     if metric == "weight_error":
         return _weight_error(block, option)
-    with block_compressed(block, option, structured=structured):
+    with contextlib.ExitStack() as stack:
+        if option.slice_ratio < 1.0:
+            # Restorable local trial: only this block's post-attention
+            # junction is sliced, mapped back to the full basis on exit.
+            stack.enter_context(
+                block_slice_trial(
+                    model, block_index, option.slice_ratio, inputs
+                )
+            )
+        stack.enter_context(
+            block_compressed(block, option, structured=structured)
+        )
         with no_grad():
             logits = model(inputs).data
     if metric == "loss_delta":
@@ -190,6 +203,13 @@ def measure_sensitivity(
     """
     if metric not in ("loss_delta", "kl", "weight_error"):
         raise ValueError(f"unknown sensitivity metric {metric!r}")
+    if metric == "weight_error" and any(
+        getattr(o, "slice_ratio", 1.0) < 1.0 for o in options
+    ):
+        raise ValueError(
+            "weight_error is a forward-free proxy and cannot score "
+            "structural slice ratios; use loss_delta or kl"
+        )
 
     scores: Dict[Tuple[int, LayerCompression], float] = {}
     pairs = [

@@ -13,18 +13,31 @@ from .module import Module
 from .transformer import TransformerConfig, TransformerLM
 
 _CONFIG_KEY = "__config_json__"
+_SLICE_KEY = "__slicing_json__"
+_META_KEYS = (_CONFIG_KEY, _SLICE_KEY)
+
+
+def _json_extra(payload: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(payload).encode(), dtype=np.uint8)
 
 
 def save_model(model: Module, path: str) -> None:
     """Write a module's state dict (and TransformerConfig if present) to
-    a compressed .npz archive."""
+    a compressed .npz archive.  A structurally sliced ``TransformerLM``
+    (see :mod:`repro.nn.slicing`) additionally embeds its
+    :class:`~repro.nn.slicing.SliceSpec` so :func:`load_model` can
+    rebuild the sliced shapes before restoring parameters."""
     state = model.state_dict()
     extras = {}
     config = getattr(model, "config", None)
     if isinstance(config, TransformerConfig):
-        extras[_CONFIG_KEY] = np.frombuffer(
-            json.dumps(dataclasses.asdict(config)).encode(), dtype=np.uint8
-        )
+        extras[_CONFIG_KEY] = _json_extra(dataclasses.asdict(config))
+    if isinstance(model, TransformerLM):
+        from .slicing import slice_spec
+
+        spec = slice_spec(model)
+        if spec is not None:
+            extras[_SLICE_KEY] = _json_extra(spec.to_json())
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     np.savez_compressed(path, **state, **extras)
@@ -33,21 +46,43 @@ def save_model(model: Module, path: str) -> None:
 def load_state(path: str) -> dict:
     """Read an .npz checkpoint back into a state dict."""
     with np.load(path) as archive:
-        return {k: archive[k] for k in archive.files if k != _CONFIG_KEY}
+        return {
+            k: archive[k] for k in archive.files if k not in _META_KEYS
+        }
+
+
+def _load_json_extra(path: str, key: str) -> Optional[dict]:
+    with np.load(path) as archive:
+        if key not in archive.files:
+            return None
+        raw = archive[key].tobytes().decode()
+    return json.loads(raw)
 
 
 def load_config(path: str) -> Optional[TransformerConfig]:
     """Recover the TransformerConfig stored in a checkpoint, if any."""
-    with np.load(path) as archive:
-        if _CONFIG_KEY not in archive.files:
-            return None
-        raw = archive[_CONFIG_KEY].tobytes().decode()
-    data = json.loads(raw)
+    data = _load_json_extra(path, _CONFIG_KEY)
+    if data is None:
+        return None
     return TransformerConfig(**data)
 
 
+def load_slice_spec(path: str):
+    """Recover the SliceSpec embedded in a sliced checkpoint, if any."""
+    data = _load_json_extra(path, _SLICE_KEY)
+    if data is None:
+        return None
+    from .slicing import SliceSpec
+
+    return SliceSpec.from_json(data)
+
+
 def load_model(path: str) -> TransformerLM:
-    """Rebuild a TransformerLM from a checkpoint written by save_model."""
+    """Rebuild a TransformerLM from a checkpoint written by save_model.
+
+    Sliced checkpoints reload bit-identically: the embedded SliceSpec
+    re-shapes the fresh model (shortcut buffers included) before the
+    state dict is restored."""
     config = load_config(path)
     if config is None:
         raise ValueError(
@@ -55,5 +90,10 @@ def load_model(path: str) -> TransformerLM:
             "call load_state_dict(load_state(path))"
         )
     model = TransformerLM(config)
+    spec = load_slice_spec(path)
+    if spec is not None:
+        from .slicing import apply_slice_structure
+
+        apply_slice_structure(model, spec)
     model.load_state_dict(load_state(path))
     return model

@@ -90,14 +90,20 @@ class TransformerBlock(Module):
         key_padding_mask=None,
         positions=None,
     ) -> Tensor:
-        x = x + self.dropout(
+        # Sliced blocks (see repro.nn.slicing) carry shortcut rotations
+        # that map the incoming residual into the sublayer-output basis;
+        # unsliced blocks have no such buffers and pay nothing.
+        attn_out = self.dropout(
             self.attn(
                 self.attn_norm(x), cache=cache,
                 key_padding_mask=key_padding_mask, positions=positions,
             )
         )
-        x = x + self.dropout(self.mlp(self.mlp_norm(x)))
-        return x
+        shortcut = getattr(self, "attn_shortcut_Q", None)
+        x = (x if shortcut is None else x @ shortcut) + attn_out
+        mlp_out = self.dropout(self.mlp(self.mlp_norm(x)))
+        shortcut = getattr(self, "mlp_shortcut_Q", None)
+        return (x if shortcut is None else x @ shortcut) + mlp_out
 
 
 class TransformerLM(Module):

@@ -35,6 +35,7 @@ from .luc import (
     remove_luc,
     search_policy,
 )
+from .nn.slicing import SliceSpec, rotate_and_slice, slice_spec
 from .nn.transformer import TransformerLM
 from .parallel import EvalCache
 from .tensor import Tensor
@@ -48,6 +49,10 @@ class EdgeLLMConfig:
     compute_budget: float = 0.3
     bit_options: Sequence[int] = (2, 4, 8)
     prune_options: Sequence[float] = (0.0, 0.3, 0.5)
+    # Structural rotate-and-slice ratios the search may assign per layer
+    # (repro.nn.slicing); the default keeps slicing off.
+    slice_options: Sequence[float] = (1.0,)
+    slice_round_to: int = 8
     sensitivity_metric: str = "loss_delta"
     policy_search: str = "greedy"
     # adaptive tuning
@@ -69,6 +74,7 @@ class EdgeLLM:
         self.model = model
         self.config = config or EdgeLLMConfig()
         self.policy: Optional[LUCPolicy] = None
+        self.slice_spec: Optional[SliceSpec] = slice_spec(model)
         self.trainer: Optional[AdaptiveLayerTrainer] = None
         self.voter: Optional[VotingCombiner] = None
         self._luc_undo = None
@@ -89,9 +95,16 @@ class EdgeLLM:
         into a cached effective weight on frozen-weight forwards (eval,
         voting calibration, the frozen prefix during adaptation), so the
         compressed model pays recalibration only when weights change.
+
+        With ``slice_options`` beyond 1.0 the search may also assign
+        per-layer structural slice ratios; the winning ratios are baked
+        into the model by :func:`repro.nn.slicing.rotate_and_slice`
+        *before* the LUC wrappers go on (slicing rewrites plain Linears).
         """
         cfg = self.config
-        options = enumerate_layer_options(cfg.bit_options, cfg.prune_options)
+        options = enumerate_layer_options(
+            cfg.bit_options, cfg.prune_options, cfg.slice_options
+        )
         profile = measure_sensitivity(
             self.model,
             calib_inputs,
@@ -110,12 +123,22 @@ class EdgeLLM:
             workers=cfg.workers,
             cache=self.eval_cache,
         )
+        if policy.has_slicing():
+            self.slice_spec = rotate_and_slice(
+                self.model,
+                calib_inputs,
+                policy.slice_ratios(),
+                round_to=cfg.slice_round_to,
+            )
         self._luc_undo = apply_luc(self.model, policy)
         self.policy = policy
         return policy
 
     def decompress(self) -> None:
-        """Undo the applied compression (restores original Linears)."""
+        """Undo the applied LUC wrappers (restores the underlying
+        Linears).  Structural slicing is *not* undone — the rotation
+        discards the sliced-away subspace, so a sliced model stays
+        sliced; ``self.slice_spec`` keeps describing its shapes."""
         if self._luc_undo:
             remove_luc(self._luc_undo)
             self._luc_undo = None
@@ -182,6 +205,7 @@ class EdgeLLM:
         windows = self._mean_window()
         bits = self.policy.bits_per_block() if self.policy else None
         sparsity = self.policy.sparsity_per_block() if self.policy else None
+        slice_dims = self.slice_spec.hw_dims() if self.slice_spec else None
         costs = []
         extra_cycles = 0.0
         for w in windows:
@@ -193,6 +217,7 @@ class EdgeLLM:
                 grad_start=w.start,
                 bits_per_block=bits,
                 sparsity_per_block=sparsity,
+                slice_per_block=slice_dims,
             )
             costs.append(
                 schedule_workloads(

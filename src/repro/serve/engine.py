@@ -165,6 +165,7 @@ class GenerationEngine:
             for layer in range(depth, self.num_layers):
                 k, v = self._propagate_kv(layer, frozen, position)
                 caches[layer].append(k, v)
+                frozen = self._identity_advance(layer, frozen)
             get_registry().counter("serve/early_exit_tokens").inc()
         logits = self._combine_rows(per_exit, exit_depth)
         return logits, exit_depth < self.num_layers
@@ -236,6 +237,7 @@ class GenerationEngine:
                 else:
                     k, v = self._propagate_kv(layer, frozen[b], int(lengths[b]))
                     entry.caches[layer].append(k, v)
+                    frozen[b] = self._identity_advance(layer, frozen[b])
         early = exit_depth < self.num_layers
         if early.any():
             get_registry().counter("serve/early_exit_tokens").inc(
@@ -311,3 +313,17 @@ class GenerationEngine:
         v = attn._split_heads(attn.v_proj(h), attn.num_kv_heads)
         k = apply_rope(k, attn.rope_cos, attn.rope_sin, offset=position)
         return k.data, v.data
+
+    def _identity_advance(self, layer: int, hidden_last: np.ndarray) -> np.ndarray:
+        """Carry a frozen exit hidden state past one skipped block along
+        its identity residual path.  On unsliced models this is a no-op;
+        a structurally sliced block (``repro.nn.slicing``) maps between
+        junction bases via its shortcut rotations, so the frozen vector
+        must follow ``attn_shortcut_Q @ mlp_shortcut_Q`` to stay in the
+        next layer's input basis."""
+        block = self.model.blocks[layer]
+        for name in ("attn_shortcut_Q", "mlp_shortcut_Q"):
+            q = getattr(block, name, None)
+            if q is not None:
+                hidden_last = hidden_last @ np.asarray(q)
+        return hidden_last

@@ -1,0 +1,100 @@
+"""Sliced junction widths must genuinely shrink the modeled GEMMs."""
+
+import pytest
+
+from repro.hw import (
+    block_backward_gemms,
+    block_forward_gemms,
+    decode_step_workload,
+    head_gemm,
+    prefill_workload,
+    total_macs,
+    tuning_iteration_workload,
+)
+from repro.nn import TransformerConfig
+
+CFG = TransformerConfig(
+    vocab_size=64, dim=64, num_layers=4, num_heads=4, max_len=64
+)
+HALF = (32, 32, 32)
+SLICED = {i: HALF for i in range(CFG.num_layers)}
+
+
+def _by_name(gemms):
+    return {g.name: g for g in gemms}
+
+
+class TestBlockGemms:
+    def test_forward_shapes_follow_slice_dims(self):
+        gemms = _by_name(block_forward_gemms(CFG, 2, 8, 0, slice_dims=(16, 24, 32)))
+        assert gemms["block0.q"].k == 16
+        assert gemms["block0.k"].k == 16
+        assert gemms["block0.o"].n == 24
+        assert gemms["block0.gate"].k == 24
+        assert gemms["block0.up"].k == 24
+        assert gemms["block0.down"].n == 32
+        # Attention internals keep full width.
+        assert gemms["block0.scores"].k == CFG.dim
+        assert gemms["block0.context"].n == CFG.dim
+        assert gemms["block0.q"].n == CFG.dim
+
+    def test_default_matches_unsliced(self):
+        assert block_forward_gemms(CFG, 2, 8, 0) == block_forward_gemms(
+            CFG, 2, 8, 0, slice_dims=None
+        )
+
+    def test_backward_inherits_sliced_shapes(self):
+        fwd = total_macs(block_forward_gemms(CFG, 2, 8, 0, slice_dims=HALF))
+        bwd = total_macs(block_backward_gemms(CFG, 2, 8, 0, slice_dims=HALF))
+        assert bwd == 2 * fwd
+
+    def test_head_in_dim_override(self):
+        assert head_gemm(CFG, 16).k == CFG.dim
+        assert head_gemm(CFG, 16, in_dim=32).k == 32
+
+
+class TestWorkloads:
+    def test_tuning_iteration_macs_shrink(self):
+        base = total_macs(tuning_iteration_workload(CFG, 2, 8, 4, 2))
+        sliced = total_macs(
+            tuning_iteration_workload(CFG, 2, 8, 4, 2, slice_per_block=SLICED)
+        )
+        assert sliced < base
+
+    def test_head_reads_last_executed_block_width(self):
+        gemms = tuning_iteration_workload(
+            CFG, 2, 8, 4, 2, slice_per_block=SLICED
+        )
+        heads = [g for g in gemms if g.name == "head"]
+        assert len(heads) == 2
+        assert all(h.k == 32 for h in heads)
+        # Unsliced: full width.
+        plain = [
+            g for g in tuning_iteration_workload(CFG, 2, 8, 4, 2)
+            if g.name == "head"
+        ]
+        assert all(h.k == CFG.dim for h in plain)
+
+    def test_prefill_and_decode_shrink_consistently(self):
+        for build in (
+            lambda s: prefill_workload(CFG, 2, 16, slice_per_block=s),
+            lambda s: decode_step_workload(CFG, 2, 16, slice_per_block=s),
+        ):
+            base = total_macs(build(None))
+            sliced = total_macs(build(SLICED))
+            assert sliced < base
+            ratio = base / sliced
+            # Projections halve, attention internals don't: the overall
+            # reduction lands strictly between 1x and 2x.
+            assert 1.3 < ratio < 2.0
+
+    def test_decode_matches_forward_reduction_structure(self):
+        gemms = _by_name(decode_step_workload(CFG, 2, 16, slice_per_block=SLICED))
+        assert gemms["block0.q"].k == 32
+        assert gemms["block0.down"].n == 32
+        assert gemms["block0.scores"].k == CFG.dim
+        assert gemms["head"].k == 32
+
+    def test_degenerate_dims_rejected(self):
+        with pytest.raises(ValueError):
+            block_forward_gemms(CFG, 2, 8, 0, slice_dims=(0, 32, 32))

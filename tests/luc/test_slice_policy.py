@@ -1,0 +1,111 @@
+"""LUC x structural slicing: options, sensitivity trials, search, cache."""
+
+import numpy as np
+import pytest
+
+from repro.luc import (
+    DEFAULT_SLICE_OPTIONS,
+    LayerCompression,
+    LUCPolicy,
+    enumerate_layer_options,
+    measure_sensitivity,
+    search_policy,
+)
+from repro.luc.search import _decode_policy, _encode_policy
+from repro.nn import is_sliced
+
+
+def _batch(seed=0, batch=4, seq=16):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 32, (batch, seq)),
+        rng.integers(0, 32, (batch, seq)),
+    )
+
+
+class TestPolicy:
+    def test_cost_factor_scales_with_slice_ratio(self):
+        full = LayerCompression(8, 0.0)
+        half = LayerCompression(8, 0.0, slice_ratio=0.5)
+        assert full.slice_ratio == 1.0
+        assert half.cost_factor() == pytest.approx(full.cost_factor() * 0.5)
+
+    def test_policy_validates_slice_ratio(self):
+        with pytest.raises(ValueError):
+            LUCPolicy([LayerCompression(8, 0.0, slice_ratio=0.0)])
+        with pytest.raises(ValueError):
+            LUCPolicy([LayerCompression(8, 0.0, slice_ratio=1.5)])
+
+    def test_slice_accessors(self):
+        policy = LUCPolicy([
+            LayerCompression(8, 0.0, slice_ratio=0.5),
+            LayerCompression(4, 0.3),
+        ])
+        assert policy.has_slicing()
+        assert policy.slice_ratios() == [0.5, 1.0]
+        assert policy.slice_per_block() == {0: 0.5, 1: 1.0}
+        assert "50% sliced width" in policy.describe()
+        assert not LUCPolicy.uncompressed(2).has_slicing()
+
+    def test_enumerate_includes_slice_options(self):
+        assert DEFAULT_SLICE_OPTIONS == (1.0,)
+        options = enumerate_layer_options((4, 8), (0.0,), (0.5, 1.0))
+        assert len(options) == 4
+        assert {o.slice_ratio for o in options} == {0.5, 1.0}
+        # Default menu stays back-compatible: slicing off.
+        assert all(o.slice_ratio == 1.0 for o in enumerate_layer_options())
+
+
+class TestSensitivity:
+    def test_slice_options_scored_and_restored(self, pretrained_model):
+        inputs, targets = _batch()
+        options = [
+            LayerCompression(8, 0.0),
+            LayerCompression(8, 0.0, slice_ratio=0.5),
+        ]
+        profile = measure_sensitivity(
+            pretrained_model, inputs, targets, options
+        )
+        assert len(profile.scores) == 2 * pretrained_model.num_layers
+        assert not is_sliced(pretrained_model)
+        # Every (block, option) pair got a finite, non-negative score.
+        # Per-block ordering between the two options is noise-dominated
+        # at this scale, so we only require the scores to be well-formed.
+        for i in range(pretrained_model.num_layers):
+            for option in options:
+                score = profile.score(i, option)
+                assert np.isfinite(score) and score >= 0.0
+
+    def test_weight_error_refuses_slice_options(self, pretrained_model):
+        inputs, targets = _batch()
+        options = [LayerCompression(8, 0.0, slice_ratio=0.5)]
+        with pytest.raises(ValueError, match="weight_error"):
+            measure_sensitivity(
+                pretrained_model, inputs, targets, options,
+                metric="weight_error",
+            )
+
+
+class TestSearch:
+    def test_search_can_pick_slicing(self, pretrained_model):
+        inputs, targets = _batch()
+        options = enumerate_layer_options((8,), (0.0,), (0.5, 1.0))
+        profile = measure_sensitivity(
+            pretrained_model, inputs, targets, options
+        )
+        # A budget below 8/16 is reachable only through slicing.
+        policy = search_policy(
+            profile, pretrained_model.num_layers, 0.3, options=options
+        )
+        assert policy.has_slicing()
+        assert policy.cost() <= 0.3
+
+    def test_encode_decode_roundtrip_and_back_compat(self):
+        policy = LUCPolicy([
+            LayerCompression(4, 0.3, slice_ratio=0.5),
+            LayerCompression(8, 0.0),
+        ])
+        assert _decode_policy(_encode_policy(policy)) == policy
+        # Payloads written before slicing existed decode as unsliced.
+        legacy = _decode_policy([[4, 0.3], [8, 0.0]])
+        assert legacy.layers[0] == LayerCompression(4, 0.3, slice_ratio=1.0)

@@ -1,0 +1,228 @@
+"""Structural rotate-and-slice: numerics, spec, serialization, trials."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SliceSpec,
+    TransformerLM,
+    apply_slice_structure,
+    block_slice_trial,
+    is_sliced,
+    load_model,
+    load_slice_spec,
+    pca_rotation,
+    residual_dims,
+    rotate_and_slice,
+    save_model,
+    slice_dim,
+    slice_spec,
+)
+from repro.nn.transforms import InputCapture, TransformedLinear
+from repro.tensor import no_grad
+
+from ..conftest import small_config
+
+DIM = 48  # small_config's hidden width
+VOCAB = 32
+
+
+def _calib(batch=16, seq=24, seed=42):
+    return np.random.default_rng(seed).integers(0, VOCAB, (batch, seq))
+
+
+def _clone(state):
+    model = TransformerLM(small_config())
+    model.load_state_dict(state)
+    return model
+
+
+def _logits(model, ids):
+    with no_grad():
+        return model(ids).data
+
+
+class TestNumerics:
+    def test_pca_rotation_orthogonal_descending(self):
+        acts = np.random.default_rng(0).normal(size=(200, 12))
+        q, energy = pca_rotation(acts)
+        assert np.allclose(q.T @ q, np.eye(12), atol=1e-10)
+        assert np.all(np.diff(energy) <= 1e-9)
+        assert np.all(energy >= 0.0)
+
+    def test_rotation_only_pass_is_output_identical(self, pretrained_model):
+        """Ratio 1.0 rotates every junction but slices nothing — the
+        model must compute the same function up to float reassociation."""
+        ids = _calib(4, 16, seed=1)
+        base = _logits(pretrained_model, ids)
+        spec = rotate_and_slice(pretrained_model, _calib())
+        assert is_sliced(pretrained_model)
+        assert spec.blocks == ((DIM, DIM, DIM),) * pretrained_model.num_layers
+        rotated = _logits(pretrained_model, ids)
+        scale = np.abs(base).max()
+        assert np.allclose(base, rotated, atol=1e-4 * scale)
+
+    def test_sliced_model_stays_close(self, pretrained_model, pretrain_corpus):
+        from repro.eval import model_perplexity
+
+        base_ppl = model_perplexity(
+            pretrained_model, pretrain_corpus, batch_size=8, seq_len=24
+        )
+        rotate_and_slice(pretrained_model, _calib(), 0.5)
+        sliced_ppl = model_perplexity(
+            pretrained_model, pretrain_corpus, batch_size=8, seq_len=24
+        )
+        assert sliced_ppl <= base_ppl * 1.05
+
+    def test_kv_cache_decode_matches_full_forward(self, pretrained_model):
+        rotate_and_slice(pretrained_model, _calib(), 0.5)
+        ids = _calib(2, 12, seed=3)
+        full = _logits(pretrained_model, ids)
+        caches = pretrained_model.new_caches()
+        with no_grad():
+            step = pretrained_model(ids[:, :6], caches=caches).data
+            for t in range(6, ids.shape[1]):
+                step = pretrained_model(ids[:, t : t + 1], caches=caches).data
+        assert np.allclose(full[:, -1], step[:, -1], atol=1e-5)
+
+
+class TestStructure:
+    def test_shapes_shrink(self, pretrained_model):
+        spec = rotate_and_slice(pretrained_model, _calib(), 0.5)
+        assert spec.blocks == ((24, 24, 24),) * pretrained_model.num_layers
+        block = pretrained_model.blocks[0]
+        assert block.attn.q_proj.in_features == 24
+        assert block.attn.q_proj.weight.data.shape == (24, DIM)
+        assert block.attn.o_proj.weight.data.shape == (DIM, 24)
+        assert block.mlp.gate_proj.weight.data.shape[0] == 24
+        assert block.mlp.down_proj.weight.data.shape[1] == 24
+        # Attention internals keep full width.
+        assert block.attn.q_proj.out_features == DIM
+        assert pretrained_model.embed.weight.data.shape == (VOCAB, 24)
+        # Tied config gets untied: rotated bases differ.
+        assert spec.untied and pretrained_model.lm_head is not None
+        assert pretrained_model.lm_head.weight.data.shape == (24, VOCAB)
+
+    def test_spec_derivation_and_residual_dims(self, pretrained_model):
+        assert slice_spec(pretrained_model) is None
+        layers = pretrained_model.num_layers
+        assert residual_dims(pretrained_model) == [DIM] * (2 * layers + 1)
+        spec = rotate_and_slice(pretrained_model, _calib(), 0.5)
+        assert slice_spec(pretrained_model) == spec
+        assert residual_dims(pretrained_model) == [24] * (2 * layers + 1)
+        assert spec.hw_dims() == {i: (24, 24, 24) for i in range(layers)}
+        assert spec.head_in_dim == 24
+
+    def test_per_block_ratios(self, pretrained_model):
+        layers = pretrained_model.num_layers
+        ratios = [1.0] * layers
+        ratios[-1] = 0.5
+        spec = rotate_and_slice(pretrained_model, _calib(), ratios)
+        assert spec.blocks[-1] == (DIM, 24, 24)
+        assert spec.blocks[0] == (DIM, DIM, DIM)
+        # Output still computes.
+        _logits(pretrained_model, _calib(2, 8, seed=5))
+
+    def test_slice_dim_rounding(self):
+        assert slice_dim(48, 1.0) == 48
+        assert slice_dim(48, 0.5) == 24
+        assert slice_dim(48, 0.5, round_to=16) == 32
+        assert slice_dim(48, 0.3, round_to=16) == 16
+        assert slice_dim(48, 0.01) == 8  # clamps to one rounding step
+        with pytest.raises(ValueError):
+            slice_dim(48, 0.0)
+        with pytest.raises(ValueError):
+            slice_dim(48, 1.5)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SliceSpec(dim=48, blocks=((24, 24, 24), (32, 32, 32)), untied=True)
+        with pytest.raises(ValueError):
+            SliceSpec(dim=48, blocks=((24, 64, 24),), untied=True)
+        spec = SliceSpec(dim=48, blocks=((24, 24, 16),), untied=True)
+        assert SliceSpec.from_json(spec.to_json()) == spec
+
+
+class TestErrors:
+    def test_double_slice_refused(self, pretrained_model):
+        rotate_and_slice(pretrained_model, _calib(), 0.5)
+        with pytest.raises(ValueError, match="already sliced"):
+            rotate_and_slice(pretrained_model, _calib(), 0.5)
+
+    def test_wrapped_linears_refused(self, pretrained_model):
+        attn = pretrained_model.blocks[0].attn
+        attn.q_proj = TransformedLinear(attn.q_proj, [InputCapture()])
+        with pytest.raises(ValueError, match="plain Linear"):
+            rotate_and_slice(pretrained_model, _calib(), 0.5)
+
+    def test_ratio_count_mismatch(self, pretrained_model):
+        with pytest.raises(ValueError, match="one ratio per block"):
+            rotate_and_slice(pretrained_model, _calib(), [0.5, 0.5])
+
+    def test_apply_structure_mismatch(self, pretrained_model):
+        spec = SliceSpec(dim=64, blocks=((32, 32, 32),), untied=True)
+        with pytest.raises(ValueError, match="does not match"):
+            apply_slice_structure(pretrained_model, spec)
+
+
+class TestSerialization:
+    def test_sliced_checkpoint_reloads_bit_identically(
+        self, pretrained_model, tmp_path
+    ):
+        spec = rotate_and_slice(pretrained_model, _calib(), 0.5)
+        path = os.path.join(tmp_path, "sliced.npz")
+        save_model(pretrained_model, path)
+        assert load_slice_spec(path) == spec
+        reloaded = load_model(path)
+        assert slice_spec(reloaded) == spec
+        saved = pretrained_model.state_dict()
+        restored = reloaded.state_dict()
+        assert sorted(saved) == sorted(restored)
+        for key in saved:
+            assert np.array_equal(saved[key], restored[key]), key
+        ids = _calib(2, 10, seed=7)
+        assert np.array_equal(
+            _logits(pretrained_model, ids), _logits(reloaded, ids)
+        )
+
+    def test_unsliced_checkpoint_has_no_spec(self, pretrained_model, tmp_path):
+        path = os.path.join(tmp_path, "plain.npz")
+        save_model(pretrained_model, path)
+        assert load_slice_spec(path) is None
+        assert not is_sliced(load_model(path))
+
+
+class TestBlockTrial:
+    def test_trial_restores_exactly(self, pretrained_state):
+        model = _clone(pretrained_state)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        ids = _calib(2, 10, seed=9)
+        base = _logits(model, ids)
+        with block_slice_trial(model, 2, 0.5, _calib()):
+            assert "attn_shortcut_Q" in model.blocks[2]._buffers
+            trial = _logits(model, ids)
+            assert model.blocks[2].attn.o_proj.out_features == 24
+        after = model.state_dict()
+        assert sorted(before) == sorted(after)
+        for key in before:
+            assert np.array_equal(before[key], after[key]), key
+        assert not is_sliced(model)
+        assert np.array_equal(base, _logits(model, ids))
+        # The trial genuinely perturbed the forward.
+        assert not np.array_equal(base, trial)
+
+    def test_trial_ratio_one_is_noop(self, pretrained_model):
+        with block_slice_trial(pretrained_model, 0, 1.0, _calib()):
+            assert not is_sliced(pretrained_model)
+
+    def test_trial_restores_on_error(self, pretrained_state):
+        model = _clone(pretrained_state)
+        before = model.state_dict()
+        with pytest.raises(RuntimeError):
+            with block_slice_trial(model, 1, 0.5, _calib()):
+                raise RuntimeError("boom")
+        after = model.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key]), key
