@@ -77,6 +77,7 @@ class ExitHeadSet(Module):
                 f"exit points must lie in [1, {num_layers}], got {points}"
             )
         self.exit_points: List[int] = points
+        self.num_layers = num_layers
         rng = np.random.default_rng(seed)
         # On a structurally sliced model (repro.nn.slicing) each tap sits
         # in its own rotated-and-truncated basis, so the full-width token
@@ -101,6 +102,31 @@ class ExitHeadSet(Module):
         """Residual width after block ``exit_point - 1`` (equals
         ``config.dim`` on unsliced models)."""
         return model.blocks[exit_point - 1].mlp.down_proj.out_features
+
+    def draft_exit_point(self, max_fraction: float = 0.5) -> int:
+        """Pick the drafting depth for self-speculative decoding.
+
+        The draft head should sit as deep as possible (better acceptance)
+        while staying cheap relative to full verification, so this returns
+        the deepest exit at or below ``max_fraction`` of the stack —
+        falling back to the shallowest exit when every tap sits deeper.
+        Works unchanged on structurally sliced models: each head was built
+        at its tap's actual residual width (see ``_tap_dim``), so the
+        selected draft head matches the sliced hidden state it reads.
+        """
+        if not 0.0 < max_fraction <= 1.0:
+            raise ValueError("max_fraction must be in (0, 1]")
+        cutoff = max_fraction * self.num_layers
+        shallow = [p for p in self.exit_points
+                   if p <= cutoff and p < self.num_layers]
+        if shallow:
+            return shallow[-1]
+        candidates = [p for p in self.exit_points if p < self.num_layers]
+        if not candidates:
+            raise ValueError(
+                "no exit point below the final layer to draft from"
+            )
+        return candidates[0]
 
     def head_for(self, exit_point: int) -> ExitHead:
         try:

@@ -356,6 +356,7 @@ def cmd_serve_sim(args) -> int:
 
     from .data import MarkovChainCorpus, lm_batches
     from .nn import load_model
+    from .obs import get_registry
     from .serve import (
         CachePool,
         GenerationEngine,
@@ -370,25 +371,50 @@ def cmd_serve_sim(args) -> int:
         vocab_size=model.config.vocab_size, order=args.order,
         seed=args.language_seed,
     )
+    shared_prefix: List[int] = []
+    if args.shared_prefix_len:
+        prefix_inputs, _ = next(
+            lm_batches(corpus, 1, args.shared_prefix_len, 1, rng)
+        )
+        shared_prefix = [int(t) for t in prefix_inputs[0]]
     inputs, _ = next(
         lm_batches(corpus, args.requests, args.prompt_len, 1, rng)
     )
+    tiers = max(args.priority_tiers, 1)
     requests = [
         Request(
-            f"req-{i:03d}", prompt=[int(t) for t in row],
+            f"req-{i:03d}", prompt=shared_prefix + [int(t) for t in row],
             max_new_tokens=args.max_new_tokens, seed=args.seed + i,
-            deadline_steps=args.deadline,
+            deadline_steps=args.deadline, priority=i % tiers,
         )
         for i, row in enumerate(inputs)
     ]
-    voting = _serving_voting(model, args, rng)
+    speculative = args.speculative_k > 0
+    draft_heads = None
+    voting = None
+    if speculative:
+        if args.confidence is not None:
+            raise SystemExit(
+                "--speculative-k verifies against the plain final head; "
+                "it does not compose with --confidence voting decode"
+            )
+        from .adaptive import ExitHeadSet
+
+        exits = args.exits or [max(1, model.num_layers // 2)]
+        draft_heads = ExitHeadSet(model, exit_points=exits, seed=args.seed)
+    else:
+        voting = _serving_voting(model, args, rng)
     engine = GenerationEngine(
-        model, voting=voting, confidence_threshold=args.confidence
+        model, voting=voting, confidence_threshold=args.confidence,
+        draft_heads=draft_heads, draft_exit=args.draft_exit,
+        draft_k=args.speculative_k,
     )
     budget = args.max_resident_tokens or max(
         sum(r.reserved_tokens for r in requests), 1
     )
-    pool = CachePool(model.num_layers, budget)
+    pool = CachePool(
+        model.num_layers, budget, share_prefixes=args.prefix_sharing
+    )
     scheduler = Scheduler(
         engine, pool,
         SchedulerConfig(max_batch_size=args.max_batch, max_steps=10_000),
@@ -428,6 +454,20 @@ def cmd_serve_sim(args) -> int:
             sum(r.early_exit_tokens for r in results) / max(new_tokens, 1), 4
         ),
     }
+    reg = get_registry()
+    if speculative:
+        drafted = reg.counter("serve/spec/draft_tokens").value
+        accepted = reg.counter("serve/spec/accepted_tokens").value
+        summary["draft_acceptance_rate"] = round(
+            accepted / drafted, 4
+        ) if drafted else 0.0
+        summary["spec_cycles"] = reg.counter("serve/spec/cycles").value
+    if args.prefix_sharing:
+        summary["prefix_tokens_reused"] = reg.counter(
+            "serve/pool/prefix_tokens_reused"
+        ).value
+    if tiers > 1:
+        summary["preemptions"] = reg.counter("serve/preemptions").value
     print(json.dumps(summary, indent=2))
     return 0
 
@@ -580,9 +620,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stagger arrivals: submit N requests per step "
                         "(default: all up front)")
     p.add_argument("--exits", type=int, nargs="*", default=None,
-                   help="decode through a voted mixture of these exit layers")
+                   help="decode through a voted mixture of these exit layers "
+                        "(with --speculative-k: the draft-head tap depths)")
     p.add_argument("--confidence", type=float, default=None,
                    help="early-exit confidence threshold (needs --exits)")
+    p.add_argument("--speculative-k", type=int, default=0,
+                   help="draft K tokens per cycle through a shallow exit "
+                        "head, verify with one full-depth pass (0 = off)")
+    p.add_argument("--draft-exit", type=int, default=None,
+                   help="exit depth that drafts (default: auto-select the "
+                        "deepest exit in the shallow half)")
+    p.add_argument("--shared-prefix-len", type=int, default=0,
+                   help="prepend a common system prefix of N tokens to "
+                        "every prompt (prefix-sharing traffic)")
+    p.add_argument("--prefix-sharing", action="store_true",
+                   help="deduplicate common prompt prefixes through the "
+                        "cache pool's radix trie")
+    p.add_argument("--priority-tiers", type=int, default=1,
+                   help="spread requests over N priority tiers "
+                        "(round-robin; 0 = highest, may preempt lower)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_serve_sim)
 

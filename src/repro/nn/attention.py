@@ -120,6 +120,178 @@ class KVCache:
         return other
 
 
+class SharedKVCacheView(KVCache):
+    """A cache whose leading positions alias an immutable shared prefix.
+
+    Used by ``repro.serve`` prefix sharing: the shared arrays belong to a
+    prefix-trie node owned by the :class:`~repro.serve.cache_pool.CachePool`
+    and may be aliased by many concurrent requests, so they must never be
+    written through a view.  Appends land in a private tail; truncating
+    into the shared region (or resetting) **copies-on-write** — the kept
+    prefix is copied into private storage and the view detaches from the
+    shared arrays, leaving them untouched for the other lessees.
+
+    ``on_detach`` (optional) fires exactly once, the first time the view
+    stops referencing the shared arrays (COW truncate or reset).  The
+    full ``k``/``v`` arrays are materialized lazily and memoized, so
+    attention and the serving engine read the view exactly like a plain
+    :class:`KVCache`.
+    """
+
+    def __init__(self, shared_k=None, shared_v=None, on_detach=None):
+        # No super().__init__(): k/v are derived properties here.
+        if shared_k is not None:
+            shared_k = np.asarray(shared_k)
+            shared_v = np.asarray(shared_v)
+            if shared_k.ndim != 4 or shared_k.shape != shared_v.shape:
+                raise ValueError(
+                    f"shared entries must be matching 4-D arrays; "
+                    f"got k{shared_k.shape}, v{shared_v.shape}"
+                )
+        else:
+            shared_v = None  # empty shared prefix: view starts fully private
+        self._shared_k: Optional[np.ndarray] = shared_k
+        self._shared_v: Optional[np.ndarray] = shared_v
+        self._was_attached = shared_k is not None
+        self._tail_k: Optional[np.ndarray] = None
+        self._tail_v: Optional[np.ndarray] = None
+        self._full: Optional[tuple] = None
+        self._on_detach = on_detach
+
+    # -- shape bookkeeping ---------------------------------------------
+    @property
+    def shared_length(self) -> int:
+        """Positions still backed by the shared arrays (0 once detached)."""
+        return 0 if self._shared_k is None else self._shared_k.shape[2]
+
+    @property
+    def tail_length(self) -> int:
+        return 0 if self._tail_k is None else self._tail_k.shape[2]
+
+    @property
+    def length(self) -> int:
+        return self.shared_length + self.tail_length
+
+    @property
+    def detached(self) -> bool:
+        """True once a formerly attached view released its shared arrays."""
+        return self._was_attached and self._shared_k is None
+
+    # -- plain-KVCache surface -----------------------------------------
+    @property
+    def k(self) -> Optional[np.ndarray]:
+        return self._materialize()[0]
+
+    @property
+    def v(self) -> Optional[np.ndarray]:
+        return self._materialize()[1]
+
+    def _materialize(self):
+        if self._full is None:
+            ks = [a for a in (self._shared_k, self._tail_k) if a is not None]
+            vs = [a for a in (self._shared_v, self._tail_v) if a is not None]
+            if not ks:
+                self._full = (None, None)
+            elif len(ks) == 1:
+                self._full = (ks[0], vs[0])
+            else:
+                self._full = (
+                    np.concatenate(ks, axis=2), np.concatenate(vs, axis=2)
+                )
+        return self._full
+
+    def append(self, k: np.ndarray, v: np.ndarray):
+        k = np.asarray(k)
+        v = np.asarray(v)
+        if k.ndim != 4 or v.ndim != 4:
+            raise ValueError(
+                f"cache entries must be 4-D (batch, heads, seq, head_dim); "
+                f"got k{k.shape}, v{v.shape}"
+            )
+        if k.shape != v.shape:
+            raise ValueError(f"k/v shape mismatch: {k.shape} vs {v.shape}")
+        base = self._shared_k if self._tail_k is None else self._tail_k
+        if base is not None:
+            expected = (base.shape[0], base.shape[1], base.shape[3])
+            got = (k.shape[0], k.shape[1], k.shape[3])
+            if expected != got:
+                raise ValueError(
+                    f"appended entry (batch, heads, head_dim)={got} does not "
+                    f"match cached {expected}"
+                )
+        if self._tail_k is None:
+            self._tail_k, self._tail_v = k, v
+        else:
+            self._tail_k = np.concatenate([self._tail_k, k], axis=2)
+            self._tail_v = np.concatenate([self._tail_v, v], axis=2)
+        self._full = None
+        return self._materialize()
+
+    def truncate(self, n: int) -> None:
+        """Keep the first ``n`` positions; COW if ``n`` cuts into the
+        shared prefix (the shared arrays themselves are never touched)."""
+        n = int(n)
+        if n < 0 or n > self.length:
+            raise ValueError(f"truncate({n}) out of range for length {self.length}")
+        shared = self.shared_length
+        if n >= shared:
+            keep = n - shared
+            if keep == 0:
+                self._tail_k = self._tail_v = None
+            elif keep < self.tail_length:
+                self._tail_k = self._tail_k[:, :, :keep, :]
+                self._tail_v = self._tail_v[:, :, :keep, :]
+        else:
+            # Copy-on-write: own the kept slice, release the shared arrays.
+            kept_k = self._shared_k[:, :, :n, :].copy() if n else None
+            kept_v = self._shared_v[:, :, :n, :].copy() if n else None
+            self._tail_k, self._tail_v = kept_k, kept_v
+            self._detach()
+        self._full = None
+
+    def reset(self) -> None:
+        self._tail_k = self._tail_v = None
+        self._full = None
+        if self._shared_k is not None:
+            self._detach()
+
+    def clone(self) -> "KVCache":
+        """Independent private copy (a plain :class:`KVCache`)."""
+        other = KVCache()
+        if self.length:
+            k, v = self._materialize()
+            other.k = k.copy()
+            other.v = v.copy()
+        return other
+
+    # -- shared-prefix lifecycle ---------------------------------------
+    def rebase(self, shared_k: np.ndarray, shared_v: np.ndarray) -> None:
+        """Swap in longer shared arrays that subsume the current content.
+
+        Used when a request's freshly prefilled prompt suffix is promoted
+        into the prefix trie: the new shared arrays must equal the view's
+        current full content (same length), and the private tail empties.
+        """
+        shared_k = np.asarray(shared_k)
+        shared_v = np.asarray(shared_v)
+        if self.detached:
+            raise ValueError("cannot rebase a detached view")
+        if shared_k.shape[2] != self.length:
+            raise ValueError(
+                f"rebase length {shared_k.shape[2]} != cached length {self.length}"
+            )
+        self._shared_k, self._shared_v = shared_k, shared_v
+        self._was_attached = True
+        self._tail_k = self._tail_v = None
+        self._full = None
+
+    def _detach(self) -> None:
+        self._shared_k = self._shared_v = None
+        if self._on_detach is not None:
+            callback, self._on_detach = self._on_detach, None
+            callback()
+
+
 class MultiHeadAttention(Module):
     """Causal multi-head self-attention (LLaMA-style, RoPE, no qkv bias).
 

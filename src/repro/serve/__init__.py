@@ -5,11 +5,16 @@ request-level runtime (see ``docs/serving.md``):
 
 * :class:`GenerationEngine` — prefill + batched incremental decode over
   per-request KV-cache blocks; plain-head or voting-combiner decode with
-  optional confidence-based early exit,
-* :class:`Scheduler` — continuous batching: FIFO admission under a
-  resident-token budget, step-granular join/evict, per-request deadlines
-  and graceful rejection,
-* :class:`CachePool` — allocates and recycles per-request cache blocks,
+  optional confidence-based early exit, and self-speculative decoding
+  (shallow exit drafts, one full-depth pass verifies; greedy outputs
+  stay token-identical),
+* :class:`Scheduler` — continuous batching: priority-tier admission
+  under a resident-token budget, deadline-aware preemption with
+  resume-from-cached-prefix, step-granular join/evict, per-request
+  deadlines and graceful rejection,
+* :class:`CachePool` — allocates and recycles per-request cache blocks;
+  with ``share_prefixes=True`` deduplicates common prompt prefixes
+  through a refcounted radix trie of immutable KV segments,
 * :func:`serve_batch` — synchronous one-call entry point.
 
 Quick tour::

@@ -29,6 +29,12 @@ class Request:
     evicted with its partial output (reason ``"deadline"``), whether it
     was queued or actively decoding.  ``seed`` drives this request's own
     sampling RNG, making results independent of co-scheduled traffic.
+
+    ``priority`` is the scheduling tier, 0 = highest: admission runs in
+    ``(priority, submission order)`` order, and a queued request may
+    preempt active requests from strictly lower tiers (see
+    :mod:`repro.serve.scheduler`).  Preempted-then-resumed requests
+    produce exactly the tokens they would have produced uninterrupted.
     """
 
     request_id: str
@@ -41,6 +47,7 @@ class Request:
     seed: int = 0
     eos_token: Optional[int] = None
     deadline_steps: Optional[int] = None
+    priority: int = 0
 
     def __post_init__(self):
         self.prompt = [int(t) for t in self.prompt]
@@ -54,6 +61,9 @@ class Request:
             raise ValueError("choose at most one of top_k / top_p")
         if self.deadline_steps is not None and self.deadline_steps < 1:
             raise ValueError("deadline_steps must be >= 1")
+        self.priority = int(self.priority)
+        if self.priority < 0:
+            raise ValueError("priority must be >= 0 (0 = highest tier)")
 
     @property
     def reserved_tokens(self) -> int:
@@ -71,6 +81,8 @@ class Result:
     admitted — the request exceeds the pool budget or the model context).
     Step indices are scheduler-step timestamps (``-1`` when the phase was
     never reached); ``ttft_steps`` counts submission → first token.
+    ``preemptions`` counts how many times the request was evicted from
+    the active batch by a higher-priority request and later resumed.
     """
 
     request_id: str
@@ -82,6 +94,7 @@ class Result:
     first_token_step: int = -1
     finished_step: int = -1
     early_exit_tokens: int = 0
+    preemptions: int = 0
 
     @property
     def ttft_steps(self) -> int:
@@ -99,6 +112,10 @@ def serve_batch(
     confidence_threshold: Optional[float] = None,
     max_batch_size: int = 8,
     max_resident_tokens: Optional[int] = None,
+    draft_heads=None,
+    draft_exit: Optional[int] = None,
+    draft_k: int = 0,
+    share_prefixes: bool = False,
 ) -> List[Result]:
     """Serve ``requests`` to completion; results in submission order.
 
@@ -108,6 +125,16 @@ def serve_batch(
     decode steps stop at the shallowest exit whose own confidence clears
     the threshold.  ``max_resident_tokens`` defaults to a budget that
     admits everything at once.
+
+    ``draft_k > 0`` turns on self-speculative decoding: ``draft_heads``
+    (an :class:`~repro.adaptive.ExitHeadSet`) drafts ``draft_k`` tokens
+    per cycle through the exit at ``draft_exit`` (auto-selected when
+    omitted) and a single full-depth pass verifies them — greedy outputs
+    are token-identical to the non-speculative engine.  Incompatible
+    with ``voting``.  ``share_prefixes`` deduplicates common prompt
+    prefixes across requests through the pool's radix trie: repeated
+    system prompts are prefilled once and leased by every later request.
+    Neither knob changes any request's tokens — only throughput.
     """
     # Imported here: scheduler.py imports the request/result dataclasses
     # from this module at import time.
@@ -120,9 +147,12 @@ def serve_batch(
             sum(r.reserved_tokens for r in requests), 1
         )
     engine = GenerationEngine(
-        model, voting=voting, confidence_threshold=confidence_threshold
+        model, voting=voting, confidence_threshold=confidence_threshold,
+        draft_heads=draft_heads, draft_exit=draft_exit, draft_k=draft_k,
     )
-    pool = CachePool(model.num_layers, max_resident_tokens)
+    pool = CachePool(
+        model.num_layers, max_resident_tokens, share_prefixes=share_prefixes
+    )
     scheduler = Scheduler(
         engine, pool, SchedulerConfig(max_batch_size=max_batch_size)
     )

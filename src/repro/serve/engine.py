@@ -32,9 +32,25 @@ Compressed models fold automatically: serving runs frozen and under
 fold cache — the mask/quant composition is folded once, then every
 prefill and decode step reuses it (see ``docs/architecture.md``).
 
+* **Self-speculative decoding** (``draft_k > 0``) drafts ``k`` greedy
+  tokens per request through a shallow exit head (blocks ``0..d-1`` plus
+  the head at depth ``d``), then verifies them with a *single* full-depth
+  batched pass over the ``k+1``-token suffix.  The verify pass reuses the
+  draft's tap hidden states — the shallow blocks never run twice — and
+  emits ``accepted + 1`` tokens per cycle (the accepted draft run plus
+  the full model's own next token, a correction on mismatch or a bonus
+  when every draft survived).  Rejected draft entries roll back through
+  ``KVCache.truncate``.  Because every emitted token is the argmax of
+  full-depth logits conditioned on previously emitted tokens, greedy
+  speculative decode is token-identical to vanilla greedy decode;
+  ``draft_k=0`` *is* the vanilla engine.
+
 Counters (active ``repro.obs`` registry): ``serve/prefills``,
-``serve/prefill_tokens``, ``serve/decode_steps``, ``serve/decode_tokens``
-and ``serve/early_exit_tokens``.
+``serve/prefill_tokens``, ``serve/decode_steps``, ``serve/decode_tokens``,
+``serve/early_exit_tokens``, and for speculative decoding
+``serve/spec/{cycles,rows,draft_tokens,accepted_tokens,emitted_tokens}``
+(``emitted == accepted + rows`` — each row of each cycle emits its
+accepted run plus exactly one full-model token).
 """
 
 from __future__ import annotations
@@ -69,6 +85,9 @@ class GenerationEngine:
         model,
         voting=None,
         confidence_threshold: Optional[float] = None,
+        draft_heads=None,
+        draft_exit: Optional[int] = None,
+        draft_k: int = 0,
     ):
         if confidence_threshold is not None:
             if voting is None:
@@ -80,26 +99,75 @@ class GenerationEngine:
                 raise ValueError("voting combiner was built for a different model")
             if voting.weights is None and voting.strategy != "confidence":
                 raise ValueError("calibrate the voting combiner before serving")
+        if draft_k < 0:
+            raise ValueError("draft_k must be >= 0")
+        if draft_k > 0:
+            if draft_heads is None:
+                raise ValueError("speculative decoding needs draft_heads")
+            if voting is not None:
+                raise ValueError(
+                    "speculative decoding verifies against the plain final "
+                    "head; it does not compose with voting decode"
+                )
+            if draft_exit is None:
+                draft_exit = draft_heads.draft_exit_point()
+            if draft_exit not in draft_heads.exit_points:
+                raise ValueError(
+                    f"no draft head at depth {draft_exit} "
+                    f"(exits: {draft_heads.exit_points})"
+                )
+            if not 1 <= draft_exit < model.num_layers:
+                raise ValueError(
+                    f"draft_exit must lie in [1, {model.num_layers - 1}], "
+                    f"got {draft_exit}"
+                )
         self.model = model
         self.voting = voting
         self.confidence_threshold = confidence_threshold
+        self.draft_heads = draft_heads
+        self.draft_exit = draft_exit if draft_k > 0 else None
+        self.draft_k = draft_k
         model.eval()
 
     @property
     def num_layers(self) -> int:
         return self.model.num_layers
 
+    @property
+    def speculative(self) -> bool:
+        return self.draft_k > 0
+
     # ------------------------------------------------------------------
     # prefill
     # ------------------------------------------------------------------
-    def prefill(self, prompt: Sequence[int], caches: List[KVCache]) -> np.ndarray:
+    def prefill(
+        self,
+        prompt: Sequence[int],
+        caches: List[KVCache],
+        cached_len: int = 0,
+    ) -> np.ndarray:
         """Run the prompt into ``caches``; return last-position logits.
 
         Every layer runs (the prompt's cache entries must be exact), so
         early exit here affects only which exits vote on the returned
         logits, not the cached state.
+
+        ``cached_len > 0`` marks a prefix-shared request: ``caches``
+        already hold exact entries for ``prompt[:cached_len]`` (leased
+        from the pool's prefix trie) and only the suffix is computed —
+        incremental multi-token prefill over the cached prefix.
         """
-        ids = np.asarray(list(prompt), dtype=np.int64)[None, :]
+        prompt = list(prompt)
+        if not 0 <= cached_len < len(prompt):
+            raise ValueError(
+                f"cached_len {cached_len} out of range for a "
+                f"{len(prompt)}-token prompt"
+            )
+        if cached_len and caches[0].length != cached_len:
+            raise ValueError(
+                f"caches hold {caches[0].length} tokens, expected {cached_len}"
+            )
+        ids = np.asarray(prompt[cached_len:], dtype=np.int64)[None, :]
         reg = get_registry()
         reg.counter("serve/prefills").inc()
         reg.counter("serve/prefill_tokens").inc(ids.shape[1])
@@ -178,19 +246,7 @@ class GenerationEngine:
         lengths = np.array([e.caches[0].length for e in entries], dtype=np.int64)
         max_len = int(lengths.max())
 
-        attn0 = model.blocks[0].attn
-        kv_heads, head_dim = attn0.num_kv_heads, attn0.head_dim
-        stacked: List[KVCache] = []
-        for layer in range(self.num_layers):
-            cache = KVCache()
-            k = np.zeros((batch, kv_heads, max_len, head_dim), dtype=np.float32)
-            v = np.zeros_like(k)
-            for b, entry in enumerate(entries):
-                src = entry.caches[layer]
-                k[b, :, : src.length] = src.k[0]
-                v[b, :, : src.length] = src.v[0]
-            cache.k, cache.v = k, v
-            stacked.append(cache)
+        stacked = self._stack_caches(entries, range(self.num_layers), max_len)
         # True at each row's padding tail; the appended token (last
         # column) is always valid.
         pad = np.arange(max_len + 1)[None, :] >= lengths[:, None]
@@ -244,6 +300,177 @@ class GenerationEngine:
                 int(early.sum())
             )
         return self._combine_rows(per_exit, exit_depth), early
+
+    # ------------------------------------------------------------------
+    # speculative decode (draft k tokens shallow, verify full-depth once)
+    # ------------------------------------------------------------------
+    def speculative_decode_step(
+        self, entries: Sequence, max_new: Optional[int] = None
+    ) -> List[List[int]]:
+        """Advance every entry by one draft/verify cycle (greedy only).
+
+        Returns the emitted token ids per row: each row's accepted draft
+        run plus one full-model token — between 1 and ``k + 1`` tokens.
+        ``max_new`` optionally caps the emitted count per row (the draft
+        length is clamped to ``max_new - 1``).  When the clamped draft
+        length falls below 1 (row near ``max_len``, or ``max_new == 1``)
+        the cycle degenerates to a vanilla :meth:`decode_step`.
+        """
+        if not self.speculative:
+            raise ValueError("engine was not built with draft_k > 0")
+        if not entries:
+            raise ValueError("speculative_decode_step needs at least one entry")
+        attn = self.model.blocks[0].attn
+        longest = max(e.caches[0].length for e in entries)
+        k = min(self.draft_k, attn.max_len - longest - 1)
+        if max_new is not None:
+            if max_new < 1:
+                raise ValueError("max_new must be >= 1")
+            k = min(k, max_new - 1)
+        if k < 1:
+            logits, _ = self.decode_step(entries)
+            return [[int(row.argmax())] for row in logits]
+
+        reg = get_registry()
+        reg.counter("serve/decode_steps").inc()
+        with no_grad():
+            if len(entries) == 1:
+                outs, accepted = self._speculative_direct(entries[0], k)
+            else:
+                outs, accepted = self._speculative_stacked(entries, k)
+        batch = len(entries)
+        emitted = sum(len(o) for o in outs)
+        reg.counter("serve/decode_tokens").inc(emitted)
+        reg.counter("serve/spec/cycles").inc()
+        reg.counter("serve/spec/rows").inc(batch)
+        reg.counter("serve/spec/draft_tokens").inc(k * batch)
+        reg.counter("serve/spec/accepted_tokens").inc(int(accepted.sum()))
+        reg.counter("serve/spec/emitted_tokens").inc(emitted)
+        return outs
+
+    def _speculative_direct(self, entry, k: int):
+        """Batch-1 draft/verify cycle.
+
+        The ``k + 1`` shallow passes append straight into the entry's own
+        caches; rejected entries are rolled back afterwards through
+        ``KVCache.truncate`` (the rollback path the shared-view COW
+        semantics exist for)."""
+        model = self.model
+        caches = entry.caches
+        d = self.draft_exit
+        base = caches[0].length
+        token = int(entry.last_token)
+        drafts: List[int] = []
+        taps: List[np.ndarray] = []
+        for j in range(k + 1):
+            ids = np.array([[token]], dtype=np.int64)
+            hidden = model.embed_tokens(ids)
+            for i in range(d):
+                hidden = model.blocks[i](hidden, cache=caches[i])
+            taps.append(hidden.data)
+            if j < k:
+                logits = self.draft_heads.logits_at(d, hidden)
+                token = int(logits.data[0, -1].argmax())
+                drafts.append(token)
+        # Verify: one pass of the deep blocks over the k+1 tap states —
+        # the shallow blocks never run twice.
+        hidden = Tensor(np.concatenate(taps, axis=1))
+        for i in range(d, self.num_layers):
+            hidden = model.blocks[i](hidden, cache=caches[i])
+        verify = model.head(hidden).data[0].argmax(axis=-1)  # (k+1,)
+        a = 0
+        while a < k and drafts[a] == int(verify[a]):
+            a += 1
+        emitted = drafts[:a] + [int(verify[a])]
+        for cache in caches:
+            cache.truncate(base + a + 1)
+        return [emitted], np.array([a], dtype=np.int64)
+
+    def _speculative_stacked(self, entries: Sequence, k: int):
+        """Batched draft/verify cycle over pad-stacked caches.
+
+        Key arrays stay in ``[valid prefix | pad | suffix]`` order, so the
+        attention causal mask over array order remains correct; each
+        row's pad slice is removed via ``key_padding_mask`` and its true
+        RoPE positions come from ``positions``.  Only the accepted prefix
+        of new entries is scattered back, so no truncation is needed."""
+        model = self.model
+        d = self.draft_exit
+        batch = len(entries)
+        lengths0 = np.array(
+            [e.caches[0].length for e in entries], dtype=np.int64
+        )
+        max_len0 = int(lengths0.max())
+        stacked = self._stack_caches(entries, range(self.num_layers), max_len0)
+        tokens = np.array([e.last_token for e in entries], dtype=np.int64)
+        drafts = np.empty((batch, k), dtype=np.int64)
+        taps: List[np.ndarray] = []
+        for j in range(k + 1):
+            total = max_len0 + j + 1
+            pad = (np.arange(total)[None, :] >= lengths0[:, None]) & (
+                np.arange(total)[None, :] < max_len0
+            )
+            hidden = model.embed_tokens(tokens[:, None])
+            for i in range(d):
+                hidden = model.blocks[i](
+                    hidden, cache=stacked[i], key_padding_mask=pad,
+                    positions=lengths0 + j,
+                )
+            taps.append(hidden.data)
+            if j < k:
+                logits = self.draft_heads.logits_at(d, hidden)
+                tokens = logits.data[:, -1, :].argmax(axis=-1)
+                drafts[:, j] = tokens
+        total = max_len0 + k + 1
+        pad = (np.arange(total)[None, :] >= lengths0[:, None]) & (
+            np.arange(total)[None, :] < max_len0
+        )
+        hidden = Tensor(np.concatenate(taps, axis=1))
+        for i in range(d, self.num_layers):
+            hidden = model.blocks[i](
+                hidden, cache=stacked[i], key_padding_mask=pad,
+                positions=lengths0,
+            )
+        verify = model.head(hidden).data.argmax(axis=-1)  # (batch, k+1)
+        accepted = np.zeros(batch, dtype=np.int64)
+        outs: List[List[int]] = []
+        for b in range(batch):
+            a = 0
+            while a < k and drafts[b, a] == verify[b, a]:
+                a += 1
+            accepted[b] = a
+            outs.append([int(t) for t in drafts[b, :a]] + [int(verify[b, a])])
+        for layer in range(self.num_layers):
+            k_new = stacked[layer].k[:, :, max_len0:, :]
+            v_new = stacked[layer].v[:, :, max_len0:, :]
+            for b, entry in enumerate(entries):
+                keep = int(accepted[b]) + 1
+                entry.caches[layer].append(
+                    k_new[b : b + 1, :, :keep, :],
+                    v_new[b : b + 1, :, :keep, :],
+                )
+        return outs, accepted
+
+    def _stack_caches(self, entries, layers, max_len: int) -> List[KVCache]:
+        """Pad-and-stack the per-request caches of ``layers`` into shared
+        batched cache arrays (rows shorter than ``max_len`` are
+        zero-padded; the caller masks the tails via key_padding_mask)."""
+        attn0 = self.model.blocks[0].attn
+        kv_heads, head_dim = attn0.num_kv_heads, attn0.head_dim
+        batch = len(entries)
+        stacked: List[KVCache] = []
+        for layer in layers:
+            cache = KVCache()
+            k = np.zeros((batch, kv_heads, max_len, head_dim), dtype=np.float32)
+            v = np.zeros_like(k)
+            for b, entry in enumerate(entries):
+                src = entry.caches[layer]
+                if src.length:
+                    k[b, :, : src.length] = src.k[0]
+                    v[b, :, : src.length] = src.v[0]
+            cache.k, cache.v = k, v
+            stacked.append(cache)
+        return stacked
 
     @staticmethod
     def _scatter_back(entries, stacked: List[KVCache], max_len: int) -> None:

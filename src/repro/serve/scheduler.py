@@ -1,4 +1,4 @@
-"""Continuous-batching request scheduler.
+"""Continuous-batching request scheduler with priorities and preemption.
 
 The scheduler owns the serving loop at *step* granularity: every call to
 :meth:`Scheduler.step` expires deadlines, admits queued requests while
@@ -8,24 +8,46 @@ token with that request's own seeded RNG, and retires whatever finished.
 Requests join and leave between steps (continuous batching) — a long
 request never blocks the batch from draining and refilling around it.
 
-Admission is strict FIFO with worst-case reservation: a request is
-admitted only when ``prompt_len + max_new_tokens`` fits the pool's
-remaining budget, so admitted requests always run to completion without
-memory eviction.  Requests that could *never* fit (bigger than the whole
-budget, or than the model context) are rejected gracefully at submit
-time.  Per-request deadlines bound end-to-end latency in steps; an
-expired request is evicted with its partial output.
+**Priority tiers**: every request carries a ``priority`` (0 = highest).
+Admission processes the queue in ``(priority, submission order)`` order —
+strict FIFO within a tier, so default traffic (all priority 0) behaves
+exactly like the plain FIFO scheduler.  When the highest-priority queued
+request cannot be admitted (batch full or budget short), the scheduler
+**preempts** strictly lower-priority active requests, deadline-aware:
+the victim is the active request that can best afford to wait — greatest
+deadline slack first (no deadline counts as infinite slack), then lowest
+tier, then latest submission; all tie-breaks are deterministic.  A
+preempted request releases its cache lease (publishing its computed
+prefix into the pool's trie when prefix sharing is on), re-queues with
+its original submission order, and later *resumes*: it re-leases its own
+prefix from the trie (or recomputes it), keeps its RNG state and partial
+output, and continues producing exactly the tokens it would have
+produced without the preemption.
 
-Everything is deterministic: FIFO order, step-granular admission, and
-per-request RNGs mean a run's per-request outputs depend only on the
-submitted requests — not on batch composition or wall-clock timing.
+Admission reserves worst-case (``prompt_len + max_new_tokens``), shrunk
+by the leasable shared prefix when the pool shares prefixes; admitted
+requests always run to completion unless preempted by a higher tier.
+Requests that could *never* fit are rejected gracefully at submit time.
+Per-request deadlines bound end-to-end latency in steps; an expired
+request is evicted with its partial output.
+
+When the engine is speculative (``draft_k > 0``), greedy requests
+advance by one *draft/verify cycle* per step — up to ``k + 1`` tokens —
+while non-greedy requests in the same batch fall back to the one-token
+decode path.  Emitted tokens are identical either way; speculation
+changes tokens-per-step, not results.
+
+Everything is deterministic: priority-then-FIFO order, step-granular
+admission, deterministic victim selection and per-request RNGs mean a
+run's per-request outputs depend only on the submitted requests — not
+on batch composition or wall-clock timing.
 
 Telemetry (active ``repro.obs`` registry): counters
 ``serve/{submitted,admitted,completed,rejected,deadline_evictions,
-tokens_generated}``, gauges ``serve/{queue_depth,active_requests}``,
-timer ``serve/ttft`` (wall seconds, submission → first token), span
-``serve/step`` around every scheduler round, and row tables
-``serve/steps`` / ``serve/requests``.
+preemptions,resumes,tokens_generated}``, gauges
+``serve/{queue_depth,active_requests}``, timer ``serve/ttft`` (wall
+seconds, submission → first token), span ``serve/step`` around every
+scheduler round, and row tables ``serve/steps`` / ``serve/requests``.
 """
 
 from __future__ import annotations
@@ -58,13 +80,6 @@ class SchedulerConfig:
 
 
 @dataclasses.dataclass
-class _Queued:
-    request: Request
-    submitted_step: int
-    submitted_at: float
-
-
-@dataclasses.dataclass
 class _Active:
     request: Request
     caches: List[KVCache]
@@ -73,8 +88,10 @@ class _Active:
     submitted_step: int
     submitted_at: float
     admitted_step: int
+    seq: int = 0
     first_token_step: int = -1
     early_exit_tokens: int = 0
+    preemptions: int = 0
 
     @property
     def last_token(self) -> int:
@@ -87,6 +104,21 @@ class _Active:
             return True
         return r.eos_token is not None and self.tokens \
             and self.tokens[-1] == r.eos_token
+
+
+@dataclasses.dataclass
+class _Queued:
+    request: Request
+    submitted_step: int
+    submitted_at: float
+    seq: int
+    # Preempted requests re-queue carrying their full decoding state
+    # (tokens, RNG, timestamps) so a later resume continues seamlessly.
+    resumed: Optional[_Active] = None
+
+    @property
+    def order(self):
+        return (self.request.priority, self.seq)
 
 
 class Scheduler:
@@ -105,6 +137,7 @@ class Scheduler:
         self._active: List[_Active] = []
         self._results: List[Result] = []
         self._step_index = 0
+        self._seq = 0
 
     # -- introspection -------------------------------------------------
     @property
@@ -143,8 +176,9 @@ class Scheduler:
             self._finish(result)
             return result
         self._queue.append(
-            _Queued(request, self._step_index, time.perf_counter())
+            _Queued(request, self._step_index, time.perf_counter(), self._seq)
         )
+        self._seq += 1
         reg.gauge("serve/queue_depth").set(len(self._queue))
         return None
 
@@ -197,13 +231,18 @@ class Scheduler:
                 and self._step_index - item.submitted_step >= deadline
             ):
                 reg.counter("serve/deadline_evictions").inc()
+                prior = item.resumed
                 result = Result(
                     request_id=item.request.request_id,
-                    tokens=[],
+                    tokens=list(prior.tokens) if prior else [],
                     finish_reason="deadline",
                     prompt_len=len(item.request.prompt),
                     submitted_step=item.submitted_step,
+                    admitted_step=prior.admitted_step if prior else -1,
+                    first_token_step=prior.first_token_step if prior else -1,
                     finished_step=self._step_index,
+                    early_exit_tokens=prior.early_exit_tokens if prior else 0,
+                    preemptions=prior.preemptions if prior else 0,
                 )
                 self._finish(result)
                 finished.append(result)
@@ -225,42 +264,154 @@ class Scheduler:
                 still_active.append(active)
         self._active = still_active
 
+    def _can_admit(self, item: _Queued) -> bool:
+        """Whether the pool fits ``item`` right now (exact mirror of the
+        pool's own admission arithmetic, prefix-aware when sharing)."""
+        reserved = item.request.reserved_tokens
+        if not self.pool.share_prefixes:
+            return self.pool.can_reserve(reserved)
+        return self.pool.can_admit(self._prefix_of(item), reserved)
+
+    @staticmethod
+    def _prefix_of(item: _Queued) -> List[int]:
+        """Token sequence whose KV the item needs cached before decoding:
+        the prompt, plus — for a resumed request — every generated token
+        except the last (which is fed, not cached)."""
+        prompt = list(item.request.prompt)
+        if item.resumed is not None and len(item.resumed.tokens) > 1:
+            prompt += item.resumed.tokens[:-1]
+        return prompt
+
     def _admit(self, finished: List[Result]) -> None:
-        reg = get_registry()
-        while (
-            self._queue
-            and len(self._active) < self.config.max_batch_size
-            and self.pool.can_reserve(self._queue[0].request.reserved_tokens)
-        ):
-            item = self._queue.popleft()
-            request = item.request
-            caches = self.pool.allocate(
-                request.request_id, request.reserved_tokens
+        while self._queue:
+            item = min(self._queue, key=lambda q: q.order)
+            blocked = (
+                len(self._active) >= self.config.max_batch_size
+                or not self._can_admit(item)
             )
-            reg.counter("serve/admitted").inc()
-            active = _Active(
-                request=request,
-                caches=caches,
-                rng=np.random.default_rng(request.seed),
-                tokens=[],
-                submitted_step=item.submitted_step,
-                submitted_at=item.submitted_at,
-                admitted_step=self._step_index,
-            )
-            logits = self.engine.prefill(request.prompt, caches)
-            self._emit_token(active, logits, early_exit=False)
-            if active.done:
-                finished.append(self._retire(active, self._reason(active)))
+            if blocked:
+                if not self._preempt_one(item.request.priority):
+                    break
+                continue
+            self._queue.remove(item)
+            if item.resumed is not None:
+                self._resume(item)
             else:
-                self._active.append(active)
+                self._admit_fresh(item, finished)
+
+    def _admit_fresh(self, item: _Queued, finished: List[Result]) -> None:
+        request = item.request
+        caches, cached_len = self._lease(request.request_id, list(request.prompt),
+                                         request.reserved_tokens)
+        get_registry().counter("serve/admitted").inc()
+        active = _Active(
+            request=request,
+            caches=caches,
+            rng=np.random.default_rng(request.seed),
+            tokens=[],
+            submitted_step=item.submitted_step,
+            submitted_at=item.submitted_at,
+            admitted_step=self._step_index,
+            seq=item.seq,
+        )
+        logits = self.engine.prefill(
+            request.prompt, caches, cached_len=cached_len
+        )
+        if self.pool.share_prefixes:
+            self.pool.commit_prefix(request.request_id, request.prompt)
+        self._emit_token(active, logits, early_exit=False)
+        if active.done:
+            finished.append(self._retire(active, self._reason(active)))
+        else:
+            self._active.append(active)
+
+    def _resume(self, item: _Queued) -> None:
+        """Re-admit a preempted request: re-lease (or recompute) the KV of
+        everything already emitted, then continue decoding.  No token is
+        emitted here — the prefill logits correspond to the request's own
+        last token, which was already produced before preemption."""
+        active = item.resumed
+        request = active.request
+        prefix = self._prefix_of(item)
+        caches, cached_len = self._lease(
+            request.request_id, prefix, request.reserved_tokens
+        )
+        active.caches = caches
+        get_registry().counter("serve/resumes").inc()
+        self.engine.prefill(prefix, caches, cached_len=cached_len)
+        if self.pool.share_prefixes:
+            self.pool.commit_prefix(request.request_id, prefix)
+        self._active.append(active)
+
+    def _lease(self, request_id: str, prefix: List[int], reserved: int):
+        if self.pool.share_prefixes:
+            return self.pool.allocate_shared(request_id, prefix, reserved)
+        return self.pool.allocate(request_id, reserved), 0
+
+    def _preempt_one(self, priority: int) -> bool:
+        """Preempt one active request from a strictly lower tier (greater
+        priority number) to make room; returns False when none exists.
+        Deadline-aware victim choice: greatest slack (most steps left
+        before its deadline; none = infinite) goes first, then lowest
+        tier, then latest submission — fully deterministic."""
+        victims = [
+            a for a in self._active if a.request.priority > priority
+        ]
+        if not victims:
+            return False
+
+        def slack(a: _Active) -> float:
+            d = a.request.deadline_steps
+            if d is None:
+                return float("inf")
+            return d - (self._step_index - a.submitted_step)
+
+        victim = max(
+            victims, key=lambda a: (slack(a), a.request.priority, a.seq)
+        )
+        self._active.remove(victim)
+        rid = victim.request.request_id
+        prefix = list(victim.request.prompt) + victim.tokens[:-1]
+        if self.pool.share_prefixes:
+            # Publish the computed prefix so the resume leases it back
+            # instead of recomputing it.
+            self.pool.promote_and_release(rid, prefix)
+        else:
+            self.pool.release(rid)
+        victim.caches = []
+        victim.preemptions += 1
+        get_registry().counter("serve/preemptions").inc()
+        self._queue.append(
+            _Queued(
+                victim.request, victim.submitted_step, victim.submitted_at,
+                victim.seq, resumed=victim,
+            )
+        )
+        return True
 
     def _decode(self, finished: List[Result]) -> None:
         if not self._active:
             return
-        logits, early = self.engine.decode_step(self._active)
+        if self.engine.speculative:
+            spec_rows = [a for a in self._active if a.request.greedy]
+            plain_rows = [a for a in self._active if not a.request.greedy]
+        else:
+            spec_rows, plain_rows = [], list(self._active)
+        if spec_rows:
+            emitted = self.engine.speculative_decode_step(spec_rows)
+            for active, tokens in zip(spec_rows, emitted):
+                for token in tokens:
+                    self._record_token(active, token, early_exit=False)
+                    if active.done:
+                        # Tokens past a terminal state are discarded —
+                        # vanilla decode would never have produced them.
+                        break
+        if plain_rows:
+            logits, early = self.engine.decode_step(plain_rows)
+            for row, active in enumerate(plain_rows):
+                self._emit_token(active, logits[row], early_exit=bool(early[row]))
         still_active: List[_Active] = []
-        for row, active in enumerate(self._active):
-            self._emit_token(active, logits[row], early_exit=bool(early[row]))
+        for active in self._active:
             if active.done:
                 finished.append(self._retire(active, self._reason(active)))
             else:
@@ -280,6 +431,11 @@ class Scheduler:
                 temperature=request.temperature,
                 top_k=request.top_k, top_p=request.top_p,
             )
+        self._record_token(active, token, early_exit)
+
+    def _record_token(
+        self, active: _Active, token: int, early_exit: bool
+    ) -> None:
         active.tokens.append(token)
         if early_exit:
             active.early_exit_tokens += 1
@@ -317,6 +473,7 @@ class Scheduler:
             first_token_step=active.first_token_step,
             finished_step=self._step_index,
             early_exit_tokens=active.early_exit_tokens,
+            preemptions=active.preemptions,
         )
         self._finish(result)
         return result
@@ -331,4 +488,5 @@ class Scheduler:
             new_tokens=len(result.tokens),
             ttft_steps=result.ttft_steps,
             early_exit_tokens=result.early_exit_tokens,
+            preemptions=result.preemptions,
         )

@@ -1,0 +1,256 @@
+"""Scheduler priority tiers and deadline-aware preemption.
+
+Preemption must be a pure scheduling decision: deterministic victim
+choice under fixed seeds, preempted-then-resumed requests produce
+exactly the tokens an uninterrupted run would, and every admission
+control decision keeps emitting the existing ``serve/*`` telemetry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import use_registry
+from repro.serve import (
+    CachePool,
+    GenerationEngine,
+    Request,
+    Scheduler,
+    SchedulerConfig,
+    serve_batch,
+)
+
+
+def make_scheduler(model, *, budget=10_000, max_batch=8, share=False):
+    engine = GenerationEngine(model)
+    pool = CachePool(model.num_layers, budget, share_prefixes=share)
+    return Scheduler(
+        engine, pool, SchedulerConfig(max_batch_size=max_batch, max_steps=500)
+    )
+
+
+class TestPriorityAdmission:
+    def test_same_tier_is_fifo(self, pretrained_model):
+        with use_registry():
+            sched = make_scheduler(pretrained_model, max_batch=1)
+            for i in range(3):
+                sched.submit(Request(f"r{i}", [1 + i], max_new_tokens=2))
+            results = sched.run()
+        order = [r.request_id for r in sorted(results, key=lambda r: r.admitted_step)]
+        assert order == ["r0", "r1", "r2"]
+
+    def test_higher_tier_jumps_the_queue(self, pretrained_model):
+        with use_registry():
+            sched = make_scheduler(pretrained_model, max_batch=1)
+            sched.submit(Request("bg1", [1], max_new_tokens=2, priority=5))
+            sched.submit(Request("bg2", [2], max_new_tokens=2, priority=5))
+            sched.submit(Request("fg", [3], max_new_tokens=2, priority=0))
+            results = {r.request_id: r for r in sched.run()}
+        # fg admits before bg2 even though submitted last.
+        assert results["fg"].admitted_step < results["bg2"].admitted_step
+
+    def test_negative_priority_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="priority"):
+            Request("r", [1], max_new_tokens=1, priority=-1)
+
+
+class TestPreemption:
+    def test_high_priority_preempts_when_batch_is_full(self, pretrained_model):
+        with use_registry() as reg:
+            sched = make_scheduler(pretrained_model, max_batch=1)
+            sched.submit(
+                Request("lo", [1, 2, 3], max_new_tokens=30, priority=3, greedy=True)
+            )
+            for _ in range(3):
+                sched.step()
+            sched.submit(Request("hi", [4, 5], max_new_tokens=4, priority=0))
+            results = {r.request_id: r for r in sched.run()}
+            assert reg.counter("serve/preemptions").value == 1
+            assert reg.counter("serve/resumes").value == 1
+        assert results["lo"].preemptions == 1
+        assert results["hi"].finish_reason == "length"
+        # hi ran to completion before lo resumed.
+        assert results["hi"].finished_step <= results["lo"].finished_step
+
+    @pytest.mark.parametrize("share", [False, True])
+    def test_resumed_output_is_identical(self, pretrained_model, share):
+        request = Request(
+            "lo", [1, 2, 3, 4], max_new_tokens=25, priority=3, greedy=True
+        )
+        with use_registry():
+            sched = make_scheduler(pretrained_model, max_batch=1, share=share)
+            sched.submit(request)
+            for _ in range(4):
+                sched.step()
+            sched.submit(Request("hi", [9], max_new_tokens=3, priority=0))
+            results = {r.request_id: r for r in sched.run()}
+        assert results["lo"].preemptions == 1
+        solo = serve_batch(
+            pretrained_model,
+            [Request("lo", [1, 2, 3, 4], max_new_tokens=25, greedy=True)],
+        )[0]
+        assert results["lo"].tokens == solo.tokens
+
+    def test_resumed_sampled_output_is_identical(self, pretrained_model):
+        """RNG state survives preemption: sampled requests also resume
+        onto exactly their uninterrupted trajectory."""
+        def req():
+            return Request(
+                "lo", [2, 2, 2], max_new_tokens=20, priority=4,
+                greedy=False, temperature=0.8, seed=123,
+            )
+
+        with use_registry():
+            sched = make_scheduler(pretrained_model, max_batch=1)
+            sched.submit(req())
+            for _ in range(5):
+                sched.step()
+            sched.submit(Request("hi", [7], max_new_tokens=2, priority=0))
+            results = {r.request_id: r for r in sched.run()}
+        assert results["lo"].preemptions == 1
+        solo = serve_batch(pretrained_model, [req()])[0]
+        assert results["lo"].tokens == solo.tokens
+
+    def test_preemption_is_deterministic(self, pretrained_model):
+        def run():
+            with use_registry():
+                sched = make_scheduler(pretrained_model, max_batch=2)
+                sched.submit(
+                    Request("a", [1], max_new_tokens=20, priority=2,
+                            deadline_steps=100)
+                )
+                sched.submit(
+                    Request("b", [2], max_new_tokens=20, priority=2,
+                            deadline_steps=40)
+                )
+                sched.step()
+                sched.submit(Request("hi", [3], max_new_tokens=3, priority=0))
+                return {
+                    r.request_id: (tuple(r.tokens), r.preemptions,
+                                   r.finished_step)
+                    for r in sched.run()
+                }
+
+        assert run() == run()
+
+    def test_victim_is_deadline_aware(self, pretrained_model):
+        """The victim is the active request with the most deadline slack
+        — the one that can best afford to wait."""
+        with use_registry():
+            sched = make_scheduler(pretrained_model, max_batch=2)
+            sched.submit(
+                Request("tight", [1], max_new_tokens=30, priority=2,
+                        deadline_steps=40)
+            )
+            sched.submit(
+                Request("loose", [2], max_new_tokens=30, priority=2,
+                        deadline_steps=400)
+            )
+            sched.step()
+            sched.submit(Request("hi", [3], max_new_tokens=3, priority=0))
+            results = {r.request_id: r for r in sched.run()}
+        assert results["loose"].preemptions == 1
+        assert results["tight"].preemptions == 0
+
+    def test_no_deadline_counts_as_infinite_slack(self, pretrained_model):
+        with use_registry():
+            sched = make_scheduler(pretrained_model, max_batch=2)
+            sched.submit(
+                Request("bounded", [1], max_new_tokens=30, priority=2,
+                        deadline_steps=200)
+            )
+            sched.submit(
+                Request("unbounded", [2], max_new_tokens=30, priority=2)
+            )
+            sched.step()
+            sched.submit(Request("hi", [3], max_new_tokens=3, priority=0))
+            results = {r.request_id: r for r in sched.run()}
+        assert results["unbounded"].preemptions == 1
+        assert results["bounded"].preemptions == 0
+
+    def test_equal_tier_never_preempts(self, pretrained_model):
+        with use_registry() as reg:
+            sched = make_scheduler(pretrained_model, max_batch=1)
+            sched.submit(Request("a", [1], max_new_tokens=10, priority=1))
+            sched.step()
+            sched.submit(Request("b", [2], max_new_tokens=2, priority=1))
+            sched.run()
+            assert reg.counter("serve/preemptions").value == 0
+
+    def test_preempted_releases_its_lease(self, pretrained_model):
+        with use_registry():
+            engine = GenerationEngine(pretrained_model)
+            pool = CachePool(pretrained_model.num_layers, 10_000)
+            sched = Scheduler(
+                engine, pool, SchedulerConfig(max_batch_size=1, max_steps=500)
+            )
+            sched.submit(Request("lo", [1, 2], max_new_tokens=30, priority=3))
+            sched.step()
+            assert pool.active_requests() == ["lo"]
+            sched.submit(Request("hi", [3], max_new_tokens=10, priority=0))
+            sched.step()
+            assert pool.active_requests() == ["hi"]
+
+    def test_resume_leases_back_its_cached_prefix(self, pretrained_model):
+        """With prefix sharing, the preempted request's computed state is
+        promoted to the trie and leased back on resume instead of being
+        recomputed from scratch."""
+        with use_registry() as reg:
+            sched = make_scheduler(pretrained_model, max_batch=1, share=True)
+            sched.submit(
+                Request("lo", [1, 2, 3, 4, 5], max_new_tokens=30, priority=3)
+            )
+            for _ in range(6):
+                sched.step()
+            before = reg.counter("serve/pool/prefix_tokens_reused").value
+            sched.submit(Request("hi", [9, 8], max_new_tokens=3, priority=0))
+            sched.run()
+            reused = reg.counter("serve/pool/prefix_tokens_reused").value - before
+        # lo had prompt(5) + ~6 generated tokens cached at preemption;
+        # the resume must lease most of that back (all but the final
+        # uncached position).
+        assert reused >= 5
+
+    def test_preempted_then_expired_keeps_partial_output(self, pretrained_model):
+        with use_registry():
+            sched = make_scheduler(pretrained_model, max_batch=1)
+            sched.submit(
+                Request("lo", [1, 2], max_new_tokens=50, priority=3,
+                        deadline_steps=6)
+            )
+            for _ in range(3):
+                sched.step()
+            # hi occupies the only slot past lo's deadline.
+            sched.submit(Request("hi", [3], max_new_tokens=10, priority=0))
+            results = {r.request_id: r for r in sched.run()}
+        assert results["lo"].finish_reason == "deadline"
+        assert results["lo"].preemptions == 1
+        assert len(results["lo"].tokens) >= 1  # partial output survives
+
+
+class TestAdmissionTelemetry:
+    def test_rejection_emits_counters_and_rows(self, pretrained_model):
+        with use_registry() as reg:
+            sched = make_scheduler(pretrained_model, budget=8)
+            result = sched.submit(
+                Request("big", [1] * 6, max_new_tokens=10)
+            )
+            assert result is not None
+            assert result.finish_reason == "rejected"
+            assert reg.counter("serve/submitted").value == 1
+            assert reg.counter("serve/rejected").value == 1
+            rows = reg.snapshot()["tables"]["serve/requests"]
+            assert rows[0]["finish_reason"] == "rejected"
+
+    def test_preemption_rows_carry_the_count(self, pretrained_model):
+        with use_registry() as reg:
+            sched = make_scheduler(pretrained_model, max_batch=1)
+            sched.submit(Request("lo", [1], max_new_tokens=20, priority=3))
+            sched.step()
+            sched.submit(Request("hi", [2], max_new_tokens=2, priority=0))
+            sched.run()
+            rows = {
+                row["request_id"]: row
+                for row in reg.snapshot()["tables"]["serve/requests"]
+            }
+        assert rows["lo"]["preemptions"] == 1
+        assert rows["hi"]["preemptions"] == 0

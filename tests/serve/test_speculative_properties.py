@@ -1,0 +1,270 @@
+"""Property tests: speculative greedy decode ≡ vanilla greedy decode.
+
+Self-speculative decoding must be a pure throughput optimization — for
+any model (including structurally sliced checkpoints), any prompt, any
+draft length and any batch composition, greedy outputs are identical
+token-for-token to the non-speculative engine, the acceptance counters
+balance exactly, and ``draft_k=0`` *is* the vanilla engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import ExitHeadSet
+from repro.nn.slicing import rotate_and_slice
+from repro.obs import use_registry
+from repro.serve import GenerationEngine, Request, serve_batch
+
+VOCAB = 32
+
+
+class Entry:
+    """Minimal decode-entry: what the engine requires of scheduler rows."""
+
+    def __init__(self, caches, last_token):
+        self.caches = caches
+        self.last_token = last_token
+
+
+def vanilla_greedy(model, prompt, n):
+    engine = GenerationEngine(model)
+    caches = model.new_caches()
+    logits = engine.prefill(prompt, caches)
+    out = [int(logits.argmax())]
+    entry = Entry(caches, out[-1])
+    while len(out) < n:
+        step_logits, _ = engine.decode_step([entry])
+        token = int(step_logits[0].argmax())
+        out.append(token)
+        entry.last_token = token
+    return out
+
+
+def speculative_greedy(model, heads, prompt, n, k, draft_exit=None):
+    engine = GenerationEngine(
+        model, draft_heads=heads, draft_exit=draft_exit, draft_k=k
+    )
+    caches = model.new_caches()
+    logits = engine.prefill(prompt, caches)
+    out = [int(logits.argmax())]
+    entry = Entry(caches, out[-1])
+    while len(out) < n:
+        emitted = engine.speculative_decode_step(
+            [entry], max_new=n - len(out)
+        )
+        out.extend(emitted[0])
+        entry.last_token = out[-1]
+    return out
+
+
+@pytest.fixture
+def heads(pretrained_model):
+    return ExitHeadSet(pretrained_model, exit_points=[2, 3, 6], seed=1)
+
+
+class TestGreedyEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_prompts_and_draft_lengths(
+        self, pretrained_model, heads, seed
+    ):
+        rng = np.random.default_rng(seed)
+        prompt = [
+            int(t) for t in rng.integers(0, VOCAB, size=int(rng.integers(2, 14)))
+        ]
+        n = int(rng.integers(3, 24))
+        k = int(rng.integers(1, 6))
+        expected = vanilla_greedy(pretrained_model, prompt, n)
+        got = speculative_greedy(pretrained_model, heads, prompt, n, k)
+        assert got == expected
+
+    @pytest.mark.parametrize("exit_point", [2, 3])
+    def test_every_draft_depth_is_equivalent(
+        self, pretrained_model, heads, exit_point
+    ):
+        prompt = [3, 1, 4, 1, 5]
+        expected = vanilla_greedy(pretrained_model, prompt, 16)
+        got = speculative_greedy(
+            pretrained_model, heads, prompt, 16, k=3, draft_exit=exit_point
+        )
+        assert got == expected
+
+    def test_stacked_batch_matches_per_request_decodes(
+        self, pretrained_model, heads
+    ):
+        """Batched speculative rows (padded stacked caches) produce the
+        same tokens as serving each request alone."""
+        engine = GenerationEngine(pretrained_model, draft_heads=heads, draft_k=3)
+        prompts = [[1, 2, 3], [7, 6, 5, 4, 3, 2], [9], [8, 8, 8, 1]]
+        entries, outs = [], []
+        for prompt in prompts:
+            caches = pretrained_model.new_caches()
+            logits = engine.prefill(prompt, caches)
+            token = int(logits.argmax())
+            outs.append([token])
+            entries.append(Entry(caches, token))
+        n = 14
+        while any(len(o) < n for o in outs):
+            for row, emitted in enumerate(engine.speculative_decode_step(entries)):
+                outs[row].extend(emitted)
+                entries[row].last_token = outs[row][-1]
+        for prompt, out in zip(prompts, outs):
+            assert out[:n] == vanilla_greedy(pretrained_model, prompt, n)
+
+    def test_serve_batch_speculative_and_shared_is_identical(
+        self, pretrained_model, heads
+    ):
+        """End-to-end: speculation + prefix sharing change throughput,
+        never tokens — including for sampled (non-greedy) requests."""
+        rng = np.random.default_rng(11)
+        system = [int(t) for t in rng.integers(0, VOCAB, size=9)]
+
+        def build():
+            return [
+                Request(
+                    f"r{i}",
+                    prompt=system + [int(t) for t in rng_i.integers(0, VOCAB, 3)],
+                    max_new_tokens=5 + i,
+                    greedy=(i % 3 != 0),
+                    temperature=0.9,
+                    seed=i,
+                    priority=i % 2,
+                )
+                for i, rng_i in enumerate(
+                    np.random.default_rng(5 + j) for j in range(6)
+                )
+            ]
+
+        base = serve_batch(pretrained_model, build())
+        spec = serve_batch(
+            pretrained_model, build(),
+            draft_heads=heads, draft_k=3, share_prefixes=True,
+        )
+        for b, s in zip(base, spec):
+            assert b.tokens == s.tokens
+            assert b.finish_reason == s.finish_reason
+
+
+class TestAcceptanceCounters:
+    def test_counters_sum_exactly(self, pretrained_model, heads):
+        with use_registry() as reg:
+            speculative_greedy(pretrained_model, heads, [1, 2, 3], 20, k=4)
+            cycles = reg.counter("serve/spec/cycles").value
+            rows = reg.counter("serve/spec/rows").value
+            drafted = reg.counter("serve/spec/draft_tokens").value
+            accepted = reg.counter("serve/spec/accepted_tokens").value
+            emitted = reg.counter("serve/spec/emitted_tokens").value
+        assert cycles >= 1
+        # One entry per cycle; every cycle emits its accepted run plus
+        # exactly one full-model token.
+        assert rows == cycles
+        assert emitted == accepted + rows
+        assert 0 <= accepted <= drafted
+        assert drafted <= 4 * cycles
+
+    def test_emitted_matches_tokens_returned(self, pretrained_model, heads):
+        engine = GenerationEngine(pretrained_model, draft_heads=heads, draft_k=3)
+        caches = pretrained_model.new_caches()
+        logits = engine.prefill([2, 7, 1], caches)
+        entry = Entry(caches, int(logits.argmax()))
+        with use_registry() as reg:
+            emitted = engine.speculative_decode_step([entry])
+            assert reg.counter("serve/spec/emitted_tokens").value == len(emitted[0])
+            assert reg.counter("serve/decode_tokens").value == len(emitted[0])
+
+
+class TestDegeneration:
+    def test_k0_is_the_vanilla_engine(self, pretrained_model, heads):
+        engine = GenerationEngine(pretrained_model, draft_heads=heads, draft_k=0)
+        assert not engine.speculative
+        assert engine.draft_exit is None
+        with pytest.raises(ValueError, match="draft_k"):
+            engine.speculative_decode_step([])
+
+    def test_max_new_one_falls_back_to_single_token(
+        self, pretrained_model, heads
+    ):
+        engine = GenerationEngine(pretrained_model, draft_heads=heads, draft_k=4)
+        caches = pretrained_model.new_caches()
+        logits = engine.prefill([5, 5], caches)
+        entry = Entry(caches, int(logits.argmax()))
+        with use_registry() as reg:
+            emitted = engine.speculative_decode_step([entry], max_new=1)
+            assert len(emitted[0]) == 1
+            # The fallback is the vanilla decode path: no cycle counted.
+            assert reg.counter("serve/spec/cycles").value == 0
+
+    def test_near_context_limit_falls_back(self, pretrained_model, heads):
+        max_len = pretrained_model.config.max_len
+        engine = GenerationEngine(pretrained_model, draft_heads=heads, draft_k=4)
+        caches = pretrained_model.new_caches()
+        prompt = [1] * (max_len - 2)
+        logits = engine.prefill(prompt, caches)
+        entry = Entry(caches, int(logits.argmax()))
+        # Cache holds max_len - 2 entries; k is clamped to 1, then a
+        # second cycle has no draft room at all and falls back.
+        first = engine.speculative_decode_step([entry])
+        assert 1 <= len(first[0]) <= 2
+
+    def test_negative_k_rejected(self, pretrained_model, heads):
+        with pytest.raises(ValueError, match=">= 0"):
+            GenerationEngine(pretrained_model, draft_heads=heads, draft_k=-1)
+
+    def test_speculation_requires_draft_heads(self, pretrained_model):
+        with pytest.raises(ValueError, match="draft_heads"):
+            GenerationEngine(pretrained_model, draft_k=2)
+
+    def test_draft_exit_must_have_a_head(self, pretrained_model, heads):
+        with pytest.raises(ValueError, match="no draft head"):
+            GenerationEngine(
+                pretrained_model, draft_heads=heads, draft_exit=4, draft_k=2
+            )
+
+
+class TestSlicedCheckpoints:
+    """Speculative decode on PR 6 rotate-and-slice models: draft taps sit
+    at reduced residual widths behind shortcut_Q junctions."""
+
+    @pytest.fixture
+    def sliced(self, pretrained_model, pretrain_corpus):
+        rng = np.random.default_rng(0)
+        from repro.data import lm_batches
+
+        calib, _ = next(lm_batches(pretrain_corpus, 16, 24, 1, rng))
+        rotate_and_slice(pretrained_model, calib, 0.5)
+        return pretrained_model
+
+    def test_sliced_spec_matches_its_own_vanilla(self, sliced):
+        heads = ExitHeadSet(sliced, exit_points=[2, 3], seed=1)
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            prompt = [int(t) for t in rng.integers(0, VOCAB, size=6)]
+            expected = vanilla_greedy(sliced, prompt, 15)
+            got = speculative_greedy(sliced, heads, prompt, 15, k=3)
+            assert got == expected
+
+    def test_sliced_stacked_batch_matches(self, sliced):
+        heads = ExitHeadSet(sliced, exit_points=[2, 3], seed=1)
+        engine = GenerationEngine(sliced, draft_heads=heads, draft_k=2)
+        prompts = [[1, 2, 3, 4], [9, 8], [7, 7, 7, 7, 7, 1]]
+        entries, outs = [], []
+        for prompt in prompts:
+            caches = sliced.new_caches()
+            logits = engine.prefill(prompt, caches)
+            token = int(logits.argmax())
+            outs.append([token])
+            entries.append(Entry(caches, token))
+        while any(len(o) < 10 for o in outs):
+            for row, emitted in enumerate(engine.speculative_decode_step(entries)):
+                outs[row].extend(emitted)
+                entries[row].last_token = outs[row][-1]
+        for prompt, out in zip(prompts, outs):
+            assert out[:10] == vanilla_greedy(sliced, prompt, 10)
+
+    def test_draft_head_selection_on_sliced_model(self, sliced):
+        heads = ExitHeadSet(sliced, exit_points=[2, 3, 6], seed=1)
+        assert heads.draft_exit_point() == 3
+        # The selected head's projection matches the tap's sliced width.
+        tap_dim = sliced.blocks[2].mlp.down_proj.out_features
+        head = heads.head_for(3)
+        assert head.proj is not None
+        assert head.proj.in_features == tap_dim
