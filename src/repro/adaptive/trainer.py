@@ -19,7 +19,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,7 +27,17 @@ from ..eval.memory import MemoryReport, block_param_count, training_memory_repor
 from ..nn.optim import Adafactor, Adam, AdamW, Optimizer, SGD, clip_grad_norm
 from ..nn.transformer import TransformerLM
 from ..obs import get_registry, span
-from ..tensor import Tensor, cross_entropy, fused_kernels, no_grad, profile_tape
+from ..tensor import (
+    GraphCache,
+    GraphRecorder,
+    Tensor,
+    cross_entropy,
+    fused_kernels,
+    fused_kernels_enabled,
+    graph_capture_enabled,
+    no_grad,
+    profile_tape,
+)
 from .exit_heads import ExitHeadSet
 from .schedules import LayerSchedule, TuningWindow, make_schedule
 
@@ -84,6 +94,11 @@ class AdaptiveTuningConfig:
     # None inherits the process-wide fused-kernel toggle; True/False pins
     # it for the duration of each train step.
     fused_kernels: Optional[bool] = None
+    # Capture each (window, batch-shape) step as an explicit VJP graph on
+    # first run and replay it without re-tracing afterwards (see
+    # repro.tensor.graph).  None inherits the process-wide toggle;
+    # replayed steps are bitwise identical to traced ones.
+    graph_capture: Optional[bool] = None
 
 
 @dataclasses.dataclass
@@ -173,6 +188,18 @@ class AdaptiveLayerTrainer:
         ]
         self.iteration = 0
         self.history: List[StepStats] = []
+        # Captured (window, batch-shape) step graphs, replayed without
+        # re-tracing.  Keyed per tuning-window configuration; optimizer-
+        # managed parameters are "mutable" leaves (read live at replay),
+        # so routine weight updates never invalidate a graph, while
+        # structural rewrites (GPTQ, slicing, LoRA merges) on anything
+        # else do.
+        self._graph_cache = GraphCache()
+        # Tape footprint measured when each graph was captured; replayed
+        # steps run no tape, so their StepStats report the capture-time
+        # measurement (the structure is identical by construction).
+        self._capture_tape: Dict[tuple, Tuple[int, int]] = {}
+        self._graph_step: Optional[Tuple[str, tuple]] = None
 
     def _window_scope_params(self) -> List:
         """Parameters any scheduled window can train: blocks reachable by
@@ -237,6 +264,85 @@ class AdaptiveLayerTrainer:
                     frozen.append(p)
         return frozen
 
+    def _step_core(
+        self, inputs: np.ndarray, targets: np.ndarray, window: TuningWindow
+    ) -> float:
+        """Forward + backward + optimizer update for one window; returns
+        the step loss.  When graph capture is on, the forward/backward is
+        replayed from a captured VJP graph after the first step for this
+        (window, batch-shape) configuration — bitwise identical to the
+        traced path."""
+        config = self.config
+        self._graph_step = None
+        capture_on = (
+            config.graph_capture
+            if config.graph_capture is not None
+            else graph_capture_enabled()
+        )
+        if capture_on and not config.checkpoint_blocks:
+            loss_value = self._captured_step(inputs, targets, window)
+            if loss_value is not None:
+                if config.grad_clip:
+                    clip_grad_norm(self.optimizer.params, config.grad_clip)
+                self.optimizer.step()
+                return loss_value
+        logits = self._logits_for_window(inputs, window)
+        loss = cross_entropy(logits, targets)
+        self.optimizer.zero_grad()
+        loss.backward(reclaim=config.eager_reclaim)
+        if config.grad_clip:
+            clip_grad_norm(self.optimizer.params, config.grad_clip)
+        self.optimizer.step()
+        return loss.item()
+
+    def _captured_step(
+        self, inputs: np.ndarray, targets: np.ndarray, window: TuningWindow
+    ) -> Optional[float]:
+        """Run forward+backward via graph capture/replay.  Returns the
+        loss, or None when this configuration is known uncacheable (the
+        caller then runs the plain traced path)."""
+        config = self.config
+        ids = np.asarray(inputs)
+        if ids.dtype != np.int64:
+            ids = ids.astype(np.int64)
+        tgt = np.asarray(targets)
+        if tgt.dtype != np.int64:
+            tgt = tgt.astype(np.int64)
+        key = (
+            "adapt_step",
+            window.start,
+            window.stop,
+            window.exit_point,
+            ids.shape,
+            tgt.shape,
+            bool(config.fast_path),
+            fused_kernels_enabled(),
+        )
+        cache = self._graph_cache
+        if cache.known_uncacheable(key):
+            return None
+        graph = cache.lookup(key)
+        if graph is None:
+            # First run for this configuration: trace the step live while
+            # the recorder observes it, then freeze the structure.  The
+            # recorded step *is* this step — no duplicated work.
+            recorder = GraphRecorder(mutable=self.optimizer.params)
+            with recorder:
+                recorder.add_input(Tensor(ids))
+                recorder.add_input(Tensor(tgt))
+                logits = self._logits_for_window(ids, window)
+                loss = cross_entropy(logits, tgt)
+                self.optimizer.zero_grad()
+                loss.backward(reclaim=config.eager_reclaim)
+            graph = recorder.finalize(outputs=[loss], loss=loss)
+            cache.store(key, graph)
+            self._graph_step = ("captured", key)
+            return loss.item()
+        self.optimizer.zero_grad()
+        outs = graph.replay([ids, tgt], run_backward=True)
+        self._graph_step = ("replayed", key)
+        return float(outs[0])
+
     def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> StepStats:
         """One adaptive tuning iteration on a single batch."""
         start = time.perf_counter()
@@ -257,33 +363,37 @@ class AdaptiveLayerTrainer:
                 else []
             )
             try:
-                logits = self._logits_for_window(inputs, window)
-                loss = cross_entropy(logits, targets)
-                self.optimizer.zero_grad()
-                loss.backward(reclaim=config.eager_reclaim)
-                if config.grad_clip:
-                    clip_grad_norm(self.optimizer.params, config.grad_clip)
-                self.optimizer.step()
+                loss_value = self._step_core(inputs, targets, window)
             finally:
                 for p in frozen:
                     p.requires_grad = True
         wall_time = time.perf_counter() - start
 
         if hasattr(self.schedule, "update"):
-            self.schedule.update(window.exit_point, loss.item())
+            self.schedule.update(window.exit_point, loss_value)
+
+        activation_bytes, peak_tape_bytes = tape.recorded_bytes, tape.peak_bytes
+        if self._graph_step is not None:
+            mode, key = self._graph_step
+            if mode == "captured":
+                self._capture_tape[key] = (activation_bytes, peak_tape_bytes)
+            else:
+                captured = self._capture_tape.get(key)
+                if captured is not None:
+                    activation_bytes, peak_tape_bytes = captured
 
         stats = StepStats(
             iteration=self.iteration,
-            loss=loss.item(),
+            loss=loss_value,
             window=window,
             forward_blocks=window.stop,
             grad_blocks=window.depth,
             trainable_params=self.window_trainable_params(window),
             wall_time_s=wall_time,
-            activation_bytes=tape.recorded_bytes,
+            activation_bytes=activation_bytes,
             fold_hits=reg.counter("nn/fold/hits").value - fold_hits_before,
             fold_misses=reg.counter("nn/fold/misses").value - fold_misses_before,
-            peak_tape_bytes=tape.peak_bytes,
+            peak_tape_bytes=peak_tape_bytes,
             reclaimed_bytes=tape.freed_bytes,
             frozen_params=sum(p.size for p in frozen),
         )

@@ -58,6 +58,28 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-graph-capture", action="store_true",
+        help="disable VJP graph capture/replay (always re-trace; "
+             "results are identical either way)",
+    )
+    parser.add_argument(
+        "--no-arena", action="store_true",
+        help="disable the step-scoped arena allocator (allocate fresh "
+             "buffers every step)",
+    )
+
+
+def _apply_runtime_args(args) -> None:
+    from .tensor import set_arena_enabled, set_graph_capture
+
+    if getattr(args, "no_graph_capture", False):
+        set_graph_capture(False)
+    if getattr(args, "no_arena", False):
+        set_arena_enabled(False)
+
+
 def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
@@ -547,6 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_data_args(p)
     _add_telemetry_args(p)
     _add_parallel_args(p)
+    _add_runtime_args(p)
     p.add_argument("--model", required=True)
     p.add_argument("--target-seed", type=int, default=1,
                    help="seed of the downstream language")
@@ -582,6 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_data_args(p)
     _add_telemetry_args(p)
+    _add_runtime_args(p)
     p.add_argument("--model", required=True)
     p.add_argument("--prompt", type=int, nargs="+", default=None,
                    help="prompt token ids (default: sample from the corpus)")
@@ -607,6 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_data_args(p)
     _add_telemetry_args(p)
+    _add_runtime_args(p)
     p.add_argument("--model", required=True)
     p.add_argument("--requests", type=int, default=16)
     p.add_argument("--prompt-len", type=int, default=8)
@@ -655,6 +680,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_runtime_args(args)
     telemetry_out = getattr(args, "telemetry_out", None)
     if not telemetry_out:
         return args.fn(args)

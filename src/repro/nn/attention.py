@@ -55,6 +55,24 @@ def apply_rope(x: Tensor, cos: np.ndarray, sin: np.ndarray, offset=0) -> Tensor:
     return stacked.reshape(*x.shape)
 
 
+def apply_rope_tables(x: Tensor, cos_t, sin_t) -> Tensor:
+    """Rotate channel pairs of ``x`` with pre-gathered cos/sin tables.
+
+    ``cos_t``/``sin_t`` are already indexed per position — e.g.
+    ``(batch, 1, seq, head_dim // 2)`` slices of the RoPE tables — and may
+    be Tensors, which lets graph capture treat the per-row position
+    tables as replay-time *inputs* instead of baked constants.  The
+    arithmetic matches :func:`apply_rope` exactly (bitwise)."""
+    x1 = x[..., 0::2]
+    x2 = x[..., 1::2]
+    rot1 = x1 * cos_t - x2 * sin_t
+    rot2 = x1 * sin_t + x2 * cos_t
+    stacked = concat(
+        [rot1.reshape(*rot1.shape, 1), rot2.reshape(*rot2.shape, 1)], axis=-1
+    )
+    return stacked.reshape(*x.shape)
+
+
 class KVCache:
     """Per-layer key/value cache for incremental decoding.
 
@@ -432,6 +450,54 @@ class MultiHeadAttention(Module):
         weights = self.attn_dropout(weights)
         out = self._merge_heads(weights @ v)
         return self.o_proj(out)
+
+    def forward_decode(
+        self,
+        x: Tensor,
+        k_prefix: Tensor,
+        v_prefix: Tensor,
+        mask: Tensor,
+        cos_t: Tensor,
+        sin_t: Tensor,
+    ):
+        """Capture-friendly decode: every dynamic value is an operand.
+
+        Unlike :meth:`forward`, nothing here depends on python-level state
+        that changes between steps — the cache prefix, the combined
+        causal+pad mask and the per-row RoPE tables all flow in as
+        (graph-input) Tensors, so a captured graph replays correctly for
+        any batch of requests with the same (batch, prefix, seq) shape.
+
+        * ``x``: ``(batch, seq, dim)`` suffix hidden states.
+        * ``k_prefix``/``v_prefix``: ``(batch, kv_heads, P, head_dim)``
+          cached keys/values, zero-padded rows masked via ``mask``.
+        * ``mask``: bool ``(batch, 1, seq, P + seq)`` — True where a key
+          must not be attended (padding tails and intra-suffix causality).
+        * ``cos_t``/``sin_t``: ``(batch, 1, seq, head_dim // 2)`` RoPE
+          tables gathered at each row's true positions.
+
+        Returns ``(out, k_new, v_new)`` where ``k_new``/``v_new`` are the
+        suffix's cache entries ``(batch, kv_heads, seq, head_dim)``.
+        The arithmetic is bitwise-identical to :meth:`forward` over a
+        ``[valid prefix | pad | suffix]`` cache layout: masked positions
+        score ``-1e9`` and underflow to exactly 0 in softmax, so extra
+        bucket padding never perturbs the output.
+        """
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(x), self.num_kv_heads)
+        v = self._split_heads(self.v_proj(x), self.num_kv_heads)
+        q = apply_rope_tables(q, cos_t, sin_t)
+        k_new = apply_rope_tables(k, cos_t, sin_t)
+        k_all = concat([k_prefix, k_new], axis=2)
+        v_all = concat([v_prefix, v], axis=2)
+        k_exp = self._expand_kv(k_all)
+        v_exp = self._expand_kv(v_all)
+        scores = (q @ k_exp.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        scores = masked_fill(scores, mask, -1e9)
+        weights = softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+        out = self._merge_heads(weights @ v_exp)
+        return self.o_proj(out), k_new, v
 
     def extra_repr(self) -> str:
         return f"dim={self.dim}, heads={self.num_heads}"

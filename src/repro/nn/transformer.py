@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..tensor import Tensor, checkpoint, fused_kernels_enabled, no_grad, silu, silu_mul
+from ..tensor.tensor import _active_recorder
 from .attention import KVCache, MultiHeadAttention
 from .layers import Dropout, Embedding, Linear, RMSNorm
 from .module import Module, ModuleList
@@ -105,6 +106,33 @@ class TransformerBlock(Module):
         shortcut = getattr(self, "mlp_shortcut_Q", None)
         return (x if shortcut is None else x @ shortcut) + mlp_out
 
+    def forward_decode(self, x, k_prefix, v_prefix, mask, cos_t, sin_t):
+        """Capture-friendly decode step (see ``MultiHeadAttention.forward_decode``).
+
+        Returns ``(x_out, k_new, v_new)``.  Sliced-block shortcut
+        rotations are identity-guarded into any in-flight graph capture:
+        replacing the buffer array invalidates captured graphs instead of
+        silently replaying the stale rotation."""
+        attn_out, k_new, v_new = self.attn.forward_decode(
+            self.attn_norm(x), k_prefix, v_prefix, mask, cos_t, sin_t
+        )
+        attn_out = self.dropout(attn_out)
+        shortcut = self._guarded_shortcut("attn_shortcut_Q")
+        x = (x if shortcut is None else x @ shortcut) + attn_out
+        mlp_out = self.dropout(self.mlp(self.mlp_norm(x)))
+        shortcut = self._guarded_shortcut("mlp_shortcut_Q")
+        return (x if shortcut is None else x @ shortcut) + mlp_out, k_new, v_new
+
+    def _guarded_shortcut(self, name: str):
+        shortcut = getattr(self, name, None)
+        recorder = _active_recorder()
+        if recorder is not None:
+            # Guard the None case too: slicing an unsliced block *adds*
+            # the shortcut, which must invalidate graphs captured before.
+            block = self
+            recorder.add_guard(lambda: getattr(block, name, None) is shortcut)
+        return shortcut
+
 
 class TransformerLM(Module):
     """Decoder-only language model over integer token ids."""
@@ -160,6 +188,37 @@ class TransformerLM(Module):
                 cache = caches[i] if caches is not None else None
                 hidden = self.blocks[i](hidden, cache=cache)
         return hidden
+
+    def run_blocks_decode(
+        self,
+        hidden,
+        k_prefixes,
+        v_prefixes,
+        mask,
+        cos_t,
+        sin_t,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ):
+        """Apply blocks ``start:stop`` in capture-friendly decode form.
+
+        ``k_prefixes``/``v_prefixes`` hold one prefix Tensor per applied
+        block (length ``stop - start``).  Returns ``(hidden, new_ks,
+        new_vs)`` with the per-block suffix cache entries."""
+        stop = self.num_layers if stop is None else stop
+        new_ks, new_vs = [], []
+        for i in range(start, stop):
+            hidden, k_new, v_new = self.blocks[i].forward_decode(
+                hidden,
+                k_prefixes[i - start],
+                v_prefixes[i - start],
+                mask,
+                cos_t,
+                sin_t,
+            )
+            new_ks.append(k_new)
+            new_vs.append(v_new)
+        return hidden, new_ks, new_vs
 
     def head(self, hidden: Tensor) -> Tensor:
         """Final norm + (tied or separate) unembedding."""

@@ -35,6 +35,7 @@ import numpy as np
 
 from ..obs import get_registry
 from ..tensor import Tensor, is_grad_enabled, no_grad, silu
+from ..tensor.tensor import _active_recorder
 from .module import Module, ModuleList, Parameter
 
 _FOLD_ENABLED = True
@@ -412,12 +413,30 @@ class TransformedLinear(Module):
         key = (id(master), master.version, tuple(t.cache_token() for t in wts))
         if key == self._fold_key and self._fold_weight is not None:
             get_registry().counter("nn/fold/hits").inc()
+            self._guard_fold_capture(key)
             return self._fold_weight
         get_registry().counter("nn/fold/misses").inc()
         with no_grad():
             self._fold_weight = Tensor(self.effective_weight().data)
         self._fold_key = key
+        self._guard_fold_capture(key)
         return self._fold_weight
+
+    def _guard_fold_capture(self, key) -> None:
+        """If a graph capture is in flight, pin the fold-cache key.
+
+        The folded weight enters the captured graph as a leaf; when the
+        master weight or any transform token changes, ``_forward_weight``
+        would serve a *new* tensor — which a replay never sees.  The
+        guard makes such graphs fail validation and re-capture instead
+        of replaying the stale fold."""
+        recorder = _active_recorder()
+        if recorder is None:
+            return
+        module = self
+        recorder.add_guard(
+            lambda: module._fold_key == key and module._fold_weight is not None
+        )
 
     # -- convenience views ---------------------------------------------
     @property

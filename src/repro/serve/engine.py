@@ -61,7 +61,14 @@ import numpy as np
 
 from ..nn.attention import KVCache, apply_rope
 from ..obs import get_registry
-from ..tensor import Tensor, no_grad
+from ..tensor import (
+    GraphCache,
+    GraphRecorder,
+    Tensor,
+    fused_kernels_enabled,
+    graph_capture_enabled,
+    no_grad,
+)
 
 
 def _softmax_np(x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -88,6 +95,8 @@ class GenerationEngine:
         draft_heads=None,
         draft_exit: Optional[int] = None,
         draft_k: int = 0,
+        graph_capture: Optional[bool] = None,
+        decode_bucket: int = 32,
     ):
         if confidence_threshold is not None:
             if voting is None:
@@ -127,6 +136,20 @@ class GenerationEngine:
         self.draft_heads = draft_heads
         self.draft_exit = draft_exit if draft_k > 0 else None
         self.draft_k = draft_k
+        # Decode-step graphs, keyed per (kind, batch, prefix-bucket[, ...]).
+        # Cache prefixes are bucketed to `decode_bucket` so one captured
+        # graph serves a range of sequence lengths; bucket padding is
+        # masked and bitwise-neutral (masked scores underflow to 0 in
+        # softmax).  None inherits the process-wide toggle.
+        self.graph_capture = graph_capture
+        self._graphs = GraphCache()
+        self._bucket = max(1, int(decode_bucket))
+        # Persistent padded k/v slabs for the graph decode path: instead
+        # of re-stacking every request's whole prefix each step, the new
+        # token's k/v is written in place and the slabs are revalidated
+        # against the authoritative per-entry caches (entry identity,
+        # lengths, and cache-array identity) before reuse.
+        self._slab_state = None
         model.eval()
 
     @property
@@ -201,6 +224,8 @@ class GenerationEngine:
         reg.counter("serve/decode_steps").inc()
         reg.counter("serve/decode_tokens").inc(len(entries))
         with no_grad():
+            if self.voting is None and self._capture_active():
+                return self._decode_graph(entries)
             if len(entries) == 1:
                 return self._decode_direct(entries[0])
             return self._decode_stacked(entries)
@@ -334,7 +359,9 @@ class GenerationEngine:
         reg = get_registry()
         reg.counter("serve/decode_steps").inc()
         with no_grad():
-            if len(entries) == 1:
+            if self._capture_active():
+                outs, accepted = self._speculative_graph(entries, k)
+            elif len(entries) == 1:
                 outs, accepted = self._speculative_direct(entries[0], k)
             else:
                 outs, accepted = self._speculative_stacked(entries, k)
@@ -450,6 +477,270 @@ class GenerationEngine:
                     v_new[b : b + 1, :, :keep, :],
                 )
         return outs, accepted
+
+    # ------------------------------------------------------------------
+    # captured decode graphs (capture once per shape bucket, then replay)
+    # ------------------------------------------------------------------
+    def _capture_active(self) -> bool:
+        if self.graph_capture is not None:
+            return self.graph_capture
+        return graph_capture_enabled()
+
+    def _graph_apply(self, key, arrays, build) -> List[np.ndarray]:
+        """Replay the graph for ``key`` on ``arrays``, capturing it on
+        first use by tracing ``build`` (a callable from declared-input
+        Tensors to output Tensors).  Falls back to plain tracing when the
+        configuration turned out uncacheable."""
+        cache = self._graphs
+        if cache.known_uncacheable(key):
+            outs = build([Tensor(a) for a in arrays])
+            return [np.asarray(o.data) for o in outs]
+        graph = cache.lookup(key)
+        if graph is None:
+            recorder = GraphRecorder()
+            with recorder:
+                tensors = []
+                for a in arrays:
+                    t = Tensor(a)
+                    recorder.add_input(t)
+                    tensors.append(t)
+                outputs = build(tensors)
+            # Structural rewrites (slicing, requantization) swap whole
+            # parameter objects, which per-leaf version checks cannot
+            # see; pin the parameter identity set so such rewrites force
+            # a re-capture instead of a stale replay.
+            snapshot = self._param_ids()
+            recorder.add_guard(lambda: self._param_ids() == snapshot)
+            graph = recorder.finalize(outputs=outputs)
+            cache.store(key, graph)
+            return [np.asarray(o.data) for o in outputs]
+        return graph.replay(arrays)
+
+    def _param_ids(self) -> Tuple[int, ...]:
+        ids = [id(p) for p in self.model.parameters()]
+        if self.draft_heads is not None:
+            ids.extend(id(p) for p in self.draft_heads.parameters())
+        return tuple(ids)
+
+    def _bucket_len(self, max_len: int, seq_budget: int) -> int:
+        """Round the batch's max cache length up to the bucket grid (so
+        one captured graph serves many lengths), clamped to what fits
+        under the model's max_len with ``seq_budget`` new positions."""
+        b = self._bucket
+        rounded = max(max_len, int(np.ceil(max_len / b) * b) if max_len else 0)
+        limit = self.model.blocks[0].attn.max_len - seq_budget
+        return max_len if rounded > limit else rounded
+
+    def _rope_slices(self, positions: np.ndarray, seq: int):
+        """Per-row cos/sin tables ``(batch, 1, seq, head_dim // 2)``."""
+        attn = self.model.blocks[0].attn
+        pos = positions[:, None] + np.arange(seq)
+        return (
+            attn.rope_cos[pos][:, None, :, :],
+            attn.rope_sin[pos][:, None, :, :],
+        )
+
+    @staticmethod
+    def _pad_mask(lengths: np.ndarray, bucket: int, total: int) -> np.ndarray:
+        """True at the bucket-padding tail of each row ``(batch, total)``;
+        positions at/after ``bucket`` (the appended suffix) stay valid."""
+        idx = np.arange(total)[None, :]
+        return (idx >= lengths[:, None]) & (idx < bucket)
+
+    def _cache_ids(self, entries) -> Tuple[int, ...]:
+        return tuple(
+            id(e.caches[layer].k)
+            for layer in range(self.num_layers)
+            for e in entries
+        )
+
+    def _decode_slabs(self, entries, lengths, bucket: int):
+        """Padded batch k/v slabs for the graph decode path, reused across
+        steps.  A slab set is valid only while the batch composition, the
+        per-row lengths, and the identity of every authoritative cache
+        array still match what this engine last wrote — any external
+        mutation (eviction, speculative append, direct decode) misses the
+        check and forces a fresh stack."""
+        st = self._slab_state
+        entry_ids = tuple(id(e) for e in entries)
+        if st is not None:
+            if (
+                st["bucket"] == bucket
+                and st["entry_ids"] == entry_ids
+                and np.array_equal(st["lengths"], lengths)
+                and st["cache_ids"] == self._cache_ids(entries)
+            ):
+                return st["ks"], st["vs"]
+            self._slab_state = None
+        stacked = self._stack_caches(entries, range(self.num_layers), bucket)
+        ks = [c.k for c in stacked]
+        vs = [c.v for c in stacked]
+        self._slab_state = {
+            "bucket": bucket,
+            "entry_ids": entry_ids,
+            "lengths": lengths.copy(),
+            "cache_ids": self._cache_ids(entries),
+            "ks": ks,
+            "vs": vs,
+        }
+        return ks, vs
+
+    def _advance_slabs(self, entries, lengths, bucket, ks, vs, new_ks, new_vs):
+        """Write the new token's k/v into the slabs in place and re-arm
+        the validity snapshot for the next step."""
+        if int(lengths.max()) >= bucket:
+            # A row just filled its slab (clamped bucket); next step
+            # needs a wider stack anyway.
+            self._slab_state = None
+            return
+        rows = np.arange(len(entries))
+        for layer in range(self.num_layers):
+            ks[layer][rows, :, lengths, :] = new_ks[layer][:, :, 0, :]
+            vs[layer][rows, :, lengths, :] = new_vs[layer][:, :, 0, :]
+        st = self._slab_state
+        st["lengths"] = lengths + 1
+        st["cache_ids"] = self._cache_ids(entries)
+
+    def _decode_graph(self, entries: Sequence) -> Tuple[np.ndarray, np.ndarray]:
+        """One-token batched decode through a captured graph."""
+        model = self.model
+        batch = len(entries)
+        num_layers = self.num_layers
+        ids = np.array([[e.last_token] for e in entries], dtype=np.int64)
+        lengths = np.array([e.caches[0].length for e in entries], dtype=np.int64)
+        bucket = self._bucket_len(int(lengths.max()), 1)
+        ks, vs = self._decode_slabs(entries, lengths, bucket)
+        # seq == 1 at the last array position: causality is vacuous, only
+        # the bucket-padding tails need masking.
+        mask = self._pad_mask(lengths, bucket, bucket + 1)[:, None, None, :]
+        cos_t, sin_t = self._rope_slices(lengths, 1)
+        arrays = [ids, mask, cos_t, sin_t] + ks + vs
+        key = ("decode", batch, bucket, fused_kernels_enabled())
+
+        def build(tensors):
+            ids_t, mask_t, cos_tt, sin_tt = tensors[:4]
+            t_ks = tensors[4 : 4 + num_layers]
+            t_vs = tensors[4 + num_layers :]
+            hidden = model.embed_tokens(ids_t)
+            hidden, new_ks, new_vs = model.run_blocks_decode(
+                hidden, t_ks, t_vs, mask_t, cos_tt, sin_tt
+            )
+            return [model.head(hidden)] + new_ks + new_vs
+
+        outs = self._graph_apply(key, arrays, build)
+        logits = outs[0]
+        new_ks = outs[1 : 1 + num_layers]
+        new_vs = outs[1 + num_layers :]
+        for layer in range(num_layers):
+            for b, entry in enumerate(entries):
+                entry.caches[layer].append(
+                    new_ks[layer][b : b + 1], new_vs[layer][b : b + 1]
+                )
+        self._advance_slabs(entries, lengths, bucket, ks, vs, new_ks, new_vs)
+        return logits[:, -1, :], np.zeros(batch, dtype=bool)
+
+    def _speculative_graph(self, entries: Sequence, k: int):
+        """Draft/verify cycle through captured graphs: one graph per
+        draft offset ``j`` (shallow blocks + draft head) and one for the
+        full-depth verify suffix.  Token-identical to the traced paths."""
+        model = self.model
+        d = self.draft_exit
+        batch = len(entries)
+        num_layers = self.num_layers
+        lengths0 = np.array(
+            [e.caches[0].length for e in entries], dtype=np.int64
+        )
+        bucket = self._bucket_len(int(lengths0.max()), k + 1)
+        stacked = self._stack_caches(entries, range(num_layers), bucket)
+        shallow_k = [stacked[i].k for i in range(d)]
+        shallow_v = [stacked[i].v for i in range(d)]
+        fused = fused_kernels_enabled()
+        tokens = np.array([e.last_token for e in entries], dtype=np.int64)
+        drafts = np.empty((batch, k), dtype=np.int64)
+        taps: List[np.ndarray] = []
+        for j in range(k + 1):
+            total = bucket + j + 1
+            mask = self._pad_mask(lengths0, bucket, total)[:, None, None, :]
+            cos_t, sin_t = self._rope_slices(lengths0 + j, 1)
+            arrays = [tokens[:, None], mask, cos_t, sin_t] + shallow_k + shallow_v
+            want_logits = j < k
+            key = ("draft", batch, bucket, j, d, want_logits, fused)
+
+            def build(tensors, want_logits=want_logits):
+                ids_t, mask_t, cos_tt, sin_tt = tensors[:4]
+                ks = tensors[4 : 4 + d]
+                vs = tensors[4 + d :]
+                hidden = model.embed_tokens(ids_t)
+                hidden, new_ks, new_vs = model.run_blocks_decode(
+                    hidden, ks, vs, mask_t, cos_tt, sin_tt, 0, d
+                )
+                outputs = [hidden] + new_ks + new_vs
+                if want_logits:
+                    outputs.append(self.draft_heads.logits_at(d, hidden))
+                return outputs
+
+            outs = self._graph_apply(key, arrays, build)
+            taps.append(outs[0])
+            for i in range(d):
+                shallow_k[i] = np.concatenate(
+                    [shallow_k[i], outs[1 + i]], axis=2
+                )
+                shallow_v[i] = np.concatenate(
+                    [shallow_v[i], outs[1 + d + i]], axis=2
+                )
+            if want_logits:
+                tokens = outs[1 + 2 * d][:, -1, :].argmax(axis=-1)
+                drafts[:, j] = tokens
+        total = bucket + k + 1
+        pad = self._pad_mask(lengths0, bucket, total)
+        q_pos = np.arange(bucket, total)[:, None]
+        k_pos = np.arange(total)[None, :]
+        mask = (k_pos > q_pos)[None, None, :, :] | pad[:, None, None, :]
+        cos_t, sin_t = self._rope_slices(lengths0, k + 1)
+        suffix = np.concatenate(taps, axis=1)
+        deep_k = [stacked[i].k for i in range(d, num_layers)]
+        deep_v = [stacked[i].v for i in range(d, num_layers)]
+        key = ("verify", batch, bucket, k, d, fused)
+
+        def build_verify(tensors):
+            hid_t, mask_t, cos_tt, sin_tt = tensors[:4]
+            ks = tensors[4 : 4 + num_layers - d]
+            vs = tensors[4 + num_layers - d :]
+            hidden, new_ks, new_vs = model.run_blocks_decode(
+                hid_t, ks, vs, mask_t, cos_tt, sin_tt, d, num_layers
+            )
+            return [model.head(hidden)] + new_ks + new_vs
+
+        outs = self._graph_apply(
+            key, [suffix, mask, cos_t, sin_t] + deep_k + deep_v, build_verify
+        )
+        verify = outs[0].argmax(axis=-1)  # (batch, k+1)
+        deep_new_k = outs[1 : 1 + num_layers - d]
+        deep_new_v = outs[1 + num_layers - d :]
+        accepted = np.zeros(batch, dtype=np.int64)
+        result: List[List[int]] = []
+        for b in range(batch):
+            a = 0
+            while a < k and drafts[b, a] == verify[b, a]:
+                a += 1
+            accepted[b] = a
+            result.append(
+                [int(t) for t in drafts[b, :a]] + [int(verify[b, a])]
+            )
+        for layer in range(num_layers):
+            if layer < d:
+                k_new = shallow_k[layer][:, :, bucket:, :]
+                v_new = shallow_v[layer][:, :, bucket:, :]
+            else:
+                k_new = deep_new_k[layer - d]
+                v_new = deep_new_v[layer - d]
+            for b, entry in enumerate(entries):
+                keep = int(accepted[b]) + 1
+                entry.caches[layer].append(
+                    k_new[b : b + 1, :, :keep, :],
+                    v_new[b : b + 1, :, :keep, :],
+                )
+        return result, accepted
 
     def _stack_caches(self, entries, layers, max_len: int) -> List[KVCache]:
         """Pad-and-stack the per-request caches of ``layers`` into shared

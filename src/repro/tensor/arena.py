@@ -1,0 +1,100 @@
+"""Step-scoped arena allocator for replayed tape buffers.
+
+Every replayed train/decode step allocates the same set of intermediate
+arrays in the same order; going to the OS allocator for each one is pure
+overhead.  The arena keeps freed buffers in per-(shape, dtype) free lists:
+a graph *takes* an output buffer for every op that supports ``out=``
+writes on its first replay and pins the set (shapes are fixed per
+graph), so steady-state replays do zero allocator traffic; when a cache
+drops the graph, ``Graph.release()`` *gives* the slabs back so the
+re-captured graph — or any other graph with matching shapes — reuses
+them.  Replay outputs that live in pinned buffers are copied out, since
+the next replay overwrites them.
+
+Counters: ``tensor/arena/bytes_reserved`` (fresh slab allocations) and
+``tensor/arena/reuse_hits`` (allocations served from a free list).  The
+toggle is a contextvar, mirroring grad mode and fused kernels.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..obs import get_registry
+
+_ARENA_ENABLED: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_arena_enabled", default=True
+)
+
+
+def arena_enabled() -> bool:
+    """Whether graph replays should serve buffers from the arena."""
+    return _ARENA_ENABLED.get()
+
+
+def set_arena_enabled(enabled: bool) -> bool:
+    """Enable/disable the arena for this context; returns the previous value."""
+    previous = _ARENA_ENABLED.get()
+    _ARENA_ENABLED.set(bool(enabled))
+    return previous
+
+
+@contextlib.contextmanager
+def arena_scope(enabled: bool = True):
+    """Context manager scoping the arena toggle."""
+    token = _ARENA_ENABLED.set(bool(enabled))
+    try:
+        yield
+    finally:
+        _ARENA_ENABLED.reset(token)
+
+
+class Arena:
+    """Free-list allocator of numpy buffers keyed by (shape, dtype)."""
+
+    def __init__(self):
+        self._free: Dict[Tuple[Tuple[int, ...], np.dtype], List[np.ndarray]] = {}
+        self.bytes_reserved = 0
+        self.reuse_hits = 0
+
+    def take(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Return a buffer of ``shape``/``dtype`` — recycled if available."""
+        key = (tuple(shape), np.dtype(dtype))
+        free = self._free.get(key)
+        if free:
+            self.reuse_hits += 1
+            get_registry().counter("tensor/arena/reuse_hits").inc()
+            return free.pop()
+        buf = np.empty(key[0], dtype=key[1])
+        self.bytes_reserved += buf.nbytes
+        get_registry().counter("tensor/arena/bytes_reserved").inc(buf.nbytes)
+        return buf
+
+    def give(self, buf: np.ndarray) -> None:
+        """Return ``buf`` to its free list for reuse.
+
+        The caller must no longer hold live views of ``buf`` — graph
+        replay guarantees this by copying outputs before release.
+        """
+        if buf.base is not None:
+            return  # never pool views; their memory belongs to another array
+        key = (buf.shape, buf.dtype)
+        self._free.setdefault(key, []).append(buf)
+
+    def drain(self) -> int:
+        """Drop all pooled buffers; returns how many were held."""
+        count = sum(len(v) for v in self._free.values())
+        self._free.clear()
+        return count
+
+
+_GLOBAL_ARENA = Arena()
+
+
+def get_arena() -> Arena:
+    """The process-wide arena used by graph replay."""
+    return _GLOBAL_ARENA

@@ -3,25 +3,51 @@
 This module is the computational substrate for the whole reproduction: the
 paper's framework (layer-wise compression, truncated-backprop adaptation,
 exit voting) needs a real deep-learning stack, and no GPU framework is
-available offline, so we build one.  The design follows the classic
-define-by-run tape: every operation on a :class:`Tensor` records its parents
-and a closure that accumulates gradients into them; :meth:`Tensor.backward`
-topologically sorts the tape and runs the closures in reverse.
+available offline, so we build one.  The design is a define-by-run tape of
+*explicit VJP nodes*: every operation is an :class:`Op` with a pure
+``forward`` and an explicit ``vjp`` (vector-Jacobian product), applied
+through :func:`apply_op`, which records the node's parents, op, and saved
+context on the output tensor.  :meth:`Tensor.backward` topologically sorts
+the tape and runs the VJPs in reverse.
+
+Because ops are explicit objects (not closures), the tape is inspectable:
+:mod:`repro.tensor.graph` hooks :func:`apply_op` through a recorder to
+capture whole forward+backward programs and replay them without re-tracing,
+:mod:`repro.tensor.fusion` pattern-matches op chains, and
+:mod:`repro.tensor.arena` feeds reusable output buffers to ops that support
+``out=``.  A legacy closure node path (:meth:`Tensor._make`) remains for
+ops whose backward re-enters the interpreter (gradient checkpointing,
+straight-through estimators); such nodes mark captured graphs uncacheable.
 
 Only float64/float32 numpy arrays are supported as differentiable data;
-integer tensors (token ids, masks) flow through as constants.
+integer tensors (token ids, masks) flow through as constants.  Grad mode
+and the graph recorder live in :mod:`contextvars`, so concurrent threads
+(the serve scheduler, threaded test runs) cannot race each other's
+``no_grad()`` scopes.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+import contextvars
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
-_GRAD_ENABLED = True
+# Thread/context-local grad mode (was a module global; contextvars make
+# nested no_grad() scopes safe under concurrency).
+_GRAD_ENABLED: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_grad_enabled", default=True
+)
+
+# Active graph recorder (see repro.tensor.graph): observes every apply_op
+# call in its context so forward+backward programs can be captured and
+# replayed.  None when no capture is in progress.
+_RECORDER: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_graph_recorder", default=None
+)
 
 # Sentinel payload installed in place of a reclaimed activation buffer so
 # stale reads fail loudly instead of returning garbage (see
@@ -41,21 +67,33 @@ def _set_tape_observer(observer):
     return previous
 
 
+def _set_recorder(recorder):
+    """Install a graph recorder for this context; returns a reset token."""
+    return _RECORDER.set(recorder)
+
+
+def _reset_recorder(token) -> None:
+    _RECORDER.reset(token)
+
+
+def _active_recorder():
+    """The graph recorder observing this context, or None."""
+    return _RECORDER.get()
+
+
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables tape recording (inference mode)."""
-    global _GRAD_ENABLED
-    prev = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    token = _GRAD_ENABLED.set(False)
     try:
         yield
     finally:
-        _GRAD_ENABLED = prev
+        _GRAD_ENABLED.reset(token)
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record to the autograd tape."""
-    return _GRAD_ENABLED
+    return _GRAD_ENABLED.get()
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -77,6 +115,87 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+# ---------------------------------------------------------------------------
+# explicit VJP ops
+# ---------------------------------------------------------------------------
+class Op:
+    """One differentiable operation: a pure forward plus an explicit VJP.
+
+    ``forward(inputs, attrs, out=None)`` consumes raw numpy arrays and
+    returns ``(out_data, ctx)`` where ``ctx`` carries whatever the backward
+    pass needs (saved activations, shapes).  ``vjp(ctx, grad, needs)``
+    yields ``(parent_index, grad_array)`` pairs **in the exact order the
+    historical closure implementations accumulated them**, so replacing the
+    closures with ops is bitwise-invisible to training trajectories.
+
+    Class flags drive the engine layers built on top:
+
+    * ``differentiable`` — False for ops that always produce constants
+      (comparisons); their outputs never join the tape.
+    * ``elementwise`` — pure elementwise map; a candidate for chain fusion
+      (see :mod:`repro.tensor.fusion`).
+    * ``supports_out`` — ``forward`` can write into a caller-provided
+      buffer (the arena allocator's hook) with bit-identical results.
+    * ``cacheable`` — safe to replay from a captured graph (False for
+      RNG-dependent ops like dropout).
+    """
+
+    name = "op"
+    differentiable = True
+    elementwise = False
+    supports_out = False
+    cacheable = True
+
+    def forward(self, inputs, attrs, out=None):
+        raise NotImplementedError
+
+    def vjp(self, ctx, grad, needs):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Op {self.name}>"
+
+
+def _maybe_downcast(arr: np.ndarray, inputs) -> np.ndarray:
+    """Mirror ``Tensor.__init__``'s float64→float32 coercion for op outputs.
+
+    Historically every op output passed through ``Tensor(data)`` which
+    downcast float64; we preserve that exactly *unless* a float64 parent is
+    present (explicit ``dtype=np.float64`` tensors propagate, which the
+    float64 gradcheck sweeps rely on).  Graph replay applies the same rule
+    so replayed values stay bitwise identical to traced ones.
+    """
+    if arr.dtype == np.float64 and not any(
+        d.dtype == np.float64 for d in inputs
+    ):
+        return arr.astype(np.float32)
+    return arr
+
+
+def apply_op(op: Op, parents: Sequence["Tensor"], attrs=None) -> "Tensor":
+    """Run ``op`` on ``parents`` and tape an explicit VJP node if needed."""
+    datas = tuple(p.data for p in parents)
+    out_data, ctx = op.forward(datas, attrs)
+    arr = _maybe_downcast(np.asarray(out_data), datas)
+    out = Tensor(arr, dtype=arr.dtype)
+    taped = (
+        op.differentiable
+        and _GRAD_ENABLED.get()
+        and any(p.requires_grad for p in parents)
+    )
+    if taped:
+        out.requires_grad = True
+        out._parents = tuple(parents)
+        out._op = op
+        out._ctx = ctx
+        if _TAPE_OBSERVER is not None:
+            _TAPE_OBSERVER.on_record(out._data.nbytes)
+    recorder = _RECORDER.get()
+    if recorder is not None:
+        recorder.record_op(op, attrs, parents, out, taped)
+    return out
+
+
 class Tensor:
     """A numpy-backed array with reverse-mode autodiff.
 
@@ -86,6 +205,11 @@ class Tensor:
         Array-like payload.  Floating data defaults to float32.
     requires_grad:
         Whether gradients should be accumulated into this tensor.
+    dtype:
+        Optional explicit dtype.  When given, the payload is kept in (or
+        cast to) exactly this dtype — in particular ``dtype=np.float64``
+        suppresses the default float64→float32 coercion, which the
+        numerical gradient checks use for high-precision sweeps.
     """
 
     __slots__ = (
@@ -95,22 +219,35 @@ class Tensor:
         "requires_grad",
         "_parents",
         "_backward_fn",
+        "_op",
+        "_ctx",
         "name",
         "_version",
     )
 
-    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: str = "",
+        dtype=None,
+    ):
         if isinstance(data, Tensor):
             data = data.data
         arr = np.asarray(data)
-        if arr.dtype == np.float64:
+        if dtype is not None:
+            if arr.dtype != dtype:
+                arr = arr.astype(dtype)
+        elif arr.dtype == np.float64:
             arr = arr.astype(np.float32)
         self._version = 0
         self.data = arr
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED.get()
         self._parents: Tuple[Tensor, ...] = ()
         self._backward_fn: Optional[Callable[[np.ndarray], None]] = None
+        self._op: Optional[Op] = None
+        self._ctx = None
         self.name = name
         if self.requires_grad and not np.issubdtype(arr.dtype, np.floating):
             raise TypeError(
@@ -133,7 +270,8 @@ class Tensor:
     def data(self, value: np.ndarray) -> None:
         # Every rebind of the payload (optimizer steps, state-dict loads,
         # GPTQ rewrites) bumps the version, which is what invalidates
-        # folded effective-weight caches (see repro.nn.transforms).
+        # folded effective-weight caches (see repro.nn.transforms) and
+        # captured graphs (see repro.tensor.graph).
         self._data = value
         self._version += 1
 
@@ -158,7 +296,7 @@ class Tensor:
 
         Assignments (``t.data = ...``) bump automatically; slicing edits
         (``t.data[...] = ...``) bypass the setter and must call this to
-        invalidate any fold caches keyed on the tensor.
+        invalidate any fold caches or captured graphs keyed on the tensor.
         """
         self._version += 1
         return self._version
@@ -208,7 +346,7 @@ class Tensor:
         return Tensor(self.data.copy(), requires_grad=self.requires_grad)
 
     def astype(self, dtype) -> "Tensor":
-        return Tensor(self.data.astype(dtype))
+        return Tensor(self.data.astype(dtype), dtype=dtype)
 
     # ------------------------------------------------------------------
     # tape plumbing
@@ -219,8 +357,14 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward_fn: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        """Create a tape node if grad is enabled and any parent needs grad."""
-        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        """Create a legacy *closure* tape node.
+
+        Kept for ops whose backward re-enters the interpreter and cannot be
+        expressed as a pure VJP (gradient checkpointing replays its forward;
+        quantization STEs capture module state).  Closure nodes are opaque
+        to graph capture: a recorder seeing one marks the graph uncacheable.
+        """
+        needs = _GRAD_ENABLED.get() and any(p.requires_grad for p in parents)
         out = Tensor(data)
         if needs:
             out.requires_grad = True
@@ -228,6 +372,9 @@ class Tensor:
             out._backward_fn = backward_fn
             if _TAPE_OBSERVER is not None:
                 _TAPE_OBSERVER.on_record(out._data.nbytes)
+        recorder = _RECORDER.get()
+        if recorder is not None:
+            recorder.record_opaque(parents, out)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -257,10 +404,10 @@ class Tensor:
         outputs only if a non-trivial seed is wanted).
 
         With ``reclaim=True`` every interior node's forward buffer is
-        dropped as soon as its backward closure has consumed it, so peak
-        memory during backward stays near the deepest live frontier rather
-        than the whole tape.  Reading ``.data`` of a reclaimed node
-        afterwards raises; leaves and the root are never reclaimed.
+        dropped as soon as its VJP has consumed it, so peak memory during
+        backward stays near the deepest live frontier rather than the
+        whole tape.  Reading ``.data`` of a reclaimed node afterwards
+        raises; leaves and the root are never reclaimed.
         """
         if not self.requires_grad:
             raise RuntimeError("called backward() on a tensor without grad")
@@ -292,21 +439,31 @@ class Tensor:
         self._accumulate(grad)
         observer = _TAPE_OBSERVER
         for node in reversed(topo):
-            if node._backward_fn is not None and node._grad is not None:
-                node._backward_fn(node._grad)
-                # Free interior gradients and the closure to bound memory.
+            op = node._op
+            if (op is not None or node._backward_fn is not None) and node._grad is not None:
+                if op is not None:
+                    parents = node._parents
+                    needs = tuple(p.requires_grad for p in parents)
+                    for idx, g in op.vjp(node._ctx, node._grad, needs):
+                        parents[idx]._accumulate(g)
+                else:
+                    node._backward_fn(node._grad)
+                # Free interior gradients and the node's saved state to
+                # bound memory.
                 if node is not self:
                     if observer is not None:
                         observer.on_grad_free(node._grad.nbytes)
                     node.grad = None
                     if reclaim:
-                        # The closure (dropped below) held the last use of
+                        # The saved ctx (dropped below) held the last use of
                         # this node's forward output; parents still pending
                         # only ever read their *own* parents' buffers.
                         if observer is not None:
                             observer.on_free(node._data.nbytes)
                         node._data = _RECLAIMED
                 node._backward_fn = None
+                node._op = None
+                node._ctx = None
                 node._parents = ()
 
     def zero_grad(self) -> None:
@@ -316,126 +473,52 @@ class Tensor:
     # arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = _ensure_tensor(other)
-        out_data = self.data + other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(grad, other.shape))
-
-        return Tensor._make(out_data, (self, other), backward)
+        return apply_op(_ADD, (self, _ensure_tensor(other)))
 
     def __radd__(self, other: ArrayLike) -> "Tensor":
         return self.__add__(other)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other = _ensure_tensor(other)
-        out_data = self.data - other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(-grad, other.shape))
-
-        return Tensor._make(out_data, (self, other), backward)
+        return apply_op(_SUB, (self, _ensure_tensor(other)))
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return _ensure_tensor(other).__sub__(self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = _ensure_tensor(other)
-        out_data = self.data * other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
-
-        return Tensor._make(out_data, (self, other), backward)
+        return apply_op(_MUL, (self, _ensure_tensor(other)))
 
     def __rmul__(self, other: ArrayLike) -> "Tensor":
         return self.__mul__(other)
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = _ensure_tensor(other)
-        out_data = self.data / other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(
-                    _unbroadcast(-grad * self.data / (other.data**2), other.shape)
-                )
-
-        return Tensor._make(out_data, (self, other), backward)
+        return apply_op(_DIV, (self, _ensure_tensor(other)))
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return _ensure_tensor(other).__truediv__(self)
 
     def __neg__(self) -> "Tensor":
-        out_data = -self.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(-grad)
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply_op(_NEG, (self,))
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("Tensor ** only supports scalar exponents")
-        out_data = self.data**exponent
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply_op(_POW, (self,), exponent)
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
-        other = _ensure_tensor(other)
-        out_data = self.data @ other.data
-        a, b = self, other
-
-        def backward(grad: np.ndarray) -> None:
-            if a.requires_grad:
-                if b.data.ndim == 1:
-                    ga = np.outer(grad, b.data) if grad.ndim == 1 else np.expand_dims(
-                        grad, -1
-                    ) * b.data
-                    if a.data.ndim == 1:
-                        ga = grad * b.data
-                else:
-                    ga = grad @ np.swapaxes(b.data, -1, -2)
-                a._accumulate(_unbroadcast(np.asarray(ga), a.shape))
-            if b.requires_grad:
-                if a.data.ndim == 1:
-                    gb = np.outer(a.data, grad)
-                    if b.data.ndim == 1:
-                        gb = a.data * grad
-                else:
-                    gb = np.swapaxes(a.data, -1, -2) @ grad
-                b._accumulate(_unbroadcast(np.asarray(gb), b.shape))
-
-        return Tensor._make(out_data, (self, other), backward)
+        return apply_op(_MATMUL, (self, _ensure_tensor(other)))
 
     # comparisons produce constant (non-differentiable) tensors
     def __gt__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(self.data > _ensure_tensor(other).data)
+        return apply_op(_COMPARE, (self, _ensure_tensor(other)), "gt")
 
     def __lt__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(self.data < _ensure_tensor(other).data)
+        return apply_op(_COMPARE, (self, _ensure_tensor(other)), "lt")
 
     def __ge__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(self.data >= _ensure_tensor(other).data)
+        return apply_op(_COMPARE, (self, _ensure_tensor(other)), "ge")
 
     def __le__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(self.data <= _ensure_tensor(other).data)
+        return apply_op(_COMPARE, (self, _ensure_tensor(other)), "le")
 
     # ------------------------------------------------------------------
     # shape ops
@@ -443,14 +526,7 @@ class Tensor:
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        old_shape = self.shape
-        out_data = self.data.reshape(shape)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad.reshape(old_shape))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply_op(_RESHAPE, (self,), tuple(shape))
 
     def transpose(self, *axes: int) -> "Tensor":
         if not axes:
@@ -459,52 +535,21 @@ class Tensor:
             axes_t = tuple(axes[0])
         else:
             axes_t = tuple(axes)
-        out_data = self.data.transpose(axes_t)
-        inverse = tuple(np.argsort(axes_t))
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad.transpose(inverse))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply_op(_TRANSPOSE, (self,), axes_t)
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
-        out_data = np.swapaxes(self.data, axis1, axis2)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(np.swapaxes(grad, axis1, axis2))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply_op(_SWAPAXES, (self,), (axis1, axis2))
 
     def __getitem__(self, index) -> "Tensor":
         if isinstance(index, Tensor):
             index = index.data
-        out_data = self.data[index]
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, index, grad)
-                self._accumulate(full)
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply_op(_GETITEM, (self,), index)
 
     # ------------------------------------------------------------------
     # reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = grad
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis=axis)
-            self._accumulate(np.broadcast_to(g, self.shape).astype(self.dtype))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply_op(_SUM, (self,), (axis, keepdims))
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -521,22 +566,7 @@ class Tensor:
         return out
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = grad
-            out = out_data
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis=axis)
-                out = np.expand_dims(out, axis=axis)
-            mask = (self.data == out).astype(self.dtype)
-            # Split gradient evenly across ties for a well-defined adjoint.
-            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(mask * g / counts)
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply_op(_MAX, (self,), (axis, keepdims))
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -548,64 +578,448 @@ class Tensor:
     # elementwise nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * out_data)
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply_op(_EXP, (self,))
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad / self.data)
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply_op(_LOG, (self,))
 
     def sqrt(self) -> "Tensor":
         return self**0.5
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * (1.0 - out_data**2))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply_op(_TANH, (self,))
 
     def sigmoid(self) -> "Tensor":
-        # tanh-based form avoids exp overflow for large |x|.
-        out_data = 0.5 * (1.0 + np.tanh(0.5 * self.data))
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * out_data * (1.0 - out_data))
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply_op(_SIGMOID, (self,))
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out_data = self.data * mask
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * mask)
-
-        return Tensor._make(out_data, (self,), backward)
+        return apply_op(_RELU, (self,))
 
     def clip(self, low: float, high: float) -> "Tensor":
-        out_data = np.clip(self.data, low, high)
-        mask = ((self.data >= low) & (self.data <= high)).astype(self.dtype)
+        return apply_op(_CLIP, (self,), (low, high))
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+# ---------------------------------------------------------------------------
+# op implementations
+#
+# Each vjp yields (parent_index, grad) pairs in the exact order the former
+# closure implementation called ``_accumulate``, computing the same numpy
+# expressions — the refactor is bitwise-invisible to gradients.
+# ---------------------------------------------------------------------------
+class AddOp(Op):
+    name = "add"
+    elementwise = True
+    supports_out = True
+
+    def forward(self, inputs, attrs, out=None):
+        a, b = inputs
+        return np.add(a, b, out=out), (a.shape, b.shape)
+
+    def vjp(self, ctx, grad, needs):
+        sa, sb = ctx
+        if needs[0]:
+            yield 0, _unbroadcast(grad, sa)
+        if needs[1]:
+            yield 1, _unbroadcast(grad, sb)
+
+
+class SubOp(Op):
+    name = "sub"
+    elementwise = True
+    supports_out = True
+
+    def forward(self, inputs, attrs, out=None):
+        a, b = inputs
+        return np.subtract(a, b, out=out), (a.shape, b.shape)
+
+    def vjp(self, ctx, grad, needs):
+        sa, sb = ctx
+        if needs[0]:
+            yield 0, _unbroadcast(grad, sa)
+        if needs[1]:
+            yield 1, _unbroadcast(-grad, sb)
+
+
+class MulOp(Op):
+    name = "mul"
+    elementwise = True
+    supports_out = True
+
+    def forward(self, inputs, attrs, out=None):
+        a, b = inputs
+        return np.multiply(a, b, out=out), (a, b)
+
+    def vjp(self, ctx, grad, needs):
+        a, b = ctx
+        if needs[0]:
+            yield 0, _unbroadcast(grad * b, a.shape)
+        if needs[1]:
+            yield 1, _unbroadcast(grad * a, b.shape)
+
+
+class DivOp(Op):
+    name = "div"
+    elementwise = True
+    supports_out = True
+
+    def forward(self, inputs, attrs, out=None):
+        a, b = inputs
+        return np.divide(a, b, out=out), (a, b)
+
+    def vjp(self, ctx, grad, needs):
+        a, b = ctx
+        if needs[0]:
+            yield 0, _unbroadcast(grad / b, a.shape)
+        if needs[1]:
+            yield 1, _unbroadcast(-grad * a / (b**2), b.shape)
+
+
+class NegOp(Op):
+    name = "neg"
+    elementwise = True
+    supports_out = True
+
+    def forward(self, inputs, attrs, out=None):
+        return np.negative(inputs[0], out=out), None
+
+    def vjp(self, ctx, grad, needs):
+        if needs[0]:
+            yield 0, -grad
+
+
+class PowOp(Op):
+    # ``a ** e`` keeps the ndarray.__pow__ fast paths (e.g. sqrt for 0.5),
+    # which np.power(..., out=) would not hit bit-identically.
+    name = "pow"
+    elementwise = True
+
+    def forward(self, inputs, attrs, out=None):
+        a = inputs[0]
+        return a**attrs, (a, attrs)
+
+    def vjp(self, ctx, grad, needs):
+        a, exponent = ctx
+        if needs[0]:
+            yield 0, grad * exponent * a ** (exponent - 1)
+
+
+class MatmulOp(Op):
+    name = "matmul"
+    supports_out = True
+
+    def forward(self, inputs, attrs, out=None):
+        a, b = inputs
+        if out is not None and a.ndim >= 2 and b.ndim >= 2:
+            return np.matmul(a, b, out=out), (a, b)
+        return a @ b, (a, b)
+
+    def vjp(self, ctx, grad, needs):
+        a, b = ctx
+        if needs[0]:
+            if b.ndim == 1:
+                ga = np.outer(grad, b) if grad.ndim == 1 else np.expand_dims(
+                    grad, -1
+                ) * b
+                if a.ndim == 1:
+                    ga = grad * b
+            else:
+                ga = grad @ np.swapaxes(b, -1, -2)
+            yield 0, _unbroadcast(np.asarray(ga), a.shape)
+        if needs[1]:
+            if a.ndim == 1:
+                gb = np.outer(a, grad)
+                if b.ndim == 1:
+                    gb = a * grad
+            else:
+                gb = np.swapaxes(a, -1, -2) @ grad
+            yield 1, _unbroadcast(np.asarray(gb), b.shape)
+
+
+class CompareOp(Op):
+    name = "compare"
+    differentiable = False
+    elementwise = True
+
+    _FNS = {
+        "gt": np.greater,
+        "lt": np.less,
+        "ge": np.greater_equal,
+        "le": np.less_equal,
+    }
+
+    def forward(self, inputs, attrs, out=None):
+        return self._FNS[attrs](inputs[0], inputs[1]), None
+
+    def vjp(self, ctx, grad, needs):
+        return ()
+
+
+class ReshapeOp(Op):
+    name = "reshape"
+
+    def forward(self, inputs, attrs, out=None):
+        a = inputs[0]
+        return a.reshape(attrs), a.shape
+
+    def vjp(self, ctx, grad, needs):
+        if needs[0]:
+            yield 0, grad.reshape(ctx)
+
+
+_INVERSE_PERMS: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+
+
+class TransposeOp(Op):
+    name = "transpose"
+
+    def forward(self, inputs, attrs, out=None):
+        inverse = _INVERSE_PERMS.get(attrs)
+        if inverse is None:
+            inverse = _INVERSE_PERMS[attrs] = tuple(np.argsort(attrs))
+        return inputs[0].transpose(attrs), inverse
+
+    def vjp(self, ctx, grad, needs):
+        if needs[0]:
+            yield 0, grad.transpose(ctx)
+
+
+class SwapaxesOp(Op):
+    name = "swapaxes"
+
+    def forward(self, inputs, attrs, out=None):
+        axis1, axis2 = attrs
+        return np.swapaxes(inputs[0], axis1, axis2), attrs
+
+    def vjp(self, ctx, grad, needs):
+        axis1, axis2 = ctx
+        if needs[0]:
+            yield 0, np.swapaxes(grad, axis1, axis2)
+
+
+class GetitemOp(Op):
+    name = "getitem"
+
+    def forward(self, inputs, attrs, out=None):
+        a = inputs[0]
+        return a[attrs], (attrs, a.shape, a.dtype)
+
+    def vjp(self, ctx, grad, needs):
+        index, shape, dtype = ctx
+        if needs[0]:
+            full = np.zeros(shape, dtype=dtype)
+            np.add.at(full, index, grad)
+            yield 0, full
+
+
+class SumOp(Op):
+    name = "sum"
+
+    def forward(self, inputs, attrs, out=None):
+        axis, keepdims = attrs
+        a = inputs[0]
+        out_data = a.sum(axis=axis, keepdims=keepdims)
+        return out_data, (a.shape, a.dtype, axis, keepdims)
+
+    def vjp(self, ctx, grad, needs):
+        shape, dtype, axis, keepdims = ctx
+        if needs[0]:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            yield 0, np.broadcast_to(g, shape).astype(dtype)
+
+
+class MaxOp(Op):
+    name = "max"
+
+    def forward(self, inputs, attrs, out=None):
+        axis, keepdims = attrs
+        a = inputs[0]
+        out_data = a.max(axis=axis, keepdims=keepdims)
+        return out_data, (a, out_data, axis, keepdims)
+
+    def vjp(self, ctx, grad, needs):
+        a, out_data, axis, keepdims = ctx
+        if needs[0]:
+            g = grad
+            out = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                out = np.expand_dims(out, axis=axis)
+            mask = (a == out).astype(a.dtype)
+            # Split gradient evenly across ties for a well-defined adjoint.
+            counts = (
+                mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            )
+            yield 0, mask * g / counts
+
+
+class ExpOp(Op):
+    name = "exp"
+    elementwise = True
+    supports_out = True
+
+    def forward(self, inputs, attrs, out=None):
+        out_data = np.exp(inputs[0], out=out)
+        return out_data, out_data
+
+    def vjp(self, ctx, grad, needs):
+        if needs[0]:
+            yield 0, grad * ctx
+
+
+class LogOp(Op):
+    name = "log"
+    elementwise = True
+    supports_out = True
+
+    def forward(self, inputs, attrs, out=None):
+        a = inputs[0]
+        return np.log(a, out=out), a
+
+    def vjp(self, ctx, grad, needs):
+        if needs[0]:
+            yield 0, grad / ctx
+
+
+class TanhOp(Op):
+    name = "tanh"
+    elementwise = True
+    supports_out = True
+
+    def forward(self, inputs, attrs, out=None):
+        out_data = np.tanh(inputs[0], out=out)
+        return out_data, out_data
+
+    def vjp(self, ctx, grad, needs):
+        if needs[0]:
+            yield 0, grad * (1.0 - ctx**2)
+
+
+class SigmoidOp(Op):
+    name = "sigmoid"
+    elementwise = True
+
+    def forward(self, inputs, attrs, out=None):
+        # tanh-based form avoids exp overflow for large |x|.
+        out_data = 0.5 * (1.0 + np.tanh(0.5 * inputs[0]))
+        return out_data, out_data
+
+    def vjp(self, ctx, grad, needs):
+        if needs[0]:
+            yield 0, grad * ctx * (1.0 - ctx)
+
+
+class ReluOp(Op):
+    name = "relu"
+    elementwise = True
+    supports_out = True
+
+    def forward(self, inputs, attrs, out=None):
+        a = inputs[0]
+        mask = a > 0
+        return np.multiply(a, mask, out=out), mask
+
+    def vjp(self, ctx, grad, needs):
+        if needs[0]:
+            yield 0, grad * ctx
+
+
+class ClipOp(Op):
+    name = "clip"
+    elementwise = True
+    supports_out = True
+
+    def forward(self, inputs, attrs, out=None):
+        low, high = attrs
+        a = inputs[0]
+        out_data = np.clip(a, low, high, out=out)
+        mask = ((a >= low) & (a <= high)).astype(a.dtype)
+        return out_data, mask
+
+    def vjp(self, ctx, grad, needs):
+        if needs[0]:
+            yield 0, grad * ctx
+
+
+class ConcatOp(Op):
+    name = "concat"
+    supports_out = True
+
+    def forward(self, inputs, attrs, out=None):
+        axis = attrs
+        if out is not None:
+            out_data = np.concatenate(inputs, axis=axis, out=out)
+        else:
+            out_data = np.concatenate(inputs, axis=axis)
+        sizes = [a.shape[axis] for a in inputs]
+        offsets = np.cumsum([0] + sizes)
+        return out_data, (axis, offsets)
+
+    def vjp(self, ctx, grad, needs):
+        axis, offsets = ctx
+        for i, need in enumerate(needs):
+            if need:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(int(offsets[i]), int(offsets[i + 1]))
+                yield i, grad[tuple(slicer)]
+
+
+class StackOp(Op):
+    name = "stack"
+
+    def forward(self, inputs, attrs, out=None):
+        return np.stack(inputs, axis=attrs), attrs
+
+    def vjp(self, ctx, grad, needs):
+        axis = ctx
+        for i, need in enumerate(needs):
+            if need:
+                yield i, np.take(grad, i, axis=axis)
+
+
+class WhereOp(Op):
+    """Select ``a`` where condition else ``b``; parent 0 is the condition
+    (a constant input, so replayed graphs see fresh condition values)."""
+
+    name = "where"
+
+    def forward(self, inputs, attrs, out=None):
+        cond = inputs[0].astype(bool)
+        a, b = inputs[1], inputs[2]
+        return np.where(cond, a, b), (cond, a.shape, b.shape)
+
+    def vjp(self, ctx, grad, needs):
+        cond, sa, sb = ctx
+        if needs[1]:
+            yield 1, _unbroadcast(grad * cond, sa)
+        if needs[2]:
+            yield 2, _unbroadcast(grad * (~cond), sb)
+
+
+_ADD = AddOp()
+_SUB = SubOp()
+_MUL = MulOp()
+_DIV = DivOp()
+_NEG = NegOp()
+_POW = PowOp()
+_MATMUL = MatmulOp()
+_COMPARE = CompareOp()
+_RESHAPE = ReshapeOp()
+_TRANSPOSE = TransposeOp()
+_SWAPAXES = SwapaxesOp()
+_GETITEM = GetitemOp()
+_SUM = SumOp()
+_MAX = MaxOp()
+_EXP = ExpOp()
+_LOG = LogOp()
+_TANH = TanhOp()
+_SIGMOID = SigmoidOp()
+_RELU = ReluOp()
+_CLIP = ClipOp()
+_CONCAT = ConcatOp()
+_STACK = StackOp()
+_WHERE = WhereOp()
 
 
 def _ensure_tensor(value: ArrayLike) -> Tensor:
@@ -617,44 +1031,16 @@ def _ensure_tensor(value: ArrayLike) -> Tensor:
 def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable concatenation along ``axis``."""
     tensors = [_ensure_tensor(t) for t in tensors]
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
-
-    def backward(grad: np.ndarray) -> None:
-        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-            if t.requires_grad:
-                slicer = [slice(None)] * grad.ndim
-                slicer[axis] = slice(int(start), int(stop))
-                t._accumulate(grad[tuple(slicer)])
-
-    return Tensor._make(out_data, tensors, backward)
+    return apply_op(_CONCAT, tensors, axis)
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable stack along a new ``axis``."""
     tensors = [_ensure_tensor(t) for t in tensors]
-    out_data = np.stack([t.data for t in tensors], axis=axis)
-
-    def backward(grad: np.ndarray) -> None:
-        for i, t in enumerate(tensors):
-            if t.requires_grad:
-                t._accumulate(np.take(grad, i, axis=axis))
-
-    return Tensor._make(out_data, tensors, backward)
+    return apply_op(_STACK, tensors, axis)
 
 
 def where(condition: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
     """Differentiable elementwise select: ``condition ? a : b``."""
-    cond = _ensure_tensor(condition).data.astype(bool)
-    a = _ensure_tensor(a)
-    b = _ensure_tensor(b)
-    out_data = np.where(cond, a.data, b.data)
-
-    def backward(grad: np.ndarray) -> None:
-        if a.requires_grad:
-            a._accumulate(_unbroadcast(grad * cond, a.shape))
-        if b.requires_grad:
-            b._accumulate(_unbroadcast(grad * (~cond), b.shape))
-
-    return Tensor._make(out_data, (a, b), backward)
+    cond = _ensure_tensor(condition)
+    return apply_op(_WHERE, (cond, _ensure_tensor(a), _ensure_tensor(b)))

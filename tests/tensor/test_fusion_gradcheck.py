@@ -1,0 +1,179 @@
+"""Gradcheck sweep over every fused kernel and the auto-fuser.
+
+Each hand-fused kernel (silu·mul, bias+act, RMSNorm, LayerNorm) must pass
+finite-difference gradient checks at odd shapes in both float32 and
+float64 — and so must the composed op chain it replaces (the ``composed``
+variants mirror the nn layers' ``fused_kernels``-off expressions).  The
+finalize-time auto-fuser must rewrite a captured composed chain into the
+fused ops *without changing a bit* of the replayed values or gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.tensor import (
+    GraphRecorder,
+    Tensor,
+    bias_act,
+    check_gradients,
+    gelu,
+    layer_norm,
+    rms_norm,
+    silu,
+    silu_mul,
+)
+
+ODD_SHAPES = [(3, 5), (1, 7), (2, 3, 5)]
+DTYPES = [np.float32, np.float64]
+EPS = 1e-5
+
+
+def randt(shape, seed, dtype, scale=1.0, shift=0.0):
+    data = np.random.default_rng(seed).standard_normal(shape) * scale + shift
+    return Tensor(data.astype(dtype), requires_grad=True)
+
+
+def _feature_param(shape, seed, dtype, shift=0.0):
+    return randt(shape[-1:], seed, dtype, scale=0.3, shift=shift)
+
+
+def _composed_rms(x, w):
+    # Mirrors RMSNorm.forward with fused_kernels off.
+    ms = (x * x).mean(axis=-1, keepdims=True)
+    return x * ((ms + EPS) ** -0.5) * w
+
+
+def _composed_ln(x, w, b):
+    # Mirrors LayerNorm.forward with fused_kernels off.
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    return centered * ((var + EPS) ** -0.5) * w + b
+
+
+def _case(kernel, shape, dtype, fused):
+    """Return (loss_fn, inputs) for one kernel in one dispatch mode."""
+    if kernel == "silu_mul":
+        fn = silu_mul if fused else (lambda a, b: silu(a) * b)
+        return (
+            lambda a, b: fn(a, b).sum(),
+            [randt(shape, 0, dtype), randt(shape, 1, dtype)],
+        )
+    if kernel.startswith("bias_"):
+        act = kernel.split("_", 1)[1]
+        composed = {"gelu": gelu, "silu": silu, "relu": lambda t: t.relu()}[act]
+        fn = (
+            (lambda x, b: bias_act(x, b, act))
+            if fused
+            else (lambda x, b: composed(x + b))
+        )
+        # Shift relu inputs away from the kink: finite differences straddle it.
+        shift = 0.5 if act == "relu" else 0.0
+        return (
+            lambda x, b: fn(x, b).sum(),
+            [
+                randt(shape, 2, dtype, shift=shift),
+                _feature_param(shape, 3, dtype, shift=shift),
+            ],
+        )
+    if kernel == "rms_norm":
+        fn = (lambda x, w: rms_norm(x, w, EPS)) if fused else _composed_rms
+        return (
+            lambda x, w: (fn(x, w) * 0.5).sum(),
+            [randt(shape, 4, dtype), _feature_param(shape, 5, dtype, shift=1.0)],
+        )
+    if kernel == "layer_norm":
+        fn = (
+            (lambda x, w, b: layer_norm(x, w, b, EPS)) if fused else _composed_ln
+        )
+        return (
+            lambda x, w, b: (fn(x, w, b) * 0.5).sum(),
+            [
+                randt(shape, 6, dtype),
+                _feature_param(shape, 7, dtype, shift=1.0),
+                _feature_param(shape, 8, dtype),
+            ],
+        )
+    raise AssertionError(kernel)
+
+
+KERNELS = ["silu_mul", "bias_gelu", "bias_silu", "bias_relu", "rms_norm", "layer_norm"]
+
+
+@pytest.mark.parametrize("fused", [True, False], ids=["fused", "composed"])
+@pytest.mark.parametrize("dtype", DTYPES, ids=["f32", "f64"])
+@pytest.mark.parametrize("shape", ODD_SHAPES, ids=str)
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernel_gradcheck(kernel, shape, dtype, fused):
+    fn, inputs = _case(kernel, shape, dtype, fused)
+    check_gradients(fn, inputs)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("shape", ODD_SHAPES, ids=str)
+def test_fused_matches_composed_bitwise(kernel, shape):
+    sides = []
+    for fused in (True, False):
+        fn, inputs = _case(kernel, shape, np.float32, fused)
+        loss = fn(*inputs)
+        loss.backward()
+        sides.append((loss.data, [t.grad for t in inputs]))
+    np.testing.assert_array_equal(sides[0][0], sides[1][0])
+    for fused_grad, composed_grad in zip(sides[0][1], sides[1][1]):
+        np.testing.assert_array_equal(fused_grad, composed_grad)
+
+
+# ----------------------------------------------------------------------
+# auto-fused chains: finalize-time fusion is bitwise-invisible
+
+
+def _chain(x, w, b):
+    h = silu(x) * x              # → SiluMulOp by rule fusion
+    h = _composed_rms(h, w)      # composed chain → RmsNormOp by rule fusion
+    return gelu(h + b)           # add→gelu → BiasActOp by rule fusion
+
+
+def _capture_chain(fuse, seed=0):
+    """Capture the composed chain; returns (graph, leaves)."""
+    x = randt((4, 6), seed, np.float32)
+    w = _feature_param((4, 6), seed + 1, np.float32, shift=1.0)
+    b = _feature_param((4, 6), seed + 2, np.float32)
+    with GraphRecorder() as rec:
+        rec.add_input(x)
+        y = _chain(x, w, b)
+        loss = (y * y).sum()
+        graph = rec.finalize([y], loss=loss, fuse=fuse)
+    return graph, (x, w, b)
+
+
+def test_auto_fusion_rewrites_the_chain():
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        fused_graph, _ = _capture_chain(fuse=True)
+    plain_graph, _ = _capture_chain(fuse=False)
+    assert reg.counter("tensor/fusion/rule_hits").value >= 3
+    assert len(fused_graph.steps) < len(plain_graph.steps)
+    fused_names = {s.op.name for s in fused_graph.steps}
+    assert {"silu_mul", "rms_norm", "bias_act"} <= fused_names
+
+
+def test_auto_fused_chain_replay_bitwise():
+    fused_graph, (_, wf, bf) = _capture_chain(fuse=True)
+    plain_graph, (_, wp, bp) = _capture_chain(fuse=False)
+    x2 = np.random.default_rng(9).standard_normal((4, 6)).astype(np.float32)
+
+    (y_fused,) = fused_graph.replay([x2], run_backward=True)
+    (y_plain,) = plain_graph.replay([x2], run_backward=True)
+    np.testing.assert_array_equal(y_fused, y_plain)
+    np.testing.assert_array_equal(wf.grad, wp.grad)
+    np.testing.assert_array_equal(bf.grad, bp.grad)
+
+
+@pytest.mark.parametrize("dtype", DTYPES, ids=["f32", "f64"])
+@pytest.mark.parametrize("shape", [(3, 5), (2, 3, 7)], ids=str)
+def test_auto_fused_chain_gradcheck(shape, dtype):
+    x = randt(shape, 20, dtype)
+    w = _feature_param(shape, 21, dtype, shift=1.0)
+    b = _feature_param(shape, 22, dtype)
+    check_gradients(lambda a, c, d: (_chain(a, c, d) * 0.5).sum(), [x, w, b])
