@@ -27,6 +27,7 @@ Quick start::
 from . import (
     adaptive,
     data,
+    dist,
     eval,
     hw,
     luc,
@@ -47,6 +48,12 @@ from .adaptive import (
     vanilla_trainer,
 )
 from .data import AdaptationTask, MarkovChainCorpus, MultipleChoiceTask, lm_batches
+from .dist import (
+    DistConfig,
+    PipelineAdaptiveTrainer,
+    PipelineGenerationEngine,
+    StagePlan,
+)
 from .hw import AcceleratorSpec, EDGE_GPU_LIKE, schedule_workloads
 from .luc import LUCPolicy, apply_luc, measure_sensitivity, search_policy
 from .nn import TransformerConfig, TransformerLM
@@ -85,6 +92,11 @@ __all__ = [
     "prune",
     "EvalCache",
     "WorkerPool",
+    "DistConfig",
+    "PipelineAdaptiveTrainer",
+    "PipelineGenerationEngine",
+    "StagePlan",
+    "dist",
     "GenerationEngine",
     "Request",
     "Result",

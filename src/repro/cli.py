@@ -10,6 +10,7 @@ Subcommands cover the deployment workflow end to end on synthetic data:
 * ``speedup``   modeled per-iteration cost vs vanilla tuning
 * ``generate``  serve one generation request through repro.serve
 * ``serve-sim`` drive the batched serving runtime with synthetic traffic
+* ``cache``     inspect / prune an on-disk evaluation cache directory
 * ``report``    pretty-print a telemetry run report saved by --telemetry-out
 
 Every workload subcommand accepts ``--telemetry-out PATH``: the run
@@ -21,6 +22,12 @@ accept ``--workers N`` (fan the offline searches out over a process
 pool; results are identical at any worker count) and ``--cache-dir DIR``
 (persist memoized evaluations so repeated runs skip finished work) —
 see ``docs/search.md``.
+
+``adapt``, ``generate`` and ``serve-sim`` accept ``--shards S`` (plus
+``--micro-batches`` / ``--stage-plan``): the model is partitioned into
+contiguous stages hosted by persistent worker processes and tuned or
+served through the pipeline runtime (``repro.dist``).  Results are
+bit-identical to ``--shards 1`` — see ``docs/parallelism.md``.
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -90,6 +97,33 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="persist memoized search evaluations here so repeated runs "
              "skip finished work",
+    )
+
+
+def _add_dist_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="S",
+        help="pipeline-parallel stages over persistent worker processes "
+             "(1 = in-process; results are bit-identical at any count)",
+    )
+    parser.add_argument(
+        "--micro-batches", type=int, default=1, metavar="M",
+        help="micro-batches per step for the 1F1B pipeline schedule",
+    )
+    parser.add_argument(
+        "--stage-plan", default=None, metavar="B1,B2,...",
+        help="manual stage boundaries (interior block indices, comma-"
+             "separated; default: cost-balanced partition)",
+    )
+
+
+def _dist_config(args):
+    from .dist import DistConfig
+
+    return DistConfig(
+        shards=args.shards,
+        micro_batches=args.micro_batches,
+        stage_plan=args.stage_plan,
     )
 
 
@@ -238,6 +272,13 @@ def cmd_adapt(args) -> int:
     from .pipeline import EdgeLLM, EdgeLLMConfig
 
     model = load_model(args.model)
+    if args.shards > 1 or args.micro_batches > 1:
+        if args.no_fast_path:
+            raise SystemExit("--shards/--micro-batches require the fast "
+                             "path (drop --no-fast-path)")
+        if args.optimizer_scope != "all":
+            raise SystemExit("--shards/--micro-batches require "
+                             "--optimizer-scope all")
     pre = _corpus(args, seed=args.language_seed)
     target = _corpus(args, seed=args.target_seed)
     rng = np.random.default_rng(args.seed)
@@ -255,21 +296,29 @@ def cmd_adapt(args) -> int:
         ),
         workers=args.workers,
         cache_dir=args.cache_dir,
+        shards=args.shards,
+        micro_batches=args.micro_batches,
+        stage_plan=args.stage_plan,
     ))
-    edge.compress(*next(lm_batches(pre, 4, args.seq, 1, rng)))
-    edge.adapt(lm_batches(target, args.batch, args.seq, args.steps, rng))
-    edge.calibrate_voting(*next(lm_batches(target, 4, args.seq, 1, rng)))
-    result = {
-        "adapted_perplexity": round(
-            perplexity(edge.logits, target, batch_size=args.batch,
-                       seq_len=args.seq), 4
-        ),
-        "policy_cost": round(edge.policy.cost(), 4),
-        "speedup_vs_vanilla": round(
-            edge.speedup_vs_vanilla(args.batch, args.seq), 3
-        ),
-        "memory_bytes": edge.memory_report(args.batch, args.seq).as_dict(),
-    }
+    try:
+        edge.compress(*next(lm_batches(pre, 4, args.seq, 1, rng)))
+        edge.adapt(lm_batches(target, args.batch, args.seq, args.steps, rng))
+        edge.calibrate_voting(*next(lm_batches(target, 4, args.seq, 1, rng)))
+        result = {
+            "adapted_perplexity": round(
+                perplexity(edge.logits, target, batch_size=args.batch,
+                           seq_len=args.seq), 4
+            ),
+            "policy_cost": round(edge.policy.cost(), 4),
+            "speedup_vs_vanilla": round(
+                edge.speedup_vs_vanilla(args.batch, args.seq), 3
+            ),
+            "memory_bytes": edge.memory_report(args.batch, args.seq).as_dict(),
+        }
+        if args.shards > 1:
+            result["stage_memory_bytes"] = edge.trainer.stage_memory_report()
+    finally:
+        edge.close()
     print(json.dumps(result, indent=2))
     return 0
 
@@ -352,6 +401,27 @@ def cmd_generate(args) -> int:
         )
         inputs, _ = next(lm_batches(corpus, 1, args.prompt_len, 1, rng))
         prompt = [int(t) for t in inputs[0]]
+    if args.shards > 1:
+        if args.sample:
+            raise SystemExit("--shards decodes greedily; drop --sample")
+        if args.exits or args.confidence is not None:
+            raise SystemExit(
+                "--shards does not compose with --exits/--confidence voting"
+            )
+        if args.eos_token is not None:
+            raise SystemExit("--shards does not support --eos-token")
+        from .dist import PipelineGenerationEngine
+
+        with PipelineGenerationEngine(model, _dist_config(args)) as engine:
+            tokens = engine.generate(prompt, args.max_new_tokens)
+        print(json.dumps({
+            "prompt": prompt,
+            "tokens": tokens,
+            "finish_reason": "length",
+            "greedy": True,
+            "shards": args.shards,
+        }, indent=2))
+        return 0
     voting = _serving_voting(model, args, rng)
     request = Request(
         "cli", prompt=prompt, max_new_tokens=args.max_new_tokens,
@@ -402,6 +472,41 @@ def cmd_serve_sim(args) -> int:
     inputs, _ = next(
         lm_batches(corpus, args.requests, args.prompt_len, 1, rng)
     )
+    if args.shards > 1:
+        unsupported = [
+            (args.speculative_k > 0, "--speculative-k"),
+            (bool(args.exits), "--exits"),
+            (args.confidence is not None, "--confidence"),
+            (args.prefix_sharing, "--prefix-sharing"),
+            (args.priority_tiers > 1, "--priority-tiers"),
+            (args.deadline is not None, "--deadline"),
+            (args.arrival_per_step is not None, "--arrival-per-step"),
+            (args.max_resident_tokens is not None, "--max-resident-tokens"),
+        ]
+        bad = [name for cond, name in unsupported if cond]
+        if bad:
+            raise SystemExit(
+                "sharded serving (--shards > 1) is plain pipelined greedy "
+                "decoding; unsupported here: " + ", ".join(bad)
+            )
+        from .dist import PipelineGenerationEngine
+
+        prompts = [shared_prefix + [int(t) for t in row] for row in inputs]
+        start = time.perf_counter()
+        with PipelineGenerationEngine(model, _dist_config(args)) as engine:
+            tokens = engine.generate_batch(prompts, args.max_new_tokens)
+        wall = time.perf_counter() - start
+        new_tokens = sum(len(t) for t in tokens)
+        reg = get_registry()
+        print(json.dumps({
+            "requests": len(prompts),
+            "completed": len(tokens),
+            "new_tokens": new_tokens,
+            "tokens_per_s": round(new_tokens / wall, 2) if wall > 0 else 0.0,
+            "shards": args.shards,
+            "transfer_bytes": reg.counter("dist/transfer_bytes").value,
+        }, indent=2))
+        return 0
     tiers = max(args.priority_tiers, 1)
     requests = [
         Request(
@@ -494,6 +599,27 @@ def cmd_serve_sim(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    """Inspect (and optionally prune) an on-disk evaluation cache."""
+    from .parallel import EvalCache
+
+    cache = EvalCache(args.cache_dir, namespace=args.namespace)
+    files, total = cache.disk_usage()
+    out = {
+        "cache_dir": args.cache_dir,
+        "namespace": args.namespace,
+        "files": files,
+        "bytes": total,
+    }
+    if args.prune_to is not None:
+        out["removed"] = cache.prune_disk(args.prune_to)
+        files, total = cache.disk_usage()
+        out["files"] = files
+        out["bytes"] = total
+    print(json.dumps(out, indent=2))
+    return 0
+
+
 def cmd_report(args) -> int:
     from .obs import format_report, load_report
 
@@ -570,6 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_args(p)
     _add_parallel_args(p)
     _add_runtime_args(p)
+    _add_dist_args(p)
     p.add_argument("--model", required=True)
     p.add_argument("--target-seed", type=int, default=1,
                    help="seed of the downstream language")
@@ -606,6 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_data_args(p)
     _add_telemetry_args(p)
     _add_runtime_args(p)
+    _add_dist_args(p)
     p.add_argument("--model", required=True)
     p.add_argument("--prompt", type=int, nargs="+", default=None,
                    help="prompt token ids (default: sample from the corpus)")
@@ -632,6 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_data_args(p)
     _add_telemetry_args(p)
     _add_runtime_args(p)
+    _add_dist_args(p)
     p.add_argument("--model", required=True)
     p.add_argument("--requests", type=int, default=16)
     p.add_argument("--prompt-len", type=int, default=8)
@@ -666,6 +795,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "(round-robin; 0 = highest, may preempt lower)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_serve_sim)
+
+    p = sub.add_parser(
+        "cache", help="inspect / prune an on-disk evaluation cache"
+    )
+    p.add_argument("--cache-dir", required=True, metavar="DIR")
+    p.add_argument("--namespace", default="eval",
+                   help="cache namespace subdirectory (default: eval)")
+    p.add_argument("--prune-to", type=int, default=None, metavar="BYTES",
+                   help="delete oldest shards until the cache fits in "
+                        "BYTES (default: inspect only)")
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("report", help="pretty-print a telemetry run report")
     p.add_argument("path", help="report JSON written via --telemetry-out")

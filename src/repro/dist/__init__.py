@@ -1,0 +1,36 @@
+"""Pipeline-parallel sharded execution over persistent workers.
+
+Partitions a ``TransformerLM`` into contiguous block stages hosted by
+long-lived forked processes (serial in-process fallback included),
+with cost-balanced stage planning, 1F1B micro-batch scheduling for
+tuning, and request-pipelined greedy serving — all bit-identical to
+single-process execution.  See docs/parallelism.md.
+"""
+
+from .plan import (
+    StagePlan,
+    model_block_costs,
+    plan_for_model,
+    plan_from_config,
+    plan_stages,
+)
+from .runtime import DistConfig, PipelineRunner, validate_tuning_config
+from .serve import PipelineGenerationEngine
+from .trainer import PipelineAdaptiveTrainer
+from .worker import StageHost, canonical_parameters, owner_stage
+
+__all__ = [
+    "DistConfig",
+    "PipelineAdaptiveTrainer",
+    "PipelineGenerationEngine",
+    "PipelineRunner",
+    "StageHost",
+    "StagePlan",
+    "canonical_parameters",
+    "model_block_costs",
+    "owner_stage",
+    "plan_for_model",
+    "plan_from_config",
+    "plan_stages",
+    "validate_tuning_config",
+]

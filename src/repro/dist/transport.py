@@ -1,0 +1,66 @@
+"""Queue transport between pipeline stages.
+
+The process backend wires stages with plain ``multiprocessing`` queues:
+per-stage command queues and one shared result queue between driver and
+stages, plus one forward (activations) and one gradient queue per stage
+boundary that stages use directly — activations never round-trip
+through the driver.  All queues are unbounded, so sends never block and
+the 1F1B interleave cannot deadlock on transport back-pressure.
+
+Stage processes are created with the ``fork`` start method: hosts are
+built driver-side and inherited by the children via copy-on-write, so
+no model weights ever travel through pickling at startup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+
+@dataclasses.dataclass
+class StageLinks:
+    """The queue endpoints handed to one stage process."""
+
+    cmd_q: object
+    result_q: object
+    fwd_in: Optional[object]
+    fwd_out: Optional[object]
+    grad_in: Optional[object]
+    grad_out: Optional[object]
+
+
+def build_links(ctx, num_stages: int):
+    """Create the full queue mesh for ``num_stages`` stages.
+
+    Returns ``(cmd_qs, result_q, links)`` where ``links[s]`` bundles
+    stage ``s``'s endpoints: boundary ``b`` between stages ``b`` and
+    ``b+1`` has a forward queue (activations up) and a gradient queue
+    (gradients down).
+    """
+    cmd_qs = [ctx.Queue() for _ in range(num_stages)]
+    result_q = ctx.Queue()
+    fwd_qs = [ctx.Queue() for _ in range(num_stages - 1)]
+    grad_qs = [ctx.Queue() for _ in range(num_stages - 1)]
+    links: List[StageLinks] = []
+    for s in range(num_stages):
+        links.append(
+            StageLinks(
+                cmd_q=cmd_qs[s],
+                result_q=result_q,
+                fwd_in=fwd_qs[s - 1] if s > 0 else None,
+                fwd_out=fwd_qs[s] if s < num_stages - 1 else None,
+                grad_in=grad_qs[s] if s < num_stages - 1 else None,
+                grad_out=grad_qs[s - 1] if s > 0 else None,
+            )
+        )
+    return cmd_qs, result_q, links
+
+
+def drain_queue(q) -> None:
+    """Best-effort drain so queue feeder threads can exit promptly."""
+    try:
+        while True:
+            q.get_nowait()
+    except Exception:
+        pass

@@ -5,6 +5,7 @@ from .workload import (
     FP_BITS,
     GEMMWorkload,
     block_backward_gemms,
+    block_costs,
     block_forward_gemms,
     head_gemm,
     total_macs,
@@ -50,6 +51,7 @@ __all__ = [
     "EDGE_TPU_LIKE",
     "GEMMWorkload",
     "FP_BITS",
+    "block_costs",
     "block_forward_gemms",
     "block_backward_gemms",
     "head_gemm",

@@ -207,5 +207,39 @@ def tuning_iteration_workload(
     return gemms
 
 
+def block_costs(
+    config: TransformerConfig,
+    batch: int,
+    seq: int,
+    bits_per_block: Optional[Dict[int, int]] = None,
+    sparsity_per_block: Optional[Dict[int, float]] = None,
+    slice_per_block: Optional[Dict[int, Tuple[int, int, int]]] = None,
+) -> List[int]:
+    """Modeled forward MACs of every block — the per-block weights the
+    pipeline stage planner (:mod:`repro.dist.plan`) balances over.
+
+    Structurally sliced blocks (``slice_per_block``) report genuinely
+    smaller costs, so a balanced partition gives narrow blocks less of a
+    stage's budget.
+    """
+    bits_per_block = bits_per_block or {}
+    sparsity_per_block = sparsity_per_block or {}
+    slice_per_block = slice_per_block or {}
+    return [
+        total_macs(
+            block_forward_gemms(
+                config,
+                batch,
+                seq,
+                i,
+                bits_per_block.get(i, FP_BITS),
+                sparsity_per_block.get(i, 0.0),
+                slice_per_block.get(i),
+            )
+        )
+        for i in range(config.num_layers)
+    ]
+
+
 def total_macs(gemms: List[GEMMWorkload]) -> int:
     return sum(g.macs for g in gemms)

@@ -16,12 +16,19 @@ See ``docs/search.md`` for the determinism contract and cache semantics.
 """
 
 from .cache import EvalCache, stable_key
-from .pool import WorkerPool, derive_seed, resolve_workers, task_seeds
+from .pool import (
+    WorkerPool,
+    available_cpus,
+    derive_seed,
+    resolve_workers,
+    task_seeds,
+)
 
 __all__ = [
     "EvalCache",
     "stable_key",
     "WorkerPool",
+    "available_cpus",
     "derive_seed",
     "resolve_workers",
     "task_seeds",

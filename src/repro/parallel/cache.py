@@ -11,6 +11,11 @@ a content-addressed key:
   survives across processes — the warm-start path the CLI exposes as
   ``--cache-dir``.
 
+Both levels are boundable.  ``max_bytes`` caps the in-memory level with
+LRU eviction (evictions counted on ``parallel/cache/evictions``); the
+disk level is pruned on demand via :meth:`EvalCache.prune_disk` — the
+``repro cache`` CLI subcommand exposes inspect/prune for both.
+
 Keys come from :func:`stable_key`: a SHA-256 over a canonical token tree
 covering dataclasses, dicts, sequences, numpy scalars/arrays and floats
 via shortest-roundtrip ``repr`` — two inputs differing in the last ulp
@@ -29,8 +34,10 @@ import dataclasses
 import hashlib
 import json
 import os
+import sys
 import tempfile
-from typing import Any, Callable, Optional, Tuple
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -78,15 +85,43 @@ def stable_key(*parts: Any) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-class EvalCache:
-    """Two-level (memory, optional disk) memo store for pure evaluations."""
+def _approx_bytes(value: Any) -> int:
+    """Approximate in-memory footprint of a cached value (for the
+    ``max_bytes`` cap).  JSON length for JSON-able values, ``nbytes``
+    for arrays, ``sys.getsizeof`` otherwise — consistent, not exact."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    try:
+        return len(json.dumps(value))
+    except (TypeError, ValueError):
+        return int(sys.getsizeof(value))
 
-    def __init__(self, cache_dir: Optional[str] = None, namespace: str = "eval"):
+
+class EvalCache:
+    """Two-level (memory, optional disk) memo store for pure evaluations.
+
+    ``max_bytes`` bounds the in-memory level: storing past the cap
+    evicts least-recently-used entries (the newest entry always stays,
+    even when it alone exceeds the cap).  ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        namespace: str = "eval",
+        max_bytes: Optional[int] = None,
+    ):
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.cache_dir = cache_dir
         self.namespace = namespace
-        self._mem: dict = {}
+        self.max_bytes = max_bytes
+        self._mem: "OrderedDict[str, Any]" = OrderedDict()
+        self._sizes: Dict[str, int] = {}
+        self._mem_bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         if cache_dir:
             os.makedirs(os.path.join(cache_dir, namespace), exist_ok=True)
 
@@ -94,10 +129,35 @@ class EvalCache:
     def _shard_path(self, key: str) -> str:
         return os.path.join(self.cache_dir, self.namespace, key[:2], key + ".json")
 
+    def _shard_root(self) -> str:
+        return os.path.join(self.cache_dir, self.namespace)
+
+    # -- memory-level bookkeeping ---------------------------------------
+    def _mem_put(self, key: str, value: Any) -> None:
+        if key in self._mem:
+            self._mem_bytes -= self._sizes.get(key, 0)
+            del self._mem[key]
+        size = _approx_bytes(value)
+        self._mem[key] = value
+        self._sizes[key] = size
+        self._mem_bytes += size
+        if self.max_bytes is None:
+            return
+        while self._mem_bytes > self.max_bytes and len(self._mem) > 1:
+            old_key, _ = self._mem.popitem(last=False)
+            self._mem_bytes -= self._sizes.pop(old_key, 0)
+            self.evictions += 1
+            get_registry().counter("parallel/cache/evictions").inc()
+
+    @property
+    def memory_bytes(self) -> int:
+        return self._mem_bytes
+
     # -- raw get/put ---------------------------------------------------
     def lookup(self, key: str, decode: Optional[Callable] = None) -> Tuple[bool, Any]:
         """(hit?, value) for ``key``; disk hits are promoted to memory."""
         if key in self._mem:
+            self._mem.move_to_end(key)
             self._hit()
             return True, self._mem[key]
         if self.cache_dir:
@@ -111,14 +171,14 @@ class EvalCache:
                 value = payload["value"]
                 if decode is not None:
                     value = decode(value)
-                self._mem[key] = value
+                self._mem_put(key, value)
                 self._hit()
                 return True, value
         self._miss()
         return False, None
 
     def store(self, key: str, value: Any, encode: Optional[Callable] = None) -> None:
-        self._mem[key] = value
+        self._mem_put(key, value)
         if not self.cache_dir:
             return
         path = self._shard_path(key)
@@ -153,6 +213,60 @@ class EvalCache:
         value = compute()
         self.store(key, value, encode=encode)
         return value
+
+    # -- disk-level inspection / pruning --------------------------------
+    def disk_usage(self) -> Tuple[int, int]:
+        """(shard file count, total bytes) of the disk level; (0, 0)
+        when no ``cache_dir`` is configured."""
+        if not self.cache_dir:
+            return 0, 0
+        files = 0
+        total = 0
+        for dirpath, _, filenames in os.walk(self._shard_root()):
+            for name in filenames:
+                if not name.endswith(".json"):
+                    continue
+                try:
+                    total += os.path.getsize(os.path.join(dirpath, name))
+                    files += 1
+                except OSError:
+                    continue
+        return files, total
+
+    def prune_disk(self, max_bytes: int) -> int:
+        """Delete oldest shards (by mtime) until the disk level fits in
+        ``max_bytes``; returns the number of shards removed.  Each
+        removal counts on ``parallel/cache/evictions``."""
+        if not self.cache_dir:
+            return 0
+        shards = []
+        total = 0
+        for dirpath, _, filenames in os.walk(self._shard_root()):
+            for name in filenames:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                shards.append((st.st_mtime, st.st_size, path))
+                total += st.st_size
+        shards.sort()
+        removed = 0
+        reg = get_registry()
+        for _, size, path in shards:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            self.evictions += 1
+            reg.counter("parallel/cache/evictions").inc()
+        return removed
 
     # -- accounting ----------------------------------------------------
     def _hit(self) -> None:

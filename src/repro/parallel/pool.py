@@ -36,10 +36,28 @@ import numpy as np
 from ..obs import get_registry, use_registry
 
 
+def available_cpus() -> int:
+    """CPUs actually usable by this process.
+
+    Respects CPU affinity masks and cgroup cpusets via
+    ``os.sched_getaffinity`` where the platform provides it (Linux);
+    falls back to ``os.cpu_count`` elsewhere.  A container pinned to 2
+    of 64 cores gets 2, not 64.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(len(getaffinity(0)), 1)
+        except OSError:
+            pass
+    return max(os.cpu_count() or 1, 1)
+
+
 def resolve_workers(workers: Optional[int]) -> int:
-    """Normalize a worker-count request (``None``/``0`` → all cores)."""
+    """Normalize a worker-count request (``None``/``0`` → all *usable*
+    cores, i.e. affinity/cgroup-limited, not raw core count)."""
     if workers is None or workers == 0:
-        return max(os.cpu_count() or 1, 1)
+        return available_cpus()
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     return int(workers)
@@ -61,10 +79,27 @@ def task_seeds(base_seed: int, count: int) -> List[int]:
 
 
 def _metered(fn: Callable, item: Any):
-    """Run one task under an isolated registry; return (result, counters)."""
+    """Run one task under an isolated registry; return (result, counters).
+
+    Only counters survive the trip back to the caller; gauges, timers,
+    and table rows recorded inside the task are dropped.  Their count is
+    folded into the returned counters as
+    ``parallel/pool/dropped_metrics`` so the loss is visible instead of
+    silent (documented in docs/search.md).
+    """
     with use_registry() as reg:
         result = fn(item)
-        counters = reg.snapshot()["counters"]
+        snap = reg.snapshot()
+        counters = dict(snap["counters"])
+        dropped = (
+            len(snap["gauges"])
+            + len(snap["timers"])
+            + sum(len(rows) for rows in snap["tables"].values())
+        )
+        if dropped:
+            counters["parallel/pool/dropped_metrics"] = (
+                counters.get("parallel/pool/dropped_metrics", 0) + dropped
+            )
     return result, counters
 
 

@@ -9,7 +9,7 @@ price every iteration on the edge accelerator (scheduling search).
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from .adaptive import (
     StepStats,
     VotingCombiner,
 )
+from .dist import DistConfig, PipelineAdaptiveTrainer
 from .eval.memory import MemoryReport, model_weight_bytes
 from .hw import (
     AcceleratorSpec,
@@ -65,6 +66,11 @@ class EdgeLLMConfig:
     # offline-search execution (results are worker-count independent)
     workers: int = 1
     cache_dir: Optional[str] = None
+    # pipeline-parallel sharded tuning (repro.dist); results are
+    # shard-count independent — shards>1 bitwise reproduces shards=1.
+    shards: int = 1
+    micro_batches: int = 1
+    stage_plan: Optional[str] = None
 
 
 class EdgeLLM:
@@ -75,7 +81,9 @@ class EdgeLLM:
         self.config = config or EdgeLLMConfig()
         self.policy: Optional[LUCPolicy] = None
         self.slice_spec: Optional[SliceSpec] = slice_spec(model)
-        self.trainer: Optional[AdaptiveLayerTrainer] = None
+        self.trainer: Optional[
+            Union[AdaptiveLayerTrainer, PipelineAdaptiveTrainer]
+        ] = None
         self.voter: Optional[VotingCombiner] = None
         self._luc_undo = None
         # Memoizes pure search-time evaluations (sensitivity scores,
@@ -156,10 +164,33 @@ class EdgeLLM:
     def adapt(
         self, batches: Iterable, max_steps: Optional[int] = None
     ) -> List[StepStats]:
-        """Run adaptive layer tuning over (inputs, targets) batches."""
+        """Run adaptive layer tuning over (inputs, targets) batches.
+
+        With ``shards > 1`` (or ``micro_batches > 1``) tuning runs
+        sharded over pipeline stages (:mod:`repro.dist`) and reproduces
+        the single-process trajectory bit-for-bit; call :meth:`close`
+        when done to release the stage workers.
+        """
         if self.trainer is None:
-            self.trainer = AdaptiveLayerTrainer(self.model, self.config.tuning)
+            cfg = self.config
+            if cfg.shards > 1 or cfg.micro_batches > 1:
+                self.trainer = PipelineAdaptiveTrainer(
+                    self.model,
+                    cfg.tuning,
+                    DistConfig(
+                        shards=cfg.shards,
+                        micro_batches=cfg.micro_batches,
+                        stage_plan=cfg.stage_plan,
+                    ),
+                )
+            else:
+                self.trainer = AdaptiveLayerTrainer(self.model, self.config.tuning)
         return self.trainer.train(batches, max_steps=max_steps)
+
+    def close(self) -> None:
+        """Release sharded-tuning workers, if any (safe to call always)."""
+        if isinstance(self.trainer, PipelineAdaptiveTrainer):
+            self.trainer.close()
 
     # ------------------------------------------------------------------
     # stage 3: adaptive layer voting

@@ -1,0 +1,122 @@
+"""Stage planning: the exact min-max DP, spec parsing, slice awareness."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.data import lm_batches
+from repro.dist import StagePlan, model_block_costs, plan_for_model, plan_stages
+from repro.nn import TransformerLM, rotate_and_slice
+from repro.parallel import derive_seed
+
+from ..conftest import small_config
+
+
+def brute_force_minmax(costs, num_stages):
+    """Minimal max-stage-cost over every contiguous partition."""
+    L = len(costs)
+    best = float("inf")
+    for interior in itertools.combinations(range(1, L), num_stages - 1):
+        bounds = (0, *interior, L)
+        worst = max(
+            sum(costs[bounds[s]:bounds[s + 1]])
+            for s in range(num_stages)
+        )
+        best = min(best, worst)
+    return best
+
+
+class TestPlanStages:
+    def test_uniform_costs_split_evenly(self):
+        plan = plan_stages([1] * 8, 2)
+        assert plan.boundaries == (0, 4, 8)
+        assert plan.num_stages == 2
+        assert plan.stage_cost(0) == plan.stage_cost(1) == 4
+
+    def test_minimizes_max_stage_cost(self):
+        plan = plan_stages([10, 1, 1, 1, 1, 10], 2)
+        assert plan.boundaries == (0, 3, 6)
+        assert max(plan.stage_cost(s) for s in range(2)) == 12
+
+    def test_dp_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            L = int(rng.integers(2, 9))
+            S = int(rng.integers(1, L + 1))
+            costs = [int(c) for c in rng.integers(1, 50, size=L)]
+            plan = plan_stages(costs, S)
+            got = max(plan.stage_cost(s) for s in range(S))
+            assert got == brute_force_minmax(costs, S)
+
+    def test_partition_is_contiguous_and_complete(self):
+        plan = plan_stages([3, 1, 4, 1, 5, 9, 2, 6], 3)
+        covered = []
+        for s in range(plan.num_stages):
+            lo, hi = plan.blocks(s)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(8))
+
+    def test_too_many_stages_rejected(self):
+        with pytest.raises(ValueError):
+            plan_stages([1, 1], 3)
+        with pytest.raises(ValueError):
+            plan_stages([1, 1], 0)
+
+
+class TestStagePlan:
+    def test_parse_round_trip(self):
+        plan = StagePlan.parse("3,6", 8)
+        assert plan.boundaries == (0, 3, 6, 8)
+        assert plan.to_spec() == "3,6"
+        assert StagePlan.parse(plan.to_spec(), 8) == StagePlan((0, 3, 6, 8))
+
+    def test_parse_empty_spec_is_single_stage(self):
+        plan = StagePlan.parse("", 4)
+        assert plan.num_stages == 1
+        assert plan.blocks(0) == (0, 4)
+
+    def test_parse_bad_specs(self):
+        with pytest.raises(ValueError):
+            StagePlan.parse("x,y", 8)
+        with pytest.raises(ValueError):
+            StagePlan.parse("6,3", 8)  # not increasing
+        with pytest.raises(ValueError):
+            StagePlan.parse("9", 8)  # beyond num_layers
+
+    def test_invalid_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            StagePlan((1, 4))  # must start at 0
+        with pytest.raises(ValueError):
+            StagePlan((0,))  # no stages
+
+    def test_stage_of_block(self):
+        plan = StagePlan((0, 3, 6, 8))
+        assert [plan.stage_of_block(b) for b in range(8)] == [
+            0, 0, 0, 1, 1, 1, 2, 2,
+        ]
+        with pytest.raises(ValueError):
+            plan.stage_of_block(8)
+
+    def test_stage_seed_mirrors_parallel_contract(self):
+        plan = StagePlan((0, 2, 4))
+        for s in range(plan.num_stages):
+            assert plan.stage_seed(7, s) == derive_seed(7, s)
+
+
+class TestModelAwarePlanning:
+    def test_sliced_model_reports_lower_costs(self, adapt_corpus):
+        model = TransformerLM(small_config(num_layers=4))
+        before = model_block_costs(model)
+        rng = np.random.default_rng(0)
+        calib, _ = next(lm_batches(adapt_corpus, 4, 16, 1, rng))
+        rotate_and_slice(model, calib, 0.5)
+        after = model_block_costs(model)
+        assert sum(after) < sum(before)
+
+    def test_manual_spec_wins_and_validates_count(self):
+        model = TransformerLM(small_config(num_layers=6))
+        plan = plan_for_model(model, 2, spec="2")
+        assert plan.boundaries == (0, 2, 6)
+        with pytest.raises(ValueError):
+            plan_for_model(model, 3, spec="2")

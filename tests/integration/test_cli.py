@@ -82,6 +82,26 @@ class TestAdapt:
         assert out["policy_cost"] <= 0.3 + 1e-9
 
 
+class TestAdaptSharded:
+    def test_sharded_pipeline_runs(self, checkpoint, capsys):
+        rc = main([
+            "adapt", *FAST_MODEL, "--model", checkpoint,
+            "--steps", "6", "--batch", "4", "--seq", "24",
+            "--shards", "2", "--micro-batches", "2",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["adapted_perplexity"] < 100
+        assert len(out["stage_memory_bytes"]) == 2
+
+    def test_sharded_rejects_full_tape(self, checkpoint):
+        with pytest.raises(SystemExit):
+            main([
+                "adapt", *FAST_MODEL, "--model", checkpoint,
+                "--shards", "2", "--no-fast-path",
+            ])
+
+
 class TestSpeedup:
     def test_reports_speedup(self, capsys):
         rc = main(["speedup", *FAST_MODEL])
@@ -130,6 +150,25 @@ class TestGenerate:
                 "--confidence", "0.5",
             ])
 
+    def test_sharded_matches_single_process(self, checkpoint, capsys):
+        argv = [
+            "generate", "--model", checkpoint, "--prompt", "1", "2", "3",
+            "--max-new-tokens", "5",
+        ]
+        assert main(argv) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--shards", "2"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert sharded["tokens"] == plain["tokens"]
+        assert sharded["shards"] == 2
+
+    def test_sharded_rejects_sampling(self, checkpoint):
+        with pytest.raises(SystemExit):
+            main([
+                "generate", "--model", checkpoint, "--prompt", "1",
+                "--shards", "2", "--sample",
+            ])
+
 
 class TestServeSim:
     def test_summary_accounts_for_every_request(self, checkpoint, capsys):
@@ -169,6 +208,25 @@ class TestServeSim:
         assert out["rejected"] == 3
         assert out["completed"] == 0
 
+    def test_sharded_serving(self, checkpoint, capsys):
+        rc = main([
+            "serve-sim", "--model", checkpoint, "--requests", "4",
+            "--prompt-len", "6", "--max-new-tokens", "4", "--shards", "2",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["requests"] == 4
+        assert out["completed"] == 4
+        assert out["new_tokens"] == 16
+        assert out["shards"] == 2
+
+    def test_sharded_rejects_scheduler_features(self, checkpoint):
+        with pytest.raises(SystemExit):
+            main([
+                "serve-sim", "--model", checkpoint, "--shards", "2",
+                "--prefix-sharing",
+            ])
+
     def test_telemetry_report_covers_serving(
         self, checkpoint, capsys, tmp_path
     ):
@@ -185,3 +243,30 @@ class TestServeSim:
         for metric in ("serve/tokens_generated", "serve/admitted",
                        "serve/ttft", "serve/requests"):
             assert metric in text
+
+
+class TestCache:
+    def test_inspect_and_prune(self, capsys, tmp_path):
+        from repro.parallel import EvalCache
+
+        cache_dir = str(tmp_path / "cache")
+        cache = EvalCache(cache_dir)
+        for i in range(4):
+            cache.get_or_compute((i,), lambda: i)
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["files"] == 4 and out["bytes"] > 0
+        assert main([
+            "cache", "--cache-dir", cache_dir, "--prune-to", "0",
+        ]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["removed"] == 4
+        assert out["files"] == 0 and out["bytes"] == 0
+
+    def test_empty_dir(self, capsys, tmp_path):
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out == {
+            "cache_dir": str(tmp_path), "namespace": "eval",
+            "files": 0, "bytes": 0,
+        }

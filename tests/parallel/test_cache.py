@@ -81,6 +81,108 @@ class TestMemoryCache:
         assert len(cache) == 2
 
 
+class TestBoundedMemory:
+    def test_lru_eviction_order(self):
+        cache = EvalCache(max_bytes=2 * len(json.dumps("value-0")))
+        for i in range(3):
+            cache.store(stable_key(i), f"value-{i}")
+        # key 0 is the least recently used and must be gone
+        hit0, _ = cache.lookup(stable_key(0))
+        hit2, _ = cache.lookup(stable_key(2))
+        assert not hit0 and hit2
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_lookup_refreshes_recency(self):
+        size = len(json.dumps("value-0"))
+        cache = EvalCache(max_bytes=2 * size)
+        cache.store(stable_key(0), "value-0")
+        cache.store(stable_key(1), "value-1")
+        cache.lookup(stable_key(0))  # 0 becomes most recent
+        cache.store(stable_key(2), "value-2")  # evicts 1, not 0
+        assert cache.lookup(stable_key(0))[0]
+        assert not cache.lookup(stable_key(1))[0]
+
+    def test_newest_entry_survives_even_oversized(self):
+        cache = EvalCache(max_bytes=1)
+        cache.store(stable_key("big"), "x" * 100)
+        assert cache.lookup(stable_key("big"))[0]
+        assert len(cache) == 1
+
+    def test_memory_bytes_tracks_contents(self):
+        cache = EvalCache()
+        assert cache.memory_bytes == 0
+        cache.store(stable_key(1), "abc")
+        assert cache.memory_bytes == len(json.dumps("abc"))
+        cache.store(stable_key(1), "abcdef")  # overwrite, not double count
+        assert cache.memory_bytes == len(json.dumps("abcdef"))
+
+    def test_ndarray_sized_by_nbytes(self):
+        cache = EvalCache()
+        arr = np.zeros(10, dtype=np.float32)
+        cache.store(stable_key("a"), arr)
+        assert cache.memory_bytes == arr.nbytes
+
+    def test_evictions_published(self):
+        with use_registry() as reg:
+            cache = EvalCache(max_bytes=len(json.dumps("value-0")))
+            cache.store(stable_key(0), "value-0")
+            cache.store(stable_key(1), "value-1")
+        assert cache.evictions == 1
+        assert reg.counter("parallel/cache/evictions").value == 1
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            EvalCache(max_bytes=-1)
+
+    def test_unbounded_by_default(self):
+        cache = EvalCache()
+        for i in range(50):
+            cache.store(stable_key(i), f"value-{i}")
+        assert len(cache) == 50
+        assert cache.evictions == 0
+
+
+class TestDiskInspection:
+    def test_disk_usage_counts_shards(self, tmp_path):
+        cache = EvalCache(str(tmp_path))
+        assert cache.disk_usage() == (0, 0)
+        for i in range(5):
+            cache.store(stable_key(i), i)
+        files, total = cache.disk_usage()
+        assert files == 5 and total > 0
+
+    def test_disk_usage_without_dir(self):
+        assert EvalCache().disk_usage() == (0, 0)
+
+    def test_prune_disk_removes_oldest(self, tmp_path):
+        cache = EvalCache(str(tmp_path))
+        for i in range(6):
+            cache.store(stable_key(i), i)
+            # strictly increasing mtimes regardless of fs resolution
+            os.utime(cache._shard_path(stable_key(i)), (i, i))
+        _, total = cache.disk_usage()
+        with use_registry() as reg:
+            removed = cache.prune_disk(total // 2)
+        assert removed > 0
+        files, new_total = cache.disk_usage()
+        assert new_total <= total // 2
+        assert files == 6 - removed
+        assert reg.counter("parallel/cache/evictions").value == removed
+        # oldest went first: the newest shard must survive
+        assert os.path.exists(cache._shard_path(stable_key(5)))
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache = EvalCache(str(tmp_path))
+        for i in range(3):
+            cache.store(stable_key(i), i)
+        cache.prune_disk(0)
+        assert cache.disk_usage() == (0, 0)
+
+    def test_prune_without_dir_is_noop(self):
+        assert EvalCache().prune_disk(0) == 0
+
+
 class TestPersistentCache:
     def test_roundtrip_across_instances(self, tmp_path):
         a = EvalCache(str(tmp_path))

@@ -1,10 +1,18 @@
 """WorkerPool: ordering, chunking, metrics merging, seed derivation."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.obs import get_registry, use_registry
-from repro.parallel import WorkerPool, derive_seed, resolve_workers, task_seeds
+from repro.parallel import (
+    WorkerPool,
+    available_cpus,
+    derive_seed,
+    resolve_workers,
+    task_seeds,
+)
 from repro.parallel.pool import _metered
 
 
@@ -14,6 +22,14 @@ def square(x):
 
 def counting_square(x):
     get_registry().counter("test/calls").inc()
+    return x * x
+
+
+def gauging_square(x):
+    reg = get_registry()
+    reg.counter("test/calls").inc()
+    reg.gauge("test/gauge").set(x)
+    reg.record_row("test/rows", item=x)
     return x * x
 
 
@@ -28,6 +44,23 @@ class TestResolveWorkers:
     def test_negative_raises(self):
         with pytest.raises(ValueError):
             resolve_workers(-2)
+
+    def test_defaults_to_available_cpus(self):
+        assert resolve_workers(None) == available_cpus()
+        assert resolve_workers(0) == available_cpus()
+
+
+class TestAvailableCpus:
+    def test_positive(self):
+        assert available_cpus() >= 1
+
+    def test_respects_affinity_mask(self):
+        """On platforms with sched_getaffinity, the usable count is the
+        affinity mask size (cgroup/taskset aware), not the raw count."""
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("no sched_getaffinity on this platform")
+        assert available_cpus() == len(os.sched_getaffinity(0))
+        assert available_cpus() <= (os.cpu_count() or 1)
 
 
 class TestDeriveSeed:
@@ -104,3 +137,25 @@ class TestMetered:
         with use_registry() as reg:
             _metered(counting_square, 2)
             assert reg.counter("test/calls").value == 0
+
+    def test_counts_dropped_gauges_and_rows(self):
+        """Gauges/timers/rows recorded inside a task don't survive the
+        merge; their count comes back as pool/dropped_metrics."""
+        result, counters = _metered(gauging_square, 3)
+        assert result == 9
+        assert counters["test/calls"] == 1
+        assert counters["parallel/pool/dropped_metrics"] == 2  # gauge + row
+        assert "test/gauge" not in counters
+
+    def test_counter_only_tasks_drop_nothing(self):
+        _, counters = _metered(counting_square, 3)
+        assert "parallel/pool/dropped_metrics" not in counters
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_dropped_metrics_surface_in_caller_registry(self, workers):
+        with use_registry() as reg:
+            with WorkerPool(workers) as pool:
+                out = pool.map(gauging_square, range(4), collect_metrics=True)
+        assert out == [x * x for x in range(4)]
+        assert reg.counter("test/calls").value == 4
+        assert reg.counter("parallel/pool/dropped_metrics").value == 8
