@@ -1,0 +1,211 @@
+"""Partition-invariant GEMM kernels for tensor-parallel sharding.
+
+Bitwise identity across tensor-parallel layouts cannot be built on BLAS
+``np.matmul``: its internal blocking changes with the output width, so a
+column shard of a GEMM is *not* bitwise the matching slice of the full
+GEMM (empirically: ``(2, 64, 176)`` split 2 and ``(33, 128, 344)`` split
+4 disagree in the last ulp on this container's OpenBLAS).  Tensor-
+parallel execution therefore runs on :func:`det_matmul`, a two-operand
+``np.einsum`` contraction whose per-element accumulation over the
+reduced axis is strictly sequential and independent of how the output
+columns are partitioned.  That gives the two invariances the TP layer
+is built on:
+
+* **column invariance** — ``det_matmul(x, w[:, lo:hi])`` is bitwise the
+  ``[lo:hi]`` column slice of ``det_matmul(x, w)`` for any partition,
+  so column-sharded (first) GEMMs concatenate exactly;
+* **subtree invariance** — k-sharded (second) GEMMs reduce partial
+  products over a *canonical chunk grid* with :func:`tree_sum`, a fixed
+  recursive-halving tree.  Any rank assignment that is a subtree of
+  that grid (power-of-two ranks over a power-of-two grid) reduces to
+  the bitwise-identical total, whether the partials are summed on one
+  process or across many.
+
+``tests/dist/test_tp_kernels.py`` locks both properties against the
+shapes that break BLAS sharding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..tensor import Op, Tensor, apply_op
+
+Grid = Tuple[Tuple[int, int], ...]
+
+
+def det_matmul(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``x @ w`` with partition-invariant, j-sequential accumulation.
+
+    ``x`` is ``(..., k)``, ``w`` is ``(k, n)``.  Leading batch dims are
+    flattened for the contraction and restored afterwards; inputs are
+    made contiguous so the iteration order seen by einsum's
+    sum-of-products loop is identical for every column partition.
+    """
+    x = np.asarray(x)
+    w = np.asarray(w)
+    lead = x.shape[:-1]
+    a = np.ascontiguousarray(x.reshape(-1, x.shape[-1]))
+    b = np.ascontiguousarray(w)
+    out = np.einsum("ij,jk->ik", a, b, optimize=False)
+    return out.reshape(*lead, w.shape[1])
+
+
+def tree_sum(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Fixed recursive-halving reduction of chunk partials.
+
+    The association is a function of ``len(parts)`` alone, so a rank
+    that owns a subtree of the canonical grid may reduce its own
+    partials locally and the cross-rank combine still reproduces the
+    full tree bitwise (see :func:`subtree_aligned`).
+    """
+    n = len(parts)
+    if n == 1:
+        return parts[0]
+    mid = n // 2
+    return tree_sum(parts[:mid]) + tree_sum(parts[mid:])
+
+
+def column_grid(n: int, chunks: int) -> Grid:
+    """Canonical contiguous column partition of width ``n``.
+
+    Chunk boundaries follow ``np.array_split`` (as equal as possible,
+    larger chunks first) and depend only on ``(n, chunks)`` — never on
+    the tensor-parallel degree — which is what makes results layout-
+    invariant.  Widths come from the live modules, so sliced
+    checkpoints (``SliceSpec.hw_dims``) partition their *sliced* widths
+    automatically.
+    """
+    if chunks < 1:
+        raise ValueError("chunks must be >= 1")
+    chunks = min(chunks, n)
+    sizes = [len(c) for c in np.array_split(np.arange(n), chunks)]
+    grid: List[Tuple[int, int]] = []
+    lo = 0
+    for size in sizes:
+        grid.append((lo, lo + size))
+        lo += size
+    return tuple(grid)
+
+
+def subtree_aligned(chunks: int, tp: int) -> bool:
+    """Whether ``tp`` contiguous equal-count rank ranges are subtrees of
+    ``tree_sum``'s halving tree over ``chunks`` leaves."""
+    if tp < 1 or chunks % tp:
+        return False
+    spans = [(r * (chunks // tp), (r + 1) * (chunks // tp)) for r in range(tp)]
+
+    def covers(lo: int, hi: int) -> bool:
+        if (lo, hi) in spans:
+            return True
+        if hi - lo <= 1:
+            return False
+        mid = lo + (hi - lo) // 2
+        return covers(lo, mid) and covers(mid, hi)
+
+    # Every span must be reachable as a node of the recursion tree.
+    def nodes(lo: int, hi: int, acc: set) -> None:
+        acc.add((lo, hi))
+        if hi - lo > 1:
+            mid = lo + (hi - lo) // 2
+            nodes(lo, mid, acc)
+            nodes(mid, hi, acc)
+
+    acc: set = set()
+    nodes(0, chunks, acc)
+    return all(span in acc for span in spans)
+
+
+def _as2d(x: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(x.reshape(-1, x.shape[-1]))
+
+
+class ColShardLinearOp(Op):
+    """Column-sharded GEMM (the Megatron "first" GEMM of a sublayer).
+
+    Forward is the full :func:`det_matmul` — bitwise identical to
+    computing each grid chunk separately and concatenating, which is
+    exactly what the process fan-out does.  The input gradient reduces
+    k-partials (k = out_features) over the canonical grid with
+    :func:`tree_sum` so backward is layout-invariant too.
+    """
+
+    name = "tp_col_linear"
+
+    def forward(self, inputs, attrs, out=None):
+        x, w = inputs
+        return det_matmul(x, w), (x, w, attrs)
+
+    def vjp(self, ctx, grad, needs):
+        x, w, grid = ctx
+        if needs[0]:
+            g2 = _as2d(grad)
+            parts = [
+                det_matmul(
+                    np.ascontiguousarray(g2[:, lo:hi]),
+                    np.ascontiguousarray(w[:, lo:hi].T),
+                )
+                for lo, hi in grid
+            ]
+            yield 0, tree_sum(parts).reshape(x.shape)
+        if needs[1]:
+            x2 = _as2d(x)
+            yield 1, det_matmul(np.ascontiguousarray(x2.T), _as2d(grad))
+
+
+class RowShardLinearOp(Op):
+    """k-sharded GEMM (the Megatron "second" GEMM of a sublayer).
+
+    Forward reduces per-chunk partial products over the canonical grid
+    with :func:`tree_sum` — the "one all-reduce per sublayer".  A rank
+    owning a subtree of the grid computes and locally reduces its own
+    chunks; the driver's cross-rank combine reproduces this exact tree.
+    Backward has no reduction: ``dx`` chunks and ``dw`` row-chunks are
+    independent and concatenate exactly.
+    """
+
+    name = "tp_row_linear"
+
+    def forward(self, inputs, attrs, out=None):
+        x, w = inputs
+        grid = attrs
+        parts = [
+            det_matmul(
+                np.ascontiguousarray(x[..., lo:hi]),
+                np.ascontiguousarray(w[lo:hi, :]),
+            )
+            for lo, hi in grid
+        ]
+        return tree_sum(parts), (x, w, grid)
+
+    def vjp(self, ctx, grad, needs):
+        x, w, grid = ctx
+        if needs[0]:
+            g2 = _as2d(grad)
+            cols = [
+                det_matmul(g2, np.ascontiguousarray(w[lo:hi, :].T))
+                for lo, hi in grid
+            ]
+            yield 0, np.concatenate(cols, axis=-1).reshape(x.shape)
+        if needs[1]:
+            x2 = _as2d(x)
+            g2 = _as2d(grad)
+            rows = [
+                det_matmul(np.ascontiguousarray(x2[:, lo:hi].T), g2)
+                for lo, hi in grid
+            ]
+            yield 1, np.concatenate(rows, axis=0)
+
+
+_COL_OP = ColShardLinearOp()
+_ROW_OP = RowShardLinearOp()
+
+
+def col_linear(x: Tensor, weight: Tensor, grid: Grid) -> Tensor:
+    return apply_op(_COL_OP, (x, weight), attrs=grid)
+
+
+def row_linear(x: Tensor, weight: Tensor, grid: Grid) -> Tensor:
+    return apply_op(_ROW_OP, (x, weight), attrs=grid)

@@ -60,12 +60,26 @@ class DistConfig:
     # Force the in-process serial backend even for shards > 1 (useful
     # for tests and for machines without working process pools).
     serial: bool = False
+    # Tensor-parallel degree: shard each block's q/k/v/o + gate/up/down
+    # GEMMs over the canonical chunk grid (see repro.dist.tp).  Results
+    # are bitwise identical at any tp >= 1 over the same grid.
+    tp: int = 1
+    tp_chunks: int = 8
+    # Double-buffered boundary receives (PrefetchReceiver): overlap
+    # activation/gradient deserialization with stage compute.
+    overlap: bool = True
 
     def __post_init__(self):
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
         if self.micro_batches < 1:
             raise ValueError("micro_batches must be >= 1")
+        if self.tp < 1:
+            raise ValueError("tp must be >= 1")
+        if self.tp > 1:
+            from .tp import validate_tp
+
+            validate_tp(self.tp, self.tp_chunks)
 
 
 def validate_tuning_config(config: AdaptiveTuningConfig) -> None:
@@ -170,6 +184,7 @@ class PipelineRunner:
                         host, link.cmd_q, link.result_q,
                         link.fwd_in, link.fwd_out,
                         link.grad_in, link.grad_out,
+                        self.dist.overlap,
                     ),
                     daemon=True,
                 )
@@ -341,7 +356,7 @@ class PipelineRunner:
 
     def _finish_step(self, reports: Dict[int, Dict], wall: float) -> Dict:
         S = self.plan.num_stages
-        busy = idle = 0.0
+        busy = idle = recv = wait = 0.0
         transfer = frozen = 0
         for s, rep in reports.items():
             self._stage_busy[s] += rep["busy_s"]
@@ -351,6 +366,8 @@ class PipelineRunner:
             idle += rep["idle_s"]
             transfer += rep["recv_bytes"]
             frozen += rep.get("frozen_params", 0)
+            recv += rep.get("overlap_recv_s", 0.0)
+            wait += rep.get("overlap_wait_s", 0.0)
         bubble = 0.0
         if wall > 0:
             bubble = min(max(1.0 - busy / (S * wall), 0.0), 1.0)
@@ -359,14 +376,25 @@ class PipelineRunner:
         reg.counter("dist/steps").inc()
         reg.counter("dist/transfer_bytes").inc(transfer)
         reg.gauge("dist/bubble_fraction").set(bubble)
+        overlap = self._overlap_fraction(recv, wait)
+        if overlap is not None:
+            reg.gauge("dist/overlap_fraction").set(overlap)
         return {
             "wall_s": wall,
             "busy_s": busy,
             "idle_s": idle,
             "transfer_bytes": transfer,
             "bubble_fraction": bubble,
+            "overlap_fraction": 0.0 if overlap is None else overlap,
             "frozen_params": frozen,
         }
+
+    @staticmethod
+    def _overlap_fraction(recv: float, wait: float) -> Optional[float]:
+        """Fraction of boundary receive time hidden behind compute."""
+        if recv <= 0:
+            return None
+        return min(max(1.0 - wait / recv, 0.0), 1.0)
 
     # ------------------------------------------------------------------
     # model state
@@ -451,12 +479,18 @@ class PipelineRunner:
                 rep.setdefault("idle_s", 0.0)
                 rep.setdefault("recv_bytes", 0)
         reg = get_registry()
+        recv = wait = 0.0
         for rep in ordered:
             s = rep["stage"]
             self._stage_busy[s] += rep["busy_s"]
             self._stage_idle[s] += rep.get("idle_s", 0.0)
             self._stage_bytes[s] += rep.get("recv_bytes", 0)
             reg.counter("dist/transfer_bytes").inc(rep.get("recv_bytes", 0))
+            recv += rep.get("overlap_recv_s", 0.0)
+            wait += rep.get("overlap_wait_s", 0.0)
+        overlap = self._overlap_fraction(recv, wait)
+        if overlap is not None:
+            reg.gauge("dist/overlap_fraction").set(overlap)
         return ordered
 
     # ------------------------------------------------------------------

@@ -11,6 +11,7 @@ the hosting process differs (tests/dist/test_equivalence_serving.py).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -18,6 +19,13 @@ import numpy as np
 from ..nn.transformer import TransformerLM
 from ..obs import get_registry
 from .runtime import DistConfig, PipelineRunner
+
+SAMPLING_UNSUPPORTED_MSG = (
+    "pipeline-sharded serving is greedy-only; for sampled or voting "
+    "decode over sharded GEMMs use tensor-parallel serving (--tp N), "
+    "which routes per-request RNG streams to the head shard and is "
+    "bit-identical to the single-process engine"
+)
 
 
 class PipelineGenerationEngine:
@@ -37,7 +45,21 @@ class PipelineGenerationEngine:
     ):
         self.model = model
         self._owns_runner = runner is None
-        self.runner = runner or PipelineRunner(model, dist or DistConfig())
+        self._tp_state = None
+        dist = dist or DistConfig()
+        if self._owns_runner and dist.tp > 1:
+            # Shard the projection GEMMs before the runner forks its
+            # stage workers, so every stage host inherits the canonical
+            # chunked kernels (copy-on-write) and any (PP, TP) layout
+            # emits bitwise-identical activations.  The group fan-out
+            # stays off here — stage processes parallelize the blocks;
+            # TP contributes the layout-invariant arithmetic.
+            from .tp import tp_enable
+
+            self._tp_state = tp_enable(model, dist.tp, chunks=dist.tp_chunks)
+        self.runner = runner or PipelineRunner(model, dist)
+        self._tp = self.runner.dist.tp
+        self._iteration = 0
 
     def generate(
         self,
@@ -58,16 +80,15 @@ class PipelineGenerationEngine:
         picks a token and re-enters the pipeline while other requests
         occupy the other stages."""
         if not greedy:
-            raise ValueError(
-                "sharded serving is greedy-only (sampled decoding has no "
-                "bit-for-bit single-process reference)"
-            )
+            raise ValueError(SAMPLING_UNSUPPORTED_MSG)
         outs: Dict[str, List[int]] = {str(i): [] for i in range(len(prompts))}
         if not prompts or max_new_tokens <= 0:
             return [outs[str(i)] for i in range(len(prompts))]
         runner = self.runner
         reg = get_registry()
+        t0 = time.perf_counter()
         runner.serve_begin()
+        reports: List[Dict] = []
         try:
             for i, prompt in enumerate(prompts):
                 ids = np.asarray(list(prompt), dtype=np.int64)[None, :]
@@ -86,13 +107,39 @@ class PipelineGenerationEngine:
                     runner.serve_free(rid)
                     pending -= 1
         finally:
-            runner.serve_end()
+            reports = runner.serve_end()
         reg.counter("dist/serve/requests").inc(len(prompts))
+        # Serving-only runs get dist/iter rows too, so `repro report`
+        # renders the dist section without any tuning telemetry present.
+        wall = time.perf_counter() - t0
+        recv = sum(r.get("overlap_recv_s", 0.0) for r in reports)
+        wait = sum(r.get("overlap_wait_s", 0.0) for r in reports)
+        total = sum(len(outs[str(i)]) for i in range(len(prompts)))
+        self._iteration += 1
+        reg.record_row(
+            "dist/iter",
+            iteration=self._iteration - 1,
+            mode="serve",
+            requests=len(prompts),
+            tokens=total,
+            wall_time_s=wall,
+            shards=runner.plan.num_stages,
+            tp=self._tp,
+            transfer_bytes=sum(r.get("recv_bytes", 0) for r in reports),
+            overlap_fraction=(
+                0.0
+                if recv <= 0
+                else min(max(1.0 - wait / recv, 0.0), 1.0)
+            ),
+        )
         return [outs[str(i)] for i in range(len(prompts))]
 
     def close(self) -> None:
         if self._owns_runner:
             self.runner.close()
+        if self._tp_state is not None:
+            self._tp_state.close()
+            self._tp_state = None
 
     def __enter__(self):
         return self

@@ -1,0 +1,465 @@
+"""Tensor-parallel GEMM sharding over persistent workers.
+
+Megatron-style intra-layer parallelism for the seven shardable
+projections of each transformer block: ``q/k/v`` and ``gate/up`` are
+**column-split** (each rank computes a contiguous span of output
+channels), ``o`` and ``down`` are **row-split** (each rank reduces the
+partial products of its span of the contracted axis), one canonical
+all-reduce per attention/MLP sublayer.
+
+The layout-invariance contract rides on :mod:`repro.dist.kernels`:
+every sharded GEMM runs the partition-invariant ``det_matmul`` kernel
+over a *canonical chunk grid* fixed by the model's live widths (so
+sliced checkpoints partition their ``SliceSpec.hw_dims`` widths
+automatically) — never by the TP degree.  Column shards concatenate
+exactly; row shards reduce through ``tree_sum``'s fixed halving tree,
+which power-of-two rank counts tile with aligned subtrees.  Logits,
+losses, gradients and final weights are therefore bitwise identical at
+``tp=1``, ``tp=2``, ``tp=4``, … on either execution path:
+
+* **in-process** (always used under gradient tape, graph capture, or
+  when no group is running): the canonical chunked ops execute locally
+  — this is how TP composes with pipeline-parallel tuning at any
+  ``(PP, TP, micro)`` layout without shipping activations twice;
+* **process fan-out** (``TPGroup``): persistent forked rank workers
+  each compute their span while the driver (rank 0, which also owns
+  every per-request RNG stream on the serving path) computes its own —
+  communication overlaps rank-0 compute.  Any worker failure, timeout,
+  or stale-weight detection falls back to the in-process path with the
+  identical result and bumps ``dist/fallbacks``.
+
+``tp_enable`` swaps each projection for a name-transparent
+:class:`TPLinear` that adopts the *same* ``Parameter`` object under the
+same attribute name, so optimizers, checkpoints, canonical parameter
+ordering and stage ownership are all unaffected.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers import Linear
+from ..nn.module import Module
+from ..obs import get_registry
+from ..tensor import Tensor, is_grad_enabled
+from ..tensor.tensor import _active_recorder
+from .kernels import (
+    Grid,
+    col_linear,
+    column_grid,
+    det_matmul,
+    row_linear,
+    subtree_aligned,
+    tree_sum,
+)
+
+DEFAULT_CHUNKS = 8
+
+# Fallback (submodule, attribute, shard mode) sites for blocks that do
+# not publish their own enumeration; ``TransformerBlock.tp_shardable``
+# is the authoritative contract and reports exactly these seven.
+SHARDED_PROJECTIONS: Tuple[Tuple[str, str, str], ...] = (
+    ("attn", "q_proj", "col"),
+    ("attn", "k_proj", "col"),
+    ("attn", "v_proj", "col"),
+    ("attn", "o_proj", "row"),
+    ("mlp", "gate_proj", "col"),
+    ("mlp", "up_proj", "col"),
+    ("mlp", "down_proj", "row"),
+)
+
+
+def shardable_sites(block) -> Tuple[Tuple[str, str, str], ...]:
+    """Projection sites to shard in ``block``: the block's own
+    ``tp_shardable()`` enumeration when it publishes one, else the
+    default seven-projection layout."""
+    hook = getattr(block, "tp_shardable", None)
+    if callable(hook):
+        return tuple(hook())
+    return SHARDED_PROJECTIONS
+
+
+def validate_tp(tp: int, chunks: int = DEFAULT_CHUNKS) -> None:
+    if tp < 1:
+        raise ValueError("tp must be >= 1")
+    if chunks < 1:
+        raise ValueError("tp chunk grid must be >= 1")
+    if not subtree_aligned(chunks, tp):
+        raise ValueError(
+            f"tp={tp} does not tile the canonical {chunks}-chunk grid "
+            f"with aligned subtrees (use a power-of-two tp <= {chunks})"
+        )
+
+
+class TPLinear(Module):
+    """Drop-in sharded replacement for one projection ``Linear``.
+
+    Adopts the wrapped layer's ``weight``/``bias`` Parameters under the
+    same names, so ``named_parameters()``, state dicts and stage
+    ownership are byte-for-byte what the plain layer reported.
+    """
+
+    def __init__(self, inner: Linear, mode: str, grid: Grid, lid: str):
+        super().__init__()
+        if mode not in ("col", "row"):
+            raise ValueError(f"unknown shard mode {mode!r}")
+        object.__setattr__(self, "_inner", inner)
+        self.mode = mode
+        self.grid = grid
+        self.lid = lid
+        self.in_features = inner.in_features
+        self.out_features = inner.out_features
+        self.weight = inner.weight
+        self.bias = inner.bias
+        self._group: Optional["TPGroup"] = None
+
+    @property
+    def inner(self) -> Linear:
+        return self._inner
+
+    def forward(self, x: Tensor) -> Tensor:
+        group = self._group
+        if (
+            group is not None
+            and group.can_serve()
+            and not is_grad_enabled()
+            and _active_recorder() is None
+        ):
+            data = group.forward_array(self, x.data)
+            if data is not None:
+                out = Tensor(data)
+                if self.bias is not None:
+                    out = out + self.bias
+                return out
+            # group went down mid-flight — fall through to the bitwise-
+            # identical in-process path (dist/fallbacks already bumped)
+        if self.mode == "col":
+            out = col_linear(x, self.weight, self.grid)
+        else:
+            out = row_linear(x, self.weight, self.grid)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return (
+            f"in={self.in_features}, out={self.out_features}, "
+            f"mode={self.mode}, chunks={len(self.grid)}"
+        )
+
+
+def _rank_span(grid: Grid, tp: int, rank: int) -> Tuple[int, int]:
+    """Contiguous element range covered by ``rank``'s subtree of chunks."""
+    chunks = _rank_chunks(grid, tp, rank)
+    return chunks[0][0], chunks[-1][1]
+
+
+def _rank_chunks(grid: Grid, tp: int, rank: int) -> Grid:
+    per = len(grid) // tp
+    return grid[rank * per : (rank + 1) * per]
+
+
+def _prepare_spans(mode: str, chunks: Grid, w: np.ndarray):
+    """Slice one rank's weight span out contiguously, once.
+
+    Weights are frozen for the group's lifetime (the driver's version
+    guard tears the group down on any change), so the per-call
+    ``ascontiguousarray`` copies — ~``1/tp`` of the projection per GEMM
+    — are paid a single time here instead of on every token.
+    """
+    if mode == "col":
+        lo, hi = chunks[0][0], chunks[-1][1]
+        return np.ascontiguousarray(w[:, lo:hi])
+    return [
+        ((lo, hi), np.ascontiguousarray(w[lo:hi, :])) for lo, hi in chunks
+    ]
+
+
+def _span_forward(mode: str, prepared, x: np.ndarray) -> np.ndarray:
+    if mode == "col":
+        return det_matmul(x, prepared)
+    parts = [
+        det_matmul(np.ascontiguousarray(x[..., lo:hi]), w_chunk)
+        for (lo, hi), w_chunk in prepared
+    ]
+    return tree_sum(parts)
+
+
+def _worker_loop(conn, shards: Dict[str, Tuple[str, Grid, np.ndarray]], delay_s: float):
+    """Persistent TP rank worker: weights arrive via fork copy-on-write."""
+    prepared = {
+        lid: (mode, _prepare_spans(mode, chunks, w))
+        for lid, (mode, chunks, w) in shards.items()
+    }
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                return
+            lid, x = msg
+            if delay_s:
+                time.sleep(delay_s)
+            mode, spans = prepared[lid]
+            conn.send(_span_forward(mode, spans, x))
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+
+
+class TPGroup:
+    """Persistent fork-based rank workers for one TP-enabled model.
+
+    The driver is rank 0: per sharded GEMM it broadcasts the input to
+    ranks ``1..tp-1``, computes its own span while they compute theirs
+    (communication/compute overlap — ``dist/overlap_fraction`` reports
+    the fraction of fan-out wall time hidden behind rank-0 compute),
+    then combines: concatenation for column shards, the canonical
+    ``tree_sum`` for row shards.  Results are bitwise the in-process
+    chunked ops — any failure or timeout degrades to exactly those, via
+    the caller, after bumping ``dist/fallbacks``.
+    """
+
+    def __init__(
+        self,
+        tp: int,
+        timeout_s: float = 60.0,
+        start_method: str = "fork",
+        _test_delay_s: float = 0.0,
+    ):
+        if tp < 2:
+            raise ValueError("TPGroup needs tp >= 2 (tp=1 is in-process)")
+        self.tp = tp
+        self.timeout_s = timeout_s
+        self.start_method = start_method
+        self._test_delay_s = _test_delay_s
+        self._procs: List = []
+        self._conns: List = []
+        self._alive = False
+        self._versions: Dict[str, int] = {}
+        # rank 0's contiguous weight spans, sliced once at start()
+        self._rank0: Dict[str, object] = {}
+        # overlap accounting
+        self.busy_s = 0.0
+        self.wait_s = 0.0
+        self.calls = 0
+        self.transfer_bytes = 0
+
+    # ------------------------------------------------------------------
+    def start(self, linears: List[TPLinear]) -> bool:
+        """Fork ``tp - 1`` rank workers inheriting weight shards COW.
+
+        Returns False (after counting a fallback) when processes cannot
+        be started; the group then stays permanently in-process.
+        """
+        import multiprocessing as mp
+
+        shards_by_rank: List[Dict[str, Tuple[str, Grid, np.ndarray]]] = [
+            {} for _ in range(self.tp)
+        ]
+        for lin in linears:
+            validate_tp(self.tp, len(lin.grid))
+            self._versions[lin.lid] = lin.weight.version
+            self._rank0[lin.lid] = _prepare_spans(
+                lin.mode, _rank_chunks(lin.grid, self.tp, 0), lin.weight.data
+            )
+            for r in range(1, self.tp):
+                shards_by_rank[r][lin.lid] = (
+                    lin.mode,
+                    _rank_chunks(lin.grid, self.tp, r),
+                    lin.weight.data,
+                )
+        try:
+            ctx = mp.get_context(self.start_method)
+            for r in range(1, self.tp):
+                parent, child = ctx.Pipe()
+                p = ctx.Process(
+                    target=_worker_loop,
+                    args=(child, shards_by_rank[r], self._test_delay_s),
+                    daemon=True,
+                )
+                p.start()
+                child.close()
+                self._procs.append(p)
+                self._conns.append(parent)
+        except (ValueError, OSError, ImportError):
+            self._teardown()
+            get_registry().counter("dist/fallbacks").inc()
+            return False
+        self._alive = True
+        for lin in linears:
+            lin._group = self
+        return True
+
+    def can_serve(self) -> bool:
+        return self._alive
+
+    # ------------------------------------------------------------------
+    def forward_array(self, lin: TPLinear, x: np.ndarray) -> Optional[np.ndarray]:
+        """Fan one sharded GEMM out across the ranks.
+
+        Returns ``None`` (after counting a fallback and marking the
+        group down) when a rank is unhealthy or the weights changed
+        since fork — the caller then recomputes in-process, bitwise
+        identically.
+        """
+        if lin.weight.version != self._versions.get(lin.lid):
+            self._fail()
+            return None
+        t0 = time.perf_counter()
+        x = np.ascontiguousarray(x)
+        try:
+            for conn in self._conns:
+                conn.send((lin.lid, x))
+        except (OSError, ValueError, BrokenPipeError):
+            self._fail()
+            return None
+        # rank 0 computes its own span while the workers compute theirs
+        mine = _span_forward(lin.mode, self._rank0[lin.lid], x)
+        t_compute = time.perf_counter()
+        outs = [mine]
+        try:
+            for conn in self._conns:
+                if not conn.poll(self.timeout_s):
+                    raise TimeoutError
+                outs.append(conn.recv())
+        except (TimeoutError, EOFError, OSError):
+            self._fail()
+            return None
+        t1 = time.perf_counter()
+        self.calls += 1
+        self.busy_s += t1 - t0
+        self.wait_s += t1 - t_compute
+        self.transfer_bytes += x.nbytes * (self.tp - 1) + sum(
+            o.nbytes for o in outs[1:]
+        )
+        if lin.mode == "col":
+            return np.concatenate(outs, axis=-1)
+        return tree_sum(outs)
+
+    # ------------------------------------------------------------------
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of fan-out wall time hidden behind rank-0 compute."""
+        if self.busy_s <= 0:
+            return 0.0
+        return min(max(1.0 - self.wait_s / self.busy_s, 0.0), 1.0)
+
+    def publish(self) -> None:
+        reg = get_registry()
+        if self.calls:
+            reg.gauge("dist/overlap_fraction").set(self.overlap_fraction)
+        reg.counter("dist/transfer_bytes").inc(self.transfer_bytes)
+        self.transfer_bytes = 0
+
+    def _fail(self) -> None:
+        get_registry().counter("dist/fallbacks").inc()
+        self._teardown()
+
+    def _teardown(self) -> None:
+        self._alive = False
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for p in self._procs:
+            p.join(timeout=2.0)
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=1.0)
+        self._conns = []
+        self._procs = []
+
+    def close(self) -> None:
+        self.publish()
+        self._teardown()
+
+
+class TPState:
+    """Handle returned by :func:`tp_enable`: undo list + process group."""
+
+    def __init__(self, model, undo, linears: List[TPLinear], tp: int,
+                 group: Optional[TPGroup]):
+        self.model = model
+        self._undo = undo
+        self.linears = linears
+        self.tp = tp
+        self.group = group
+
+    def close(self) -> None:
+        from ..nn.surgery import restore
+
+        if self.group is not None:
+            self.group.close()
+            self.group = None
+        for lin in self.linears:
+            lin._group = None
+        if self._undo:
+            restore(self._undo)
+            self._undo = []
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def tp_enable(
+    model,
+    tp: int,
+    chunks: int = DEFAULT_CHUNKS,
+    group: bool = False,
+    timeout_s: float = 60.0,
+    _test_delay_s: float = 0.0,
+) -> TPState:
+    """Shard every block's q/k/v/o and gate/up/down projections.
+
+    ``group=True`` additionally forks ``tp - 1`` persistent rank
+    workers for the no-grad serving path (``tp >= 2`` only); without it
+    (or after any worker failure) the canonical chunked arithmetic runs
+    in-process with bitwise-identical results at any ``tp``.
+    """
+    validate_tp(tp, chunks)
+    from ..nn.surgery import swap
+
+    undo = []
+    linears: List[TPLinear] = []
+    for b, block in enumerate(model.blocks):
+        for sub, attr, mode in shardable_sites(block):
+            parent = getattr(block, sub, None)
+            if parent is None:
+                continue
+            inner = getattr(parent, attr, None)
+            if inner is None:
+                continue
+            if isinstance(inner, TPLinear):
+                raise ValueError(f"blocks.{b}.{sub}.{attr} is already sharded")
+            if type(inner) is not Linear:
+                raise ValueError(
+                    f"blocks.{b}.{sub}.{attr} is {type(inner).__name__}; "
+                    "tensor-parallel sharding needs plain Linear weights — "
+                    "fold/export compressed checkpoints first"
+                )
+            width = inner.out_features if mode == "col" else inner.in_features
+            eff = min(chunks, width)
+            validate_tp(tp, eff)
+            grid = column_grid(width, eff)
+            lin = TPLinear(inner, mode, grid, lid=f"blocks.{b}.{sub}.{attr}")
+            undo.append(swap(parent, attr, lin))
+            linears.append(lin)
+    tp_group = None
+    if group and tp >= 2:
+        tp_group = TPGroup(
+            tp, timeout_s=timeout_s, _test_delay_s=_test_delay_s
+        )
+        if not tp_group.start(linears):
+            tp_group = None
+    return TPState(model, undo, linears, tp, tp_group)

@@ -400,14 +400,28 @@ class StageHost:
 # ----------------------------------------------------------------------
 # persistent-worker process loop
 # ----------------------------------------------------------------------
-def stage_loop(host, cmd_q, result_q, fwd_in, fwd_out, grad_in, grad_out):
+def stage_loop(
+    host, cmd_q, result_q, fwd_in, fwd_out, grad_in, grad_out, overlap=True
+):
     """Entry point of a persistent stage process.
 
     Commands arrive on ``cmd_q`` in driver-enforced lockstep phases;
     activations/gradients flow stage-to-stage over the ``fwd``/``grad``
     queues without driver involvement.  Queues are unbounded, so sends
     never block and the 1F1B interleave cannot deadlock.
+
+    With ``overlap=True`` (the default) each boundary receive queue is
+    wrapped in a :class:`~repro.dist.transport.PrefetchReceiver`:
+    micro-batch *m+1*'s activations deserialize on a daemon thread
+    while *m* computes, and the hidden receive time is reported to the
+    driver for the ``dist/overlap_fraction`` gauge.  Order-preserving,
+    so the 1F1B schedule and its bitwise contract are unchanged.
     """
+    from .transport import PrefetchReceiver, merge_overlap_stats
+
+    if overlap:
+        fwd_in = PrefetchReceiver(fwd_in) if fwd_in is not None else None
+        grad_in = PrefetchReceiver(grad_in) if grad_in is not None else None
     while True:
         cmd = cmd_q.get()
         op = cmd[0]
@@ -420,6 +434,7 @@ def stage_loop(host, cmd_q, result_q, fwd_in, fwd_out, grad_in, grad_out):
                 host, window, micro, inputs, targets,
                 fwd_in, fwd_out, grad_in, grad_out,
             )
+            report.update(merge_overlap_stats(fwd_in, grad_in))
             result_q.put((host.stage_index, "tune_step", report))
         elif op == "clip_prepare":
             _, routed, need_sumsq = cmd
@@ -438,6 +453,7 @@ def stage_loop(host, cmd_q, result_q, fwd_in, fwd_out, grad_in, grad_out):
             result_q.put((host.stage_index, "memory", host.memory()))
         elif op == "serve":
             report = _run_serve(host, cmd_q, result_q, fwd_in, fwd_out)
+            report.update(merge_overlap_stats(fwd_in, grad_in))
             result_q.put((host.stage_index, "serve", report))
         else:  # pragma: no cover - driver never sends unknown ops
             result_q.put((host.stage_index, "error", f"unknown op {op!r}"))

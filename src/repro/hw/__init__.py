@@ -17,7 +17,13 @@ from .scheduling import (
     enumerate_schedules,
     heuristic_schedule,
 )
-from .cost_model import CostReport, gemm_cost, memoized_gemm_cost, objective_value
+from .cost_model import (
+    CostReport,
+    gemm_cost,
+    memoized_gemm_cost,
+    objective_value,
+    tp_comm_bytes,
+)
 from .elementwise import (
     ElementwiseWorkload,
     block_elementwise_workloads,
@@ -65,6 +71,7 @@ __all__ = [
     "gemm_cost",
     "memoized_gemm_cost",
     "objective_value",
+    "tp_comm_bytes",
     "IterationCost",
     "ScheduledGEMM",
     "schedule_workloads",

@@ -142,7 +142,16 @@ def format_report(report: Dict, max_rows: int = 10) -> str:
     for name, rows in sorted((report.get("tables") or {}).items()):
         if not rows:
             continue
+        # Union of columns in first-appearance order: tables that mix
+        # row kinds (e.g. dist/iter tuning + serving rows) render every
+        # column instead of silently dropping late-appearing ones.
         headers = list(rows[0].keys())
+        seen = set(headers)
+        for row in rows[1:]:
+            for key in row.keys():
+                if key not in seen:
+                    seen.add(key)
+                    headers.append(key)
         shown = rows[-max_rows:]
         body = [[row.get(h, "") for h in headers] for row in shown]
         sections.append(

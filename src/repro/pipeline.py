@@ -71,6 +71,10 @@ class EdgeLLMConfig:
     shards: int = 1
     micro_batches: int = 1
     stage_plan: Optional[str] = None
+    # tensor-parallel GEMM sharding (repro.dist.tp); composes with
+    # shards/micro_batches and is likewise bitwise layout-invariant.
+    tp: int = 1
+    tp_chunks: int = 8
 
 
 class EdgeLLM:
@@ -173,7 +177,7 @@ class EdgeLLM:
         """
         if self.trainer is None:
             cfg = self.config
-            if cfg.shards > 1 or cfg.micro_batches > 1:
+            if cfg.shards > 1 or cfg.micro_batches > 1 or cfg.tp > 1:
                 self.trainer = PipelineAdaptiveTrainer(
                     self.model,
                     cfg.tuning,
@@ -181,6 +185,8 @@ class EdgeLLM:
                         shards=cfg.shards,
                         micro_batches=cfg.micro_batches,
                         stage_plan=cfg.stage_plan,
+                        tp=cfg.tp,
+                        tp_chunks=cfg.tp_chunks,
                     ),
                 )
             else:

@@ -1,0 +1,278 @@
+"""Partition-invariance kernels + tensor-parallel sharding layer.
+
+Locks the two bitwise invariances TP is built on (column slicing and
+subtree-aligned tree reduction) against shapes where BLAS ``np.matmul``
+sharding demonstrably diverges, then checks the autograd ops, the
+name-transparent ``TPLinear`` swap, layout invariance across TP degrees,
+and the process fan-out path including its fallbacks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dist.kernels import (
+    col_linear,
+    column_grid,
+    det_matmul,
+    row_linear,
+    subtree_aligned,
+    tree_sum,
+)
+from repro.dist.tp import TPGroup, TPLinear, tp_enable, validate_tp
+from repro.nn import TransformerLM
+from repro.obs import use_registry
+from repro.tensor import Tensor, no_grad
+
+from ..conftest import small_config
+
+# Shapes where OpenBLAS matmul is NOT bitwise column-partition
+# invariant on this container (found by adversarial search); the det
+# kernel must be invariant on exactly these.
+ADVERSARIAL = [
+    ((1, 128), (128, 128), 3),
+    ((33, 128), (128, 344), 4),
+    ((2, 64), (64, 176), 2),
+    ((1, 64), (64, 64), 3),
+    ((4, 48), (48, 128), 8),
+]
+
+
+def _rand(shape, seed):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestDetMatmul:
+    @pytest.mark.parametrize("xs,ws,splits", ADVERSARIAL)
+    def test_column_partition_invariance(self, xs, ws, splits):
+        x, w = _rand(xs, 0), _rand(ws, 1)
+        full = det_matmul(x, w)
+        parts = [
+            det_matmul(x, np.ascontiguousarray(w[:, lo:hi]))
+            for lo, hi in column_grid(w.shape[1], splits)
+        ]
+        assert np.concatenate(parts, axis=-1).tobytes() == full.tobytes()
+
+    def test_batched_leading_dims(self):
+        x, w = _rand((3, 5, 16), 2), _rand((16, 24), 3)
+        out = det_matmul(x, w)
+        assert out.shape == (3, 5, 24)
+        np.testing.assert_allclose(out, x @ w, rtol=1e-5, atol=1e-5)
+
+    def test_matches_matmul_numerically(self):
+        x, w = _rand((7, 33), 4), _rand((33, 19), 5)
+        np.testing.assert_allclose(det_matmul(x, w), x @ w, rtol=1e-5, atol=1e-5)
+
+
+class TestTreeSum:
+    @pytest.mark.parametrize("tp", [1, 2, 4, 8])
+    def test_subtree_local_reduction_is_bitwise(self, tp):
+        """A rank reducing its own chunk span locally, then combining
+        across ranks, reproduces the full halving tree exactly."""
+        parts = [_rand((5, 7), 10 + i) for i in range(8)]
+        full = tree_sum(parts)
+        per = len(parts) // tp
+        locals_ = [
+            tree_sum(parts[r * per : (r + 1) * per]) for r in range(tp)
+        ]
+        assert tree_sum(locals_).tobytes() == full.tobytes()
+
+    def test_subtree_aligned_table(self):
+        assert subtree_aligned(8, 1)
+        assert subtree_aligned(8, 2)
+        assert subtree_aligned(8, 4)
+        assert subtree_aligned(8, 8)
+        assert not subtree_aligned(8, 3)
+        assert not subtree_aligned(8, 5)
+        assert not subtree_aligned(6, 4)
+        assert subtree_aligned(6, 2)
+
+    def test_validate_tp(self):
+        validate_tp(1)
+        validate_tp(2)
+        validate_tp(4)
+        with pytest.raises(ValueError, match="aligned subtrees"):
+            validate_tp(3)
+        with pytest.raises(ValueError, match="tp must be"):
+            validate_tp(0)
+
+
+class TestShardOps:
+    def test_col_forward_is_det_matmul(self):
+        x = Tensor(_rand((4, 6, 32), 20))
+        w = Tensor(_rand((32, 48), 21), requires_grad=True)
+        out = col_linear(x, w, column_grid(48, 8))
+        assert out.data.tobytes() == det_matmul(x.data, w.data).tobytes()
+
+    def test_row_forward_is_grid_reduction(self):
+        grid = column_grid(48, 8)
+        x = Tensor(_rand((4, 6, 48), 22))
+        w = Tensor(_rand((48, 32), 23), requires_grad=True)
+        out = row_linear(x, w, grid)
+        parts = [
+            det_matmul(
+                np.ascontiguousarray(x.data[..., lo:hi]),
+                np.ascontiguousarray(w.data[lo:hi, :]),
+            )
+            for lo, hi in grid
+        ]
+        assert out.data.tobytes() == tree_sum(parts).tobytes()
+
+    @pytest.mark.parametrize("mode", ["col", "row"])
+    def test_gradients_match_reference_matmul(self, mode):
+        k, n = (32, 48) if mode == "col" else (48, 32)
+        grid = column_grid(n if mode == "col" else k, 8)
+        fn = col_linear if mode == "col" else row_linear
+        xd, wd = _rand((3, 5, k), 30), _rand((k, n), 31)
+
+        x1, w1 = Tensor(xd, requires_grad=True), Tensor(wd, requires_grad=True)
+        fn(x1, w1, grid).sum().backward()
+        x2, w2 = Tensor(xd, requires_grad=True), Tensor(wd, requires_grad=True)
+        (x2 @ w2).sum().backward()
+        np.testing.assert_allclose(x1.grad, x2.grad, rtol=1e-4, atol=1e-4)
+        np.testing.assert_allclose(w1.grad, w2.grad, rtol=1e-4, atol=1e-4)
+
+    def test_gradients_invariant_across_chunk_grids(self):
+        """Backward through the canonical grid is a fixed function of the
+        grid, so every TP degree over it yields bitwise-equal grads."""
+        xd, wd = _rand((3, 5, 48), 32), _rand((48, 32), 33)
+        grads = []
+        for _ in range(2):  # determinism across repeated runs
+            x = Tensor(xd, requires_grad=True)
+            w = Tensor(wd, requires_grad=True)
+            row_linear(x, w, column_grid(48, 8)).sum().backward()
+            grads.append((x.grad.tobytes(), w.grad.tobytes()))
+        assert grads[0] == grads[1]
+
+
+def _logits(model, ids):
+    with no_grad():
+        return model(ids).data
+
+
+class TestTPEnable:
+    def test_parameter_names_unchanged(self, pretrained_model):
+        before = [n for n, _ in pretrained_model.named_parameters()]
+        ids_before = [id(p) for _, p in pretrained_model.named_parameters()]
+        with tp_enable(pretrained_model, tp=2) as state:
+            after = [n for n, _ in pretrained_model.named_parameters()]
+            ids_after = [id(p) for _, p in pretrained_model.named_parameters()]
+            assert after == before
+            assert ids_after == ids_before
+            assert len(state.linears) == 7 * pretrained_model.num_layers
+            assert all(isinstance(l, TPLinear) for l in state.linears)
+        # undo restores the plain Linears
+        assert not any(
+            isinstance(m, TPLinear) for m in pretrained_model.modules()
+        )
+
+    def test_layout_invariance_across_tp_degrees(self, pretrained_state):
+        """tp=1, tp=2, tp=4 all run the same canonical grid arithmetic,
+        so logits are bitwise identical across layouts."""
+        ids = np.arange(24, dtype=np.int64).reshape(2, 12) % 32
+        outs = []
+        for tp in (1, 2, 4):
+            model = TransformerLM(small_config())
+            model.load_state_dict(pretrained_state)
+            model.eval()
+            with tp_enable(model, tp=tp):
+                outs.append(_logits(model, ids).tobytes())
+        assert outs[0] == outs[1] == outs[2]
+
+    def test_grad_path_matches_plain_model_closely(self, pretrained_model):
+        """Sharded arithmetic is a different (deterministic) summation
+        order than BLAS, so losses match numerically, not bitwise."""
+        from repro.tensor import cross_entropy
+
+        ids = np.arange(24, dtype=np.int64).reshape(2, 12) % 32
+        targets = (ids + 1) % 32
+        ref = cross_entropy(pretrained_model(ids), targets).item()
+        with tp_enable(pretrained_model, tp=2):
+            got = cross_entropy(pretrained_model(ids), targets).item()
+        assert got == pytest.approx(ref, rel=1e-5)
+
+    def test_rejects_non_plain_linear(self, pretrained_model):
+        from repro.nn.surgery import swap
+
+        class NotLinear(TransformerLM.__mro__[1]):  # a bare Module
+            def forward(self, x):  # pragma: no cover
+                return x
+
+        swap(pretrained_model.blocks[0].attn, "q_proj", NotLinear())
+        with pytest.raises(ValueError, match="plain Linear"):
+            tp_enable(pretrained_model, tp=2)
+
+    def test_rejects_double_enable(self, pretrained_model):
+        with tp_enable(pretrained_model, tp=2):
+            with pytest.raises(ValueError, match="already sharded"):
+                tp_enable(pretrained_model, tp=2)
+
+
+class TestTPGroup:
+    def test_process_path_bitwise_matches_in_process(self, pretrained_state):
+        ids = np.arange(24, dtype=np.int64).reshape(2, 12) % 32
+
+        def run(group):
+            model = TransformerLM(small_config())
+            model.load_state_dict(pretrained_state)
+            model.eval()
+            with tp_enable(model, tp=2, group=group) as state:
+                if group:
+                    assert state.group is not None and state.group.can_serve()
+                return _logits(model, ids).tobytes()
+
+        assert run(False) == run(True)
+
+    def test_timeout_falls_back_and_counts(self, pretrained_state):
+        ids = np.arange(12, dtype=np.int64).reshape(1, 12) % 32
+        model = TransformerLM(small_config())
+        model.load_state_dict(pretrained_state)
+        model.eval()
+        with tp_enable(model, tp=2):
+            ref = _logits(model, ids).tobytes()
+        with use_registry() as reg:
+            with tp_enable(
+                model, tp=2, group=True, timeout_s=0.0, _test_delay_s=0.5
+            ) as state:
+                got = _logits(model, ids).tobytes()
+                assert state.group is None or not state.group.can_serve()
+            fallbacks = reg.counter("dist/fallbacks").value
+        assert fallbacks >= 1
+        assert got == ref  # fallback path is the same canonical arithmetic
+
+    def test_stale_weights_fall_back(self, pretrained_state):
+        ids = np.arange(12, dtype=np.int64).reshape(1, 12) % 32
+        model = TransformerLM(small_config())
+        model.load_state_dict(pretrained_state)
+        model.eval()
+        with use_registry() as reg:
+            with tp_enable(model, tp=2, group=True) as state:
+                assert state.group is not None
+                q = model.blocks[0].attn.q_proj
+                q.weight.data = q.weight.data * 1.0  # version bump
+                got = _logits(model, ids).tobytes()
+                assert not state.group.can_serve()
+            fallbacks = reg.counter("dist/fallbacks").value
+        assert fallbacks >= 1
+        with tp_enable(model, tp=2):
+            assert _logits(model, ids).tobytes() == got
+
+    def test_overlap_accounting(self, pretrained_state):
+        model = TransformerLM(small_config())
+        model.load_state_dict(pretrained_state)
+        model.eval()
+        ids = np.arange(24, dtype=np.int64).reshape(2, 12) % 32
+        with use_registry() as reg:
+            with tp_enable(model, tp=2, group=True) as state:
+                _logits(model, ids)
+                group = state.group
+                assert group is not None and group.calls > 0
+                assert group.transfer_bytes > 0
+                assert 0.0 <= group.overlap_fraction <= 1.0
+                group.publish()
+            snap = reg.snapshot()
+        assert snap["counters"]["dist/transfer_bytes"] > 0
+        assert "dist/overlap_fraction" in snap["gauges"]
+
+    def test_group_requires_tp_ge_2(self):
+        with pytest.raises(ValueError, match="tp >= 2"):
+            TPGroup(1)

@@ -63,8 +63,11 @@ def test_random_graph_gradients_match_finite_differences(seed, depth):
         rng.uniform(-1.5, 1.5, shape).astype(np.float32) for _ in range(2)
     ]
 
-    def forward(values):
-        leaves = [Tensor(v, requires_grad=True) for v in values]
+    def forward(values, dtype=np.float32):
+        leaves = [
+            Tensor(np.asarray(v, dtype=dtype), requires_grad=True, dtype=dtype)
+            for v in values
+        ]
         out = build_graph(leaves, np.random.default_rng(seed), depth)
         return out, leaves
 
@@ -74,17 +77,21 @@ def test_random_graph_gradients_match_finite_differences(seed, depth):
         l.grad if l.grad is not None else np.zeros_like(l.data) for l in leaves
     ]
 
+    # Central differences run in float64: a float32 forward quantizes
+    # (plus - minus) at ulp(out)/2eps, which for large outputs exceeds
+    # the comparison tolerance and flakes on deep graphs.
     eps = 1e-3
-    for li in range(len(leaf_values)):
-        numeric = np.zeros_like(leaf_values[li], dtype=np.float64)
-        flat = leaf_values[li].reshape(-1)
+    fd_values = [v.astype(np.float64) for v in leaf_values]
+    for li in range(len(fd_values)):
+        numeric = np.zeros_like(fd_values[li])
+        flat = fd_values[li].reshape(-1)
         num_flat = numeric.reshape(-1)
         for k in range(flat.size):
             orig = flat[k]
             flat[k] = orig + eps
-            plus = float(forward(leaf_values)[0].data)
+            plus = float(forward(fd_values, dtype=np.float64)[0].data)
             flat[k] = orig - eps
-            minus = float(forward(leaf_values)[0].data)
+            minus = float(forward(fd_values, dtype=np.float64)[0].data)
             flat[k] = orig
             num_flat[k] = (plus - minus) / (2 * eps)
         assert np.allclose(analytic[li], numeric, atol=2e-2, rtol=2e-2), (
